@@ -1,0 +1,92 @@
+//! End-to-end Criterion benchmarks: one full distributed update round per
+//! GPA strategy on a small grid, the flood baseline, and a TAG epoch.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sensorlog_core::deploy::{DeployConfig, Deployment, WorkloadEvent};
+use sensorlog_core::{RtConfig, Strategy};
+use sensorlog_eval::UpdateKind;
+use sensorlog_logic::builtin::BuiltinRegistry;
+use sensorlog_logic::{Symbol, Term, Tuple};
+use sensorlog_netsim::{NodeId, SimConfig, Topology};
+use sensorlog_netstack::flood::run_flood;
+use sensorlog_netstack::tag::run_epoch;
+use sensorlog_netstack::tree::GatherTree;
+
+const JOIN2: &str = r#"
+    .output q.
+    q(X, Y) :- r1(X, T), r2(Y, T).
+"#;
+
+fn one_round(strategy: Strategy) -> u64 {
+    let topo = Topology::square_grid(6);
+    let cfg = DeployConfig {
+        rt: RtConfig {
+            strategy,
+            ..RtConfig::default()
+        },
+        ..DeployConfig::default()
+    };
+    let mut d = Deployment::new(JOIN2, BuiltinRegistry::standard(), topo, cfg).unwrap();
+    let mk = |v: i64, t: i64| Tuple::new(vec![Term::Int(v), Term::Int(t)]);
+    d.schedule_all(vec![
+        WorkloadEvent {
+            at: 10,
+            node: NodeId(3),
+            pred: Symbol::intern("r1"),
+            tuple: mk(1, 7),
+            kind: UpdateKind::Insert,
+        },
+        WorkloadEvent {
+            at: 200,
+            node: NodeId(30),
+            pred: Symbol::intern("r2"),
+            tuple: mk(2, 7),
+            kind: UpdateKind::Insert,
+        },
+    ]);
+    d.run(10_000_000);
+    d.metrics().total_tx()
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one-update-round 6x6");
+    for strategy in [
+        Strategy::Perpendicular { band_width: 1.0 },
+        Strategy::NaiveBroadcast,
+        Strategy::LocalStorage,
+        Strategy::Centroid,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, &s| b.iter(|| black_box(one_round(s))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_flood(c: &mut Criterion) {
+    c.bench_function("flood baseline 8x8", |b| {
+        b.iter(|| {
+            black_box(
+                run_flood(&Topology::square_grid(8), NodeId(0), SimConfig::default())
+                    .total_messages,
+            )
+        })
+    });
+}
+
+fn bench_tag(c: &mut Criterion) {
+    let topo = Topology::square_grid(8);
+    let tree = GatherTree::bfs(&topo, NodeId(0));
+    let readings: Vec<f64> = (0..64).map(|i| i as f64).collect();
+    c.bench_function("tag epoch 8x8", |b| {
+        b.iter(|| {
+            let (p, msgs) = run_epoch(&topo, &tree, &readings, SimConfig::default());
+            black_box((p.sum, msgs))
+        })
+    });
+}
+
+criterion_group!(benches, bench_strategies, bench_flood, bench_tag);
+criterion_main!(benches);

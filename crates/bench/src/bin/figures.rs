@@ -1,0 +1,32 @@
+//! Regenerate the paper's evaluation tables/figures.
+//!
+//! ```text
+//! figures all            # everything, report order
+//! figures fig4 fig8      # a subset
+//! figures --list         # available ids
+//! ```
+
+use sensorlog_bench::{run, ALL_EXPERIMENTS};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL_EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        let t0 = Instant::now();
+        for table in run(&[id]) {
+            println!("{table}");
+        }
+        eprintln!("[{id} took {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,100 @@
+//! Shared experiment machinery: one deployment run summarized into the
+//! numbers the tables report.
+
+use sensorlog_core::deploy::{DeployConfig, Deployment, WorkloadEvent};
+use sensorlog_core::oracle;
+use sensorlog_core::{PassMode, RtConfig, Strategy};
+use sensorlog_logic::builtin::BuiltinRegistry;
+use sensorlog_logic::Symbol;
+use sensorlog_netsim::{SimConfig, SimTime, Topology};
+
+/// Summary of one deployment run.
+#[derive(Clone, Debug)]
+pub struct RunPoint {
+    pub total_tx: u64,
+    pub total_bytes: u64,
+    pub max_node_load: u64,
+    pub imbalance: f64,
+    pub energy_uj: f64,
+    pub completeness: f64,
+    pub soundness: f64,
+    pub expected: usize,
+    pub peak_node_memory: usize,
+    pub peak_replicas: usize,
+    pub peak_derivations: usize,
+    pub tx_store: u64,
+    pub tx_probe: u64,
+    pub tx_result: u64,
+    pub delivery_ratio: f64,
+    pub final_time: SimTime,
+}
+
+/// Run `src` on `topo` with the given strategy/config and workload; check
+/// against the oracle on `output`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_case(
+    src: &str,
+    topo: Topology,
+    strategy: Strategy,
+    pass_mode: PassMode,
+    sim: SimConfig,
+    spatial_radius: Option<f64>,
+    events: Vec<WorkloadEvent>,
+    output: Symbol,
+    horizon: SimTime,
+) -> RunPoint {
+    let cfg = DeployConfig {
+        rt: RtConfig {
+            strategy,
+            pass_mode,
+            spatial_radius,
+            ..RtConfig::default()
+        },
+        sim,
+        ..DeployConfig::default()
+    };
+    let mut d = Deployment::new(src, BuiltinRegistry::standard(), topo, cfg)
+        .expect("experiment program compiles");
+    d.schedule_all(events.clone());
+    let final_time = d.run(horizon);
+    let report = oracle::check(&d, &events, output);
+    let m = d.metrics();
+    RunPoint {
+        total_tx: m.total_tx(),
+        total_bytes: m.total_tx_bytes(),
+        max_node_load: m.max_node_load(),
+        imbalance: m.imbalance(),
+        energy_uj: m.total_energy_uj(),
+        completeness: report.completeness(),
+        soundness: report.soundness(),
+        expected: report.expected,
+        peak_node_memory: d.peak_node_memory(),
+        peak_replicas: d
+            .node_stats()
+            .iter()
+            .map(|s| s.peak_replicas)
+            .max()
+            .unwrap_or(0),
+        peak_derivations: d
+            .node_stats()
+            .iter()
+            .map(|s| s.peak_derivations)
+            .max()
+            .unwrap_or(0),
+        tx_store: m.tx_by_kind.get("store").copied().unwrap_or(0),
+        tx_probe: m.tx_by_kind.get("probe").copied().unwrap_or(0),
+        tx_result: m.tx_by_kind.get("result").copied().unwrap_or(0),
+        delivery_ratio: m.delivery_ratio(),
+        final_time,
+    }
+}
+
+/// The strategies compared throughout the join experiments.
+pub fn join_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Perpendicular { band_width: 1.0 },
+        Strategy::Centroid,
+        Strategy::NaiveBroadcast,
+        Strategy::LocalStorage,
+    ]
+}

@@ -1,0 +1,101 @@
+//! Fig. 15: finalize-holddown ablation — the design choice DESIGN.md calls
+//! out. Owners debounce liveness transitions ("we need to wait for an
+//! appropriate time before actually finalizing a derived fact", Sec. IV-C),
+//! with XY components staggered so retractors (`jp`) settle before the
+//! tuples they block (`j`) propagate. Turning the stagger off lets
+//! transient insert/retract pairs escape into the network — correct at
+//! quiescence, but paid for in messages.
+
+use crate::table::Table;
+use sensorlog_core::deploy::{DeployConfig, Deployment};
+use sensorlog_core::workload::graph_edges;
+use sensorlog_core::{PlanTiming, RtConfig, Strategy};
+use sensorlog_logic::builtin::BuiltinRegistry;
+use sensorlog_logic::{Symbol, Term};
+use sensorlog_netsim::Topology;
+
+const LOGIC_J: &str = r#"
+    .output j.
+    j(0, 0).
+    j(X, 1) :- g(0, X).
+    jp(Y, D + 1) :- j(Y, D'), (D + 1) > D', j(X, D), g(X, Y).
+    j(Y, D + 1) :- g(X, Y), j(X, D), not jp(Y, D + 1).
+"#;
+
+/// Returns (messages, quiesced?, tree correct at cutoff).
+fn run_with(timing: PlanTiming, m: u32) -> (u64, bool, bool) {
+    let topo = Topology::square_grid(m);
+    let cfg = DeployConfig {
+        rt: RtConfig {
+            strategy: Strategy::Perpendicular { band_width: 1.0 },
+            ..RtConfig::default()
+        },
+        plan: timing,
+        ..DeployConfig::default()
+    };
+    let mut d = Deployment::new(LOGIC_J, BuiltinRegistry::standard(), topo.clone(), cfg).unwrap();
+    d.schedule_all(graph_edges(&topo, 100, 200));
+    // Hard cutoff: without the holddown, transient insert/retract pairs can
+    // chase each other up the stages indefinitely — the very failure mode
+    // the debouncing exists to prevent. 60 simulated seconds is ~2x the
+    // staggered convergence time.
+    d.run(60_000);
+    let quiesced = d.sim.is_quiescent();
+    let results = d.results(Symbol::intern("j"));
+    // Correct iff every node appears exactly at its BFS depth.
+    let mut ok = true;
+    for node in topo.nodes() {
+        let (x, y) = topo.grid_coords(node).unwrap();
+        let want = (x + y) as i64;
+        let depths: Vec<i64> = results
+            .iter()
+            .filter(|t| t.get(0) == &Term::Int(node.0 as i64))
+            .map(|t| t.get(1).as_i64().unwrap())
+            .collect();
+        if depths.is_empty() || depths.iter().any(|&d| d != want) {
+            ok = false;
+        }
+    }
+    (d.metrics().total_tx(), quiesced, ok)
+}
+
+/// Fig. 15: logicJ on a 4×4 grid under three holddown settings.
+pub fn fig15() -> Table {
+    let mut t = Table::new(
+        "fig15",
+        "finalize-holddown ablation (logicJ, 4x4 grid)",
+        &["holddown", "msgs @60s", "quiesced", "tree correct"],
+    );
+    for (label, timing) in [
+        (
+            "staggered (default)",
+            PlanTiming {
+                holddown_base: 100,
+                xy_stagger: 2_000,
+            },
+        ),
+        (
+            "flat 100ms",
+            PlanTiming {
+                holddown_base: 100,
+                xy_stagger: 0,
+            },
+        ),
+        (
+            "none (1ms)",
+            PlanTiming {
+                holddown_base: 1,
+                xy_stagger: 0,
+            },
+        ),
+    ] {
+        let (msgs, quiesced, ok) = run_with(timing, 4);
+        t.row(vec![
+            label.into(),
+            msgs.to_string(),
+            if quiesced { "yes" } else { "NO" }.into(),
+            if ok { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    t
+}

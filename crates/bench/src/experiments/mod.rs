@@ -1,0 +1,13 @@
+//! The reconstructed Section-VI experiment suite (see DESIGN.md for the
+//! provenance of each figure/table id).
+
+pub mod ablation;
+pub mod aggregates;
+pub mod failures;
+pub mod geometric;
+pub mod holddown;
+pub mod joins;
+pub mod memory;
+pub mod negation;
+pub mod robustness;
+pub mod sptree;

@@ -1,0 +1,93 @@
+//! Plain-text result tables, the output format of the experiment harness.
+
+use std::fmt;
+
+/// One experiment's result table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id, e.g. "fig4".
+    pub id: &'static str,
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(id: &'static str, title: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            id,
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        let widths: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(c.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (c, w) in cells.iter().zip(widths.iter()) {
+                write!(f, " {c:>w$} |", w = w)?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.columns)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            line(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format helper: two significant decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("figX", "test table", &["m", "messages"]);
+        t.row(vec!["6".into(), "1234".into()]);
+        t.row(vec!["16".into(), "9".into()]);
+        let s = t.to_string();
+        assert!(s.contains("figX"));
+        assert!(s.contains("     1234 |")); // right-aligned under "messages"
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("t", "x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Deployment harness: compile a program, stand up a simulated network of
+//! [`SensorlogNode`]s, inject workload events, run to quiescence, and
+//! collect results + communication metrics.
+
+use crate::plan::{compile_source, DistProgram, PlanTiming};
+use crate::runtime::{NetInfo, NodeStats, RtConfig, SensorlogNode};
+use crate::strategy::Strategy;
+use crate::partial::RuleShape;
+use sensorlog_eval::UpdateKind;
+use sensorlog_logic::builtin::BuiltinRegistry;
+use sensorlog_logic::{Symbol, Tuple};
+use sensorlog_netsim::{Metrics, NodeId, SimConfig, SimTime, Simulator, Topology};
+use sensorlog_netstack::ght;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// One workload event: a reading generated or retracted at a node.
+#[derive(Clone, Debug)]
+pub struct WorkloadEvent {
+    pub at: SimTime,
+    pub node: NodeId,
+    pub pred: Symbol,
+    pub tuple: Tuple,
+    pub kind: UpdateKind,
+}
+
+impl WorkloadEvent {
+    /// Parse the event-script line format used by the CLI:
+    /// `+<at_ms> @<node> fact(args).` inserts, `-…` deletes.
+    pub fn parse_line(line: &str) -> Result<WorkloadEvent, String> {
+        let line = line.trim();
+        let (kind, rest) = match line.split_at(1.min(line.len())) {
+            ("+", r) => (UpdateKind::Insert, r),
+            ("-", r) => (UpdateKind::Delete, r),
+            _ => return Err(format!("event line must start with + or -: `{line}`")),
+        };
+        let mut parts = rest.splitn(3, ' ');
+        let at: SimTime = parts
+            .next()
+            .ok_or("missing timestamp")?
+            .parse()
+            .map_err(|e| format!("bad timestamp in `{line}`: {e}"))?;
+        let node_part = parts.next().ok_or("missing @node")?;
+        let node: u32 = node_part
+            .strip_prefix('@')
+            .ok_or_else(|| format!("expected @node in `{line}`"))?
+            .parse()
+            .map_err(|e| format!("bad node id in `{line}`: {e}"))?;
+        let fact = parts.next().ok_or("missing fact")?;
+        let (pred, terms) =
+            sensorlog_logic::parse_fact(fact).map_err(|e| format!("bad fact in `{line}`: {e}"))?;
+        Ok(WorkloadEvent {
+            at,
+            node: NodeId(node),
+            pred,
+            tuple: Tuple::new(terms),
+            kind,
+        })
+    }
+
+    /// Parse a whole event script (blank lines / `%` comments skipped).
+    pub fn parse_script(text: &str) -> Result<Vec<WorkloadEvent>, String> {
+        let mut out = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('%') {
+                continue;
+            }
+            out.push(WorkloadEvent::parse_line(line)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Full deployment configuration.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct DeployConfig {
+    pub rt: RtConfig,
+    pub sim: SimConfig,
+    pub plan: PlanTiming,
+}
+
+
+/// A running deployment.
+pub struct Deployment {
+    pub sim: Simulator<SensorlogNode>,
+    pub prog: Arc<DistProgram>,
+    pub strategy: Strategy,
+    schedule: Vec<WorkloadEvent>,
+}
+
+impl Deployment {
+    /// Compile `src` and deploy it on `topo`.
+    pub fn new(
+        src: &str,
+        reg: BuiltinRegistry,
+        topo: Topology,
+        config: DeployConfig,
+    ) -> Result<Deployment, crate::plan::CompileError> {
+        let mut rt = config.rt.clone();
+        // τc must agree with the simulator's skew bound (Theorem 3).
+        rt.tau_c = rt.tau_c.max(config.sim.clock_skew_max);
+        let prog = Arc::new(compile_source(src, reg, config.plan)?);
+        let net = Arc::new(NetInfo::new(topo.clone()));
+        let cfg = Arc::new(rt);
+        let shapes = Arc::new(
+            prog.analysis
+                .program
+                .rules
+                .iter()
+                .map(RuleShape::of)
+                .collect::<Vec<_>>(),
+        );
+        let prog2 = Arc::clone(&prog);
+        let sim = Simulator::new(topo, config.sim, move |id, _| {
+            SensorlogNode::new(
+                id,
+                Arc::clone(&prog2),
+                Arc::clone(&cfg),
+                Arc::clone(&net),
+                Arc::clone(&shapes),
+            )
+        });
+        let mut d = Deployment {
+            sim,
+            prog,
+            strategy: config.rt.strategy,
+            schedule: Vec::new(),
+        };
+        d.inject_static_facts();
+        Ok(d)
+    }
+
+    /// Inject the program's ground facts (empty-body rules) at their owner
+    /// nodes.
+    fn inject_static_facts(&mut self) {
+        let facts = self.prog.static_facts.clone();
+        for (pred, tuple) in facts {
+            let owner = match self.strategy {
+                Strategy::Centroid => Strategy::center(self.sim.topology()),
+                _ => ght::owner_of(self.sim.topology(), pred, &tuple),
+            };
+            self.sim.invoke(owner, |node, ctx| {
+                node.inject_static(ctx, pred, tuple.clone());
+            });
+        }
+    }
+
+    /// Queue a workload event (applied in `run`).
+    pub fn schedule(&mut self, ev: WorkloadEvent) {
+        self.schedule.push(ev);
+    }
+
+    pub fn schedule_all(&mut self, evs: impl IntoIterator<Item = WorkloadEvent>) {
+        self.schedule.extend(evs);
+    }
+
+    /// Run the simulation, interleaving scheduled workload events, until
+    /// all events at or before `horizon` fired and the network quiesces.
+    /// Returns the final simulated time. May be called repeatedly (e.g.
+    /// schedule → run to t → `fail_node` → schedule more → run on).
+    pub fn run(&mut self, horizon: SimTime) -> SimTime {
+        self.schedule.sort_by_key(|e| e.at);
+        let mut remaining = Vec::new();
+        for ev in std::mem::take(&mut self.schedule) {
+            if ev.at > horizon {
+                remaining.push(ev);
+                continue;
+            }
+            self.sim.run_until(ev.at);
+            self.sim.invoke(ev.node, |node, ctx| match ev.kind {
+                UpdateKind::Insert => node.generate(ctx, ev.pred, ev.tuple.clone()),
+                UpdateKind::Delete => node.retract(ctx, ev.pred, ev.tuple.clone()),
+            });
+        }
+        self.schedule = remaining;
+        self.sim.run_to_quiescence(horizon)
+    }
+
+    /// Crash a node mid-run (fault-injection experiments). Readings it
+    /// would have generated are silently dropped, and its owned results
+    /// become unreachable.
+    pub fn fail_node(&mut self, id: NodeId) {
+        self.sim.fail_node(id);
+    }
+
+    /// Gather the live result tuples of `pred` across all owner nodes (or
+    /// from the central server under Centroid).
+    pub fn results(&self, pred: Symbol) -> BTreeSet<Tuple> {
+        let mut out = BTreeSet::new();
+        for id in self.sim.topology().nodes() {
+            if self.sim.is_failed(id) {
+                continue; // a dead owner's results are unreachable
+            }
+            let node = self.sim.node(id);
+            if let Some(engine) = &node.center_engine {
+                out.extend(engine.db.sorted(pred));
+            }
+            out.extend(node.owned_live(pred));
+        }
+        out
+    }
+
+    /// Communication metrics of the run.
+    pub fn metrics(&self) -> &Metrics {
+        &self.sim.metrics
+    }
+
+    /// Per-node stats (Table 1 memory accounting).
+    pub fn node_stats(&self) -> Vec<NodeStats> {
+        self.sim.nodes().map(|n| n.stats).collect()
+    }
+
+    /// Peak per-node memory in stored items (replicas + derivations).
+    pub fn peak_node_memory(&self) -> usize {
+        self.sim
+            .nodes()
+            .map(|n| n.stats.peak_replicas + n.stats.peak_derivations)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Access the node application at `id`.
+    pub fn node(&self, id: NodeId) -> &SensorlogNode {
+        self.sim.node(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensorlog_logic::Term;
+
+    #[test]
+    fn event_line_roundtrip() {
+        let ev = WorkloadEvent::parse_line(r#"+1500 @7 veh("enemy", 10, 1)."#).unwrap();
+        assert_eq!(ev.at, 1_500);
+        assert_eq!(ev.node, NodeId(7));
+        assert_eq!(ev.kind, UpdateKind::Insert);
+        assert_eq!(ev.pred, Symbol::intern("veh"));
+        assert_eq!(ev.tuple.get(1), &Term::Int(10));
+        let del = WorkloadEvent::parse_line("-99 @0 g(1, 2).").unwrap();
+        assert_eq!(del.kind, UpdateKind::Delete);
+    }
+
+    #[test]
+    fn event_line_errors() {
+        assert!(WorkloadEvent::parse_line("1500 @7 p(1).").is_err()); // no sign
+        assert!(WorkloadEvent::parse_line("+x @7 p(1).").is_err()); // bad ts
+        assert!(WorkloadEvent::parse_line("+1 7 p(1).").is_err()); // no @
+        assert!(WorkloadEvent::parse_line("+1 @7 p(X).").is_err()); // non-ground
+        assert!(WorkloadEvent::parse_line("").is_err());
+    }
+
+    #[test]
+    fn script_skips_comments_and_blanks() {
+        let evs = WorkloadEvent::parse_script(
+            r#"
+            % a comment
+            +10 @0 p(1).
+
+            -20 @1 p(1).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[1].kind, UpdateKind::Delete);
+    }
+}

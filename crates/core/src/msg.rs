@@ -1,0 +1,212 @@
+//! Wire messages of the distributed engine.
+//!
+//! Everything multi-hop travels inside a [`Payload::Routed`] envelope; the
+//! radio layer only ever delivers to neighbors (see `sensorlog_netsim`).
+//! Message kinds map onto the paper's phases: `store` (storage phase,
+//! Sec. III-A), `probe` (join-computation phase), `result` (derived-tuple
+//! deltas to owner nodes, Sec. III-B), `centroid` (the central-server
+//! baseline's upload traffic).
+
+use crate::partial::Partial;
+use crate::tupleid::{DerivationKey, FactRecord};
+use sensorlog_logic::{Symbol, Tuple};
+use sensorlog_netsim::{MsgMeta, NodeId, SimTime};
+use std::sync::Arc;
+
+/// Join-probe state carried along the join-computation region.
+#[derive(Clone, Debug)]
+pub struct ProbeMsg {
+    pub update: FactRecord,
+    /// The ordered join-computation region.
+    pub walk: Arc<Vec<NodeId>>,
+    /// Index of the walk member this probe is headed to / being processed
+    /// at.
+    pub pos: usize,
+    /// Multiple-pass scheme: current pass (0-based). One-pass probes stay
+    /// at 0.
+    pub pass: u8,
+    /// Total passes for this probe (1 for one-pass).
+    pub total_passes: u8,
+    /// Per-rule work: partial-result sets.
+    pub work: Vec<RuleWork>,
+}
+
+/// Partial results of one rule inside a probe.
+#[derive(Clone, Debug)]
+pub struct RuleWork {
+    pub rule_idx: u16,
+    pub occ: u16,
+    pub negated: bool,
+    pub partials: Vec<Partial>,
+}
+
+impl ProbeMsg {
+    pub fn byte_size(&self) -> usize {
+        self.update.byte_size()
+            + 8
+            + self
+                .work
+                .iter()
+                .map(|w| 6 + w.partials.iter().map(Partial::byte_size).sum::<usize>())
+                .sum::<usize>()
+    }
+}
+
+/// Application payload.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    /// Multi-hop envelope.
+    Routed { dest: NodeId, inner: Box<Payload> },
+    /// Storage-phase walk: store a replica (or tombstone) and pass along.
+    StoreWalk {
+        fact: FactRecord,
+        walk: Arc<Vec<NodeId>>,
+        pos: usize,
+    },
+    /// NaiveBroadcast storage: flood a replica everywhere.
+    FloodStore { fact: FactRecord },
+    /// Join-computation probe.
+    Probe(ProbeMsg),
+    /// Derivation delta to the derived tuple's owner node.
+    DerivDelta {
+        pred: Symbol,
+        tuple: Tuple,
+        key: DerivationKey,
+        sign: i8,
+        tau: SimTime,
+    },
+    /// Centroid baseline: raw fact upload to the central server.
+    ToCenter { fact: FactRecord },
+}
+
+impl MsgMeta for Payload {
+    fn size_bytes(&self) -> usize {
+        match self {
+            Payload::Routed { inner, .. } => 4 + inner.size_bytes(),
+            Payload::StoreWalk { fact, .. } => fact.byte_size() + 6,
+            Payload::FloodStore { fact } => fact.byte_size(),
+            Payload::Probe(p) => p.byte_size(),
+            Payload::DerivDelta { tuple, key, .. } => tuple.byte_size() + key.byte_size() + 12,
+            Payload::ToCenter { fact } => fact.byte_size(),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Payload::Routed { inner, .. } => inner.kind(),
+            Payload::StoreWalk { .. } | Payload::FloodStore { .. } => "store",
+            Payload::Probe(_) => "probe",
+            Payload::DerivDelta { .. } => "result",
+            Payload::ToCenter { .. } => "centroid",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tupleid::TupleId;
+    use sensorlog_logic::Term;
+
+    fn fact() -> FactRecord {
+        FactRecord::insert(
+            Symbol::intern("veh"),
+            Tuple::new(vec![Term::Int(1)]),
+            TupleId {
+                node: NodeId(0),
+                ts: 1,
+                seq: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn kinds_and_sizes() {
+        let store = Payload::StoreWalk {
+            fact: fact(),
+            walk: Arc::new(vec![NodeId(0), NodeId(1)]),
+            pos: 0,
+        };
+        assert_eq!(store.kind(), "store");
+        assert!(store.size_bytes() > 0);
+        let routed = Payload::Routed {
+            dest: NodeId(5),
+            inner: Box::new(store),
+        };
+        // Envelope preserves the inner kind for accounting.
+        assert_eq!(routed.kind(), "store");
+        let center = Payload::ToCenter { fact: fact() };
+        assert_eq!(center.kind(), "centroid");
+    }
+}
+
+#[cfg(test)]
+mod sizing_tests {
+    use super::*;
+    use crate::partial::Partial;
+    use crate::tupleid::TupleId;
+    use sensorlog_logic::Term;
+
+    #[test]
+    fn probe_size_grows_with_partials() {
+        let id = TupleId {
+            node: NodeId(0),
+            ts: 1,
+            seq: 0,
+        };
+        let update = FactRecord::insert(
+            Symbol::intern("r1"),
+            Tuple::new(vec![Term::Int(1)]),
+            id,
+        );
+        let mk_partial = |n_bindings: usize| Partial {
+            bindings: (0..n_bindings)
+                .map(|i| (Symbol::intern(&format!("V{i}")), Term::Int(i as i64)))
+                .collect(),
+            bound: vec![true, false],
+            inputs: vec![(0, id)],
+        };
+        let small = ProbeMsg {
+            update: update.clone(),
+            walk: Arc::new(vec![NodeId(0)]),
+            pos: 0,
+            pass: 0,
+            total_passes: 1,
+            work: vec![RuleWork {
+                rule_idx: 0,
+                occ: 0,
+                negated: false,
+                partials: vec![mk_partial(1)],
+            }],
+        };
+        let big = ProbeMsg {
+            work: vec![RuleWork {
+                rule_idx: 0,
+                occ: 0,
+                negated: false,
+                partials: (0..10).map(|_| mk_partial(5)).collect(),
+            }],
+            ..small.clone()
+        };
+        assert!(big.byte_size() > small.byte_size());
+        assert_eq!(Payload::Probe(small).kind(), "probe");
+    }
+
+    #[test]
+    fn deriv_delta_sizing() {
+        let id = TupleId {
+            node: NodeId(2),
+            ts: 9,
+            seq: 1,
+        };
+        let d = Payload::DerivDelta {
+            pred: Symbol::intern("q"),
+            tuple: Tuple::new(vec![Term::Int(1), Term::Int(2)]),
+            key: DerivationKey::new(0, vec![(0, id), (1, id)]),
+            sign: 1,
+            tau: 5,
+        };
+        assert_eq!(d.kind(), "result");
+        assert!(d.size_bytes() > 16);
+    }
+}

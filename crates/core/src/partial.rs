@@ -1,0 +1,525 @@
+//! Partial results and per-node join processing (Fig. 1).
+//!
+//! A probe traversing its join-computation region carries a set of
+//! [`Partial`]s per rule. At each node, every partial is extended with the
+//! locally stored (replicated) tuples of still-unbound subgoals — producing
+//! new partials *without discarding the originals*, exactly the one-pass
+//! scheme of Fig. 1: "the computed partial results along with the incoming
+//! partial results are all forwarded to the next node". Comparisons and
+//! builtins evaluate as soon as their variables bind; bound negated
+//! subgoals are checked against each node's fragments and kill the result
+//! on a match ("delete partial or complete results that match with a tuple
+//! in some S_j", Sec. IV-B).
+
+use crate::plan::DistProgram;
+use crate::tupleid::TupleId;
+use sensorlog_eval::eval_body::sem_match_args;
+use sensorlog_eval::relation::Database;
+use sensorlog_logic::ast::{Literal, Rule};
+use sensorlog_logic::unify::Subst;
+use sensorlog_logic::{Symbol, Term, Tuple};
+use sensorlog_netsim::SimTime;
+
+/// A partial result: bindings accumulated so far plus the derivation
+/// inputs. `bound` has one flag per body literal (true for the pinned
+/// occurrence and every joined positive subgoal; checks flip their flag
+/// when they evaluate).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Partial {
+    pub bindings: Vec<(Symbol, Term)>,
+    pub bound: Vec<bool>,
+    pub inputs: Vec<(u16, TupleId)>,
+}
+
+impl Partial {
+    pub fn subst(&self) -> Subst {
+        let mut s = Subst::new();
+        for (v, t) in &self.bindings {
+            s.bind(*v, t.clone());
+        }
+        s
+    }
+
+    fn absorb(&mut self, s: &Subst) {
+        // Keep bindings sorted by variable for canonical comparison.
+        let mut all: Vec<(Symbol, Term)> =
+            s.iter().map(|(v, t)| (*v, t.clone())).collect();
+        all.sort_by_key(|(v, _)| *v);
+        self.bindings = all;
+    }
+
+    /// All positive subgoals joined and all checks passed?
+    pub fn is_complete(&self, shape: &RuleShape) -> bool {
+        shape
+            .positives
+            .iter()
+            .chain(shape.checks.iter())
+            .all(|&i| self.bound[i])
+    }
+
+    /// Approximate wire size.
+    pub fn byte_size(&self) -> usize {
+        self.bindings
+            .iter()
+            .map(|(v, t)| v.as_str().len() + t.byte_size())
+            .sum::<usize>()
+            + self.inputs.len() * 18
+            + self.bound.len() / 8
+            + 4
+    }
+}
+
+/// Precomputed literal classification for a rule.
+#[derive(Clone, Debug)]
+pub struct RuleShape {
+    /// Indexes of positive relational subgoals.
+    pub positives: Vec<usize>,
+    /// Indexes of negated subgoals.
+    pub negations: Vec<usize>,
+    /// Indexes of comparisons and builtin predicates.
+    pub checks: Vec<usize>,
+}
+
+impl RuleShape {
+    pub fn of(rule: &Rule) -> RuleShape {
+        let mut shape = RuleShape {
+            positives: Vec::new(),
+            negations: Vec::new(),
+            checks: Vec::new(),
+        };
+        for (i, lit) in rule.body.iter().enumerate() {
+            match lit {
+                Literal::Pos(_) => shape.positives.push(i),
+                Literal::Neg(_) => shape.negations.push(i),
+                Literal::Cmp(..) | Literal::Builtin(_) => shape.checks.push(i),
+            }
+        }
+        shape
+    }
+
+    pub fn has_negation_other_than(&self, pinned: Option<usize>) -> bool {
+        self.negations.iter().any(|&i| Some(i) != pinned)
+    }
+}
+
+/// Seed a partial by pinning body literal `occ` (positive or negated) to
+/// the update's tuple. Returns `None` when the tuple doesn't match the
+/// pattern. The pinned input is recorded only for positive occurrences
+/// (derivations list the non-negated subgoals, Definition 2).
+pub fn seed_partial(
+    prog: &DistProgram,
+    rule: &Rule,
+    occ: usize,
+    negated: bool,
+    tuple: &Tuple,
+    id: TupleId,
+) -> Option<Partial> {
+    let atom = rule.body[occ].atom().expect("relational occurrence");
+    let mut s = Subst::new();
+    if !sem_match_args(&prog.reg, &atom.args, tuple.terms(), &mut s) {
+        return None;
+    }
+    let mut p = Partial {
+        bindings: Vec::new(),
+        bound: vec![false; rule.body.len()],
+        inputs: Vec::new(),
+    };
+    p.bound[occ] = true;
+    if !negated {
+        p.inputs.push((occ as u16, id));
+    }
+    p.absorb(&s);
+    Some(p)
+}
+
+/// Local fragment lookup context at a node.
+pub struct LocalCtx<'a> {
+    pub prog: &'a DistProgram,
+    pub db: &'a Database,
+    /// IDs of locally stored tuples, for derivation inputs.
+    pub id_of: &'a dyn Fn(Symbol, &Tuple) -> Option<TupleId>,
+    /// Probe event timestamp (Theorem 3 visibility).
+    pub tau: SimTime,
+    /// The probe's update tuple ID: ties in local timestamps serialize by
+    /// tuple ID (Definition 2), so a replica generated at exactly `tau`
+    /// participates only when its ID is ≤ the update's — each same-instant
+    /// pair is then derived by exactly one of the two probes.
+    pub update_id: TupleId,
+}
+
+impl<'a> LocalCtx<'a> {
+    /// Does this replica participate in the probe (window, tombstone, and
+    /// timestamp-tie discipline)?
+    fn participates(&self, pred: Symbol, tuple: &Tuple) -> bool {
+        let Some(m) = self.db.relation(pred).and_then(|r| r.meta(tuple)) else {
+            return false;
+        };
+        if m.gen_ts > self.tau {
+            return false;
+        }
+        if m.gen_ts == self.tau {
+            match (self.id_of)(pred, tuple) {
+                Some(id) if id <= self.update_id => {}
+                _ => return false,
+            }
+        }
+        if let Some(w) = self.prog.windows.get(&pred).copied() {
+            if m.gen_ts + w <= self.tau {
+                return false;
+            }
+        }
+        match m.del_ts {
+            Some(d) => d >= self.tau,
+            None => true,
+        }
+    }
+
+    fn visible(&self, pred: Symbol, tuple: &Tuple) -> bool {
+        self.participates(pred, tuple)
+    }
+
+    fn visible_tuples(&self, pred: Symbol) -> Vec<Tuple> {
+        match self.db.relation(pred) {
+            Some(r) => r
+                .tuples()
+                .filter(|t| self.participates(pred, t))
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Process one rule's partial set at one node: evaluate newly-bound checks,
+/// apply local negation kills, extend with local fragments (all subsets,
+/// ascending literal index within the node). Returns the surviving set —
+/// originals plus extensions.
+///
+/// `pinned` is the probe's pinned literal (its negation check is skipped
+/// per the `T_s1` construction); `restrict` limits extension to a single
+/// literal (multiple-pass mode).
+pub fn process_partials(
+    ctx: &LocalCtx<'_>,
+    rule: &Rule,
+    shape: &RuleShape,
+    partials: Vec<Partial>,
+    pinned: Option<usize>,
+    restrict: Option<usize>,
+) -> Vec<Partial> {
+    let mut out: Vec<Partial> = Vec::new();
+    for p in partials {
+        grow(ctx, rule, shape, p, pinned, restrict, 0, &mut out);
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow(
+    ctx: &LocalCtx<'_>,
+    rule: &Rule,
+    shape: &RuleShape,
+    mut p: Partial,
+    pinned: Option<usize>,
+    restrict: Option<usize>,
+    min_lit: usize,
+    out: &mut Vec<Partial>,
+) {
+    // 1. Evaluate any newly-evaluable checks; kill on failure or error.
+    let subst = p.subst();
+    for &i in &shape.checks {
+        if p.bound[i] {
+            continue;
+        }
+        match &rule.body[i] {
+            Literal::Cmp(op, l, r) => {
+                let lg = subst.apply(l);
+                let rg = subst.apply(r);
+                if lg.is_ground() && rg.is_ground() {
+                    match ctx.prog.reg.compare(*op, &lg, &rg) {
+                        Ok(true) => p.bound[i] = true,
+                        _ => return, // failed or errored: kill
+                    }
+                } // else: not yet evaluable
+            }
+            Literal::Builtin(atom) => {
+                let args: Option<Vec<Term>> = atom
+                    .args
+                    .iter()
+                    .map(|a| {
+                        let g = subst.apply(a);
+                        if g.is_ground() {
+                            ctx.prog.reg.eval_term(&g).ok()
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                if let Some(args) = args {
+                    match ctx.prog.reg.call_pred(atom.pred, &args) {
+                        Ok(true) => p.bound[i] = true,
+                        _ => return,
+                    }
+                }
+            }
+            _ => unreachable!("checks contains only Cmp/Builtin"),
+        }
+    }
+
+    // 2. Local negation kills: a bound negated subgoal matching a visible
+    // local fragment kills the result.
+    for &i in &shape.negations {
+        if Some(i) == pinned {
+            continue;
+        }
+        if let Literal::Neg(atom) = &rule.body[i] {
+            let ground: Option<Vec<Term>> = atom
+                .args
+                .iter()
+                .map(|a| {
+                    let g = subst.apply(a);
+                    if g.is_ground() {
+                        ctx.prog.reg.eval_term(&g).ok()
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            if let Some(args) = ground {
+                if ctx.visible(atom.pred, &Tuple::new(args)) {
+                    return; // killed
+                }
+            }
+        }
+    }
+
+    out.push(p.clone());
+
+    // 3. Extend with local fragments (ascending literal order within this
+    // node avoids generating the same combination twice).
+    for &i in &shape.positives {
+        if i < min_lit || p.bound[i] {
+            continue;
+        }
+        if let Some(r) = restrict {
+            if i != r {
+                continue;
+            }
+        }
+        if let Literal::Pos(atom) = &rule.body[i] {
+            for t in ctx.visible_tuples(atom.pred) {
+                let mut s = p.subst();
+                if sem_match_args(&ctx.prog.reg, &atom.args, t.terms(), &mut s) {
+                    let id = (ctx.id_of)(atom.pred, &t)
+                        .expect("stored fragment has a tuple id");
+                    let mut q = p.clone();
+                    q.bound[i] = true;
+                    q.inputs.push((i as u16, id));
+                    q.absorb(&s);
+                    grow(ctx, rule, shape, q, pinned, restrict, i + 1, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{compile_source, PlanTiming};
+    use sensorlog_eval::relation::TupleMeta;
+    use sensorlog_logic::builtin::BuiltinRegistry;
+    use sensorlog_logic::parse_fact;
+    use sensorlog_netsim::NodeId;
+
+    fn tid(n: u32, ts: u64) -> TupleId {
+        TupleId {
+            node: NodeId(n),
+            ts,
+            seq: 0,
+        }
+    }
+
+    fn fact(src: &str) -> (Symbol, Tuple) {
+        let (p, args) = parse_fact(src).unwrap();
+        (p, Tuple::new(args))
+    }
+
+    fn prog() -> DistProgram {
+        compile_source(
+            r#"
+            .output q.
+            q(X, Z) :- e(X, Y), f(Y, Z), Z > 0, not bad(Z).
+            "#,
+            BuiltinRegistry::standard(),
+            PlanTiming::default(),
+        )
+        .unwrap()
+    }
+
+    fn ctx<'a>(
+        prog: &'a DistProgram,
+        db: &'a Database,
+        ids: &'a dyn Fn(Symbol, &Tuple) -> Option<TupleId>,
+        tau: SimTime,
+    ) -> LocalCtx<'a> {
+        LocalCtx {
+            prog,
+            db,
+            id_of: ids,
+            tau,
+            // Tests probe with the largest possible ID so equal-timestamp
+            // replicas always participate.
+            update_id: TupleId {
+                node: NodeId(u32::MAX),
+                ts: u64::MAX,
+                seq: u32::MAX,
+            },
+        }
+    }
+
+    #[test]
+    fn seed_and_extend_to_complete() {
+        let prog = prog();
+        let rule = &prog.analysis.program.rules[0];
+        let shape = RuleShape::of(rule);
+        let (ep, et) = fact("e(1, 2)");
+        let seed = seed_partial(&prog, rule, 0, false, &et, tid(0, 5)).unwrap();
+        assert!(!seed.is_complete(&shape));
+
+        // A node holding f(2, 9) extends the partial to completion.
+        let mut db = Database::new();
+        let (fp, ft) = fact("f(2, 9)");
+        db.relation_mut(fp).insert(ft.clone(), TupleMeta::at(3));
+        let ids = move |p: Symbol, t: &Tuple| {
+            if p == fp && *t == ft {
+                Some(tid(4, 3))
+            } else {
+                None
+            }
+        };
+        let c = ctx(&prog, &db, &ids, 10);
+        let out = process_partials(&c, rule, &shape, vec![seed.clone()], None, None);
+        // The original plus the completed extension.
+        assert_eq!(out.len(), 2);
+        let complete: Vec<_> = out.iter().filter(|p| p.is_complete(&shape)).collect();
+        assert_eq!(complete.len(), 1);
+        assert_eq!(complete[0].inputs.len(), 2);
+        let _ = ep;
+    }
+
+    #[test]
+    fn check_kills_partial() {
+        let prog = prog();
+        let rule = &prog.analysis.program.rules[0];
+        let shape = RuleShape::of(rule);
+        let (_, et) = fact("e(1, 2)");
+        let seed = seed_partial(&prog, rule, 0, false, &et, tid(0, 5)).unwrap();
+        // f(2, -3) binds Z = -3, failing Z > 0: the extension dies, the
+        // original survives.
+        let mut db = Database::new();
+        let (fp, ft) = fact("f(2, -3)");
+        db.relation_mut(fp).insert(ft.clone(), TupleMeta::at(3));
+        let ids = move |p: Symbol, t: &Tuple| (p == fp && *t == ft).then(|| tid(4, 3));
+        let c = ctx(&prog, &db, &ids, 10);
+        let out = process_partials(&c, rule, &shape, vec![seed], None, None);
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].is_complete(&shape));
+    }
+
+    #[test]
+    fn negation_kills_at_any_node() {
+        let prog = prog();
+        let rule = &prog.analysis.program.rules[0];
+        let shape = RuleShape::of(rule);
+        let (_, et) = fact("e(1, 2)");
+        let seed = seed_partial(&prog, rule, 0, false, &et, tid(0, 5)).unwrap();
+        let mut db = Database::new();
+        let (fp, ft) = fact("f(2, 9)");
+        let (bp, bt) = fact("bad(9)");
+        db.relation_mut(fp).insert(ft.clone(), TupleMeta::at(3));
+        db.relation_mut(bp).insert(bt, TupleMeta::at(2));
+        let ids = move |p: Symbol, t: &Tuple| (p == fp && *t == ft).then(|| tid(4, 3));
+        let c = ctx(&prog, &db, &ids, 10);
+        let out = process_partials(&c, rule, &shape, vec![seed], None, None);
+        // The completed extension (Z = 9) is killed by bad(9); only the
+        // incomplete original survives.
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].is_complete(&shape));
+    }
+
+    #[test]
+    fn visibility_respected() {
+        let prog = prog();
+        let rule = &prog.analysis.program.rules[0];
+        let shape = RuleShape::of(rule);
+        let (_, et) = fact("e(1, 2)");
+        let seed = seed_partial(&prog, rule, 0, false, &et, tid(0, 5)).unwrap();
+        // Fragment generated *after* the probe's tau is invisible.
+        let mut db = Database::new();
+        let (fp, ft) = fact("f(2, 9)");
+        db.relation_mut(fp).insert(ft.clone(), TupleMeta::at(50));
+        let ids = move |p: Symbol, t: &Tuple| (p == fp && *t == ft).then(|| tid(4, 50));
+        let c = ctx(&prog, &db, &ids, 10);
+        let out = process_partials(&c, rule, &shape, vec![seed], None, None);
+        assert_eq!(out.len(), 1); // no extension
+    }
+
+    #[test]
+    fn pinned_negation_seeds_without_input() {
+        let prog = prog();
+        let rule = &prog.analysis.program.rules[0];
+        let (_, bt) = fact("bad(9)");
+        let seed = seed_partial(&prog, rule, 3, true, &bt, tid(7, 8)).unwrap();
+        assert!(seed.inputs.is_empty());
+        assert!(seed.bound[3]);
+        // Z is bound to 9 by the pin.
+        assert!(seed
+            .bindings
+            .iter()
+            .any(|(v, t)| v.as_str() == "Z" && *t == Term::Int(9)));
+    }
+
+    #[test]
+    fn restrict_limits_extension() {
+        let prog = prog();
+        let rule = &prog.analysis.program.rules[0];
+        let shape = RuleShape::of(rule);
+        let (_, et) = fact("e(1, 2)");
+        let seed = seed_partial(&prog, rule, 0, false, &et, tid(0, 5)).unwrap();
+        let mut db = Database::new();
+        let (fp, ft) = fact("f(2, 9)");
+        db.relation_mut(fp).insert(ft.clone(), TupleMeta::at(3));
+        let ids = move |p: Symbol, t: &Tuple| (p == fp && *t == ft).then(|| tid(4, 3));
+        let c = ctx(&prog, &db, &ids, 10);
+        // Restricting to literal 0 (already bound) blocks the f-extension.
+        let out = process_partials(&c, rule, &shape, vec![seed], None, Some(0));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn self_join_subsets_within_node() {
+        // r(X, Z) :- e(X, Y), e(Y, Z): one node holding e(2,3) and e(3,4)
+        // must produce all subset partials from a pin on e(1,2).
+        let prog = compile_source(
+            "r(X, Z) :- s(X, Y), t(Y, Z).",
+            BuiltinRegistry::standard(),
+            PlanTiming::default(),
+        )
+        .unwrap();
+        let rule = &prog.analysis.program.rules[0];
+        let shape = RuleShape::of(rule);
+        let (_, st) = fact("s(1, 2)");
+        let seed = seed_partial(&prog, rule, 0, false, &st, tid(0, 5)).unwrap();
+        let mut db = Database::new();
+        let (tp, t1) = fact("t(2, 7)");
+        let (_, t2) = fact("t(2, 8)");
+        db.relation_mut(tp).insert(t1, TupleMeta::at(1));
+        db.relation_mut(tp).insert(t2, TupleMeta::at(1));
+        let ids = move |_p: Symbol, _t: &Tuple| Some(tid(9, 1));
+        let c = ctx(&prog, &db, &ids, 10);
+        let out = process_partials(&c, rule, &shape, vec![seed], None, None);
+        // original + two completions
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.iter().filter(|p| p.is_complete(&shape)).count(), 2);
+    }
+}

@@ -1,0 +1,838 @@
+//! The per-node runtime: the compiled program's node state machine
+//! (Sec. V, Fig. 3 — "the join component at a sensor node").
+//!
+//! Each node holds replicated fragments of the streams whose storage
+//! regions cross it, runs the storage and join-computation phases of the
+//! Generalized Perpendicular Approach, and — for derived tuples it owns
+//! under the geographic hash — maintains the set of derivations with
+//! multiplicity counts and propagates liveness transitions as new stream
+//! updates (Secs. III-B, IV).
+
+use crate::msg::{Payload, ProbeMsg, RuleWork};
+use crate::partial::{process_partials, seed_partial, LocalCtx, Partial, RuleShape};
+use crate::plan::DistProgram;
+use crate::strategy::{PassMode, Strategy};
+use crate::tupleid::{DerivationKey, FactRecord, TupleId};
+use sensorlog_eval::relation::{Database, TupleMeta};
+use sensorlog_eval::{IncrementalEngine, Update, UpdateKind};
+use sensorlog_logic::{Symbol, Tuple};
+use sensorlog_netsim::{App, Ctx, NodeId, SimTime, Topology, TopologyKind};
+use sensorlog_netstack::ght;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Shared routing context: the topology plus (off-grid) precomputed BFS
+/// next-hop tables.
+#[derive(Debug)]
+pub struct NetInfo {
+    pub topo: Topology,
+    next_hop_tbl: Option<Vec<Vec<u32>>>,
+}
+
+impl NetInfo {
+    pub fn new(topo: Topology) -> NetInfo {
+        let next_hop_tbl = match topo.kind {
+            TopologyKind::Grid { .. } => None,
+            _ => Some(build_next_hop(&topo)),
+        };
+        NetInfo { topo, next_hop_tbl }
+    }
+
+    /// Next hop from `from` toward `dest` (`from != dest`).
+    pub fn next_hop(&self, from: NodeId, dest: NodeId) -> NodeId {
+        debug_assert_ne!(from, dest);
+        if let (Some((fx, fy)), Some((dx, dy))) = (
+            self.topo.grid_coords(from),
+            self.topo.grid_coords(dest),
+        ) {
+            let (nx, ny) = if fx != dx {
+                (if dx > fx { fx + 1 } else { fx - 1 }, fy)
+            } else {
+                (fx, if dy > fy { fy + 1 } else { fy - 1 })
+            };
+            return self.topo.node_at(nx, ny).expect("in range");
+        }
+        let tbl = self.next_hop_tbl.as_ref().expect("non-grid table");
+        NodeId(tbl[dest.index()][from.index()])
+    }
+}
+
+fn build_next_hop(topo: &Topology) -> Vec<Vec<u32>> {
+    let n = topo.len();
+    let mut out = vec![vec![u32::MAX; n]; n];
+    for dest in topo.nodes() {
+        let tbl = &mut out[dest.index()];
+        let mut seen = vec![false; n];
+        seen[dest.index()] = true;
+        let mut q = std::collections::VecDeque::from([dest]);
+        while let Some(v) = q.pop_front() {
+            for &w in topo.neighbors(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    tbl[w.index()] = v.0;
+                    q.push_back(w);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runtime timing/strategy configuration, shared by all nodes.
+#[derive(Clone, Debug)]
+pub struct RtConfig {
+    pub strategy: Strategy,
+    pub pass_mode: PassMode,
+    /// Upper bound on storage-phase completion (τs, ms).
+    pub tau_s: SimTime,
+    /// Max clock skew (τc, ms) — must match the simulator's.
+    pub tau_c: SimTime,
+    /// Upper bound on join-phase completion (τj, ms) — used in retention.
+    pub tau_j: SimTime,
+    /// Spatial-constraint radius truncating regions (Fig. 7 experiments).
+    pub spatial_radius: Option<f64>,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig {
+            strategy: Strategy::Perpendicular { band_width: 1.0 },
+            pass_mode: PassMode::OnePass,
+            tau_s: 1_500,
+            tau_c: 0,
+            tau_j: 3_000,
+            spatial_radius: None,
+        }
+    }
+}
+
+/// Owner-side state of a derived tuple.
+#[derive(Debug, Default)]
+struct Owned {
+    id: Option<TupleId>,
+    counts: HashMap<DerivationKey, i64>,
+    /// The liveness last propagated into the network.
+    propagated_live: bool,
+    holddown_armed: bool,
+}
+
+impl Owned {
+    fn live(&self) -> bool {
+        self.counts.values().any(|&c| c > 0)
+    }
+}
+
+/// Per-node resource/activity counters (Sec. V memory accounting, Table 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeStats {
+    pub peak_replicas: usize,
+    pub peak_derivations: usize,
+    pub probes_processed: u64,
+    pub results_emitted: u64,
+}
+
+enum TimerAction {
+    StartJoin(FactRecord),
+    Holddown(Symbol, Tuple),
+    /// Drop a replicated fragment whose retention elapsed (Sec. IV-B
+    /// "Tuple Expiry": (τs + τc) + τj + (τw + τc) after generation).
+    ExpireReplica(Symbol, Tuple),
+    /// Silently expire an owned derived tuple (window-based, no join
+    /// phase — "independently expiring a tuple after sufficient time").
+    ExpireOwned(Symbol, Tuple),
+}
+
+/// The sensorlog node application.
+pub struct SensorlogNode {
+    pub id: NodeId,
+    prog: Arc<DistProgram>,
+    cfg: Arc<RtConfig>,
+    net: Arc<NetInfo>,
+    shapes: Arc<Vec<RuleShape>>,
+    /// Replicated stream fragments (with gen/del timestamps).
+    frags: Database,
+    frag_ids: HashMap<(Symbol, Tuple), TupleId>,
+    /// Derived tuples this node owns under the geographic hash.
+    owned: HashMap<(Symbol, Tuple), Owned>,
+    /// Tuples this node generated (for delete-by-value at the source).
+    my_facts: HashMap<(Symbol, Tuple), TupleId>,
+    /// Flood dedup (NaiveBroadcast storage).
+    flood_seen: HashSet<(TupleId, UpdateKind)>,
+    timers: HashMap<u64, TimerAction>,
+    next_tag: u64,
+    seq: u32,
+    /// Centroid baseline: the central server's engine (center node only).
+    pub center_engine: Option<IncrementalEngine>,
+    pub stats: NodeStats,
+    /// Output-predicate transitions observed at this owner.
+    pub output_log: Vec<(Symbol, Tuple, UpdateKind, SimTime)>,
+}
+
+impl SensorlogNode {
+    pub fn new(
+        id: NodeId,
+        prog: Arc<DistProgram>,
+        cfg: Arc<RtConfig>,
+        net: Arc<NetInfo>,
+        shapes: Arc<Vec<RuleShape>>,
+    ) -> SensorlogNode {
+        let center_engine = if cfg.strategy == Strategy::Centroid
+            && Strategy::center(&net.topo) == id
+        {
+            Some(
+                IncrementalEngine::new(prog.analysis.clone(), prog.reg.clone())
+                    .expect("centroid engine"),
+            )
+        } else {
+            None
+        };
+        SensorlogNode {
+            id,
+            prog,
+            cfg,
+            net,
+            shapes,
+            frags: Database::new(),
+            frag_ids: HashMap::new(),
+            owned: HashMap::new(),
+            my_facts: HashMap::new(),
+            flood_seen: HashSet::new(),
+            timers: HashMap::new(),
+            next_tag: 0,
+            seq: 0,
+            center_engine,
+            stats: NodeStats::default(),
+            output_log: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public entry points (driven by the deployment harness)
+    // ------------------------------------------------------------------
+
+    /// A sensor reading was generated at this node: create the fact and
+    /// run the update pipeline.
+    pub fn generate(&mut self, ctx: &mut Ctx<Payload>, pred: Symbol, tuple: Tuple) {
+        let id = self.fresh_id(ctx);
+        self.my_facts.insert((pred, tuple.clone()), id);
+        let fact = FactRecord::insert(pred, tuple, id);
+        self.initiate_update(ctx, fact);
+    }
+
+    /// A previously generated reading was retracted at this node.
+    pub fn retract(&mut self, ctx: &mut Ctx<Payload>, pred: Symbol, tuple: Tuple) {
+        let Some(&id) = self.my_facts.get(&(pred, tuple.clone())) else {
+            return; // unknown tuple: nothing to delete
+        };
+        self.my_facts.remove(&(pred, tuple.clone()));
+        let fact = FactRecord::delete(pred, tuple, id, ctx.local_time);
+        self.initiate_update(ctx, fact);
+    }
+
+    /// Inject a derived fact directly at its owner (static facts from
+    /// empty-body rules, t = 0).
+    pub fn inject_static(&mut self, ctx: &mut Ctx<Payload>, pred: Symbol, tuple: Tuple) {
+        let id = self.fresh_id(ctx);
+        let entry = self.owned.entry((pred, tuple.clone())).or_default();
+        entry.id = Some(id);
+        entry.counts.insert(
+            DerivationKey::new(usize::MAX, Vec::new()),
+            1,
+        );
+        entry.propagated_live = true;
+        self.log_output(pred, &tuple, UpdateKind::Insert, ctx.local_time);
+        let fact = FactRecord::insert(pred, tuple, id);
+        self.initiate_update(ctx, fact);
+    }
+
+    /// Live result tuples of `pred` owned by this node.
+    pub fn owned_live(&self, pred: Symbol) -> Vec<Tuple> {
+        self.owned
+            .iter()
+            .filter(|((p, _), o)| *p == pred && o.live())
+            .map(|((_, t), _)| t.clone())
+            .collect()
+    }
+
+    /// Current replica count (fragment tuples stored here).
+    pub fn replica_count(&self) -> usize {
+        self.frags.total_tuples()
+    }
+
+    /// Current stored derivation count.
+    pub fn derivation_count(&self) -> usize {
+        self.owned.values().map(|o| o.counts.len()).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Update pipeline
+    // ------------------------------------------------------------------
+
+    fn fresh_id(&mut self, ctx: &Ctx<Payload>) -> TupleId {
+        let id = TupleId {
+            node: self.id,
+            ts: ctx.local_time,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        id
+    }
+
+    /// Start the storage phase for `fact` and schedule its join phase.
+    fn initiate_update(&mut self, ctx: &mut Ctx<Payload>, fact: FactRecord) {
+        // A stream no rule consumes needs neither replication nor a probe:
+        // derived results "will anyway be hashed appropriately for further
+        // use of the join-query result" (Sec. III-A) — and sink predicates
+        // have no further use beyond their owner.
+        if !self.prog.occurrences.contains_key(&fact.pred)
+            && self.cfg.strategy != Strategy::Centroid
+        {
+            return;
+        }
+        if self.cfg.strategy == Strategy::Centroid {
+            let center = Strategy::center(&self.net.topo);
+            if center == self.id {
+                self.feed_center(&fact);
+            } else {
+                self.route(ctx, center, Payload::ToCenter { fact });
+            }
+            return;
+        }
+
+        // Storage phase.
+        match self.cfg.strategy {
+            Strategy::NaiveBroadcast => {
+                self.store_replica(ctx, &fact);
+                self.flood_seen.insert((fact.id, fact.kind));
+                ctx.broadcast(Payload::FloodStore { fact: fact.clone() });
+            }
+            _ => {
+                let region = self
+                    .cfg
+                    .strategy
+                    .storage_region(&self.net.topo, self.id, self.cfg.spatial_radius)
+                    .expect("non-centroid strategy has regions");
+                self.store_replica(ctx, &fact);
+                let my_pos = region.iter().position(|&n| n == self.id);
+                let walk: Vec<NodeId> = match my_pos {
+                    Some(i) => {
+                        // Walk right then wrap to the left part: two walks.
+                        let right: Vec<NodeId> = region[i + 1..].to_vec();
+                        let left: Vec<NodeId> = region[..i].iter().rev().copied().collect();
+                        if !right.is_empty() {
+                            self.send_store_walk(ctx, &fact, right);
+                        }
+                        left
+                    }
+                    None => region,
+                };
+                if !walk.is_empty() {
+                    self.send_store_walk(ctx, &fact, walk);
+                }
+            }
+        }
+
+        // Join phase after τs + τc (Sec. IV-A).
+        let delay = self.cfg.tau_s + self.cfg.tau_c;
+        let tag = self.arm_timer(TimerAction::StartJoin(fact));
+        ctx.set_timer(delay, tag);
+    }
+
+    fn send_store_walk(&mut self, ctx: &mut Ctx<Payload>, fact: &FactRecord, walk: Vec<NodeId>) {
+        let first = walk[0];
+        let msg = Payload::StoreWalk {
+            fact: fact.clone(),
+            walk: Arc::new(walk),
+            pos: 0,
+        };
+        self.route(ctx, first, msg);
+    }
+
+    fn store_replica(&mut self, ctx: &mut Ctx<Payload>, fact: &FactRecord) {
+        // Generation-aware replica storage: insert and delete walks may
+        // arrive in either order (independent multi-hop routes), so the
+        // replica tracks the newest tuple *generation* (by ID, Definition 2)
+        // and a tombstone never gets clobbered by its own generation's
+        // late-arriving insert.
+        let key = (fact.pred, fact.tuple.clone());
+        let stored = self.frag_ids.get(&key).copied();
+        match fact.kind {
+            UpdateKind::Insert => match stored {
+                // Same generation already here (possibly tombstoned by an
+                // overtaking delete), or a newer one: nothing to do.
+                Some(old) if old >= fact.id => {}
+                _ => {
+                    let rel = self.frags.relation_mut(fact.pred);
+                    rel.remove(&fact.tuple); // reset meta of any older gen
+                    rel.insert(fact.tuple.clone(), TupleMeta::at(fact.tau));
+                    self.frag_ids.insert(key, fact.id);
+                }
+            },
+            UpdateKind::Delete => match stored {
+                // Tombstone the matching generation (Sec. IV-B: replicas
+                // stay for concurrent probes and expire later).
+                Some(old) if old == fact.id => {
+                    self.frags
+                        .relation_mut(fact.pred)
+                        .mark_deleted(&fact.tuple, fact.tau);
+                }
+                // A newer generation is stored: this delete is stale.
+                Some(old) if old > fact.id => {}
+                // Delete overtook (or outlived) the insert walk: store a
+                // tombstoned replica so probes between gen and del still
+                // see it, and later probes don't.
+                _ => {
+                    let rel = self.frags.relation_mut(fact.pred);
+                    rel.remove(&fact.tuple);
+                    rel.insert(
+                        fact.tuple.clone(),
+                        TupleMeta {
+                            gen_ts: fact.id.ts,
+                            del_ts: Some(fact.tau),
+                        },
+                    );
+                    self.frag_ids.insert(key, fact.id);
+                }
+            },
+        }
+        self.stats.peak_replicas = self.stats.peak_replicas.max(self.frags.total_tuples());
+        // Retention timer for windowed streams (Sec. IV-B): the replica
+        // must outlive every probe that may legally join with it —
+        // (τs + τc) + τj + (τw + τc) past its generation timestamp.
+        if fact.kind == UpdateKind::Insert {
+            if let Some(&w) = self.prog.windows.get(&fact.pred) {
+                let retention =
+                    (self.cfg.tau_s + self.cfg.tau_c) + self.cfg.tau_j + (w + self.cfg.tau_c);
+                let expire_at = fact.tau.saturating_add(retention);
+                let delay = expire_at.saturating_sub(ctx.local_time).max(1);
+                let tag =
+                    self.arm_timer(TimerAction::ExpireReplica(fact.pred, fact.tuple.clone()));
+                ctx.set_timer(delay, tag);
+            }
+        }
+    }
+
+    /// Build and launch the join probe for `fact`.
+    fn start_join(&mut self, ctx: &mut Ctx<Payload>, fact: FactRecord) {
+        let occs = match self.prog.occurrences.get(&fact.pred) {
+            Some(o) => o.clone(),
+            None => return, // pred not consumed by any rule
+        };
+        let mut work = Vec::new();
+        let mut max_passes: u8 = 1;
+        for occ in &occs {
+            let rule = &self.prog.analysis.program.rules[occ.rule_idx];
+            if let Some(p) =
+                seed_partial(&self.prog, rule, occ.lit_idx, occ.negated, &fact.tuple, fact.id)
+            {
+                if self.cfg.pass_mode == PassMode::MultiPass {
+                    let shape = &self.shapes[occ.rule_idx];
+                    let remaining = shape
+                        .positives
+                        .iter()
+                        .filter(|&&i| i != occ.lit_idx)
+                        .count() as u8;
+                    max_passes = max_passes.max(remaining.max(1));
+                }
+                work.push(RuleWork {
+                    rule_idx: occ.rule_idx as u16,
+                    occ: occ.lit_idx as u16,
+                    negated: occ.negated,
+                    partials: vec![p],
+                });
+            }
+        }
+        if work.is_empty() {
+            return;
+        }
+        let region = self
+            .cfg
+            .strategy
+            .join_region(&self.net.topo, self.id, self.cfg.spatial_radius)
+            .expect("non-centroid strategy has regions");
+        let probe = ProbeMsg {
+            update: fact,
+            walk: Arc::new(region),
+            pos: 0,
+            pass: 0,
+            total_passes: max_passes,
+            work,
+        };
+        self.deliver_probe(ctx, probe);
+    }
+
+    /// Route the probe to its current walk target (possibly ourselves).
+    fn deliver_probe(&mut self, ctx: &mut Ctx<Payload>, probe: ProbeMsg) {
+        let target = probe.walk[probe.pos];
+        if target == self.id {
+            self.process_probe(ctx, probe);
+        } else {
+            self.route(ctx, target, Payload::Probe(probe));
+        }
+    }
+
+    /// Run the join-computation step at this node (Fig. 1) and forward.
+    fn process_probe(&mut self, ctx: &mut Ctx<Payload>, mut probe: ProbeMsg) {
+        self.stats.probes_processed += 1;
+        let tau = probe.update.tau;
+        let sign_base = probe.update.kind;
+
+        let mut emissions: Vec<(Symbol, Tuple, DerivationKey, i8)> = Vec::new();
+        {
+            let frag_ids = &self.frag_ids;
+            let id_of = move |p: Symbol, t: &Tuple| frag_ids.get(&(p, t.clone())).copied();
+            let lctx = LocalCtx {
+                prog: self.prog.as_ref(),
+                db: &self.frags,
+                id_of: &id_of,
+                tau,
+                update_id: probe.update.id,
+            };
+            let last_node = probe.pos + 1 == probe.walk.len();
+            let last_pass = probe.pass + 1 >= probe.total_passes;
+            let end_of_walk = last_node && last_pass;
+
+            for workitem in &mut probe.work {
+                let rule = &self.prog.analysis.program.rules[workitem.rule_idx as usize];
+                let shape = &self.shapes[workitem.rule_idx as usize];
+                let pinned = Some(workitem.occ as usize);
+                // Multiple-pass restriction: pass k extends only the k-th
+                // unbound positive literal (ascending, skipping the pin).
+                let restrict = if probe.total_passes > 1 {
+                    // Rules with fewer remaining streams than total passes
+                    // are done extending: restrict to an impossible index.
+                    Some(
+                        shape
+                            .positives
+                            .iter()
+                            .filter(|&&i| i != workitem.occ as usize)
+                            .nth(probe.pass as usize)
+                            .copied()
+                            .unwrap_or(usize::MAX),
+                    )
+                } else {
+                    None
+                };
+                let incoming = std::mem::take(&mut workitem.partials);
+                let processed =
+                    process_partials(&lctx, rule, shape, incoming, pinned, restrict);
+                let needs_full_walk = shape.has_negation_other_than(pinned);
+                let sign = match (sign_base, workitem.negated) {
+                    (UpdateKind::Insert, false) | (UpdateKind::Delete, true) => 1i8,
+                    _ => -1i8,
+                };
+                let mut keep: Vec<Partial> = Vec::new();
+                for p in processed {
+                    if p.is_complete(shape) {
+                        if needs_full_walk && !end_of_walk {
+                            keep.push(p); // keep checking negations
+                        } else {
+                            let key =
+                                DerivationKey::new(rule.id, p.inputs.clone());
+                            let head = instantiate(&self.prog, rule, &p);
+                            match head {
+                                Some(tuple) => {
+                                    emissions.push((rule.head.pred, tuple, key, sign))
+                                }
+                                None => { /* head eval failed: drop */ }
+                            }
+                        }
+                    } else if !end_of_walk {
+                        keep.push(p);
+                    }
+                }
+                workitem.partials = keep;
+            }
+        }
+
+        for (pred, tuple, key, sign) in emissions {
+            self.stats.results_emitted += 1;
+            self.emit_deriv_delta(ctx, pred, tuple, key, sign, tau);
+        }
+
+        // Forward.
+        if probe.pos + 1 < probe.walk.len() {
+            probe.pos += 1;
+            self.deliver_probe(ctx, probe);
+        } else if probe.pass + 1 < probe.total_passes {
+            // Multiple-pass: U-turn.
+            let mut walk = probe.walk.as_ref().clone();
+            walk.reverse();
+            probe.walk = Arc::new(walk);
+            probe.pos = 0;
+            probe.pass += 1;
+            // Already at the first node of the reversed walk (ourselves).
+            self.process_probe(ctx, probe);
+        }
+        // else: traversal done; undischarged partials discarded
+        // ("the partial results generated at the last node are discarded").
+    }
+
+    fn emit_deriv_delta(
+        &mut self,
+        ctx: &mut Ctx<Payload>,
+        pred: Symbol,
+        tuple: Tuple,
+        key: DerivationKey,
+        sign: i8,
+        tau: SimTime,
+    ) {
+        let owner = ght::owner_of(&self.net.topo, pred, &tuple);
+        let payload = Payload::DerivDelta {
+            pred,
+            tuple,
+            key,
+            sign,
+            tau,
+        };
+        if owner == self.id {
+            self.handle_deriv_delta(ctx, payload);
+        } else {
+            self.route(ctx, owner, payload);
+        }
+    }
+
+    /// Owner-side derivation bookkeeping + holddown arming.
+    fn handle_deriv_delta(&mut self, ctx: &mut Ctx<Payload>, payload: Payload) {
+        let Payload::DerivDelta {
+            pred,
+            tuple,
+            key,
+            sign,
+            tau: _,
+        } = payload
+        else {
+            unreachable!("handle_deriv_delta requires DerivDelta");
+        };
+        {
+            let entry = self.owned.entry((pred, tuple.clone())).or_default();
+            *entry.counts.entry(key).or_insert(0) += sign as i64;
+            entry.counts.retain(|_, &mut c| c != 0);
+        }
+        // Windowed derived streams: owned state expires with the window
+        // (silent, Sec. II-B). Re-armed on each delta so the entry outlives
+        // its last activity by one window.
+        if let Some(&w) = self.prog.windows.get(&pred).copied().as_ref() {
+            let tag = self.arm_timer(TimerAction::ExpireOwned(pred, tuple.clone()));
+            ctx.set_timer(w + self.cfg.tau_c + 1, tag);
+        }
+        let entry = self.owned.get_mut(&(pred, tuple.clone())).expect("just inserted");
+        let holddown = self.prog.holddown.get(&pred).copied().unwrap_or(100);
+        if !entry.holddown_armed && entry.live() != entry.propagated_live {
+            entry.holddown_armed = true;
+            let tag = self.arm_timer(TimerAction::Holddown(pred, tuple));
+            ctx.set_timer(holddown, tag);
+        }
+        let total: usize = self.owned.values().map(|o| o.counts.len()).sum();
+        self.stats.peak_derivations = self.stats.peak_derivations.max(total);
+    }
+
+    /// Holddown expired: propagate the tuple's liveness if it still differs
+    /// from what the network believes (Sec. IV-C's "wait … before actually
+    /// finalizing a derived fact").
+    fn fire_holddown(&mut self, ctx: &mut Ctx<Payload>, pred: Symbol, tuple: Tuple) {
+        let now = ctx.local_time;
+        let Some(entry) = self.owned.get_mut(&(pred, tuple.clone())) else {
+            return;
+        };
+        entry.holddown_armed = false;
+        let live = entry.live();
+        if live == entry.propagated_live {
+            return; // transition debounced away
+        }
+        entry.propagated_live = live;
+        let fact = if live {
+            let id = TupleId {
+                node: self.id,
+                ts: now,
+                seq: self.seq,
+            };
+            self.seq += 1;
+            entry.id = Some(id);
+            FactRecord::insert(pred, tuple.clone(), id)
+        } else {
+            let id = entry.id.expect("dead tuple was previously inserted");
+            FactRecord::delete(pred, tuple.clone(), id, now)
+        };
+        self.log_output(pred, &tuple, fact.kind, now);
+        self.initiate_update(ctx, fact);
+    }
+
+    fn log_output(&mut self, pred: Symbol, tuple: &Tuple, kind: UpdateKind, ts: SimTime) {
+        if self.prog.outputs.contains(&pred) {
+            self.output_log.push((pred, tuple.clone(), kind, ts));
+        }
+    }
+
+    fn feed_center(&mut self, fact: &FactRecord) {
+        let engine = self
+            .center_engine
+            .as_mut()
+            .expect("only the center feeds the engine");
+        let upd = Update {
+            pred: fact.pred,
+            tuple: fact.tuple.clone(),
+            kind: fact.kind,
+            ts: fact.tau,
+        };
+        let _ = engine.apply(upd);
+    }
+
+    fn arm_timer(&mut self, action: TimerAction) -> u64 {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.timers.insert(tag, action);
+        tag
+    }
+
+    fn route(&mut self, ctx: &mut Ctx<Payload>, dest: NodeId, payload: Payload) {
+        debug_assert_ne!(dest, self.id);
+        let hop = self.net.next_hop(self.id, dest);
+        if hop == dest {
+            ctx.send(dest, payload);
+        } else {
+            ctx.send(
+                hop,
+                Payload::Routed {
+                    dest,
+                    inner: Box::new(payload),
+                },
+            );
+        }
+    }
+
+    fn handle_payload(&mut self, ctx: &mut Ctx<Payload>, payload: Payload) {
+        match payload {
+            Payload::Routed { dest, inner } => {
+                if dest == self.id {
+                    self.handle_payload(ctx, *inner);
+                } else {
+                    self.route(ctx, dest, *inner);
+                }
+            }
+            Payload::StoreWalk { fact, walk, pos } => {
+                self.store_replica(ctx, &fact);
+                if pos + 1 < walk.len() {
+                    let next = walk[pos + 1];
+                    self.route(
+                        ctx,
+                        next,
+                        Payload::StoreWalk {
+                            fact,
+                            walk,
+                            pos: pos + 1,
+                        },
+                    );
+                }
+            }
+            Payload::FloodStore { fact } => {
+                if self.flood_seen.insert((fact.id, fact.kind)) {
+                    self.store_replica(ctx, &fact);
+                    ctx.broadcast(Payload::FloodStore { fact });
+                }
+            }
+            Payload::Probe(probe) => {
+                if probe.walk[probe.pos] == self.id {
+                    self.process_probe(ctx, probe);
+                } else {
+                    // Mid-route to its walk target.
+                    self.deliver_probe(ctx, probe);
+                }
+            }
+            d @ Payload::DerivDelta { .. } => self.handle_deriv_delta(ctx, d),
+            Payload::ToCenter { fact } => self.feed_center(&fact),
+        }
+    }
+}
+
+/// Evaluate the rule head under a completed partial.
+fn instantiate(prog: &DistProgram, rule: &sensorlog_logic::Rule, p: &Partial) -> Option<Tuple> {
+    let subst = p.subst();
+    let mut terms = Vec::with_capacity(rule.head.args.len());
+    for a in &rule.head.args {
+        let g = subst.apply(a);
+        if !g.is_ground() {
+            return None;
+        }
+        terms.push(prog.reg.eval_term(&g).ok()?);
+    }
+    Some(Tuple::new(terms))
+}
+
+impl App for SensorlogNode {
+    type Msg = Payload;
+
+    fn on_message(&mut self, ctx: &mut Ctx<Payload>, _from: NodeId, msg: Payload) {
+        self.handle_payload(ctx, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Payload>, tag: u64) {
+        match self.timers.remove(&tag) {
+            Some(TimerAction::StartJoin(fact)) => self.start_join(ctx, fact),
+            Some(TimerAction::Holddown(pred, tuple)) => self.fire_holddown(ctx, pred, tuple),
+            Some(TimerAction::ExpireReplica(pred, tuple)) => {
+                self.frags.remove(pred, &tuple);
+                self.frag_ids.remove(&(pred, tuple));
+            }
+            Some(TimerAction::ExpireOwned(pred, tuple)) => {
+                // Only expire if genuinely past the window (a later delta
+                // re-armed a fresher timer otherwise).
+                if let (Some(&w), Some(entry)) = (
+                    self.prog.windows.get(&pred),
+                    self.owned.get(&(pred, tuple.clone())),
+                ) {
+                    let stale = entry
+                        .id
+                        .is_none_or(|id| id.ts.saturating_add(w) < ctx.local_time);
+                    if stale && !entry.holddown_armed {
+                        self.owned.remove(&(pred, tuple));
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netinfo_grid_routes_without_tables() {
+        let net = NetInfo::new(Topology::square_grid(4));
+        // x first, then y.
+        let from = NodeId(0); // (0,0)
+        let dest = NodeId(15); // (3,3)
+        let hop = net.next_hop(from, dest);
+        assert_eq!(hop, NodeId(1)); // (1,0)
+        let hop2 = net.next_hop(NodeId(3), dest); // (3,0) -> up
+        assert_eq!(hop2, NodeId(7)); // (3,1)
+    }
+
+    #[test]
+    fn netinfo_geometric_uses_bfs_tables() {
+        let topo = Topology::random_geometric(20, 4.0, 1.7, 5);
+        let net = NetInfo::new(topo.clone());
+        // Hop chains always terminate at the destination.
+        for (a, b) in [(0u32, 19u32), (5, 12)] {
+            let (mut cur, dest) = (NodeId(a), NodeId(b));
+            let mut hops = 0;
+            while cur != dest {
+                let nxt = net.next_hop(cur, dest);
+                assert!(topo.are_neighbors(cur, nxt), "{cur}->{nxt} not a link");
+                cur = nxt;
+                hops += 1;
+                assert!(hops <= topo.len(), "routing loop");
+            }
+        }
+    }
+
+    #[test]
+    fn rtconfig_defaults_are_sane() {
+        let c = RtConfig::default();
+        assert!(c.tau_s > 0 && c.tau_j > 0);
+        assert_eq!(c.pass_mode, crate::strategy::PassMode::OnePass);
+        assert!(matches!(c.strategy, Strategy::Perpendicular { .. }));
+    }
+}

@@ -1,0 +1,263 @@
+//! Workload generators for the experiments (deterministic given a seed).
+
+use crate::deploy::WorkloadEvent;
+use sensorlog_eval::UpdateKind;
+use sensorlog_logic::{Symbol, Term, Tuple};
+use sensorlog_netsim::{NodeId, SimTime, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform stream generation: every node generates tuples of each stream
+/// at a fixed rate, with a monotonically increasing reading value (the
+/// classic "periodic sensing" workload of Sec. III-A's analysis: "uniform
+/// generation rates").
+pub struct UniformStreams {
+    pub preds: Vec<Symbol>,
+    /// Mean interval between readings per node per stream (ms).
+    pub interval: SimTime,
+    /// Total duration (ms).
+    pub duration: SimTime,
+    /// Fraction of generated tuples later deleted (Fig. 10's update mix).
+    pub delete_fraction: f64,
+    /// Delay between a tuple's insert and its delete (ms).
+    pub delete_lag: SimTime,
+    /// Number of join-key groups: the third tuple argument cycles through
+    /// `0..groups`, so tuples across nodes and streams join selectively
+    /// (`0` degrades to the raw generation time — effectively no joins).
+    pub groups: u32,
+    pub seed: u64,
+}
+
+impl UniformStreams {
+    /// Tuple schema: `pred(node_id, value, key)`.
+    pub fn events(&self, topo: &Topology) -> Vec<WorkloadEvent> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::new();
+        let mut value = 0i64;
+        for node in topo.nodes() {
+            for &pred in &self.preds {
+                let mut t = rng.gen_range(1..=self.interval);
+                while t < self.duration {
+                    value += 1;
+                    let key = if self.groups == 0 {
+                        t as i64
+                    } else {
+                        // Uniform random key: avoids modular aliasing with
+                        // the node/stream interleaving order.
+                        rng.gen_range(0..self.groups) as i64
+                    };
+                    let tuple = Tuple::new(vec![
+                        Term::Int(node.0 as i64),
+                        Term::Int(value),
+                        Term::Int(key),
+                    ]);
+                    out.push(WorkloadEvent {
+                        at: t,
+                        node,
+                        pred,
+                        tuple: tuple.clone(),
+                        kind: UpdateKind::Insert,
+                    });
+                    if rng.gen::<f64>() < self.delete_fraction {
+                        out.push(WorkloadEvent {
+                            at: t + self.delete_lag,
+                            node,
+                            pred,
+                            tuple,
+                            kind: UpdateKind::Delete,
+                        });
+                    }
+                    t += self.interval;
+                }
+            }
+        }
+        out.sort_by_key(|e| e.at);
+        out
+    }
+}
+
+/// Battlefield workload (Example 1): enemy and friendly vehicle sightings
+/// `veh(kind, loc, t)` where `loc` is the observing node's id and vehicles
+/// wander between adjacent nodes. Friendly positions are deleted when the
+/// vehicle moves (tracked cover), enemies are windowed sightings.
+pub struct VehicleWorkload {
+    pub n_enemy: usize,
+    pub n_friendly: usize,
+    /// Sighting interval (ms).
+    pub interval: SimTime,
+    pub duration: SimTime,
+    pub seed: u64,
+}
+
+impl VehicleWorkload {
+    pub fn events(&self, topo: &Topology) -> Vec<WorkloadEvent> {
+        let veh = Symbol::intern("veh");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::new();
+        let mut vehicles: Vec<(NodeId, &str, Option<Tuple>)> = Vec::new();
+        for _ in 0..self.n_enemy {
+            vehicles.push((NodeId(rng.gen_range(0..topo.len() as u32)), "enemy", None));
+        }
+        for _ in 0..self.n_friendly {
+            vehicles.push((NodeId(rng.gen_range(0..topo.len() as u32)), "friendly", None));
+        }
+        // Two vehicles at the same node and instant are one sighting:
+        // multiset-dedup so inserts fire on 0→1 and deletes on 1→0 only.
+        let mut live: std::collections::HashMap<Tuple, (u32, NodeId)> =
+            std::collections::HashMap::new();
+        let mut t = self.interval;
+        while t < self.duration {
+            for v in vehicles.iter_mut() {
+                // Retraction of the previous friendly position.
+                if v.1 == "friendly" {
+                    if let Some(prev) = v.2.take() {
+                        if let Some(entry) = live.get_mut(&prev) {
+                            entry.0 -= 1;
+                            if entry.0 == 0 {
+                                let at_node = entry.1;
+                                live.remove(&prev);
+                                out.push(WorkloadEvent {
+                                    at: t,
+                                    node: at_node,
+                                    pred: veh,
+                                    tuple: prev,
+                                    kind: UpdateKind::Delete,
+                                });
+                            }
+                        }
+                    }
+                }
+                // Random walk to a neighbor.
+                let neigh = topo.neighbors(v.0);
+                if !neigh.is_empty() && rng.gen::<f64>() < 0.5 {
+                    v.0 = neigh[rng.gen_range(0..neigh.len())];
+                }
+                let tuple = Tuple::new(vec![
+                    Term::str(v.1),
+                    Term::Int(v.0 .0 as i64),
+                    Term::Int(t as i64),
+                ]);
+                let entry = live.entry(tuple.clone()).or_insert((0, v.0));
+                entry.0 += 1;
+                if entry.0 == 1 {
+                    out.push(WorkloadEvent {
+                        at: t,
+                        node: v.0,
+                        pred: veh,
+                        tuple: tuple.clone(),
+                        kind: UpdateKind::Insert,
+                    });
+                }
+                if v.1 == "friendly" {
+                    v.2 = Some(tuple);
+                }
+            }
+            t += self.interval;
+        }
+        out.sort_by_key(|e| e.at);
+        out
+    }
+}
+
+/// Graph workload for the shortest-path-tree programs (Example 3): the
+/// network's own links become `g(x, y)` facts, injected at the incident
+/// node (each node knows its neighbors).
+pub fn graph_edges(topo: &Topology, at: SimTime, spacing: SimTime) -> Vec<WorkloadEvent> {
+    let g = Symbol::intern("g");
+    let mut out = Vec::new();
+    let mut t = at;
+    for node in topo.nodes() {
+        for &n in topo.neighbors(node) {
+            out.push(WorkloadEvent {
+                at: t,
+                node,
+                pred: g,
+                tuple: Tuple::new(vec![Term::Int(node.0 as i64), Term::Int(n.0 as i64)]),
+                kind: UpdateKind::Insert,
+            });
+            t += spacing;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_deterministic_and_sorted() {
+        let topo = Topology::square_grid(3);
+        let w = UniformStreams {
+            preds: vec![Symbol::intern("r1"), Symbol::intern("r2")],
+            interval: 1_000,
+            duration: 5_000,
+            delete_fraction: 0.0,
+            delete_lag: 0,
+            groups: 0,
+            seed: 4,
+        };
+        let a = w.events(&topo);
+        let b = w.events(&topo);
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        // ~5 readings per node per stream (jittered start).
+        assert!(a.len() >= 9 * 2 * 4 && a.len() <= 9 * 2 * 5);
+    }
+
+    #[test]
+    fn delete_fraction_generates_deletes() {
+        let topo = Topology::square_grid(3);
+        let w = UniformStreams {
+            preds: vec![Symbol::intern("r")],
+            interval: 500,
+            duration: 10_000,
+            delete_fraction: 0.5,
+            delete_lag: 700,
+            groups: 0,
+            seed: 1,
+        };
+        let evs = w.events(&topo);
+        let dels = evs.iter().filter(|e| e.kind == UpdateKind::Delete).count();
+        let ins = evs.iter().filter(|e| e.kind == UpdateKind::Insert).count();
+        assert!(dels > 0);
+        let frac = dels as f64 / ins as f64;
+        assert!(frac > 0.3 && frac < 0.7, "fraction {frac}");
+        // Every delete is preceded by its insert.
+        for d in evs.iter().filter(|e| e.kind == UpdateKind::Delete) {
+            assert!(evs
+                .iter()
+                .any(|i| i.kind == UpdateKind::Insert && i.tuple == d.tuple && i.at < d.at));
+        }
+    }
+
+    #[test]
+    fn vehicle_workload_well_formed() {
+        let topo = Topology::square_grid(4);
+        let w = VehicleWorkload {
+            n_enemy: 2,
+            n_friendly: 1,
+            interval: 1_000,
+            duration: 4_000,
+            seed: 3,
+        };
+        let evs = w.events(&topo);
+        assert!(!evs.is_empty());
+        // Friendly deletes reference previously inserted tuples.
+        for d in evs.iter().filter(|e| e.kind == UpdateKind::Delete) {
+            assert!(evs
+                .iter()
+                .any(|i| i.kind == UpdateKind::Insert && i.tuple == d.tuple && i.at < d.at));
+        }
+    }
+
+    #[test]
+    fn graph_edges_cover_links() {
+        let topo = Topology::square_grid(3);
+        let evs = graph_edges(&topo, 10, 5);
+        // Directed edges: 2 per undirected link; 3x3 grid has 12 links.
+        assert_eq!(evs.len(), 24);
+        assert!(evs.iter().all(|e| e.kind == UpdateKind::Insert));
+    }
+}

@@ -1,0 +1,60 @@
+//! Evaluation errors and resource-limit diagnostics.
+
+use sensorlog_logic::{AnalyzeError, BuiltinError, Symbol};
+use std::fmt;
+
+/// Errors surfaced by the engines.
+#[derive(Clone, Debug)]
+pub enum EvalError {
+    /// A builtin failed (division by zero, type mismatch, …).
+    Builtin(BuiltinError),
+    /// Program analysis failed.
+    Analyze(AnalyzeError),
+    /// A resource guard tripped — usually runaway recursion through
+    /// function symbols ("introduction of function symbols … may result in
+    /// non-termination", Sec. IV-C).
+    LimitExceeded {
+        what: &'static str,
+        limit: usize,
+    },
+    /// The runtime derivation-cycle check for locally non-recursive
+    /// evaluation found a cycle: the program is outside the supported class
+    /// (Sec. IV-C, "Evaluating General Recursive Programs").
+    DerivationCycle {
+        pred: Symbol,
+    },
+    /// A body variable was unbound where groundness was required; indicates
+    /// an internal planning bug (safety checking should prevent it).
+    Internal(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Builtin(e) => write!(f, "{e}"),
+            EvalError::Analyze(e) => write!(f, "{e}"),
+            EvalError::LimitExceeded { what, limit } => {
+                write!(f, "evaluation limit exceeded: {what} > {limit}")
+            }
+            EvalError::DerivationCycle { pred } => write!(
+                f,
+                "derivation cycle through predicate {pred}: program is not locally non-recursive"
+            ),
+            EvalError::Internal(s) => write!(f, "internal evaluation error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<BuiltinError> for EvalError {
+    fn from(e: BuiltinError) -> Self {
+        EvalError::Builtin(e)
+    }
+}
+
+impl From<AnalyzeError> for EvalError {
+    fn from(e: AnalyzeError) -> Self {
+        EvalError::Analyze(e)
+    }
+}

@@ -1,0 +1,757 @@
+//! Rule-body evaluation: the local join machinery.
+//!
+//! Evaluates a rule body left-to-right over a [`Database`], producing the
+//! satisfying substitutions together with the positive subgoal matches that
+//! produced them (the inputs of a *derivation*, Definition 2). Supports:
+//!
+//! * **pinning** one literal to a single delta tuple (semi-naive and
+//!   incremental evaluation seed there);
+//! * a **tuple filter** excluding one tuple at chosen literal positions —
+//!   the "old state for occurrences after the updated one" staircase that
+//!   makes self-join deltas exact;
+//! * optional **timestamp visibility** (Theorem 3's window discipline) for
+//!   the distributed runtime.
+
+use crate::error::EvalError;
+use crate::relation::Database;
+use sensorlog_logic::ast::{Atom, CmpOp, Literal, Rule};
+use sensorlog_logic::builtin::BuiltinRegistry;
+use sensorlog_logic::unify::Subst;
+use sensorlog_logic::{Symbol, Term, Tuple};
+use std::collections::BTreeMap;
+
+/// Excludes `tuple` from matching `pred` at the given body literal indexes.
+#[derive(Clone, Debug)]
+pub struct TupleFilter {
+    pub pred: Symbol,
+    pub tuple: Tuple,
+    pub literal_indexes: Vec<usize>,
+}
+
+/// Timestamp visibility for probes (Theorem 3): only tuples visible at
+/// `tau` under each predicate's window participate.
+#[derive(Clone, Debug)]
+pub struct Visibility<'a> {
+    pub tau: u64,
+    pub windows: &'a BTreeMap<Symbol, u64>,
+}
+
+
+/// Semantic pattern match: like `sensorlog_logic::unify::match_args`, but evaluates interpreted
+/// function symbols in ground pattern positions and *solves* linear stage
+/// patterns — `D + 1` matched against `2` binds `D = 1`. This is what lets
+/// XY rules like `h(X, Y, D + 1) :- …, not hp(Y, D + 1)` react to an
+/// incoming `hp(0, 2)` tuple (the paper's term-matching operator extended
+/// to interpreted arithmetic).
+pub fn sem_match(reg: &BuiltinRegistry, pat: &Term, val: &Term, s: &mut Subst) -> bool {
+    let p = s.apply(pat);
+    if p.is_ground() {
+        return match reg.eval_term(&p) {
+            Ok(v) => &v == val,
+            Err(_) => false,
+        };
+    }
+    match (&p, val) {
+        (Term::Var(v), _) => {
+            s.bind(*v, val.clone());
+            true
+        }
+        (Term::App(f, args), Term::Int(n)) if args.len() == 2 => {
+            let solve = |v: sensorlog_logic::Symbol, bound: Option<i64>, s: &mut Subst| match bound
+            {
+                Some(x) => {
+                    s.bind(v, Term::Int(x));
+                    true
+                }
+                None => false,
+            };
+            match (f.as_str(), &args[0], &args[1]) {
+                ("add", Term::Var(v), Term::Int(k)) => solve(*v, n.checked_sub(*k), s),
+                ("add", Term::Int(k), Term::Var(v)) => solve(*v, n.checked_sub(*k), s),
+                ("sub", Term::Var(v), Term::Int(k)) => solve(*v, n.checked_add(*k), s),
+                _ => false,
+            }
+        }
+        (Term::App(f, pargs), Term::App(g, vargs))
+            if f == g && pargs.len() == vargs.len() && !reg.is_func(*f) =>
+        {
+            pargs
+                .iter()
+                .zip(vargs.iter())
+                .all(|(pp, vv)| sem_match(reg, pp, vv, s))
+        }
+        _ => false,
+    }
+}
+
+/// [`sem_match`] over an argument list.
+pub fn sem_match_args(
+    reg: &BuiltinRegistry,
+    pats: &[Term],
+    vals: &[Term],
+    s: &mut Subst,
+) -> bool {
+    pats.len() == vals.len()
+        && pats
+            .iter()
+            .zip(vals.iter())
+            .all(|(p, v)| sem_match(reg, p, v, s))
+}
+
+/// One satisfying assignment of a rule body.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    pub subst: Subst,
+    /// `(literal index, predicate, tuple)` for each positive relational
+    /// subgoal used — the derivation inputs.
+    pub inputs: Vec<(usize, Symbol, Tuple)>,
+}
+
+/// Body evaluator over a database snapshot.
+pub struct BodyEval<'a> {
+    pub db: &'a Database,
+    pub reg: &'a BuiltinRegistry,
+    pub filter: Option<&'a TupleFilter>,
+    pub vis: Option<Visibility<'a>>,
+}
+
+impl<'a> BodyEval<'a> {
+    pub fn new(db: &'a Database, reg: &'a BuiltinRegistry) -> BodyEval<'a> {
+        BodyEval {
+            db,
+            reg,
+            filter: None,
+            vis: None,
+        }
+    }
+
+    /// All solutions of `body`, optionally pinning literal `pinned.0` to
+    /// tuple `pinned.1` (works for positive *and* negated literals — a
+    /// pinned negated literal is matched positively and skipped as a check,
+    /// which is exactly the `T_s1` construction of Sec. IV-B).
+    pub fn solutions(
+        &self,
+        body: &[Literal],
+        seed: Subst,
+        pinned: Option<(usize, &Tuple)>,
+    ) -> Result<Vec<Solution>, EvalError> {
+        let order = order_body(body, pinned.map(|(i, _)| i));
+        let mut out = Vec::new();
+        let mut inputs = Vec::new();
+        self.walk(body, &order, 0, seed, pinned, &mut inputs, &mut out)?;
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk(
+        &self,
+        body: &[Literal],
+        order: &[usize],
+        step: usize,
+        subst: Subst,
+        pinned: Option<(usize, &Tuple)>,
+        inputs: &mut Vec<(usize, Symbol, Tuple)>,
+        out: &mut Vec<Solution>,
+    ) -> Result<(), EvalError> {
+        if step == order.len() {
+            // Canonical input order (by literal index): derivations must
+            // compare equal regardless of which literal was pinned.
+            let mut inputs = inputs.clone();
+            inputs.sort_by_key(|(i, _, _)| *i);
+            out.push(Solution { subst, inputs });
+            return Ok(());
+        }
+        let idx = order[step];
+        let lit = &body[idx];
+        match lit {
+            Literal::Pos(atom) => {
+                if let Some((pi, pt)) = pinned {
+                    if pi == idx {
+                        let mut s = subst;
+                        if sem_match_args(self.reg, &atom.args, pt.terms(), &mut s) {
+                            inputs.push((idx, atom.pred, pt.clone()));
+                            self.walk(body, order, step + 1, s, pinned, inputs, out)?;
+                            inputs.pop();
+                        }
+                        return Ok(());
+                    }
+                }
+                let candidates = self.candidates(atom, &subst, idx);
+                for t in candidates {
+                    let mut s = subst.clone();
+                    if sem_match_args(self.reg, &atom.args, t.terms(), &mut s) {
+                        inputs.push((idx, atom.pred, t.clone()));
+                        self.walk(body, order, step + 1, s, pinned, inputs, out)?;
+                        inputs.pop();
+                    }
+                }
+                Ok(())
+            }
+            Literal::Neg(atom) => {
+                if let Some((pi, pt)) = pinned {
+                    if pi == idx {
+                        // Pinned negated literal: match positively, skip the
+                        // negation check for this occurrence (Sec. IV-B).
+                        let mut s = subst;
+                        if sem_match_args(self.reg, &atom.args, pt.terms(), &mut s) {
+                            self.walk(body, order, step + 1, s, pinned, inputs, out)?;
+                        }
+                        return Ok(());
+                    }
+                }
+                if self.neg_holds(atom, &subst, idx)? {
+                    self.walk(body, order, step + 1, subst, pinned, inputs, out)?;
+                }
+                Ok(())
+            }
+            Literal::Cmp(op, l, r) => {
+                let lg = subst.apply(l);
+                let rg = subst.apply(r);
+                match (lg.is_ground(), rg.is_ground()) {
+                    (true, true) => {
+                        if self.reg.compare(*op, &lg, &rg)? {
+                            self.walk(body, order, step + 1, subst, pinned, inputs, out)?;
+                        }
+                        Ok(())
+                    }
+                    (false, true) if *op == CmpOp::Eq => {
+                        // Assignment: bind the left variable.
+                        if let Term::Var(v) = lg {
+                            let mut s = subst;
+                            s.bind(v, self.reg.eval_term(&rg)?);
+                            self.walk(body, order, step + 1, s, pinned, inputs, out)?;
+                            Ok(())
+                        } else {
+                            Err(EvalError::Internal(format!(
+                                "cannot assign to non-variable `{lg}`"
+                            )))
+                        }
+                    }
+                    (true, false) if *op == CmpOp::Eq => {
+                        if let Term::Var(v) = rg {
+                            let mut s = subst;
+                            s.bind(v, self.reg.eval_term(&lg)?);
+                            self.walk(body, order, step + 1, s, pinned, inputs, out)?;
+                            Ok(())
+                        } else {
+                            Err(EvalError::Internal(format!(
+                                "cannot assign to non-variable `{rg}`"
+                            )))
+                        }
+                    }
+                    _ => Err(EvalError::Internal(format!(
+                        "comparison `{lit}` reached with unbound variables"
+                    ))),
+                }
+            }
+            Literal::Builtin(atom) => {
+                let args: Vec<Term> = atom
+                    .args
+                    .iter()
+                    .map(|a| {
+                        let g = subst.apply(a);
+                        if g.is_ground() {
+                            self.reg.eval_term(&g).map_err(EvalError::from)
+                        } else {
+                            Err(EvalError::Internal(format!(
+                                "builtin `{lit}` reached with unbound variables"
+                            )))
+                        }
+                    })
+                    .collect::<Result<_, _>>()?;
+                if self.reg.call_pred(atom.pred, &args)? {
+                    self.walk(body, order, step + 1, subst, pinned, inputs, out)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Candidate tuples for a positive atom, honoring filter + visibility,
+    /// using the relation index on the currently-ground positions.
+    fn candidates(&self, atom: &Atom, subst: &Subst, lit_idx: usize) -> Vec<Tuple> {
+        let rel = match self.db.relation(atom.pred) {
+            Some(r) => r,
+            None => return Vec::new(),
+        };
+        let grounded: Vec<Term> = atom.args.iter().map(|a| subst.apply(a)).collect();
+        let mut cols: Vec<usize> = Vec::new();
+        let mut key: Vec<Term> = Vec::new();
+        for (i, g) in grounded.iter().enumerate() {
+            if g.is_ground() {
+                // Evaluate interpreted functions in the key so `d + 1`
+                // matches stored integers.
+                if let Ok(v) = self.reg.eval_term(g) {
+                    cols.push(i);
+                    key.push(v);
+                }
+            }
+        }
+        let mut raw = Vec::new();
+        if cols.is_empty() {
+            raw.extend(rel.tuples().cloned());
+        } else {
+            rel.select(&cols, &key, &mut raw);
+        }
+        raw.retain(|t| {
+            if let Some(f) = self.filter {
+                if f.pred == atom.pred && f.literal_indexes.contains(&lit_idx) && *t == f.tuple {
+                    return false;
+                }
+            }
+            if let Some(vis) = &self.vis {
+                let meta = rel.meta(t).expect("selected tuple has meta");
+                if !meta.visible_at(vis.tau, vis.windows.get(&atom.pred).copied()) {
+                    return false;
+                }
+            }
+            true
+        });
+        raw
+    }
+
+    /// `true` when no visible tuple matches the (fully ground) negated atom.
+    fn neg_holds(&self, atom: &Atom, subst: &Subst, lit_idx: usize) -> Result<bool, EvalError> {
+        let grounded: Vec<Term> = atom
+            .args
+            .iter()
+            .map(|a| {
+                let g = subst.apply(a);
+                if g.is_ground() {
+                    self.reg.eval_term(&g).map_err(EvalError::from)
+                } else {
+                    Err(EvalError::Internal(format!(
+                        "negated subgoal `{}` reached with unbound variables",
+                        atom
+                    )))
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        let t = Tuple::new(grounded);
+        let rel = match self.db.relation(atom.pred) {
+            Some(r) => r,
+            None => return Ok(true),
+        };
+        if let Some(f) = self.filter {
+            if f.pred == atom.pred && f.literal_indexes.contains(&lit_idx) && t == f.tuple {
+                return Ok(true); // excluded from the check
+            }
+        }
+        match rel.meta(&t) {
+            None => Ok(true),
+            Some(m) => match &self.vis {
+                Some(vis) => Ok(!m.visible_at(vis.tau, vis.windows.get(&atom.pred).copied())),
+                None => Ok(false),
+            },
+        }
+    }
+}
+
+/// Evaluation order of body literals: the pinned literal (if any) first,
+/// then greedily — fully-bound checks and assignments as early as possible,
+/// positive subgoals preferring those with at least one bound argument.
+/// Mirrors the static boundness reasoning of the safety check, so safe rules
+/// always order successfully.
+pub fn order_body(body: &[Literal], pinned: Option<usize>) -> Vec<usize> {
+    let n = body.len();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let mut bound: Vec<Symbol> = Vec::new();
+
+    let bind_lit = |lit: &Literal, bound: &mut Vec<Symbol>| {
+        if let Literal::Pos(a) = lit {
+            a.collect_vars(bound);
+        }
+    };
+
+    if let Some(p) = pinned {
+        used[p] = true;
+        order.push(p);
+        // A pinned literal (positive or negated) binds its variables.
+        if let Some(a) = body[p].atom() {
+            a.collect_vars(&mut bound);
+        }
+    }
+
+    while order.len() < n {
+        let is_bound = |t: &Term, bound: &[Symbol]| t.vars().iter().all(|v| bound.contains(v));
+        let mut pick: Option<usize> = None;
+        // 1. fully bound non-positive literal (cheap filter)
+        for i in 0..n {
+            if used[i] {
+                continue;
+            }
+            match &body[i] {
+                Literal::Neg(a) | Literal::Builtin(a)
+                    if a.args.iter().all(|t| is_bound(t, &bound)) =>
+                {
+                    pick = Some(i);
+                    break;
+                }
+                Literal::Cmp(_, l, r) if is_bound(l, &bound) && is_bound(r, &bound) => {
+                    pick = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        // 2. assignment: Eq with exactly one side a bindable variable
+        if pick.is_none() {
+            for i in 0..n {
+                if used[i] {
+                    continue;
+                }
+                if let Literal::Cmp(CmpOp::Eq, l, r) = &body[i] {
+                    let lb = is_bound(l, &bound);
+                    let rb = is_bound(r, &bound);
+                    if (lb && matches!(r, Term::Var(_))) || (rb && matches!(l, Term::Var(_))) {
+                        pick = Some(i);
+                        break;
+                    }
+                }
+            }
+        }
+        // 3. positive subgoal sharing a bound variable
+        if pick.is_none() {
+            for i in 0..n {
+                if used[i] {
+                    continue;
+                }
+                if let Literal::Pos(a) = &body[i] {
+                    if a.vars().iter().any(|v| bound.contains(v)) {
+                        pick = Some(i);
+                        break;
+                    }
+                }
+            }
+        }
+        // 4. any positive subgoal
+        if pick.is_none() {
+            for i in 0..n {
+                if used[i] {
+                    continue;
+                }
+                if matches!(body[i], Literal::Pos(_)) {
+                    pick = Some(i);
+                    break;
+                }
+            }
+        }
+        // 5. anything left (unsafe rules only — evaluation will error)
+        if pick.is_none() {
+            pick = (0..n).find(|&i| !used[i]);
+        }
+        let i = pick.expect("order_body: no literal left");
+        used[i] = true;
+        order.push(i);
+        bind_lit(&body[i], &mut bound);
+        // Assignments bind their variable side.
+        if let Literal::Cmp(CmpOp::Eq, l, r) = &body[i] {
+            if let Term::Var(v) = l {
+                if !bound.contains(v) {
+                    bound.push(*v);
+                }
+            }
+            if let Term::Var(v) = r {
+                if !bound.contains(v) {
+                    bound.push(*v);
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Instantiate a (non-aggregate) rule head under a solution substitution,
+/// evaluating interpreted functions.
+pub fn instantiate_head(
+    rule: &Rule,
+    subst: &Subst,
+    reg: &BuiltinRegistry,
+) -> Result<Tuple, EvalError> {
+    debug_assert!(rule.agg.is_none(), "aggregate heads use aggregate::finish");
+    let terms: Vec<Term> = rule
+        .head
+        .args
+        .iter()
+        .map(|a| {
+            let g = subst.apply(a);
+            if g.is_ground() {
+                reg.eval_term(&g).map_err(EvalError::from)
+            } else {
+                Err(EvalError::Internal(format!(
+                    "head argument `{a}` unbound in rule #{}",
+                    rule.id
+                )))
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(Tuple::new(terms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::TupleMeta;
+    use sensorlog_logic::parser::{parse_fact, parse_rule};
+
+    fn db_with(facts: &[&str]) -> Database {
+        let mut db = Database::new();
+        for f in facts {
+            let (p, args) = parse_fact(f).unwrap();
+            db.insert(p, Tuple::new(args));
+        }
+        db
+    }
+
+    fn solutions_of(rule_src: &str, facts: &[&str]) -> Vec<Tuple> {
+        let rule = parse_rule(rule_src).unwrap();
+        let db = db_with(facts);
+        let reg = BuiltinRegistry::standard();
+        let ev = BodyEval::new(&db, &reg);
+        let sols = ev.solutions(&rule.body, Subst::new(), None).unwrap();
+        let mut out: Vec<Tuple> = sols
+            .iter()
+            .map(|s| instantiate_head(&rule, &s.subst, &reg).unwrap())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn tup(src: &str) -> Tuple {
+        let (_, args) = parse_fact(&format!("x({src})")).unwrap();
+        Tuple::new(args)
+    }
+
+    #[test]
+    fn simple_join() {
+        let out = solutions_of(
+            "q(X, Z) :- e(X, Y), e(Y, Z).",
+            &["e(1, 2)", "e(2, 3)", "e(2, 4)"],
+        );
+        assert_eq!(out, vec![tup("1, 3"), tup("1, 4")]);
+    }
+
+    #[test]
+    fn comparison_filters() {
+        let out = solutions_of("q(X) :- p(X), X > 2.", &["p(1)", "p(2)", "p(3)", "p(4)"]);
+        assert_eq!(out, vec![tup("3"), tup("4")]);
+    }
+
+    #[test]
+    fn negation_before_positives_is_reordered() {
+        // Paper's Example 1 ordering: negation written first.
+        let out = solutions_of(
+            "uncov(L) :- not cov(L), veh(L).",
+            &["veh(1)", "veh(2)", "cov(1)"],
+        );
+        assert_eq!(out, vec![tup("2")]);
+    }
+
+    #[test]
+    fn arithmetic_in_head() {
+        let out = solutions_of("q(X + 1) :- p(X).", &["p(1)", "p(2)"]);
+        assert_eq!(out, vec![tup("2"), tup("3")]);
+    }
+
+    #[test]
+    fn assignment_binds() {
+        let out = solutions_of("q(Y) :- p(X), Y == X * 10.", &["p(1)", "p(2)"]);
+        assert_eq!(out, vec![tup("10"), tup("20")]);
+    }
+
+    #[test]
+    fn function_symbol_matching() {
+        let out = solutions_of(
+            "q(X, Y) :- p(loc(X, Y)).",
+            &["p(loc(1, 2))", "p(loc(3, 4))", "p(other(9))"],
+        );
+        assert_eq!(out, vec![tup("1, 2"), tup("3, 4")]);
+    }
+
+    #[test]
+    fn index_key_evaluates_functions() {
+        // The pattern arg `X + 1` must be evaluated before index lookup.
+        let out = solutions_of("q(X) :- p(X), r(X + 1).", &["p(1)", "p(5)", "r(2)"]);
+        assert_eq!(out, vec![tup("1")]);
+    }
+
+    #[test]
+    fn pinned_positive_literal() {
+        let rule = parse_rule("q(X, Z) :- e(X, Y), e(Y, Z).").unwrap();
+        let db = db_with(&["e(1, 2)", "e(2, 3)"]);
+        let reg = BuiltinRegistry::standard();
+        let ev = BodyEval::new(&db, &reg);
+        // Pin the second literal to (2, 3): only X=1,Z=3 solution remains.
+        let pin = tup("2, 3");
+        let sols = ev.solutions(&rule.body, Subst::new(), Some((1, &pin))).unwrap();
+        assert_eq!(sols.len(), 1);
+        let head = instantiate_head(&rule, &sols[0].subst, &reg).unwrap();
+        assert_eq!(head, tup("1, 3"));
+        // Derivation inputs contain both e-tuples with their literal index.
+        assert_eq!(sols[0].inputs.len(), 2);
+        assert!(sols[0].inputs.iter().any(|(i, _, t)| *i == 1 && *t == pin));
+    }
+
+    #[test]
+    fn pinned_negated_literal() {
+        // T_s construction: pin `not cov(L)` to cov(2) and match positively.
+        let rule = parse_rule("uncov(L) :- veh(L), not cov(L).").unwrap();
+        let db = db_with(&["veh(1)", "veh(2)"]);
+        let reg = BuiltinRegistry::standard();
+        let ev = BodyEval::new(&db, &reg);
+        let pin = tup("2");
+        let sols = ev.solutions(&rule.body, Subst::new(), Some((1, &pin))).unwrap();
+        assert_eq!(sols.len(), 1);
+        let head = instantiate_head(&rule, &sols[0].subst, &reg).unwrap();
+        assert_eq!(head, tup("2"));
+        // The negated match is NOT part of the derivation inputs.
+        assert_eq!(sols[0].inputs.len(), 1);
+    }
+
+    #[test]
+    fn tuple_filter_excludes_specific_occurrence() {
+        let rule = parse_rule("q(X, Z) :- e(X, Y), e(Y, Z).").unwrap();
+        let db = db_with(&["e(1, 1)"]);
+        let reg = BuiltinRegistry::standard();
+        let filter = TupleFilter {
+            pred: Symbol::intern("e"),
+            tuple: tup("1, 1"),
+            literal_indexes: vec![1],
+        };
+        let ev = BodyEval {
+            db: &db,
+            reg: &reg,
+            filter: Some(&filter),
+            vis: None,
+        };
+        // e(1,1) join e(1,1) exists, but occurrence 1 excludes the tuple.
+        let sols = ev.solutions(&rule.body, Subst::new(), None).unwrap();
+        assert!(sols.is_empty());
+        // A pin overrides the filter at its own occurrence: pinning
+        // occurrence 1 to the filtered tuple still yields the solution
+        // via occurrence 0 (where the filter does not apply).
+        let pin = tup("1, 1");
+        let sols = ev.solutions(&rule.body, Subst::new(), Some((1, &pin))).unwrap();
+        assert_eq!(sols.len(), 1);
+        // Filtering occurrence 0 instead kills it: the delta staircase
+        // (old state before the updated occurrence).
+        let filter0 = TupleFilter {
+            pred: Symbol::intern("e"),
+            tuple: tup("1, 1"),
+            literal_indexes: vec![0],
+        };
+        let ev0 = BodyEval {
+            db: &db,
+            reg: &reg,
+            filter: Some(&filter0),
+            vis: None,
+        };
+        let sols = ev0.solutions(&rule.body, Subst::new(), Some((1, &pin))).unwrap();
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn visibility_hides_future_and_expired() {
+        let rule = parse_rule("q(X) :- p(X).").unwrap();
+        let mut db = Database::new();
+        let p = Symbol::intern("p");
+        db.relation_mut(p).insert(tup("1"), TupleMeta::at(100));
+        db.relation_mut(p).insert(tup("2"), TupleMeta::at(500));
+        let reg = BuiltinRegistry::standard();
+        let mut windows = BTreeMap::new();
+        windows.insert(p, 300u64);
+        let ev = BodyEval {
+            db: &db,
+            reg: &reg,
+            filter: None,
+            vis: Some(Visibility {
+                tau: 350,
+                windows: &windows,
+            }),
+        };
+        let sols = ev.solutions(&rule.body, Subst::new(), None).unwrap();
+        // tau=350: p(1) gen 100 within window (100+300>350), p(2) in future.
+        assert_eq!(sols.len(), 1);
+        // tau=550: p(1) expired (100+300<=550), p(2) visible (gen 500).
+        let ev2 = BodyEval {
+            db: &db,
+            reg: &reg,
+            filter: None,
+            vis: Some(Visibility {
+                tau: 550,
+                windows: &windows,
+            }),
+        };
+        let sols = ev2.solutions(&rule.body, Subst::new(), None).unwrap();
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].inputs[0].2, tup("2"));
+    }
+
+    #[test]
+    fn negation_sees_tombstones_under_visibility() {
+        let rule = parse_rule("q(X) :- p(X), not s(X).").unwrap();
+        let mut db = Database::new();
+        let (p, s) = (Symbol::intern("p"), Symbol::intern("s"));
+        db.relation_mut(p).insert(tup("1"), TupleMeta::at(0));
+        db.relation_mut(s).insert(tup("1"), TupleMeta::at(10));
+        db.relation_mut(s).mark_deleted(&tup("1"), 50);
+        let reg = BuiltinRegistry::standard();
+        let windows = BTreeMap::new();
+        // At tau=30 the s-tuple is alive (deleted later): q empty.
+        let ev = BodyEval {
+            db: &db,
+            reg: &reg,
+            filter: None,
+            vis: Some(Visibility {
+                tau: 30,
+                windows: &windows,
+            }),
+        };
+        assert!(ev.solutions(&rule.body, Subst::new(), None).unwrap().is_empty());
+        // At tau=60 the s-tuple is deleted: q(1) holds.
+        let ev = BodyEval {
+            db: &db,
+            reg: &reg,
+            filter: None,
+            vis: Some(Visibility {
+                tau: 60,
+                windows: &windows,
+            }),
+        };
+        assert_eq!(ev.solutions(&rule.body, Subst::new(), None).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn order_body_puts_checks_after_binders() {
+        let rule = parse_rule("q(L) :- not cov(L), veh(L), dist(L, L) <= 5.").unwrap();
+        let order = order_body(&rule.body, None);
+        // veh (idx 1) first, then the bound check/negation in some order.
+        assert_eq!(order[0], 1);
+        assert!(order.contains(&0) && order.contains(&2));
+    }
+
+    #[test]
+    fn order_body_with_pin_starts_at_pin() {
+        let rule = parse_rule("q(X, Z) :- e(X, Y), e(Y, Z).").unwrap();
+        let order = order_body(&rule.body, Some(1));
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn builtin_pred_in_body() {
+        use std::sync::Arc;
+        let mut reg = BuiltinRegistry::standard();
+        reg.register_pred(
+            "even",
+            Arc::new(|args: &[Term]| Ok(matches!(args, [Term::Int(i)] if i % 2 == 0))),
+        );
+        let rule = parse_rule("q(X) :- p(X), even(X).").unwrap();
+        let rule = sensorlog_logic::safety::resolve_builtins(&rule, &reg);
+        let db = db_with(&["p(1)", "p(2)", "p(3)", "p(4)"]);
+        let ev = BodyEval::new(&db, &reg);
+        let sols = ev.solutions(&rule.body, Subst::new(), None).unwrap();
+        assert_eq!(sols.len(), 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! # sensorlog-eval
+//!
+//! Centralized bottom-up evaluation of sensorlog deductive programs —
+//! the reference engine of the framework (and the "central server" that the
+//! Centroid baseline ships every tuple to).
+//!
+//! * [`relation`] — tuples with timestamps/tombstones, indexed relations,
+//!   databases;
+//! * [`eval_body`] — the local join machinery: body solutions, delta
+//!   pinning, self-join staircase filters, Theorem-3 visibility;
+//! * [`aggregate`] — head aggregates over all-solutions;
+//! * [`seminaive`] — batch engine: semi-naive fixpoint, stratified negation,
+//!   XY-staged evaluation (the correctness oracle);
+//! * [`incremental`] — continuous maintenance under inserts/deletes with the
+//!   paper's **set-of-derivations** approach (Sec. IV), plus the
+//!   [`counting`] and [`rederive`] alternatives it compares against;
+//! * [`window`] — sliding-window expiry.
+
+pub mod aggregate;
+pub mod counting;
+pub mod error;
+pub mod eval_body;
+pub mod incremental;
+pub mod rederive;
+pub mod relation;
+pub mod seminaive;
+pub mod window;
+
+pub use error::EvalError;
+pub use eval_body::{BodyEval, Solution, TupleFilter, Visibility};
+pub use incremental::{IncrementalEngine, Update, UpdateKind};
+pub use relation::{Database, Relation, TupleMeta};
+pub use seminaive::{effective_windows, Engine, EvalConfig};

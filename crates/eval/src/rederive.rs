@@ -1,0 +1,430 @@
+//! Delete-and-rederive maintenance (the second alternative of Sec. IV-A,
+//! "Rederivation Approach" \[27\], DRed-style).
+//!
+//! Keeps *no* per-tuple bookkeeping. Insertions propagate like semi-naive
+//! deltas. Deletions first **over-delete** everything with a derivation
+//! through the deleted tuple, then try to **rederive** each casualty from
+//! what remains — "the rederivation technique will result in a lot of
+//! communication overhead" (each rederivation attempt is a full body
+//! evaluation, the in-network analogue of an extra join traversal). The
+//! `body_evals` counter is the work metric the Fig. 11 ablation plots.
+//!
+//! Supports non-recursive and stratified-recursive programs without
+//! aggregates; recursion is handled by iterating over-delete/rederive to
+//! fixpoint in stratum order.
+
+use crate::error::EvalError;
+use crate::eval_body::{instantiate_head, BodyEval, TupleFilter};
+use crate::relation::{Database, TupleMeta};
+use sensorlog_logic::analyze::{Analysis, ProgramClass};
+use sensorlog_logic::ast::Literal;
+use sensorlog_logic::builtin::BuiltinRegistry;
+use sensorlog_logic::unify::{match_args, Subst};
+use sensorlog_logic::{Symbol, Tuple};
+use std::collections::{HashSet, VecDeque};
+
+use crate::incremental::{Update, UpdateKind};
+
+/// DRed-style maintenance engine.
+pub struct RederiveEngine {
+    pub analysis: Analysis,
+    pub reg: BuiltinRegistry,
+    pub db: Database,
+    pub body_evals: u64,
+    pub max_cascade: usize,
+}
+
+impl RederiveEngine {
+    pub fn new(analysis: Analysis, reg: BuiltinRegistry) -> Result<RederiveEngine, EvalError> {
+        if analysis.class == ProgramClass::XYStratified {
+            return Err(EvalError::Internal(
+                "rederivation maintenance does not support XY-stratified programs".into(),
+            ));
+        }
+        if analysis.program.rules.iter().any(|r| r.agg.is_some()) {
+            return Err(EvalError::Internal(
+                "rederivation maintenance does not support aggregates".into(),
+            ));
+        }
+        Ok(RederiveEngine {
+            analysis,
+            reg,
+            db: Database::new(),
+            body_evals: 0,
+            max_cascade: 1_000_000,
+        })
+    }
+
+    pub fn from_source(src: &str, reg: BuiltinRegistry) -> Result<RederiveEngine, EvalError> {
+        let prog = sensorlog_logic::parse_program(src)
+            .map_err(|e| EvalError::Internal(e.to_string()))?;
+        let analysis = sensorlog_logic::analyze(&prog, &reg)?;
+        RederiveEngine::new(analysis, reg)
+    }
+
+    /// Per-tuple state size is zero by construction.
+    pub fn state_size(&self) -> usize {
+        0
+    }
+
+    pub fn apply(&mut self, update: Update) -> Result<(), EvalError> {
+        match update.kind {
+            UpdateKind::Insert => self.insert(update),
+            UpdateKind::Delete => self.delete(update),
+        }
+    }
+
+    /// Insert: semi-naive delta cascade (sign-free — presence is the state).
+    fn insert(&mut self, u: Update) -> Result<(), EvalError> {
+        if !self
+            .db
+            .relation_mut(u.pred)
+            .insert(u.tuple.clone(), TupleMeta::at(u.ts))
+        {
+            return Ok(());
+        }
+        let mut queue: VecDeque<(Symbol, Tuple)> = VecDeque::from([(u.pred, u.tuple.clone())]);
+        let mut steps = 0;
+        while let Some((pred, tuple)) = queue.pop_front() {
+            steps += 1;
+            if steps > self.max_cascade {
+                return Err(EvalError::LimitExceeded {
+                    what: "insert cascade",
+                    limit: self.max_cascade,
+                });
+            }
+            for ri in 0..self.analysis.program.rules.len() {
+                let rule = self.analysis.program.rules[ri].clone();
+                for (li, lit) in rule.body.iter().enumerate() {
+                    let negated = match lit {
+                        Literal::Pos(a) if a.pred == pred => false,
+                        Literal::Neg(a) if a.pred == pred => true,
+                        _ => continue,
+                    };
+                    if negated {
+                        // An insert into a negated subgoal can only delete;
+                        // over-delete the affected heads, then rederive.
+                        let ev = BodyEval::new(&self.db, &self.reg);
+                        self.body_evals += 1;
+                        let sols = ev.solutions(&rule.body, Subst::new(), Some((li, &tuple)))?;
+                        let mut victims = Vec::new();
+                        for s in &sols {
+                            victims.push((
+                                rule.head.pred,
+                                instantiate_head(&rule, &s.subst, &self.reg)?,
+                            ));
+                        }
+                        drop(sols);
+                        for (p, t) in victims {
+                            if self.db.contains(p, &t) {
+                                self.delete(Update::delete(p, t, u.ts))?;
+                            }
+                        }
+                    } else {
+                        let ev = BodyEval::new(&self.db, &self.reg);
+                        self.body_evals += 1;
+                        let sols = ev.solutions(&rule.body, Subst::new(), Some((li, &tuple)))?;
+                        let mut fresh = Vec::new();
+                        for s in &sols {
+                            fresh.push(instantiate_head(&rule, &s.subst, &self.reg)?);
+                        }
+                        for t in fresh {
+                            if self
+                                .db
+                                .relation_mut(rule.head.pred)
+                                .insert(t.clone(), TupleMeta::at(u.ts))
+                            {
+                                queue.push_back((rule.head.pred, t));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete: over-delete transitively, then rederive survivors.
+    fn delete(&mut self, u: Update) -> Result<(), EvalError> {
+        if !self.db.contains(u.pred, &u.tuple) {
+            return Ok(());
+        }
+        // Phase 1: over-delete. Collect everything with a derivation
+        // through the frontier, walking until closure.
+        let mut overdeleted: Vec<(Symbol, Tuple)> = Vec::new();
+        let mut frontier: VecDeque<(Symbol, Tuple)> = VecDeque::from([(u.pred, u.tuple.clone())]);
+        let mut seen: HashSet<(Symbol, Tuple)> = HashSet::new();
+        seen.insert((u.pred, u.tuple.clone()));
+        let mut steps = 0;
+        while let Some((pred, tuple)) = frontier.pop_front() {
+            steps += 1;
+            if steps > self.max_cascade {
+                return Err(EvalError::LimitExceeded {
+                    what: "delete cascade",
+                    limit: self.max_cascade,
+                });
+            }
+            for ri in 0..self.analysis.program.rules.len() {
+                let rule = self.analysis.program.rules[ri].clone();
+                for (li, lit) in rule.body.iter().enumerate() {
+                    let matches_occ = match lit {
+                        Literal::Pos(a) if a.pred == pred => true,
+                        // A *delete* on a negated subgoal can only create
+                        // tuples; handled in phase 3.
+                        _ => false,
+                    };
+                    if !matches_occ {
+                        continue;
+                    }
+                    let ev = BodyEval::new(&self.db, &self.reg);
+                    self.body_evals += 1;
+                    let sols = ev.solutions(&rule.body, Subst::new(), Some((li, &tuple)))?;
+                    let mut heads = Vec::new();
+                    for s in &sols {
+                        heads.push(instantiate_head(&rule, &s.subst, &self.reg)?);
+                    }
+                    for t in heads {
+                        let key = (rule.head.pred, t.clone());
+                        if self.db.contains(rule.head.pred, &t) && seen.insert(key.clone()) {
+                            frontier.push_back(key);
+                        }
+                    }
+                }
+            }
+            if (pred, tuple.clone()) != (u.pred, u.tuple.clone()) {
+                overdeleted.push((pred, tuple));
+            }
+        }
+        // Physically remove the base tuple and all casualties.
+        self.db.remove(u.pred, &u.tuple);
+        for (p, t) in &overdeleted {
+            self.db.remove(*p, t);
+        }
+
+        // Phase 2: rederive casualties in stratum order, iterating until no
+        // change (recursive rederivations feed each other).
+        let strat = &self.analysis.strat;
+        let mut remaining: Vec<(Symbol, Tuple)> = overdeleted;
+        remaining.sort_by_key(|(p, _)| strat.level_of(*p));
+        loop {
+            let mut changed = false;
+            let mut still_out = Vec::new();
+            for (p, t) in remaining {
+                if self.rederivable(p, &t)? {
+                    self.db
+                        .relation_mut(p)
+                        .insert(t.clone(), TupleMeta::at(u.ts));
+                    changed = true;
+                } else {
+                    still_out.push((p, t));
+                }
+            }
+            remaining = still_out;
+            if !changed || remaining.is_empty() {
+                break;
+            }
+        }
+
+        // Phase 3: deletions may *unblock* negated subgoals. Find rules with
+        // a negated occurrence of any deleted pred and derive additions.
+        let mut unblock_frontier: Vec<(Symbol, Tuple)> = vec![(u.pred, u.tuple.clone())];
+        unblock_frontier.extend(remaining.iter().cloned());
+        for (pred, tuple) in unblock_frontier {
+            for ri in 0..self.analysis.program.rules.len() {
+                let rule = self.analysis.program.rules[ri].clone();
+                for (li, lit) in rule.body.iter().enumerate() {
+                    let is_neg_occ = matches!(lit, Literal::Neg(a) if a.pred == pred);
+                    if !is_neg_occ {
+                        continue;
+                    }
+                    let ev = BodyEval::new(&self.db, &self.reg);
+                    self.body_evals += 1;
+                    let sols = ev.solutions(&rule.body, Subst::new(), Some((li, &tuple)))?;
+                    let mut fresh = Vec::new();
+                    for s in &sols {
+                        fresh.push(instantiate_head(&rule, &s.subst, &self.reg)?);
+                    }
+                    for t in fresh {
+                        if !self.db.contains(rule.head.pred, &t) {
+                            self.insert(Update::insert(rule.head.pred, t, u.ts))?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Can `tuple` of `pred` be derived from the current database?
+    fn rederivable(&mut self, pred: Symbol, tuple: &Tuple) -> Result<bool, EvalError> {
+        for ri in 0..self.analysis.program.rules.len() {
+            let rule = self.analysis.program.rules[ri].clone();
+            if rule.head.pred != pred {
+                continue;
+            }
+            let mut seed = Subst::new();
+            if !match_args(&rule.head.args, tuple.terms(), &mut seed) {
+                continue;
+            }
+            // The casualty itself must not self-justify: exclude it from
+            // every positive occurrence of its own predicate.
+            let filter = TupleFilter {
+                pred,
+                tuple: tuple.clone(),
+                literal_indexes: (0..rule.body.len()).collect(),
+            };
+            let ev = BodyEval {
+                db: &self.db,
+                reg: &self.reg,
+                filter: Some(&filter),
+                vis: None,
+            };
+            self.body_evals += 1;
+            let sols = ev.solutions(&rule.body, seed, None)?;
+            if !sols.is_empty() {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seminaive::Engine;
+    use sensorlog_logic::parser::parse_fact;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn tup(src: &str) -> Tuple {
+        let (_, args) = parse_fact(&format!("x({src})")).unwrap();
+        Tuple::new(args)
+    }
+
+    fn ins(fact: &str, ts: u64) -> Update {
+        let (p, args) = parse_fact(fact).unwrap();
+        Update::insert(p, Tuple::new(args), ts)
+    }
+
+    fn del(fact: &str, ts: u64) -> Update {
+        let (p, args) = parse_fact(fact).unwrap();
+        Update::delete(p, Tuple::new(args), ts)
+    }
+
+    fn assert_matches_oracle(e: &RederiveEngine, src: &str) {
+        let oracle = Engine::from_source(src, BuiltinRegistry::standard()).unwrap();
+        let mut edb = Database::new();
+        for p in &e.analysis.program.edb_preds() {
+            for t in e.db.sorted(*p) {
+                edb.insert(*p, t);
+            }
+        }
+        let expect = oracle.run(&edb).unwrap();
+        for p in e.analysis.program.idb_preds() {
+            assert_eq!(e.db.sorted(p), expect.sorted(p), "divergence on {p}");
+        }
+    }
+
+    #[test]
+    fn alternative_derivation_survives() {
+        let src = r#"
+            q(Z) :- a(Z).
+            q(Z) :- b(Z).
+        "#;
+        let mut e = RederiveEngine::from_source(src, BuiltinRegistry::standard()).unwrap();
+        e.apply(ins("a(1)", 1)).unwrap();
+        e.apply(ins("b(1)", 2)).unwrap();
+        e.apply(del("a(1)", 3)).unwrap();
+        assert!(e.db.contains(sym("q"), &tup("1")), "rederived via b");
+        e.apply(del("b(1)", 4)).unwrap();
+        assert!(!e.db.contains(sym("q"), &tup("1")));
+    }
+
+    #[test]
+    fn recursive_overdelete_rederive() {
+        let src = r#"
+            t(X, Y) :- e(X, Y).
+            t(X, Y) :- t(X, Z), e(Z, Y).
+        "#;
+        let mut e = RederiveEngine::from_source(src, BuiltinRegistry::standard()).unwrap();
+        // Diamond: 1->2->4, 1->3->4, then onward 4->5.
+        for (i, (a, b)) in [(1, 2), (2, 4), (1, 3), (3, 4), (4, 5)].iter().enumerate() {
+            e.apply(ins(&format!("e({a}, {b})"), i as u64)).unwrap();
+        }
+        assert!(e.db.contains(sym("t"), &tup("1, 5")));
+        // Deleting one diamond edge keeps reachability via the other side.
+        e.apply(del("e(2, 4)", 10)).unwrap();
+        assert!(e.db.contains(sym("t"), &tup("1, 4")), "rederived via 3");
+        assert!(e.db.contains(sym("t"), &tup("1, 5")));
+        assert!(!e.db.contains(sym("t"), &tup("2, 4")));
+        assert_matches_oracle(&e, src);
+        // Deleting the second edge disconnects.
+        e.apply(del("e(3, 4)", 11)).unwrap();
+        assert!(!e.db.contains(sym("t"), &tup("1, 4")));
+        assert!(!e.db.contains(sym("t"), &tup("1, 5")));
+        assert_matches_oracle(&e, src);
+    }
+
+    #[test]
+    fn negation_unblocking() {
+        let src = r#"
+            cov(L) :- enemy(L), friendly(F), dist(L, F) <= 5.
+            uncov(L) :- not cov(L), enemy(L).
+        "#;
+        let mut e = RederiveEngine::from_source(src, BuiltinRegistry::standard()).unwrap();
+        e.apply(ins("enemy(10)", 1)).unwrap();
+        assert!(e.db.contains(sym("uncov"), &tup("10")));
+        e.apply(ins("friendly(12)", 2)).unwrap();
+        assert!(!e.db.contains(sym("uncov"), &tup("10")));
+        e.apply(del("friendly(12)", 3)).unwrap();
+        assert!(e.db.contains(sym("uncov"), &tup("10")));
+        assert_matches_oracle(&e, src);
+    }
+
+    #[test]
+    fn rederivation_costs_more_body_evals() {
+        // The ablation claim: deletions cost more under DRed than under
+        // set-of-derivations when alternative derivations abound.
+        let src = r#"
+            t(X, Y) :- e(X, Y).
+            t(X, Y) :- t(X, Z), e(Z, Y).
+        "#;
+        let mut dred = RederiveEngine::from_source(src, BuiltinRegistry::standard()).unwrap();
+        let mut sod =
+            crate::incremental::IncrementalEngine::from_source(src, BuiltinRegistry::standard())
+                .unwrap();
+        let mut ts = 0;
+        for a in 0..6 {
+            for b in 0..6 {
+                if a != b && (a + b) % 2 == 0 {
+                    dred.apply(ins(&format!("e({a}, {b})"), ts)).unwrap();
+                    sod.apply(ins(&format!("e({a}, {b})"), ts)).unwrap();
+                    ts += 1;
+                }
+            }
+        }
+        let dred_before = dred.body_evals;
+        let sod_before = sod.stats.body_evals;
+        dred.apply(del("e(0, 2)", ts)).unwrap();
+        sod.apply(del("e(0, 2)", ts)).unwrap();
+        let dred_cost = dred.body_evals - dred_before;
+        let sod_cost = sod.stats.body_evals - sod_before;
+        assert!(
+            dred_cost > sod_cost,
+            "DRed delete cost {dred_cost} should exceed set-of-derivations {sod_cost}"
+        );
+    }
+
+    #[test]
+    fn rejects_xy_programs() {
+        let src = r#"
+            h(0, 0, 0).
+            hp(Y, D + 1) :- h(_, Y, D'), (D + 1) > D', h(_, X, D), g(X, Y).
+            h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).
+        "#;
+        assert!(RederiveEngine::from_source(src, BuiltinRegistry::standard()).is_err());
+    }
+}

@@ -1,0 +1,403 @@
+//! Relations and databases.
+//!
+//! A [`Relation`] is a set of ground tuples with per-tuple metadata
+//! (generation timestamp, optional deletion timestamp — Definition 2 / the
+//! tombstone discipline of Sec. IV-B). Relations maintain lazy hash indexes
+//! keyed by bound-column subsets so body evaluation avoids full scans.
+
+use parking_lot::RwLock;
+use sensorlog_logic::{Symbol, Term, Tuple};
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-tuple metadata.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub struct TupleMeta {
+    /// Generation timestamp (simulated ms; 0 for batch evaluation).
+    pub gen_ts: u64,
+    /// Tombstone: local timestamp of deletion, if deleted (Sec. IV-B keeps
+    /// deleted replicas around with their deletion-timestamp recorded).
+    pub del_ts: Option<u64>,
+}
+
+impl TupleMeta {
+    pub fn at(gen_ts: u64) -> TupleMeta {
+        TupleMeta {
+            gen_ts,
+            del_ts: None,
+        }
+    }
+
+    /// Visibility under the timestamp discipline of Theorem 3: a probe with
+    /// update-timestamp `tau` over a window of `window` ms sees tuples with
+    /// `gen_ts ≤ tau`, `gen_ts > tau − window`, and no deletion-timestamp
+    /// `< tau`.
+    pub fn visible_at(&self, tau: u64, window: Option<u64>) -> bool {
+        if self.gen_ts > tau {
+            return false;
+        }
+        if let Some(w) = window {
+            if self.gen_ts + w <= tau {
+                return false;
+            }
+        }
+        match self.del_ts {
+            Some(d) => d >= tau,
+            None => true,
+        }
+    }
+}
+
+type Index = HashMap<Vec<Term>, Vec<Tuple>>;
+
+/// A set of ground tuples with metadata and lazy column indexes.
+#[derive(Debug, Default)]
+pub struct Relation {
+    tuples: HashMap<Tuple, TupleMeta>,
+    /// Lazily-built indexes: column positions → (key values → tuples).
+    /// Kept consistent on insert/remove. `RwLock` because index building
+    /// happens during `&self` lookups.
+    indexes: RwLock<HashMap<Vec<usize>, Index>>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Relation {
+        // Indexes are a cache: don't copy them.
+        Relation {
+            tuples: self.tuples.clone(),
+            indexes: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+impl Relation {
+    pub fn new() -> Relation {
+        Relation::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains_key(t)
+    }
+
+    pub fn meta(&self, t: &Tuple) -> Option<&TupleMeta> {
+        self.tuples.get(t)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &TupleMeta)> {
+        self.tuples.iter()
+    }
+
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.keys()
+    }
+
+    /// Insert a tuple; returns true if it was new. Re-inserting an existing
+    /// tuple keeps the *earlier* generation timestamp ("later duplicates …
+    /// are not considered as generations", Sec. III-B) but clears any
+    /// tombstone.
+    pub fn insert(&mut self, t: Tuple, meta: TupleMeta) -> bool {
+        match self.tuples.entry(t.clone()) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().del_ts = None;
+                false
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(meta);
+                let mut idx = self.indexes.write();
+                for (cols, map) in idx.iter_mut() {
+                    let key = key_of(&t, cols);
+                    map.entry(key).or_default().push(t.clone());
+                }
+                true
+            }
+        }
+    }
+
+    /// Physically remove a tuple; returns true if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        if self.tuples.remove(t).is_some() {
+            let mut idx = self.indexes.write();
+            for (cols, map) in idx.iter_mut() {
+                let key = key_of(t, cols);
+                if let Some(v) = map.get_mut(&key) {
+                    v.retain(|x| x != t);
+                    if v.is_empty() {
+                        map.remove(&key);
+                    }
+                }
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record a tombstone without removing the tuple (distributed replicas:
+    /// "we do not remove the replicated copies … but only record its
+    /// deletion-timestamp", Sec. IV-B).
+    pub fn mark_deleted(&mut self, t: &Tuple, del_ts: u64) -> bool {
+        match self.tuples.get_mut(t) {
+            Some(m) => {
+                m.del_ts = Some(m.del_ts.map_or(del_ts, |d| d.min(del_ts)));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Tuples whose argument values at `cols` equal `key`, via the lazy
+    /// index. `cols` must be sorted and non-empty.
+    pub fn select(&self, cols: &[usize], key: &[Term], out: &mut Vec<Tuple>) {
+        debug_assert!(!cols.is_empty());
+        {
+            let idx = self.indexes.read();
+            if let Some(map) = idx.get(cols) {
+                if let Some(v) = map.get(key) {
+                    out.extend(v.iter().cloned());
+                }
+                return;
+            }
+        }
+        // Build the index.
+        let mut map: Index = HashMap::new();
+        for t in self.tuples.keys() {
+            if cols.iter().all(|&c| c < t.arity()) {
+                map.entry(key_of(t, cols)).or_default().push(t.clone());
+            }
+        }
+        if let Some(v) = map.get(key) {
+            out.extend(v.iter().cloned());
+        }
+        self.indexes.write().insert(cols.to_vec(), map);
+    }
+
+    /// Drop expired tuples: `gen_ts + window ≤ now`. Returns the expired
+    /// tuples ("independently expiring a tuple after sufficient time",
+    /// Sec. II-B).
+    pub fn expire(&mut self, window: u64, now: u64) -> Vec<Tuple> {
+        let expired: Vec<Tuple> = self
+            .tuples
+            .iter()
+            .filter(|(_, m)| m.gen_ts + window <= now)
+            .map(|(t, _)| t.clone())
+            .collect();
+        for t in &expired {
+            self.remove(t);
+        }
+        expired
+    }
+}
+
+fn key_of(t: &Tuple, cols: &[usize]) -> Vec<Term> {
+    cols.iter().map(|&c| t.get(c).clone()).collect()
+}
+
+/// A named collection of relations.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    rels: BTreeMap<Symbol, Relation>,
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    pub fn relation(&self, p: Symbol) -> Option<&Relation> {
+        self.rels.get(&p)
+    }
+
+    pub fn relation_mut(&mut self, p: Symbol) -> &mut Relation {
+        self.rels.entry(p).or_default()
+    }
+
+    pub fn preds(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.rels.keys().copied()
+    }
+
+    pub fn insert(&mut self, p: Symbol, t: Tuple) -> bool {
+        self.relation_mut(p).insert(t, TupleMeta::default())
+    }
+
+    pub fn insert_at(&mut self, p: Symbol, t: Tuple, gen_ts: u64) -> bool {
+        self.relation_mut(p).insert(t, TupleMeta::at(gen_ts))
+    }
+
+    pub fn remove(&mut self, p: Symbol, t: &Tuple) -> bool {
+        self.relation_mut(p).remove(t)
+    }
+
+    pub fn contains(&self, p: Symbol, t: &Tuple) -> bool {
+        self.rels.get(&p).is_some_and(|r| r.contains(t))
+    }
+
+    pub fn len_of(&self, p: Symbol) -> usize {
+        self.rels.get(&p).map_or(0, Relation::len)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.rels.values().map(Relation::len).sum()
+    }
+
+    /// Sorted tuples of a relation — deterministic views for tests/output.
+    pub fn sorted(&self, p: Symbol) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self
+            .rels
+            .get(&p)
+            .map(|r| r.tuples().cloned().collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// Load facts from a text block of `pred(args).` facts (multiple per
+    /// line fine; blank lines and `%` comments allowed).
+    pub fn load_facts(&mut self, src: &str) -> Result<usize, sensorlog_logic::ParseError> {
+        let facts = sensorlog_logic::parse_facts(src)?;
+        let n = facts.len();
+        for (p, args) in facts {
+            self.insert(p, Tuple::new(args));
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensorlog_logic::Term;
+
+    fn tup(v: Vec<i64>) -> Tuple {
+        Tuple::new(v.into_iter().map(Term::Int).collect())
+    }
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut r = Relation::new();
+        assert!(r.insert(tup(vec![1, 2]), TupleMeta::default()));
+        assert!(!r.insert(tup(vec![1, 2]), TupleMeta::default()));
+        assert!(r.contains(&tup(vec![1, 2])));
+        assert_eq!(r.len(), 1);
+        assert!(r.remove(&tup(vec![1, 2])));
+        assert!(!r.remove(&tup(vec![1, 2])));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_earlier_timestamp() {
+        let mut r = Relation::new();
+        r.insert(tup(vec![1]), TupleMeta::at(10));
+        r.insert(tup(vec![1]), TupleMeta::at(20));
+        assert_eq!(r.meta(&tup(vec![1])).unwrap().gen_ts, 10);
+    }
+
+    #[test]
+    fn reinsert_clears_tombstone() {
+        let mut r = Relation::new();
+        r.insert(tup(vec![1]), TupleMeta::at(10));
+        r.mark_deleted(&tup(vec![1]), 15);
+        assert!(r.meta(&tup(vec![1])).unwrap().del_ts.is_some());
+        r.insert(tup(vec![1]), TupleMeta::at(20));
+        assert!(r.meta(&tup(vec![1])).unwrap().del_ts.is_none());
+    }
+
+    #[test]
+    fn index_select_and_consistency() {
+        let mut r = Relation::new();
+        for i in 0..10 {
+            r.insert(tup(vec![i % 3, i]), TupleMeta::default());
+        }
+        let mut out = Vec::new();
+        r.select(&[0], &[Term::Int(1)], &mut out);
+        let expect = (0..10).filter(|i| i % 3 == 1).count();
+        assert_eq!(out.len(), expect);
+        // Mutations keep the built index consistent.
+        r.insert(tup(vec![1, 100]), TupleMeta::default());
+        r.remove(&tup(vec![1, 1]));
+        out.clear();
+        r.select(&[0], &[Term::Int(1)], &mut out);
+        assert_eq!(out.len(), expect); // +1 insert, -1 remove
+        for t in &out {
+            assert_eq!(t.get(0), &Term::Int(1));
+        }
+    }
+
+    #[test]
+    fn multi_column_index() {
+        let mut r = Relation::new();
+        r.insert(tup(vec![1, 2, 3]), TupleMeta::default());
+        r.insert(tup(vec![1, 2, 4]), TupleMeta::default());
+        r.insert(tup(vec![1, 5, 3]), TupleMeta::default());
+        let mut out = Vec::new();
+        r.select(&[0, 1], &[Term::Int(1), Term::Int(2)], &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn visibility_window() {
+        let m = TupleMeta::at(100);
+        assert!(m.visible_at(100, None));
+        assert!(m.visible_at(150, Some(100)));
+        assert!(!m.visible_at(200, Some(100))); // 100 + 100 <= 200
+        assert!(!m.visible_at(50, None)); // not yet generated
+        let mut m = TupleMeta::at(100);
+        m.del_ts = Some(120);
+        assert!(m.visible_at(110, None));
+        assert!(m.visible_at(120, None)); // deleted *at* tau still visible
+        assert!(!m.visible_at(121, None));
+    }
+
+    #[test]
+    fn expiry() {
+        let mut r = Relation::new();
+        r.insert(tup(vec![1]), TupleMeta::at(0));
+        r.insert(tup(vec![2]), TupleMeta::at(50));
+        let gone = r.expire(100, 100);
+        assert_eq!(gone, vec![tup(vec![1])]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn database_load_facts() {
+        let mut db = Database::new();
+        let n = db
+            .load_facts(
+                r#"
+                % edges
+                e(1, 2).
+                e(2, 3).
+                "#,
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(db.len_of(sym("e")), 2);
+        assert!(db.contains(sym("e"), &tup(vec![1, 2])));
+        let sorted = db.sorted(sym("e"));
+        assert!(sorted[0] < sorted[1]);
+    }
+
+    #[test]
+    fn clone_drops_index_cache_but_keeps_tuples() {
+        let mut r = Relation::new();
+        r.insert(tup(vec![1, 2]), TupleMeta::default());
+        let mut out = Vec::new();
+        r.select(&[0], &[Term::Int(1)], &mut out);
+        let c = r.clone();
+        assert_eq!(c.len(), 1);
+        let mut out2 = Vec::new();
+        c.select(&[0], &[Term::Int(1)], &mut out2);
+        assert_eq!(out2.len(), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Sliding-window timing discipline (Secs. III-A and IV-B).
+//!
+//! Collects the delay/expiry arithmetic shared by the centralized engine's
+//! `advance_time` and the distributed runtime:
+//!
+//! * join-computation for an update with timestamp τ starts after
+//!   `τ + τs + τc`;
+//! * a replica is kept for `(τs + τc) + τj + (τw + τc)` after generation;
+//! * a probe at τ sees tuples with `gen ∈ (τ − τw, τ]` and no tombstone
+//!   `< τ` (Theorem 3).
+
+/// Timing parameters, all in simulated milliseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExpiryPolicy {
+    /// Upper bound on storage-phase completion (τs).
+    pub tau_s: u64,
+    /// Upper bound on join-computation-phase completion (τj).
+    pub tau_j: u64,
+    /// Maximum clock skew between any two nodes (τc).
+    pub tau_c: u64,
+    /// Sliding-window range (τw); `None` = unbounded stream.
+    pub window: Option<u64>,
+}
+
+impl ExpiryPolicy {
+    /// Delay between the start of the storage phase and the start of the
+    /// join-computation phase: `τs + τc` (Sec. IV-A, "Handling Simultaneous
+    /// Insertions and Deletions").
+    pub fn join_delay(&self) -> u64 {
+        self.tau_s + self.tau_c
+    }
+
+    /// How long a replica must be retained after its generation timestamp:
+    /// `(τs + τc) + τj + (τw + τc)` (Sec. IV-B, "Tuple Expiry"). Unbounded
+    /// streams never expire.
+    pub fn retention(&self) -> Option<u64> {
+        self.window
+            .map(|w| (self.tau_s + self.tau_c) + self.tau_j + (w + self.tau_c))
+    }
+
+    /// Absolute expiry instant for a tuple generated at `gen_ts`.
+    pub fn expires_at(&self, gen_ts: u64) -> Option<u64> {
+        self.retention().map(|r| gen_ts + r)
+    }
+
+    /// Is a tuple generated at `gen_ts` within the *query* window of a probe
+    /// at `tau`? (The retention window is longer than the query window; the
+    /// probe must still apply the query window, Theorem 3 condition (i).)
+    pub fn in_query_window(&self, gen_ts: u64, tau: u64) -> bool {
+        if gen_ts > tau {
+            return false;
+        }
+        match self.window {
+            Some(w) => gen_ts + w > tau,
+            None => true,
+        }
+    }
+}
+
+impl Default for ExpiryPolicy {
+    fn default() -> Self {
+        ExpiryPolicy {
+            tau_s: 500,
+            tau_j: 1_000,
+            tau_c: 50,
+            window: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_and_retention_formulas() {
+        let p = ExpiryPolicy {
+            tau_s: 500,
+            tau_j: 1000,
+            tau_c: 50,
+            window: Some(30_000),
+        };
+        assert_eq!(p.join_delay(), 550);
+        // (τs + τc) + τj + (τw + τc) = 550 + 1000 + 30050
+        assert_eq!(p.retention(), Some(31_600));
+        assert_eq!(p.expires_at(1_000), Some(32_600));
+    }
+
+    #[test]
+    fn unbounded_stream_never_expires() {
+        let p = ExpiryPolicy {
+            window: None,
+            ..ExpiryPolicy::default()
+        };
+        assert_eq!(p.retention(), None);
+        assert!(p.in_query_window(0, u64::MAX / 2));
+    }
+
+    #[test]
+    fn query_window_tighter_than_retention() {
+        let p = ExpiryPolicy {
+            tau_s: 500,
+            tau_j: 1000,
+            tau_c: 50,
+            window: Some(1_000),
+        };
+        // Retention keeps the tuple long after the query window closes.
+        assert!(p.in_query_window(0, 999));
+        assert!(!p.in_query_window(0, 1_000));
+        assert!(p.expires_at(0).unwrap() > 1_000);
+        // Future tuples are never in window.
+        assert!(!p.in_query_window(10, 5));
+    }
+}

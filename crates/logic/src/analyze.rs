@@ -1,0 +1,352 @@
+//! Whole-program analysis: validation + classification.
+//!
+//! Ties together builtin resolution, safety, stratification and
+//! XY-stratification into a single [`analyze`] entry point whose output
+//! ([`Analysis`]) both the centralized and the distributed engines consume.
+
+use crate::ast::{Literal, Program};
+use crate::builtin::BuiltinRegistry;
+use crate::depgraph::DepGraph;
+use crate::safety::{self, SafetyError};
+use crate::stratify::{self, Stratification, StratifyError};
+use crate::symbol::Symbol;
+use crate::xy::{self, XyError, XyInfo};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How a program combines recursion and negation, deciding which evaluation
+/// scheme applies (Secs. III-B, IV-C).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramClass {
+    /// No recursion at all; negation fine (Sec. IV-B / IV-C).
+    NonRecursive,
+    /// Recursive but stratified (no recursion through negation);
+    /// includes negation-free recursive programs (Sec. III-B).
+    Stratified,
+    /// Recursion through negation, certified XY-stratified (Sec. IV-C).
+    XYStratified,
+}
+
+/// Validated program + analysis results.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// The program with builtin predicates resolved.
+    pub program: Program,
+    pub class: ProgramClass,
+    /// Stratification used for evaluation. For XY programs, the strata come
+    /// from the dependency graph with the certified SCCs' internal negative
+    /// edges ignored (each XY component evaluates as one unit).
+    pub strat: Stratification,
+    /// Certified XY components (empty unless `class == XYStratified`).
+    pub xy: Vec<XyInfo>,
+}
+
+impl Analysis {
+    /// Stage position for `pred` if it belongs to an XY component.
+    pub fn xy_stage_pos(&self, pred: Symbol) -> Option<usize> {
+        self.xy
+            .iter()
+            .find_map(|info| info.stage_pos.get(&pred).copied())
+    }
+}
+
+/// Why analysis failed.
+#[derive(Clone, Debug)]
+pub enum AnalyzeError {
+    Safety(SafetyError),
+    /// Not stratified and not XY-stratified either. Such programs may still
+    /// be *locally non-recursive* at runtime \[6\]; the centralized engine
+    /// offers an opt-in evaluation mode with a runtime derivation-cycle
+    /// check, but the distributed compiler rejects them.
+    NotXYStratifiable {
+        stratify: StratifyError,
+        xy: XyError,
+    },
+    /// A negated subgoal's predicate is a builtin predicate — negation of
+    /// procedural builtins is not supported (write the complement builtin).
+    NegatedBuiltin { rule_id: usize, pred: Symbol },
+    /// The same predicate is used with two different arities.
+    ArityMismatch {
+        pred: Symbol,
+        first: usize,
+        second: usize,
+        rule_id: usize,
+    },
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::Safety(e) => write!(f, "{e}"),
+            AnalyzeError::NotXYStratifiable { stratify, xy } => {
+                write!(f, "{stratify}; and the XY-stratification check failed: {xy}")
+            }
+            AnalyzeError::NegatedBuiltin { rule_id, pred } => write!(
+                f,
+                "rule #{rule_id}: negated builtin predicate `{pred}` is not supported"
+            ),
+            AnalyzeError::ArityMismatch {
+                pred,
+                first,
+                second,
+                rule_id,
+            } => write!(
+                f,
+                "rule #{rule_id}: predicate `{pred}` used with arity {second} but previously with arity {first}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+impl From<SafetyError> for AnalyzeError {
+    fn from(e: SafetyError) -> Self {
+        AnalyzeError::Safety(e)
+    }
+}
+
+/// Validate and classify `prog` against `reg`.
+pub fn analyze(prog: &Program, reg: &BuiltinRegistry) -> Result<Analysis, AnalyzeError> {
+    // 1. Resolve builtin predicates, reject negated builtins.
+    let mut program = prog.clone();
+    program.rules = prog
+        .rules
+        .iter()
+        .map(|r| safety::resolve_builtins(r, reg))
+        .collect();
+    for r in &program.rules {
+        for lit in &r.body {
+            if let Literal::Neg(a) = lit {
+                if reg.is_pred(a.pred) {
+                    return Err(AnalyzeError::NegatedBuiltin {
+                        rule_id: r.id,
+                        pred: a.pred,
+                    });
+                }
+            }
+        }
+    }
+
+    // 2. Arity consistency: the same predicate must keep one arity
+    // everywhere (a mismatch silently joins nothing otherwise).
+    {
+        let mut arity: BTreeMap<Symbol, usize> = BTreeMap::new();
+        let mut check = |pred: Symbol, n: usize, rule_id: usize| -> Result<(), AnalyzeError> {
+            match arity.get(&pred) {
+                Some(&a) if a != n => Err(AnalyzeError::ArityMismatch {
+                    pred,
+                    first: a,
+                    second: n,
+                    rule_id,
+                }),
+                _ => {
+                    arity.insert(pred, n);
+                    Ok(())
+                }
+            }
+        };
+        for r in &program.rules {
+            let head_arity = r.head.args.len() + usize::from(r.agg.is_some());
+            check(r.head.pred, head_arity, r.id)?;
+            for lit in &r.body {
+                if let Literal::Pos(a) | Literal::Neg(a) = lit {
+                    check(a.pred, a.args.len(), r.id)?;
+                }
+            }
+        }
+    }
+
+    // 3. Safety.
+    safety::check_program(&program)?;
+
+    // 4. Stratify; on failure attempt XY-stratification.
+    let g = DepGraph::build(&program);
+    match stratify::stratify_graph(&g) {
+        Ok(strat) => {
+            let recursive = program.idb_preds().iter().any(|&p| g.is_recursive(p));
+            let class = if recursive {
+                ProgramClass::Stratified
+            } else {
+                ProgramClass::NonRecursive
+            };
+            Ok(Analysis {
+                program,
+                class,
+                strat,
+                xy: Vec::new(),
+            })
+        }
+        Err(serr) => {
+            // Try XY on every SCC with internal negation.
+            let infos = match xy::check_program(&program) {
+                Ok(infos) => infos,
+                Err(xerr) => {
+                    return Err(AnalyzeError::NotXYStratifiable {
+                        stratify: serr,
+                        xy: xerr,
+                    })
+                }
+            };
+            // Stratify a relaxed graph: negative edges inside certified
+            // XY components are downgraded to positive.
+            let mut relaxed = g.clone();
+            let mut member_of: BTreeMap<Symbol, usize> = BTreeMap::new();
+            for (i, info) in infos.iter().enumerate() {
+                for &p in &info.scc {
+                    member_of.insert(p, i);
+                }
+            }
+            for (head, edges) in relaxed.edges.iter_mut() {
+                for (body, pol, _) in edges.iter_mut() {
+                    if *pol == crate::depgraph::Polarity::Negative
+                        && member_of.contains_key(head)
+                        && member_of.get(head) == member_of.get(body)
+                    {
+                        *pol = crate::depgraph::Polarity::Positive;
+                    }
+                }
+            }
+            let strat = stratify::stratify_graph(&relaxed).map_err(|e| {
+                AnalyzeError::NotXYStratifiable {
+                    stratify: e,
+                    xy: XyError::NoStageAssignment {
+                        scc: Vec::new(),
+                        detail: "relaxed graph still unstratifiable".into(),
+                    },
+                }
+            })?;
+            Ok(Analysis {
+                program,
+                class: ProgramClass::XYStratified,
+                strat,
+                xy: infos,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use std::sync::Arc;
+
+    fn std_reg() -> BuiltinRegistry {
+        BuiltinRegistry::standard()
+    }
+
+    #[test]
+    fn classifies_nonrecursive() {
+        let p = parse_program(
+            r#"
+            cov(L1, T) :- veh("enemy", L1, T), veh("friendly", L2, T), dist(L1, L2) <= 50.
+            uncov(L, T) :- not cov(L, T), veh("enemy", L, T).
+            "#,
+        )
+        .unwrap();
+        let a = analyze(&p, &std_reg()).unwrap();
+        assert_eq!(a.class, ProgramClass::NonRecursive);
+        assert_eq!(a.strat.level_of(Symbol::intern("uncov")), 1);
+    }
+
+    #[test]
+    fn classifies_stratified_recursive() {
+        let p = parse_program(
+            r#"
+            t(X, Y) :- e(X, Y).
+            t(X, Y) :- t(X, Z), e(Z, Y).
+            miss(X) :- node(X), not t(a, X).
+            "#,
+        )
+        .unwrap();
+        let a = analyze(&p, &std_reg()).unwrap();
+        assert_eq!(a.class, ProgramClass::Stratified);
+    }
+
+    #[test]
+    fn classifies_xy() {
+        let p = parse_program(
+            r#"
+            h(a, a, 0).
+            h(a, X, 1) :- g(a, X).
+            hp(Y, D + 1) :- h(_, Y, D'), (D + 1) > D', h(_, X, D), g(X, Y).
+            h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).
+            "#,
+        )
+        .unwrap();
+        let a = analyze(&p, &std_reg()).unwrap();
+        assert_eq!(a.class, ProgramClass::XYStratified);
+        assert_eq!(a.xy_stage_pos(Symbol::intern("h")), Some(2));
+        assert_eq!(a.xy_stage_pos(Symbol::intern("hp")), Some(1));
+        // h and hp share a stratum in the relaxed graph.
+        assert_eq!(
+            a.strat.level_of(Symbol::intern("h")),
+            a.strat.level_of(Symbol::intern("hp"))
+        );
+    }
+
+    #[test]
+    fn rejects_win_move() {
+        let p = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
+        let err = analyze(&p, &std_reg()).unwrap_err();
+        assert!(matches!(err, AnalyzeError::NotXYStratifiable { .. }));
+        assert!(err.to_string().contains("not stratified"));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let p = parse_program(
+            r#"
+            q(X) :- p(X).
+            r(X) :- p(X, Y).
+            "#,
+        )
+        .unwrap();
+        let err = analyze(&p, &std_reg()).unwrap_err();
+        assert!(matches!(err, AnalyzeError::ArityMismatch { .. }));
+        assert!(err.to_string().contains("arity"));
+    }
+
+    #[test]
+    fn head_agg_counts_toward_arity() {
+        // best/2 in the head (group + aggregate) must match best/2 bodies.
+        let p = parse_program(
+            r#"
+            best(G, min<V>) :- m(G, V).
+            q(G) :- best(G, V).
+            "#,
+        )
+        .unwrap();
+        assert!(analyze(&p, &std_reg()).is_ok());
+    }
+
+    #[test]
+    fn rejects_unsafe() {
+        let p = parse_program("q(X, Z) :- p(X).").unwrap();
+        assert!(matches!(
+            analyze(&p, &std_reg()),
+            Err(AnalyzeError::Safety(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_negated_builtin() {
+        let mut reg = std_reg();
+        reg.register_pred("close", Arc::new(|_| Ok(true)));
+        let p = parse_program("q(X) :- p(X), not close(X, X).").unwrap();
+        assert!(matches!(
+            analyze(&p, &reg),
+            Err(AnalyzeError::NegatedBuiltin { .. })
+        ));
+    }
+
+    #[test]
+    fn builtin_preds_resolved_in_output() {
+        let mut reg = std_reg();
+        reg.register_pred("close", Arc::new(|_| Ok(true)));
+        let p = parse_program("q(X) :- p(X), close(X, X).").unwrap();
+        let a = analyze(&p, &reg).unwrap();
+        assert!(matches!(a.program.rules[0].body[1], Literal::Builtin(_)));
+    }
+}

@@ -1,0 +1,580 @@
+//! Built-in predicates and functions.
+//!
+//! The paper allows "built-in predicates or functions … system defined or
+//! defined by the user in procedural code" (Sec. II-B). Built-ins execute
+//! locally at a node and never affect communication, which is why the
+//! distributed evaluator can treat them uniformly (Sec. IV-C).
+//!
+//! *Functions* map ground argument terms to a ground term (arithmetic,
+//! `dist`); unregistered function symbols are uninterpreted constructors
+//! (lists, `loc(x, y)`, …). *Predicates* map ground argument terms to a
+//! boolean (`close`, `is_parallel`).
+
+use crate::ast::CmpOp;
+use crate::symbol::Symbol;
+use crate::term::Term;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Error from evaluating a built-in (division by zero, type mismatch, …).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BuiltinError {
+    pub message: String,
+}
+
+impl BuiltinError {
+    pub fn new(msg: impl Into<String>) -> BuiltinError {
+        BuiltinError {
+            message: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for BuiltinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "builtin error: {}", self.message)
+    }
+}
+
+impl std::error::Error for BuiltinError {}
+
+pub type FuncImpl = Arc<dyn Fn(&[Term]) -> Result<Term, BuiltinError> + Send + Sync>;
+pub type PredImpl = Arc<dyn Fn(&[Term]) -> Result<bool, BuiltinError> + Send + Sync>;
+
+/// Registry of procedural built-ins. Cloning is cheap (shared `Arc`s).
+#[derive(Clone, Default)]
+pub struct BuiltinRegistry {
+    funcs: HashMap<Symbol, FuncImpl>,
+    preds: HashMap<Symbol, PredImpl>,
+}
+
+impl fmt::Debug for BuiltinRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BuiltinRegistry")
+            .field("funcs", &self.funcs.keys().collect::<Vec<_>>())
+            .field("preds", &self.preds.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+fn num2(args: &[Term], name: &str) -> Result<(f64, f64, bool), BuiltinError> {
+    if args.len() != 2 {
+        return Err(BuiltinError::new(format!("{name} expects 2 arguments")));
+    }
+    let both_int = matches!((&args[0], &args[1]), (Term::Int(_), Term::Int(_)));
+    match (args[0].as_f64(), args[1].as_f64()) {
+        (Some(a), Some(b)) => Ok((a, b, both_int)),
+        _ => Err(BuiltinError::new(format!(
+            "{name} expects numeric arguments, got ({}, {})",
+            args[0], args[1]
+        ))),
+    }
+}
+
+fn arith(name: &'static str, f: fn(f64, f64) -> f64, g: fn(i64, i64) -> Option<i64>) -> FuncImpl {
+    Arc::new(move |args: &[Term]| {
+        let (a, b, both_int) = num2(args, name)?;
+        if both_int {
+            let (x, y) = (args[0].as_i64().unwrap(), args[1].as_i64().unwrap());
+            match g(x, y) {
+                Some(v) => Ok(Term::Int(v)),
+                None => Err(BuiltinError::new(format!("{name}({x}, {y}) failed"))),
+            }
+        } else {
+            Ok(Term::float(f(a, b)))
+        }
+    })
+}
+
+/// Extract `(x, y)` from a `loc(x, y)` term or any 2-ary numeric application.
+fn as_point(t: &Term) -> Option<(f64, f64)> {
+    if let Term::App(_, args) = t {
+        if args.len() == 2 {
+            if let (Some(x), Some(y)) = (args[0].as_f64(), args[1].as_f64()) {
+                return Some((x, y));
+            }
+        }
+    }
+    None
+}
+
+impl BuiltinRegistry {
+    /// Registry with the system built-ins:
+    ///
+    /// functions — `add sub mul div mod neg abs min2 max2 dist`
+    /// predicates — (none; applications register their own, e.g. `close`).
+    pub fn standard() -> BuiltinRegistry {
+        let mut r = BuiltinRegistry::default();
+        r.register_func("add", arith("add", |a, b| a + b, |a, b| a.checked_add(b)));
+        r.register_func("sub", arith("sub", |a, b| a - b, |a, b| a.checked_sub(b)));
+        r.register_func("mul", arith("mul", |a, b| a * b, |a, b| a.checked_mul(b)));
+        r.register_func(
+            "div",
+            arith(
+                "div",
+                |a, b| a / b,
+                |a, b| if b == 0 { None } else { a.checked_div(b) },
+            ),
+        );
+        r.register_func(
+            "mod",
+            arith(
+                "mod",
+                |a, b| a % b,
+                |a, b| if b == 0 { None } else { a.checked_rem(b) },
+            ),
+        );
+        r.register_func(
+            "neg",
+            Arc::new(|args: &[Term]| match args {
+                [Term::Int(i)] => Ok(Term::Int(-i)),
+                [Term::Float(f)] => Ok(Term::float(-f.get())),
+                _ => Err(BuiltinError::new("neg expects one numeric argument")),
+            }),
+        );
+        r.register_func(
+            "abs",
+            Arc::new(|args: &[Term]| match args {
+                [Term::Int(i)] => Ok(Term::Int(i.abs())),
+                [Term::Float(f)] => Ok(Term::float(f.get().abs())),
+                _ => Err(BuiltinError::new("abs expects one numeric argument")),
+            }),
+        );
+        r.register_func(
+            "min2",
+            Arc::new(|args: &[Term]| {
+                let (a, b, both_int) = num2(args, "min2")?;
+                if both_int {
+                    Ok(Term::Int(args[0].as_i64().unwrap().min(args[1].as_i64().unwrap())))
+                } else {
+                    Ok(Term::float(a.min(b)))
+                }
+            }),
+        );
+        r.register_func(
+            "max2",
+            Arc::new(|args: &[Term]| {
+                let (a, b, both_int) = num2(args, "max2")?;
+                if both_int {
+                    Ok(Term::Int(args[0].as_i64().unwrap().max(args[1].as_i64().unwrap())))
+                } else {
+                    Ok(Term::float(a.max(b)))
+                }
+            }),
+        );
+        // dist(L1, L2): Euclidean distance between loc(x, y) points, or
+        // |a - b| for plain numbers.
+        r.register_func(
+            "dist",
+            Arc::new(|args: &[Term]| {
+                if args.len() != 2 {
+                    return Err(BuiltinError::new("dist expects 2 arguments"));
+                }
+                if let (Some((x1, y1)), Some((x2, y2))) = (as_point(&args[0]), as_point(&args[1])) {
+                    return Ok(Term::float(((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt()));
+                }
+                if let (Some(a), Some(b)) = (args[0].as_f64(), args[1].as_f64()) {
+                    return Ok(Term::float((a - b).abs()));
+                }
+                Err(BuiltinError::new(format!(
+                    "dist expects points or numbers, got ({}, {})",
+                    args[0], args[1]
+                )))
+            }),
+        );
+        r
+    }
+
+    pub fn register_func(&mut self, name: &str, f: FuncImpl) {
+        self.funcs.insert(Symbol::intern(name), f);
+    }
+
+    pub fn register_pred(&mut self, name: &str, p: PredImpl) {
+        self.preds.insert(Symbol::intern(name), p);
+    }
+
+    pub fn is_func(&self, s: Symbol) -> bool {
+        self.funcs.contains_key(&s)
+    }
+
+    pub fn is_pred(&self, s: Symbol) -> bool {
+        self.preds.contains_key(&s)
+    }
+
+    /// Evaluate a registered predicate on ground arguments.
+    pub fn call_pred(&self, s: Symbol, args: &[Term]) -> Result<bool, BuiltinError> {
+        match self.preds.get(&s) {
+            Some(p) => p(args),
+            None => Err(BuiltinError::new(format!("unknown builtin predicate {s}"))),
+        }
+    }
+
+    /// Evaluate interpreted function symbols bottom-up in a ground term.
+    /// Uninterpreted applications (constructors like `$cons`, `loc`) are left
+    /// intact with evaluated arguments.
+    pub fn eval_term(&self, t: &Term) -> Result<Term, BuiltinError> {
+        match t {
+            Term::App(f, args) => {
+                let evaled: Vec<Term> = args
+                    .iter()
+                    .map(|a| self.eval_term(a))
+                    .collect::<Result<_, _>>()?;
+                match self.funcs.get(f) {
+                    Some(func) => func(&evaled),
+                    None => Ok(Term::App(*f, evaled.into())),
+                }
+            }
+            Term::Var(v) => Err(BuiltinError::new(format!(
+                "cannot evaluate unbound variable {v}"
+            ))),
+            _ => Ok(t.clone()),
+        }
+    }
+
+    /// Evaluate a comparison between two ground terms. Numeric comparisons
+    /// widen integers to floats; everything else falls back to the total
+    /// term order (`Eq`/`Ne` are structural).
+    pub fn compare(&self, op: CmpOp, lhs: &Term, rhs: &Term) -> Result<bool, BuiltinError> {
+        let l = self.eval_term(lhs)?;
+        let r = self.eval_term(rhs)?;
+        let ord = match (l.as_f64(), r.as_f64()) {
+            (Some(a), Some(b)) => a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Greater),
+            _ => l.cmp(&r),
+        };
+        Ok(match op {
+            CmpOp::Lt => ord == std::cmp::Ordering::Less,
+            CmpOp::Le => ord != std::cmp::Ordering::Greater,
+            CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+            CmpOp::Ge => ord != std::cmp::Ordering::Less,
+            CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+            CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+        })
+    }
+}
+
+/// Application-level built-ins used by the paper's running examples
+/// (Example 2: `close`, `is_parallel`). Reports are `r(x, y, t)` terms;
+/// trajectories are lists of reports.
+pub mod stdlib {
+    use super::*;
+    use crate::term::{cons_sym, Term};
+
+    fn list_items(t: &Term) -> Option<Vec<Term>> {
+        t.as_list().map(|v| v.into_iter().cloned().collect())
+    }
+
+    /// Register the list library:
+    ///
+    /// functions — `first(L)`, `last(L)`, `len(L)`, `reverse(L)`,
+    /// `append(L1, L2)`, `nth(L, I)`;
+    /// predicates — `member(X, L)`.
+    pub fn register_lists(reg: &mut BuiltinRegistry) {
+        reg.register_func(
+            "first",
+            Arc::new(|args: &[Term]| match args {
+                [Term::App(f, parts)] if *f == cons_sym() && parts.len() == 2 => {
+                    Ok(parts[0].clone())
+                }
+                _ => Err(BuiltinError::new("first expects a non-empty list")),
+            }),
+        );
+        reg.register_func(
+            "last",
+            Arc::new(|args: &[Term]| {
+                let items = args
+                    .first()
+                    .and_then(list_items)
+                    .filter(|v| !v.is_empty())
+                    .ok_or_else(|| BuiltinError::new("last expects a non-empty list"))?;
+                Ok(items.last().expect("nonempty").clone())
+            }),
+        );
+        reg.register_func(
+            "len",
+            Arc::new(|args: &[Term]| {
+                let items = args
+                    .first()
+                    .and_then(list_items)
+                    .ok_or_else(|| BuiltinError::new("len expects a list"))?;
+                Ok(Term::Int(items.len() as i64))
+            }),
+        );
+        reg.register_func(
+            "reverse",
+            Arc::new(|args: &[Term]| {
+                let mut items = args
+                    .first()
+                    .and_then(list_items)
+                    .ok_or_else(|| BuiltinError::new("reverse expects a list"))?;
+                items.reverse();
+                Ok(Term::list(items, None))
+            }),
+        );
+        reg.register_func(
+            "append",
+            Arc::new(|args: &[Term]| {
+                if args.len() != 2 {
+                    return Err(BuiltinError::new("append expects two lists"));
+                }
+                let mut a = list_items(&args[0])
+                    .ok_or_else(|| BuiltinError::new("append expects two lists"))?;
+                let b = list_items(&args[1])
+                    .ok_or_else(|| BuiltinError::new("append expects two lists"))?;
+                a.extend(b);
+                Ok(Term::list(a, None))
+            }),
+        );
+        reg.register_func(
+            "nth",
+            Arc::new(|args: &[Term]| {
+                let (list, idx) = match args {
+                    [l, Term::Int(i)] => (l, *i),
+                    _ => return Err(BuiltinError::new("nth expects (list, index)")),
+                };
+                let items =
+                    list_items(list).ok_or_else(|| BuiltinError::new("nth expects a list"))?;
+                usize::try_from(idx)
+                    .ok()
+                    .and_then(|i| items.get(i).cloned())
+                    .ok_or_else(|| BuiltinError::new("nth index out of range"))
+            }),
+        );
+        reg.register_pred(
+            "member",
+            Arc::new(|args: &[Term]| match args {
+                [x, l] => {
+                    let items = list_items(l)
+                        .ok_or_else(|| BuiltinError::new("member expects (x, list)"))?;
+                    Ok(items.contains(x))
+                }
+                _ => Err(BuiltinError::new("member expects (x, list)")),
+            }),
+        );
+    }
+
+    fn report_xyz(t: &Term) -> Option<(f64, f64, f64)> {
+        if let Term::App(_, args) = t {
+            if args.len() == 3 {
+                if let (Some(x), Some(y), Some(tt)) =
+                    (args[0].as_f64(), args[1].as_f64(), args[2].as_f64())
+                {
+                    return Some((x, y, tt));
+                }
+            }
+        }
+        None
+    }
+
+    /// Register `close(R1, R2, Dmax, Tmax)` and `is_parallel(L1, L2, Tol)`.
+    pub fn register_tracking(reg: &mut BuiltinRegistry) {
+        reg.register_pred(
+            "close",
+            Arc::new(|args: &[Term]| {
+                if args.len() != 4 {
+                    return Err(BuiltinError::new("close expects (R1, R2, Dmax, Tmax)"));
+                }
+                let (r1, r2) = (
+                    report_xyz(&args[0]).ok_or_else(|| BuiltinError::new("bad report"))?,
+                    report_xyz(&args[1]).ok_or_else(|| BuiltinError::new("bad report"))?,
+                );
+                let dmax = args[2].as_f64().ok_or_else(|| BuiltinError::new("bad Dmax"))?;
+                let tmax = args[3].as_f64().ok_or_else(|| BuiltinError::new("bad Tmax"))?;
+                let d = ((r1.0 - r2.0).powi(2) + (r1.1 - r2.1).powi(2)).sqrt();
+                let dt = r2.2 - r1.2;
+                Ok(d <= dmax && dt > 0.0 && dt <= tmax)
+            }),
+        );
+        reg.register_pred(
+            "is_parallel",
+            Arc::new(|args: &[Term]| {
+                if args.len() != 3 {
+                    return Err(BuiltinError::new("is_parallel expects (L1, L2, Tol)"));
+                }
+                let tol = args[2].as_f64().ok_or_else(|| BuiltinError::new("bad Tol"))?;
+                let dir = |l: &Term| -> Option<(f64, f64)> {
+                    let items = l.as_list()?;
+                    if items.len() < 2 {
+                        return None;
+                    }
+                    let a = report_xyz(items.first()?)?;
+                    let b = report_xyz(items.last()?)?;
+                    let (dx, dy) = (b.0 - a.0, b.1 - a.1);
+                    let n = (dx * dx + dy * dy).sqrt();
+                    if n == 0.0 {
+                        None
+                    } else {
+                        Some((dx / n, dy / n))
+                    }
+                };
+                match (dir(&args[0]), dir(&args[1])) {
+                    (Some((x1, y1)), Some((x2, y2))) => {
+                        let cross = (x1 * y2 - y1 * x2).abs();
+                        Ok(cross <= tol)
+                    }
+                    _ => Ok(false),
+                }
+            }),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_term;
+
+    #[test]
+    fn arithmetic_int() {
+        let r = BuiltinRegistry::standard();
+        let t = parse_term("1 + 2 * 3").unwrap();
+        assert_eq!(r.eval_term(&t).unwrap(), Term::Int(7));
+        let t = parse_term("7 / 2").unwrap();
+        assert_eq!(r.eval_term(&t).unwrap(), Term::Int(3));
+        let t = parse_term("mod(7, 2)").unwrap();
+        assert_eq!(r.eval_term(&t).unwrap(), Term::Int(1));
+    }
+
+    #[test]
+    fn arithmetic_mixed_promotes_to_float() {
+        let r = BuiltinRegistry::standard();
+        let t = parse_term("1 + 2.5").unwrap();
+        assert_eq!(r.eval_term(&t).unwrap(), Term::float(3.5));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let r = BuiltinRegistry::standard();
+        assert!(r.eval_term(&parse_term("1 / 0").unwrap()).is_err());
+        assert!(r.eval_term(&parse_term("mod(1, 0)").unwrap()).is_err());
+    }
+
+    #[test]
+    fn overflow_checked() {
+        let r = BuiltinRegistry::standard();
+        let big = Term::app("add", vec![Term::Int(i64::MAX), Term::Int(1)]);
+        assert!(r.eval_term(&big).is_err());
+    }
+
+    #[test]
+    fn constructors_left_uninterpreted() {
+        let r = BuiltinRegistry::standard();
+        let t = parse_term("loc(1 + 1, 3)").unwrap();
+        assert_eq!(
+            r.eval_term(&t).unwrap(),
+            Term::app("loc", vec![Term::Int(2), Term::Int(3)])
+        );
+    }
+
+    #[test]
+    fn dist_on_points_and_numbers() {
+        let r = BuiltinRegistry::standard();
+        let t = parse_term("dist(loc(0, 0), loc(3, 4))").unwrap();
+        assert_eq!(r.eval_term(&t).unwrap(), Term::float(5.0));
+        let t = parse_term("dist(10, 7)").unwrap();
+        assert_eq!(r.eval_term(&t).unwrap(), Term::float(3.0));
+    }
+
+    #[test]
+    fn comparisons() {
+        let r = BuiltinRegistry::standard();
+        assert!(r.compare(CmpOp::Le, &Term::Int(1), &Term::float(1.0)).unwrap());
+        assert!(r.compare(CmpOp::Eq, &Term::Int(1), &Term::float(1.0)).unwrap());
+        assert!(r.compare(CmpOp::Lt, &Term::Int(1), &Term::Int(2)).unwrap());
+        assert!(!r.compare(CmpOp::Gt, &Term::Int(1), &Term::Int(2)).unwrap());
+        // Structural comparison on non-numeric terms.
+        assert!(r
+            .compare(CmpOp::Ne, &Term::atom("a"), &Term::atom("b"))
+            .unwrap());
+    }
+
+    #[test]
+    fn comparison_evaluates_expressions() {
+        let r = BuiltinRegistry::standard();
+        let lhs = parse_term("2 + 2").unwrap();
+        assert!(r.compare(CmpOp::Eq, &lhs, &Term::Int(4)).unwrap());
+    }
+
+    #[test]
+    fn unbound_variable_is_error() {
+        let r = BuiltinRegistry::standard();
+        assert!(r.eval_term(&Term::var("X")).is_err());
+    }
+
+    #[test]
+    fn custom_predicate_roundtrip() {
+        let mut r = BuiltinRegistry::standard();
+        r.register_pred(
+            "even",
+            Arc::new(|args: &[Term]| match args {
+                [Term::Int(i)] => Ok(i % 2 == 0),
+                _ => Err(BuiltinError::new("even expects an int")),
+            }),
+        );
+        assert!(r.is_pred(Symbol::intern("even")));
+        assert!(r.call_pred(Symbol::intern("even"), &[Term::Int(4)]).unwrap());
+        assert!(!r.call_pred(Symbol::intern("even"), &[Term::Int(3)]).unwrap());
+    }
+
+    #[test]
+    fn list_builtins() {
+        let mut r = BuiltinRegistry::standard();
+        stdlib::register_lists(&mut r);
+        let l = parse_term("[1, 2, 3]").unwrap();
+        let eval = |src: &str| r.eval_term(&parse_term(src).unwrap()).unwrap();
+        assert_eq!(eval("first([1, 2, 3])"), Term::Int(1));
+        assert_eq!(eval("last([1, 2, 3])"), Term::Int(3));
+        assert_eq!(eval("len([1, 2, 3])"), Term::Int(3));
+        assert_eq!(eval("len([])"), Term::Int(0));
+        assert_eq!(eval("reverse([1, 2, 3])"), parse_term("[3, 2, 1]").unwrap());
+        assert_eq!(
+            eval("append([1], [2, 3])"),
+            parse_term("[1, 2, 3]").unwrap()
+        );
+        assert_eq!(eval("nth([1, 2, 3], 1)"), Term::Int(2));
+        assert!(r.eval_term(&parse_term("nth([1], 5)").unwrap()).is_err());
+        assert!(r.eval_term(&parse_term("first([])").unwrap()).is_err());
+        let member = Symbol::intern("member");
+        assert!(r.call_pred(member, &[Term::Int(2), l.clone()]).unwrap());
+        assert!(!r.call_pred(member, &[Term::Int(9), l]).unwrap());
+    }
+
+    #[test]
+    fn list_builtins_in_rules() {
+        use crate::parser::parse_rule;
+        let mut r = BuiltinRegistry::standard();
+        stdlib::register_lists(&mut r);
+        // `member` used as a body predicate resolves to a builtin.
+        let rule = parse_rule("q(X) :- p(X, L), member(X, L).").unwrap();
+        let resolved = crate::safety::resolve_builtins(&rule, &r);
+        assert!(matches!(
+            resolved.body[1],
+            crate::ast::Literal::Builtin(_)
+        ));
+    }
+
+    #[test]
+    fn tracking_builtins() {
+        let mut r = BuiltinRegistry::standard();
+        stdlib::register_tracking(&mut r);
+        let r1 = parse_term("r(0, 0, 0)").unwrap();
+        let r2 = parse_term("r(1, 0, 1)").unwrap();
+        let far = parse_term("r(100, 0, 1)").unwrap();
+        let close = Symbol::intern("close");
+        assert!(r
+            .call_pred(close, &[r1.clone(), r2, Term::Int(5), Term::Int(2)])
+            .unwrap());
+        assert!(!r
+            .call_pred(close, &[r1, far, Term::Int(5), Term::Int(2)])
+            .unwrap());
+
+        let l1 = parse_term("[r(0,0,0), r(1,0,1)]").unwrap();
+        let l2 = parse_term("[r(0,5,0), r(1,5,1)]").unwrap();
+        let l3 = parse_term("[r(0,0,0), r(0,1,1)]").unwrap();
+        let is_par = Symbol::intern("is_parallel");
+        assert!(r
+            .call_pred(is_par, &[l1.clone(), l2, Term::float(0.01)])
+            .unwrap());
+        assert!(!r.call_pred(is_par, &[l1, l3, Term::float(0.01)]).unwrap());
+    }
+}

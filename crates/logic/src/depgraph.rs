@@ -1,0 +1,280 @@
+//! Predicate dependency graph and strongly-connected components.
+//!
+//! "In the dependency graph, an edge exists from a predicate P to a
+//! predicate Q if there is a rule with head P whose body contains Q"
+//! (footnote 5). Edges carry polarity; an aggregate head makes every body
+//! dependency behave like a negative edge (the body must be complete before
+//! the aggregate is taken).
+
+use crate::ast::{Literal, Program};
+use crate::symbol::Symbol;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Edge polarity.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Polarity {
+    Positive,
+    /// Negated subgoal, or any subgoal of a rule with a head aggregate.
+    Negative,
+}
+
+/// Dependency graph over predicates.
+#[derive(Clone, Debug, Default)]
+pub struct DepGraph {
+    /// head → [(body pred, polarity, rule id)]
+    pub edges: BTreeMap<Symbol, Vec<(Symbol, Polarity, usize)>>,
+    pub preds: BTreeSet<Symbol>,
+}
+
+impl DepGraph {
+    /// Build the dependency graph of a program.
+    pub fn build(prog: &Program) -> DepGraph {
+        let mut g = DepGraph {
+            preds: prog.all_preds(),
+            ..DepGraph::default()
+        };
+        for rule in &prog.rules {
+            let head = rule.head.pred;
+            g.edges.entry(head).or_default();
+            for lit in &rule.body {
+                let (pred, pol) = match lit {
+                    Literal::Pos(a) => (a.pred, Polarity::Positive),
+                    Literal::Neg(a) => (a.pred, Polarity::Negative),
+                    _ => continue,
+                };
+                let pol = if rule.agg.is_some() {
+                    Polarity::Negative
+                } else {
+                    pol
+                };
+                g.edges.entry(head).or_default().push((pred, pol, rule.id));
+            }
+        }
+        g
+    }
+
+    /// Successors of `p` (its body predicates across all rules).
+    pub fn succ(&self, p: Symbol) -> impl Iterator<Item = &(Symbol, Polarity, usize)> {
+        self.edges.get(&p).into_iter().flatten()
+    }
+
+    /// Strongly-connected components in *reverse topological order*
+    /// (callees before callers), via iterative Tarjan.
+    pub fn sccs(&self) -> Vec<Vec<Symbol>> {
+        let nodes: Vec<Symbol> = self.preds.iter().copied().collect();
+        let index_of: BTreeMap<Symbol, usize> =
+            nodes.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let n = nodes.len();
+        let adj: Vec<Vec<usize>> = nodes
+            .iter()
+            .map(|&p| {
+                self.succ(p)
+                    .filter_map(|(q, _, _)| index_of.get(q).copied())
+                    .collect()
+            })
+            .collect();
+
+        // Iterative Tarjan.
+        const UNSET: usize = usize::MAX;
+        let mut index = vec![UNSET; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut out: Vec<Vec<Symbol>> = Vec::new();
+
+        // Work stack frames: (node, child cursor).
+        for start in 0..n {
+            if index[start] != UNSET {
+                continue;
+            }
+            let mut work: Vec<(usize, usize)> = vec![(start, 0)];
+            while !work.is_empty() {
+                let (v, cursor) = *work.last().expect("nonempty");
+                if cursor == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if cursor < adj[v].len() {
+                    work.last_mut().expect("nonempty").1 += 1;
+                    let w = adj[v][cursor];
+                    if index[w] == UNSET {
+                        work.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    work.pop();
+                    if let Some(&(parent, _)) = work.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.push(nodes[w]);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort();
+                        out.push(comp);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True if `p` is (transitively) recursive: it belongs to an SCC with
+    /// more than one predicate, or has a self-loop.
+    pub fn is_recursive(&self, p: Symbol) -> bool {
+        for scc in self.sccs() {
+            if scc.contains(&p) {
+                if scc.len() > 1 {
+                    return true;
+                }
+                return self.succ(p).any(|(q, _, _)| *q == p);
+            }
+        }
+        false
+    }
+
+    /// Negative edges internal to the given SCC: `(head, body, rule id)`.
+    pub fn internal_negative_edges(&self, scc: &[Symbol]) -> Vec<(Symbol, Symbol, usize)> {
+        let set: BTreeSet<Symbol> = scc.iter().copied().collect();
+        let mut out = Vec::new();
+        for &p in scc {
+            for (q, pol, rid) in self.succ(p) {
+                if *pol == Polarity::Negative && set.contains(q) {
+                    out.push((p, *q, *rid));
+                }
+            }
+        }
+        out
+    }
+
+    /// Predicates transitively reachable from `roots` (inclusive).
+    pub fn reachable_from(&self, roots: &[Symbol]) -> BTreeSet<Symbol> {
+        let mut seen: BTreeSet<Symbol> = roots.iter().copied().collect();
+        let mut frontier: Vec<Symbol> = roots.to_vec();
+        while let Some(p) = frontier.pop() {
+            for (q, _, _) in self.succ(p) {
+                if seen.insert(*q) {
+                    frontier.push(*q);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn builds_edges_with_polarity() {
+        let p = parse_program(
+            r#"
+            q(X) :- a(X), not b(X).
+            "#,
+        )
+        .unwrap();
+        let g = DepGraph::build(&p);
+        let edges = &g.edges[&sym("q")];
+        assert!(edges.contains(&(sym("a"), Polarity::Positive, 0)));
+        assert!(edges.contains(&(sym("b"), Polarity::Negative, 0)));
+    }
+
+    #[test]
+    fn aggregate_rules_are_negative_edges() {
+        let p = parse_program("q(G, min<D>) :- path(G, D).").unwrap();
+        let g = DepGraph::build(&p);
+        assert_eq!(g.edges[&sym("q")][0].1, Polarity::Negative);
+    }
+
+    #[test]
+    fn sccs_reverse_topological() {
+        let p = parse_program(
+            r#"
+            t(X, Y) :- e(X, Y).
+            t(X, Y) :- t(X, Z), e(Z, Y).
+            ans(X) :- t(a, X).
+            "#,
+        )
+        .unwrap();
+        let g = DepGraph::build(&p);
+        let sccs = g.sccs();
+        let pos = |s: &str| {
+            sccs.iter()
+                .position(|c| c.contains(&sym(s)))
+                .unwrap_or(usize::MAX)
+        };
+        // callees first: e before t before ans
+        assert!(pos("e") < pos("t"));
+        assert!(pos("t") < pos("ans"));
+        assert!(g.is_recursive(sym("t")));
+        assert!(!g.is_recursive(sym("ans")));
+        assert!(!g.is_recursive(sym("e")));
+    }
+
+    #[test]
+    fn mutual_recursion_in_one_scc() {
+        let p = parse_program(
+            r#"
+            even(X) :- zero(X).
+            even(X) :- succ(Y, X), odd(Y).
+            odd(X) :- succ(Y, X), even(X).
+            "#,
+        )
+        .unwrap();
+        let g = DepGraph::build(&p);
+        let sccs = g.sccs();
+        let comp = sccs
+            .iter()
+            .find(|c| c.contains(&sym("even")))
+            .unwrap();
+        assert!(comp.contains(&sym("odd")));
+        assert!(g.is_recursive(sym("even")));
+    }
+
+    #[test]
+    fn internal_negative_edges_detected() {
+        let p = parse_program(
+            r#"
+            win(X) :- move(X, Y), not win(Y).
+            "#,
+        )
+        .unwrap();
+        let g = DepGraph::build(&p);
+        let scc: Vec<Symbol> = vec![sym("win")];
+        let negs = g.internal_negative_edges(&scc);
+        assert_eq!(negs, vec![(sym("win"), sym("win"), 0)]);
+    }
+
+    #[test]
+    fn reachability() {
+        let p = parse_program(
+            r#"
+            a(X) :- b(X).
+            b(X) :- c(X).
+            d(X) :- e(X).
+            "#,
+        )
+        .unwrap();
+        let g = DepGraph::build(&p);
+        let r = g.reachable_from(&[sym("a")]);
+        assert!(r.contains(&sym("c")));
+        assert!(!r.contains(&sym("e")));
+    }
+}

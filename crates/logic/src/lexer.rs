@@ -1,0 +1,410 @@
+//! Tokenizer for the rule language.
+//!
+//! Comments run from `%` or `//` to end of line. Identifiers starting with a
+//! lowercase letter are predicate/function/constant names; identifiers
+//! starting with an uppercase letter or `_` are variables (`_` alone is the
+//! anonymous variable).
+
+use std::fmt;
+
+#[derive(Clone, PartialEq, Debug)]
+pub enum Token {
+    Ident(String),
+    Var(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Pipe,
+    ColonDash,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Var(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Pipe => write!(f, "|"),
+            Token::ColonDash => write!(f, ":-"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::EqEq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus its source line (1-based) for diagnostics.
+#[derive(Clone, Debug)]
+pub struct Spanned {
+    pub tok: Token,
+    pub line: u32,
+}
+
+/// Lexical error with line information.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src` into a vector ending with `Eof`.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(Spanned { tok: $t, line })
+        };
+    }
+
+    while i < n {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '%' => {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push!(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                push!(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                push!(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                push!(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                push!(Token::Comma);
+                i += 1;
+            }
+            '|' => {
+                push!(Token::Pipe);
+                i += 1;
+            }
+            '+' => {
+                push!(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                push!(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                push!(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                push!(Token::Slash);
+                i += 1;
+            }
+            ':' => {
+                if i + 1 < n && bytes[i + 1] == b'-' {
+                    push!(Token::ColonDash);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "expected ':-'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    push!(Token::Le);
+                    i += 2;
+                } else {
+                    push!(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    push!(Token::Ge);
+                    i += 2;
+                } else {
+                    push!(Token::Gt);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    push!(Token::EqEq);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "single '=' is not an operator; use '=='".into(),
+                    });
+                }
+            }
+            '!' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    push!(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "expected '!='".into(),
+                    });
+                }
+            }
+            '.' => {
+                push!(Token::Dot);
+                i += 1;
+            }
+            '"' => {
+                let start_line = line;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= n {
+                        return Err(LexError {
+                            line: start_line,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' if i + 1 < n => {
+                            let esc = bytes[i + 1] as char;
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                '\\' => '\\',
+                                '"' => '"',
+                                other => {
+                                    return Err(LexError {
+                                        line,
+                                        message: format!("unknown escape '\\{other}'"),
+                                    })
+                                }
+                            });
+                            i += 2;
+                        }
+                        b'\n' => {
+                            return Err(LexError {
+                                line: start_line,
+                                message: "newline in string literal".into(),
+                            });
+                        }
+                        b => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                push!(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < n && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // A '.' only continues the number if followed by a digit
+                // ("30." is Int(30) then Dot, the rule terminator).
+                let mut is_float = false;
+                if i + 1 < n && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < n && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                if is_float {
+                    let v: f64 = text.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("bad float literal {text}"),
+                    })?;
+                    push!(Token::Float(v));
+                } else {
+                    let v: i64 = text.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("integer literal out of range: {text}"),
+                    })?;
+                    push!(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let first = text.chars().next().unwrap();
+                if first.is_ascii_uppercase() || first == '_' {
+                    push!(Token::Var(text.to_owned()));
+                } else {
+                    push!(Token::Ident(text.to_owned()));
+                }
+            }
+            other => {
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character '{other}'"),
+                });
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Token::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_rule_tokens() {
+        let t = toks("cov(L, T) :- veh(\"enemy\", L, T).");
+        assert_eq!(t[0], Token::Ident("cov".into()));
+        assert_eq!(t[1], Token::LParen);
+        assert_eq!(t[2], Token::Var("L".into()));
+        assert!(t.contains(&Token::ColonDash));
+        assert!(t.contains(&Token::Str("enemy".into())));
+        assert_eq!(t[t.len() - 2], Token::Dot);
+        assert_eq!(t[t.len() - 1], Token::Eof);
+    }
+
+    #[test]
+    fn numbers_and_dot_disambiguation() {
+        // "30." must lex as Int(30), Dot — the rule terminator.
+        let t = toks(".window veh 30.");
+        assert!(t.contains(&Token::Int(30)));
+        assert_eq!(t.iter().filter(|x| **x == Token::Dot).count(), 2);
+        let t = toks("x(1.5).");
+        assert!(t.contains(&Token::Float(1.5)));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let t = toks("X <= 5, Y >= 2, Z < 1, W > 0, A == B, C != D");
+        assert!(t.contains(&Token::Le));
+        assert!(t.contains(&Token::Ge));
+        assert!(t.contains(&Token::Lt));
+        assert!(t.contains(&Token::Gt));
+        assert!(t.contains(&Token::EqEq));
+        assert!(t.contains(&Token::Ne));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = toks("% whole line\nfoo(X). // trailing\nbar(Y).");
+        assert_eq!(t.iter().filter(|x| matches!(x, Token::Ident(_))).count(), 2);
+    }
+
+    #[test]
+    fn primed_variables() {
+        // d' style names from the paper are allowed via trailing quote.
+        let t = toks("h(D, D')");
+        assert!(matches!(&t[4], Token::Var(s) if s == "D'"));
+    }
+
+    #[test]
+    fn variables_vs_identifiers() {
+        let t = toks("foo Bar _baz _");
+        assert_eq!(t[0], Token::Ident("foo".into()));
+        assert_eq!(t[1], Token::Var("Bar".into()));
+        assert_eq!(t[2], Token::Var("_baz".into()));
+        assert_eq!(t[3], Token::Var("_".into()));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = toks(r#"p("a\nb\"c")"#);
+        assert!(t.contains(&Token::Str("a\nb\"c".into())));
+    }
+
+    #[test]
+    fn errors_reported_with_line() {
+        let err = lex("foo(X).\n@").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a = b").is_err());
+    }
+
+    #[test]
+    fn list_tokens() {
+        let t = toks("traj([X | R1, R2])");
+        assert!(t.contains(&Token::LBracket));
+        assert!(t.contains(&Token::Pipe));
+        assert!(t.contains(&Token::RBracket));
+    }
+}

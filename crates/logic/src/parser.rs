@@ -1,0 +1,623 @@
+//! Recursive-descent parser for the rule language.
+//!
+//! ```text
+//! program   := (directive | rule)*
+//! directive := '.' IDENT … '.'          (.window p N. | .output p. | .base p. | .stage p N.)
+//! rule      := head (':-' literal (',' literal)*)? '.'
+//! head      := IDENT '(' headarg (',' headarg)* ')' | IDENT
+//! headarg   := AGG '<' term '>' | term  (AGG ∈ count,sum,min,max,avg)
+//! literal   := 'not' atom | term (CMP term)?
+//! term      := additive with + - * / %, primary:
+//!              INT | FLOAT | STRING | VAR | '_' | IDENT('(' terms ')')?
+//!              | '[' terms ('|' term)? ']' | '(' term ')' | '-' primary
+//! ```
+//!
+//! Anonymous variables `_` become fresh variables `_G0`, `_G1`, … scoped to
+//! the rule. Arithmetic desugars into the function symbols `add`, `sub`,
+//! `mul`, `div`, `mod`, `neg`.
+
+use crate::ast::{AggFunc, AggSpec, Atom, CmpOp, Literal, Program, Rule};
+use crate::lexer::{lex, LexError, Spanned, Token};
+use crate::symbol::Symbol;
+use crate::term::Term;
+use std::fmt;
+
+/// Parse error with source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+/// Parse a full program (directives + rules).
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    Parser::new(src)?.program()
+}
+
+/// Parse a single rule, e.g. for tests and REPL-style use.
+pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
+    let mut p = Parser::new(src)?;
+    let r = p.rule(0)?;
+    p.expect_eof()?;
+    Ok(r)
+}
+
+/// Parse a single ground fact `p(c1, …, cn).` into its predicate and tuple.
+pub fn parse_fact(src: &str) -> Result<(Symbol, Vec<Term>), ParseError> {
+    let mut p = Parser::new(src)?;
+    let atom = p.atom()?;
+    p.eat(&Token::Dot).ok();
+    p.expect_eof()?;
+    for t in &atom.args {
+        if !t.is_ground() {
+            return Err(ParseError {
+                line: 0,
+                message: format!("fact argument {t} is not ground"),
+            });
+        }
+    }
+    Ok((atom.pred, atom.args))
+}
+
+/// Parse a sequence of ground facts `p(c1, …). q(d1, …).` — whitespace,
+/// newlines and `%` comments between facts are fine.
+pub fn parse_facts(src: &str) -> Result<Vec<(Symbol, Vec<Term>)>, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut out = Vec::new();
+    while !matches!(p.peek(), Token::Eof) {
+        let atom = p.atom()?;
+        p.eat(&Token::Dot)?;
+        for t in &atom.args {
+            if !t.is_ground() {
+                return Err(ParseError {
+                    line: 0,
+                    message: format!("fact argument {t} is not ground"),
+                });
+            }
+        }
+        out.push((atom.pred, atom.args));
+    }
+    Ok(out)
+}
+
+/// Parse a single term (used in tests and builtin registration helpers).
+pub fn parse_term(src: &str) -> Result<Term, ParseError> {
+    let mut p = Parser::new(src)?;
+    let t = p.term()?;
+    p.expect_eof()?;
+    Ok(t)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    fresh: u32,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser, ParseError> {
+        Ok(Parser {
+            toks: lex(src)?,
+            pos: 0,
+            fresh: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line(),
+            message: msg.into(),
+        })
+    }
+
+    fn eat(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected '{t}', found '{}'", self.peek()))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if matches!(self.peek(), Token::Eof) {
+            Ok(())
+        } else {
+            self.err(format!("trailing input at '{}'", self.peek()))
+        }
+    }
+
+    fn fresh_var(&mut self) -> Term {
+        let v = Term::var(&format!("_G{}", self.fresh));
+        self.fresh += 1;
+        v
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        loop {
+            match self.peek() {
+                Token::Eof => break,
+                Token::Dot => self.directive(&mut prog)?,
+                _ => {
+                    let id = prog.rules.len();
+                    let rule = self.rule(id)?;
+                    prog.rules.push(rule);
+                }
+            }
+        }
+        Ok(prog)
+    }
+
+    fn directive(&mut self, prog: &mut Program) -> Result<(), ParseError> {
+        self.eat(&Token::Dot)?;
+        let name = match self.bump() {
+            Token::Ident(s) => s,
+            other => return self.err(format!("expected directive name, found '{other}'")),
+        };
+        match name.as_str() {
+            "window" => {
+                let pred = self.pred_name()?;
+                let n = self.int_lit()?;
+                if n < 0 {
+                    return self.err("window range must be non-negative");
+                }
+                prog.windows.insert(pred, n as u64);
+            }
+            "output" => {
+                let pred = self.pred_name()?;
+                prog.outputs.push(pred);
+            }
+            "base" => {
+                let pred = self.pred_name()?;
+                prog.declared_base.insert(pred);
+            }
+            "stage" => {
+                let pred = self.pred_name()?;
+                let n = self.int_lit()?;
+                if n < 0 {
+                    return self.err("stage index must be non-negative");
+                }
+                prog.stage_hints.insert(pred, n as usize);
+            }
+            other => return self.err(format!("unknown directive '.{other}'")),
+        }
+        self.eat(&Token::Dot)
+    }
+
+    fn pred_name(&mut self) -> Result<Symbol, ParseError> {
+        match self.bump() {
+            Token::Ident(s) => Ok(Symbol::intern(&s)),
+            other => self.err(format!("expected predicate name, found '{other}'")),
+        }
+    }
+
+    fn int_lit(&mut self) -> Result<i64, ParseError> {
+        match self.bump() {
+            Token::Int(i) => Ok(i),
+            other => self.err(format!("expected integer, found '{other}'")),
+        }
+    }
+
+    fn rule(&mut self, id: usize) -> Result<Rule, ParseError> {
+        self.fresh = 0;
+        let (head, agg) = self.head()?;
+        let mut body = Vec::new();
+        if self.peek() == &Token::ColonDash {
+            self.bump();
+            loop {
+                body.push(self.literal()?);
+                if self.peek() == &Token::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&Token::Dot)?;
+        Ok(Rule {
+            id,
+            head,
+            body,
+            agg,
+        })
+    }
+
+    fn head(&mut self) -> Result<(Atom, Option<AggSpec>), ParseError> {
+        let pred = self.pred_name()?;
+        let mut args = Vec::new();
+        let mut agg = None;
+        if self.peek() == &Token::LParen {
+            self.bump();
+            if self.peek() != &Token::RParen {
+                loop {
+                    // Aggregate arg: count<X> etc.
+                    if let (Token::Ident(name), Token::Lt) = (self.peek(), self.peek2()) {
+                        if let Some(func) = AggFunc::from_name(name) {
+                            let pos = args.len() + usize::from(agg.is_some());
+                            if agg.is_some() {
+                                return self.err("at most one aggregate per head");
+                            }
+                            self.bump(); // name
+                            self.bump(); // '<'
+                            let term = self.term()?;
+                            self.eat(&Token::Gt)?;
+                            agg = Some(AggSpec { func, pos, term });
+                            if self.peek() == &Token::Comma {
+                                self.bump();
+                                continue;
+                            }
+                            break;
+                        }
+                    }
+                    args.push(self.term()?);
+                    if self.peek() == &Token::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.eat(&Token::RParen)?;
+        }
+        Ok((Atom { pred, args }, agg))
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        if let Token::Ident(s) = self.peek() {
+            if s == "not" {
+                self.bump();
+                let atom = self.atom()?;
+                return Ok(Literal::Neg(atom));
+            }
+        }
+        let lhs = self.term()?;
+        let op = match self.peek() {
+            Token::Lt => Some(CmpOp::Lt),
+            Token::Le => Some(CmpOp::Le),
+            Token::Gt => Some(CmpOp::Gt),
+            Token::Ge => Some(CmpOp::Ge),
+            Token::EqEq => Some(CmpOp::Eq),
+            Token::Ne => Some(CmpOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.term()?;
+            return Ok(Literal::Cmp(op, lhs, rhs));
+        }
+        // A bare term used as a literal must be a predicate application (or a
+        // zero-arity predicate written as a bare identifier).
+        match lhs {
+            Term::App(pred, args) => Ok(Literal::Pos(Atom {
+                pred,
+                args: args.to_vec(),
+            })),
+            Term::Atom(pred) => Ok(Literal::Pos(Atom {
+                pred,
+                args: Vec::new(),
+            })),
+            other => self.err(format!("'{other}' cannot be used as a subgoal")),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let pred = self.pred_name()?;
+        let mut args = Vec::new();
+        if self.peek() == &Token::LParen {
+            self.bump();
+            if self.peek() != &Token::RParen {
+                loop {
+                    args.push(self.term()?);
+                    if self.peek() == &Token::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.eat(&Token::RParen)?;
+        }
+        Ok(Atom { pred, args })
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        self.additive()
+    }
+
+    fn additive(&mut self) -> Result<Term, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let f = match self.peek() {
+                Token::Plus => "add",
+                Token::Minus => "sub",
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Term::app(f, vec![lhs, rhs]);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Term, ParseError> {
+        let mut lhs = self.primary()?;
+        loop {
+            let f = match self.peek() {
+                Token::Star => "mul",
+                Token::Slash => "div",
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.primary()?;
+            lhs = Term::app(f, vec![lhs, rhs]);
+        }
+        Ok(lhs)
+    }
+
+    fn primary(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Token::Int(i) => Ok(Term::Int(i)),
+            Token::Float(x) => Ok(Term::float(x)),
+            Token::Str(s) => Ok(Term::str(&s)),
+            Token::Minus => {
+                let inner = self.primary()?;
+                Ok(match inner {
+                    Term::Int(i) => Term::Int(-i),
+                    Term::Float(f) => Term::float(-f.get()),
+                    other => Term::app("neg", vec![other]),
+                })
+            }
+            Token::Var(v) => {
+                if v == "_" {
+                    Ok(self.fresh_var())
+                } else {
+                    Ok(Term::var(&v))
+                }
+            }
+            Token::Ident(name) => {
+                if self.peek() == &Token::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != &Token::RParen {
+                        loop {
+                            args.push(self.term()?);
+                            if self.peek() == &Token::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat(&Token::RParen)?;
+                    Ok(Term::App(Symbol::intern(&name), args.into()))
+                } else {
+                    Ok(Term::atom(&name))
+                }
+            }
+            Token::LParen => {
+                let t = self.term()?;
+                self.eat(&Token::RParen)?;
+                Ok(t)
+            }
+            Token::LBracket => {
+                if self.peek() == &Token::RBracket {
+                    self.bump();
+                    return Ok(Term::nil());
+                }
+                let mut items = vec![self.term()?];
+                let mut tail = None;
+                loop {
+                    match self.peek() {
+                        Token::Comma => {
+                            self.bump();
+                            items.push(self.term()?);
+                        }
+                        Token::Pipe => {
+                            self.bump();
+                            tail = Some(self.term()?);
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                self.eat(&Token::RBracket)?;
+                Ok(Term::list(items, tail))
+            }
+            other => self.err(format!("unexpected token '{other}' in term")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Literal;
+
+    #[test]
+    fn parses_example1_battlefield() {
+        // Example 1 of the paper: negated subgoals.
+        let src = r#"
+            .window veh 30000.
+            .output uncov.
+            cov(L1, T) :- veh("enemy", L1, T), veh("friendly", L2, T),
+                          dist(L1, L2) <= 50.
+            uncov(L, T) :- not cov(L, T), veh("enemy", L, T).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.windows[&Symbol::intern("veh")], 30000);
+        assert_eq!(p.outputs, vec![Symbol::intern("uncov")]);
+        assert!(matches!(p.rules[1].body[0], Literal::Neg(_)));
+        // dist(...) <= 50 must be a comparison over a function term
+        assert!(matches!(p.rules[0].body[2], Literal::Cmp(CmpOp::Le, _, _)));
+    }
+
+    #[test]
+    fn parses_example3_shortest_path_tree() {
+        // Example 3 (logicH), with _ anonymous vars and d+1 arithmetic.
+        let src = r#"
+            h(A, x, 1) :- g(A, x).
+            hp(Y, D + 1) :- h(_, Y, D'), (D + 1) > D', h(_, X, D), g(X, Y).
+            h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 3);
+        // Anonymous vars expand to distinct fresh variables.
+        let r1 = &p.rules[1];
+        let mut vars = Vec::new();
+        for l in &r1.body {
+            l.collect_vars(&mut vars);
+        }
+        let anon: Vec<_> = vars.iter().filter(|v| v.as_str().starts_with("_G")).collect();
+        assert_eq!(anon.len(), 2);
+        assert_ne!(anon[0], anon[1]);
+        // d+1 desugars to add(D, 1)
+        let head_arg = &p.rules[2].head.args[2];
+        assert_eq!(head_arg, &Term::app("add", vec![Term::var("D"), Term::Int(1)]));
+    }
+
+    #[test]
+    fn parses_example2_lists() {
+        let src = r#"
+            traj([R1, R2]) :- report(R1), report(R2), close(R1, R2), not notstart(R1).
+            traj([X | R1]) :- traj(R1), report(X).
+        "#;
+        let p = parse_program(src).unwrap();
+        let head = &p.rules[0].head.args[0];
+        assert_eq!(head.as_list().map(|l| l.len()), Some(2));
+        let head2 = &p.rules[1].head.args[0];
+        assert!(head2.as_list().is_none()); // improper [X | R1]
+    }
+
+    #[test]
+    fn parses_aggregates() {
+        let r = parse_rule("shortest(Y, min<D>) :- path(Y, D).").unwrap();
+        let agg = r.agg.unwrap();
+        assert_eq!(agg.func, AggFunc::Min);
+        assert_eq!(agg.pos, 1);
+        assert_eq!(agg.term, Term::var("D"));
+        assert_eq!(r.head.args.len(), 1);
+    }
+
+    #[test]
+    fn agg_in_middle_position() {
+        let r = parse_rule("q(A, count<X>, B) :- p(A, X, B).").unwrap();
+        let agg = r.agg.unwrap();
+        assert_eq!(agg.pos, 1);
+        assert_eq!(r.head.args.len(), 2);
+    }
+
+    #[test]
+    fn rejects_two_aggregates() {
+        assert!(parse_rule("q(min<X>, max<Y>) :- p(X, Y).").is_err());
+    }
+
+    #[test]
+    fn facts_parse() {
+        let (pred, args) = parse_fact(r#"veh("enemy", 3, 100)"#).unwrap();
+        assert_eq!(pred, Symbol::intern("veh"));
+        assert_eq!(args, vec![Term::str("enemy"), Term::Int(3), Term::Int(100)]);
+        assert!(parse_fact("veh(X)").is_err()); // non-ground
+    }
+
+    #[test]
+    fn zero_arity_predicates() {
+        let r = parse_rule("alarm :- trigger.").unwrap();
+        assert_eq!(r.head.args.len(), 0);
+        assert!(matches!(&r.body[0], Literal::Pos(a) if a.args.is_empty()));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let t = parse_term("1 + 2 * 3").unwrap();
+        assert_eq!(
+            t,
+            Term::app(
+                "add",
+                vec![Term::Int(1), Term::app("mul", vec![Term::Int(2), Term::Int(3)])]
+            )
+        );
+        let t = parse_term("(1 + 2) * 3").unwrap();
+        assert_eq!(
+            t,
+            Term::app(
+                "mul",
+                vec![Term::app("add", vec![Term::Int(1), Term::Int(2)]), Term::Int(3)]
+            )
+        );
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        assert_eq!(parse_term("-5").unwrap(), Term::Int(-5));
+        assert_eq!(parse_term("-1.5").unwrap(), Term::float(-1.5));
+        assert_eq!(
+            parse_term("-X").unwrap(),
+            Term::app("neg", vec![Term::var("X")])
+        );
+    }
+
+    #[test]
+    fn error_messages_carry_lines() {
+        let err = parse_program("foo(X).\nbar(").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn fact_with_trailing_dot() {
+        let (pred, args) = parse_fact("g(1, 2).").unwrap();
+        assert_eq!(pred, Symbol::intern("g"));
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn display_then_reparse_is_stable() {
+        let src = r#"
+            .window s 1000.
+            q(X, Y) :- s(X, Z), s(Z, Y), X != Y, not bad(X).
+        "#;
+        let p1 = parse_program(src).unwrap();
+        let printed = p1.to_string();
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p1.rules, p2.rules);
+        assert_eq!(p1.windows, p2.windows);
+    }
+}

@@ -1,0 +1,227 @@
+//! Rule safety and builtin resolution.
+//!
+//! A rule is *safe* when every variable appearing in the head, in a negated
+//! subgoal, in a comparison, or in a builtin predicate call is bound by a
+//! positive relational subgoal (footnote 3 of the paper). We additionally
+//! let an equality comparison `X == expr` act as an assignment when every
+//! variable of `expr` is already bound — this is how "the last subgoal is
+//! used to bound T" style constraints are expressed.
+
+use crate::ast::{CmpOp, Literal, Program, Rule};
+use crate::builtin::BuiltinRegistry;
+use crate::symbol::Symbol;
+use crate::term::Term;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Safety violation diagnostics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SafetyError {
+    pub rule_id: usize,
+    pub rule: String,
+    pub unbound: Vec<Symbol>,
+    pub context: &'static str,
+}
+
+impl fmt::Display for SafetyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unsafe rule #{} ({}): variable(s) {} not bound by any positive relational subgoal in `{}`",
+            self.rule_id,
+            self.context,
+            self.unbound
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.rule
+        )
+    }
+}
+
+impl std::error::Error for SafetyError {}
+
+/// Rewrite positive atoms whose predicate is a registered builtin predicate
+/// into [`Literal::Builtin`] calls. The parser cannot distinguish them; this
+/// runs during program validation.
+pub fn resolve_builtins(rule: &Rule, reg: &BuiltinRegistry) -> Rule {
+    let mut r = rule.clone();
+    for lit in &mut r.body {
+        if let Literal::Pos(a) = lit {
+            if reg.is_pred(a.pred) {
+                *lit = Literal::Builtin(a.clone());
+            }
+        }
+    }
+    r
+}
+
+/// Variables bound by the positive relational subgoals plus equality
+/// assignments, computed to fixpoint.
+pub fn bound_vars(rule: &Rule) -> BTreeSet<Symbol> {
+    let mut bound: BTreeSet<Symbol> = BTreeSet::new();
+    for atom in rule.positive_atoms() {
+        let mut vs = Vec::new();
+        atom.collect_vars(&mut vs);
+        bound.extend(vs);
+    }
+    // Equality assignments may cascade, so iterate to fixpoint.
+    loop {
+        let mut changed = false;
+        for lit in &rule.body {
+            if let Literal::Cmp(CmpOp::Eq, l, r) = lit {
+                let l_vars = l.vars();
+                let r_vars = r.vars();
+                let l_bound = l_vars.iter().all(|v| bound.contains(v));
+                let r_bound = r_vars.iter().all(|v| bound.contains(v));
+                if r_bound && !l_bound {
+                    if let Term::Var(v) = l {
+                        changed |= bound.insert(*v);
+                    }
+                }
+                if l_bound && !r_bound {
+                    if let Term::Var(v) = r {
+                        changed |= bound.insert(*v);
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    bound
+}
+
+/// Check safety of a single rule (builtins must already be resolved).
+pub fn check_rule(rule: &Rule) -> Result<(), SafetyError> {
+    let bound = bound_vars(rule);
+    let check = |vars: Vec<Symbol>, context: &'static str| -> Result<(), SafetyError> {
+        let unbound: Vec<Symbol> = vars.into_iter().filter(|v| !bound.contains(v)).collect();
+        if unbound.is_empty() {
+            Ok(())
+        } else {
+            Err(SafetyError {
+                rule_id: rule.id,
+                rule: rule.to_string(),
+                unbound,
+                context,
+            })
+        }
+    };
+    check(rule.head_vars(), "head")?;
+    for lit in &rule.body {
+        match lit {
+            Literal::Neg(a) => check(a.vars(), "negated subgoal")?,
+            Literal::Builtin(a) => check(a.vars(), "builtin predicate")?,
+            Literal::Cmp(_, l, r) => {
+                let mut vs = Vec::new();
+                l.collect_vars(&mut vs);
+                r.collect_vars(&mut vs);
+                check(vs, "comparison")?;
+            }
+            Literal::Pos(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Check safety of every rule of a program.
+pub fn check_program(prog: &Program) -> Result<(), SafetyError> {
+    for rule in &prog.rules {
+        check_rule(rule)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+
+    #[test]
+    fn safe_rule_passes() {
+        let r = parse_rule("q(X) :- p(X, Y), Y > 2.").unwrap();
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn unbound_head_var_fails() {
+        let r = parse_rule("q(X, Z) :- p(X, Y).").unwrap();
+        let err = check_rule(&r).unwrap_err();
+        assert_eq!(err.unbound, vec![Symbol::intern("Z")]);
+        assert_eq!(err.context, "head");
+    }
+
+    #[test]
+    fn unbound_negated_var_fails() {
+        let r = parse_rule("q(X) :- p(X), not s(X, Z).").unwrap();
+        let err = check_rule(&r).unwrap_err();
+        assert_eq!(err.context, "negated subgoal");
+    }
+
+    #[test]
+    fn unbound_comparison_fails() {
+        let r = parse_rule("q(X) :- p(X), Z > 2.").unwrap();
+        assert!(check_rule(&r).is_err());
+    }
+
+    #[test]
+    fn equality_assignment_binds() {
+        // T bound by assignment from bound X.
+        let r = parse_rule("q(X, T) :- p(X), T == X + 1.").unwrap();
+        assert!(check_rule(&r).is_ok());
+        // Cascading assignment: U depends on T which depends on X.
+        let r = parse_rule("q(U) :- p(X), U == T * 2, T == X + 1.").unwrap();
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn assignment_cannot_bootstrap_itself() {
+        let r = parse_rule("q(T) :- p(X), T == T + 1.").unwrap();
+        assert!(check_rule(&r).is_err());
+    }
+
+    #[test]
+    fn vars_inside_function_terms_bind() {
+        // X and Y bound inside loc(...) in a positive subgoal.
+        let r = parse_rule("q(X, Y) :- p(loc(X, Y)).").unwrap();
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn builtin_resolution() {
+        use std::sync::Arc;
+        let mut reg = BuiltinRegistry::standard();
+        reg.register_pred("close", Arc::new(|_args| Ok(true)));
+        let r = parse_rule("q(X) :- p(X), close(X, X).").unwrap();
+        let resolved = resolve_builtins(&r, &reg);
+        assert!(matches!(resolved.body[1], Literal::Builtin(_)));
+        assert!(matches!(resolved.body[0], Literal::Pos(_)));
+        assert!(check_rule(&resolved).is_ok());
+    }
+
+    #[test]
+    fn builtin_pred_needs_bound_args() {
+        use std::sync::Arc;
+        let mut reg = BuiltinRegistry::standard();
+        reg.register_pred("close", Arc::new(|_args| Ok(true)));
+        let r = parse_rule("q(X) :- p(X), close(X, Z).").unwrap();
+        let resolved = resolve_builtins(&r, &reg);
+        let err = check_rule(&resolved).unwrap_err();
+        assert_eq!(err.context, "builtin predicate");
+    }
+
+    #[test]
+    fn paper_example1_is_safe() {
+        let prog = crate::parser::parse_program(
+            r#"
+            cov(L1, T) :- veh("enemy", L1, T), veh("friendly", L2, T), dist(L1, L2) <= 50.
+            uncov(L, T) :- not cov(L, T), veh("enemy", L, T).
+            "#,
+        )
+        .unwrap();
+        assert!(check_program(&prog).is_ok());
+    }
+}

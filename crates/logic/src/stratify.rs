@@ -1,0 +1,244 @@
+//! Stratification analysis.
+//!
+//! Assigns each predicate a stratum such that positive dependencies stay
+//! within or below the head's stratum and negative/aggregate dependencies
+//! are strictly below. A program is stratified iff such an assignment
+//! exists, i.e. no negative edge lies inside an SCC. Programs that fail the
+//! test may still be [XY-stratified](crate::xy) (Sec. IV-C).
+
+use crate::ast::Program;
+use crate::depgraph::{DepGraph, Polarity};
+use crate::symbol::Symbol;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Result of stratifying a program.
+#[derive(Clone, Debug)]
+pub struct Stratification {
+    /// Stratum index per predicate; base predicates are stratum 0.
+    pub level: BTreeMap<Symbol, usize>,
+    /// Predicates grouped by stratum, lowest first. Within a stratum the
+    /// grouping preserves SCC order so recursion stays together.
+    pub strata: Vec<Vec<Symbol>>,
+}
+
+impl Stratification {
+    pub fn num_strata(&self) -> usize {
+        self.strata.len()
+    }
+
+    pub fn level_of(&self, p: Symbol) -> usize {
+        self.level.get(&p).copied().unwrap_or(0)
+    }
+}
+
+/// Failure: recursion through negation (or aggregation).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StratifyError {
+    /// A negative edge inside an SCC, as (head, body, rule id).
+    pub cycle_edge: (Symbol, Symbol, usize),
+    pub scc: Vec<Symbol>,
+}
+
+impl fmt::Display for StratifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "program is not stratified: predicate {} depends negatively on {} (rule #{}) within the recursive component {{{}}}",
+            self.cycle_edge.0,
+            self.cycle_edge.1,
+            self.cycle_edge.2,
+            self.scc
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+impl std::error::Error for StratifyError {}
+
+/// Stratify `prog`, or report the offending negative cycle.
+pub fn stratify(prog: &Program) -> Result<Stratification, StratifyError> {
+    let g = DepGraph::build(prog);
+    stratify_graph(&g)
+}
+
+/// Stratify a prebuilt dependency graph.
+pub fn stratify_graph(g: &DepGraph) -> Result<Stratification, StratifyError> {
+    let sccs = g.sccs(); // reverse topological: dependencies first
+    // Reject negative edges inside an SCC.
+    for scc in &sccs {
+        let negs = g.internal_negative_edges(scc);
+        if let Some(&edge) = negs.first() {
+            return Err(StratifyError {
+                cycle_edge: edge,
+                scc: scc.clone(),
+            });
+        }
+    }
+
+    // Assign levels walking SCCs dependencies-first: level(P) =
+    // max(level(Q) for positive deps, level(Q)+1 for negative deps).
+    let mut level: BTreeMap<Symbol, usize> = BTreeMap::new();
+    let mut scc_of: BTreeMap<Symbol, usize> = BTreeMap::new();
+    for (i, scc) in sccs.iter().enumerate() {
+        for &p in scc {
+            scc_of.insert(p, i);
+        }
+    }
+    for (i, scc) in sccs.iter().enumerate() {
+        let mut lvl = 0usize;
+        for &p in scc {
+            for (q, pol, _) in g.succ(p) {
+                if scc_of.get(q) == Some(&i) {
+                    continue; // intra-SCC (necessarily positive here)
+                }
+                let ql = level.get(q).copied().unwrap_or(0);
+                let need = match pol {
+                    Polarity::Positive => ql,
+                    Polarity::Negative => ql + 1,
+                };
+                lvl = lvl.max(need);
+            }
+        }
+        for &p in scc {
+            level.insert(p, lvl);
+        }
+    }
+
+    let max_level = level.values().copied().max().unwrap_or(0);
+    let mut strata: Vec<Vec<Symbol>> = vec![Vec::new(); max_level + 1];
+    // Preserve SCC (reverse topological) order inside each stratum so a
+    // stratum's relations can be evaluated in dependency order.
+    for scc in &sccs {
+        let l = level[&scc[0]];
+        strata[l].extend(scc.iter().copied());
+    }
+    Ok(Stratification { level, strata })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn base_only_is_single_stratum() {
+        let p = parse_program("q(X) :- e(X).").unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.level_of(sym("e")), 0);
+        assert_eq!(s.level_of(sym("q")), 0);
+    }
+
+    #[test]
+    fn negation_bumps_stratum() {
+        let p = parse_program(
+            r#"
+            cov(L) :- veh(L).
+            uncov(L) :- not cov(L), enemy(L).
+            "#,
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.level_of(sym("cov")), 0);
+        assert_eq!(s.level_of(sym("uncov")), 1);
+        assert_eq!(s.num_strata(), 2);
+    }
+
+    #[test]
+    fn chained_negation_stacks() {
+        let p = parse_program(
+            r#"
+            a(X) :- e(X).
+            b(X) :- e(X), not a(X).
+            c(X) :- e(X), not b(X).
+            "#,
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.level_of(sym("a")), 0);
+        assert_eq!(s.level_of(sym("b")), 1);
+        assert_eq!(s.level_of(sym("c")), 2);
+    }
+
+    #[test]
+    fn positive_recursion_stays_in_stratum() {
+        let p = parse_program(
+            r#"
+            t(X, Y) :- e(X, Y).
+            t(X, Y) :- t(X, Z), e(Z, Y).
+            "#,
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.level_of(sym("t")), 0);
+    }
+
+    #[test]
+    fn recursion_through_negation_rejected() {
+        let p = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
+        let err = stratify(&p).unwrap_err();
+        assert_eq!(err.cycle_edge.0, sym("win"));
+        assert_eq!(err.cycle_edge.1, sym("win"));
+        assert!(err.to_string().contains("not stratified"));
+    }
+
+    #[test]
+    fn logich_is_not_plain_stratified() {
+        // Example 3: recursion with negation across h/hp — must fail plain
+        // stratification (it is XY-stratified instead; see xy.rs).
+        let p = parse_program(
+            r#"
+            h(a, X, 1) :- g(a, X).
+            hp(Y, D + 1) :- h(_, Y, D'), (D + 1) > D', h(_, X, D), g(X, Y).
+            h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).
+            "#,
+        )
+        .unwrap();
+        assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn aggregation_acts_as_negation() {
+        let p = parse_program(
+            r#"
+            p(X, D) :- e(X, D).
+            best(X, min<D>) :- p(X, D).
+            q(X) :- best(X, D).
+            "#,
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.level_of(sym("p")), 0);
+        assert_eq!(s.level_of(sym("best")), 1);
+        assert_eq!(s.level_of(sym("q")), 1);
+    }
+
+    #[test]
+    fn recursive_aggregation_rejected() {
+        let p = parse_program("p(X, min<D>) :- p(Y, D), e(Y, X).").unwrap();
+        assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn strata_grouping_is_dependency_ordered() {
+        let p = parse_program(
+            r#"
+            a(X) :- e(X).
+            b(X) :- a(X).
+            "#,
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        let st0 = &s.strata[0];
+        let ia = st0.iter().position(|&x| x == sym("a")).unwrap();
+        let ib = st0.iter().position(|&x| x == sym("b")).unwrap();
+        assert!(ia < ib);
+    }
+}

@@ -1,0 +1,163 @@
+//! Global string interner.
+//!
+//! Predicate names, variable names, function symbols and symbolic constants
+//! are interned once and referred to by a `Copy`able [`Symbol`] handle
+//! everywhere else. Interned strings live for the lifetime of the process
+//! (they are leaked), which is the usual trade-off for a query engine whose
+//! vocabulary is bounded by the program text plus the data constants.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string. Cheap to copy, hash and compare.
+///
+/// Ordering of two symbols follows the *string* ordering of their contents,
+/// not creation order, so that term ordering is deterministic across runs
+/// regardless of interning order. (This costs a string comparison per `cmp`,
+/// which is fine: ordering is only used for canonical output and BTree keys.)
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Intern `s`, returning its unique handle.
+    pub fn intern(s: &str) -> Symbol {
+        {
+            let guard = interner().read();
+            if let Some(&id) = guard.map.get(s) {
+                return Symbol(id);
+            }
+        }
+        let mut guard = interner().write();
+        if let Some(&id) = guard.map.get(s) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(guard.strings.len()).expect("interner overflow");
+        guard.strings.push(leaked);
+        guard.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().read().strings[self.0 as usize]
+    }
+
+    /// Raw id, useful as a compact map key.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl serde::Serialize for Symbol {
+    fn serialize<S: serde::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        ser.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Symbol {
+    fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(de)?;
+        Ok(Symbol::intern(&s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("veh");
+        let b = Symbol::intern("veh");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "veh");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        assert_ne!(Symbol::intern("cov"), Symbol::intern("uncov"));
+    }
+
+    #[test]
+    fn ordering_follows_string_order() {
+        // Intern in reverse lexical order to make sure ordering is by
+        // content, not by creation index.
+        let z = Symbol::intern("zzz_order_test");
+        let a = Symbol::intern("aaa_order_test");
+        assert!(a < z);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn concurrent_interning() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|j| Symbol::intern(&format!("sym_{}", (i + j) % 10)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for syms in &all {
+            for s in syms {
+                assert!(s.as_str().starts_with("sym_"));
+            }
+        }
+        // Same string interned from different threads must agree.
+        assert_eq!(Symbol::intern("sym_3"), all[0][3]);
+    }
+}

@@ -1,0 +1,386 @@
+//! First-order terms with function symbols.
+//!
+//! The paper's framework extends Datalog with function symbols (Sec. II-B):
+//! a term is a constant, a variable, or `f(t1, …, tn)`. Lists are sugar over
+//! the function symbols `$cons`/`$nil` (the parser accepts `[a, b | T]`).
+
+use crate::symbol::Symbol;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A 64-bit float with total ordering and stable hashing.
+///
+/// NaN compares greater than everything and equal to itself; `-0.0` is
+/// canonicalized to `0.0` so that equal values hash equally.
+#[derive(Copy, Clone, Debug)]
+pub struct F64(f64);
+
+impl F64 {
+    pub fn new(v: f64) -> F64 {
+        if v == 0.0 {
+            F64(0.0)
+        } else {
+            F64(v)
+        }
+    }
+    pub fn get(self) -> f64 {
+        self.0
+    }
+    fn key(self) -> u64 {
+        if self.0.is_nan() {
+            u64::MAX
+        } else {
+            let bits = self.0.to_bits();
+            if bits >> 63 == 0 {
+                bits | (1 << 63)
+            } else {
+                !bits
+            }
+        }
+    }
+}
+
+impl PartialEq for F64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for F64 {}
+impl PartialOrd for F64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for F64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+impl std::hash::Hash for F64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+
+/// Function symbol used by the list sugar for cons cells.
+pub fn cons_sym() -> Symbol {
+    Symbol::intern("$cons")
+}
+/// Function symbol used by the list sugar for the empty list.
+pub fn nil_sym() -> Symbol {
+    Symbol::intern("$nil")
+}
+
+/// A first-order term.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// Integer constant. Timestamps and stage arguments are integers.
+    Int(i64),
+    /// Float constant (sensor readings, distances).
+    Float(F64),
+    /// String constant, written `"enemy"`.
+    Str(Symbol),
+    /// Symbolic constant, written lowercase: `enemy`.
+    Atom(Symbol),
+    /// Variable, written capitalized: `X`, `L1`. The anonymous variable `_`
+    /// is expanded by the parser into fresh variables, so no `Var` ever
+    /// holds `_` after parsing.
+    Var(Symbol),
+    /// Function application `f(t1, …, tn)`; also encodes lists and
+    /// arithmetic (`add`, `sub`, `mul`, `div`, `mod`, `neg`).
+    App(Symbol, Arc<[Term]>),
+}
+
+impl Term {
+    pub fn float(v: f64) -> Term {
+        Term::Float(F64::new(v))
+    }
+    pub fn str(s: &str) -> Term {
+        Term::Str(Symbol::intern(s))
+    }
+    pub fn atom(s: &str) -> Term {
+        Term::Atom(Symbol::intern(s))
+    }
+    pub fn var(s: &str) -> Term {
+        Term::Var(Symbol::intern(s))
+    }
+    pub fn app(f: &str, args: Vec<Term>) -> Term {
+        Term::App(Symbol::intern(f), args.into())
+    }
+
+    /// The empty list `[]`.
+    pub fn nil() -> Term {
+        Term::App(nil_sym(), Arc::from(Vec::new()))
+    }
+
+    /// A cons cell `[head | tail]`.
+    pub fn cons(head: Term, tail: Term) -> Term {
+        Term::App(cons_sym(), Arc::from(vec![head, tail]))
+    }
+
+    /// Build a proper list from `items`, optionally ending in `tail`
+    /// (for `[a, b | T]` notation).
+    pub fn list(items: Vec<Term>, tail: Option<Term>) -> Term {
+        let mut acc = tail.unwrap_or_else(Term::nil);
+        for item in items.into_iter().rev() {
+            acc = Term::cons(item, acc);
+        }
+        acc
+    }
+
+    /// If this term is a proper list, return its elements.
+    pub fn as_list(&self) -> Option<Vec<&Term>> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                Term::App(f, args) if *f == nil_sym() && args.is_empty() => return Some(out),
+                Term::App(f, args) if *f == cons_sym() && args.len() == 2 => {
+                    out.push(&args[0]);
+                    cur = &args[1];
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// True if the term contains no variables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::App(_, args) => args.iter().all(Term::is_ground),
+            _ => true,
+        }
+    }
+
+    /// Collect the variables occurring in this term into `out` (in order of
+    /// first occurrence, duplicates skipped).
+    pub fn collect_vars(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Term::Var(v)
+                if !out.contains(v) => {
+                    out.push(*v);
+                }
+            Term::App(_, args) => {
+                for a in args.iter() {
+                    a.collect_vars(out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// All variables of the term.
+    pub fn vars(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// Structural size (number of nodes); used to bound recursion depth in
+    /// diagnostics and as a crude cost metric for message sizing.
+    pub fn size(&self) -> usize {
+        match self {
+            Term::App(_, args) => 1 + args.iter().map(Term::size).sum::<usize>(),
+            _ => 1,
+        }
+    }
+
+    /// Approximate serialized size in bytes, used by the simulator's
+    /// message-cost accounting.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Term::Int(_) | Term::Float(_) => 8,
+            Term::Str(s) | Term::Atom(s) => 2 + s.as_str().len(),
+            Term::Var(_) => 2,
+            Term::App(f, args) => {
+                2 + f.as_str().len() + args.iter().map(Term::byte_size).sum::<usize>()
+            }
+        }
+    }
+
+    /// Numeric view for comparisons: integers widen to floats when compared
+    /// against floats.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Term::Int(i) => Some(*i as f64),
+            Term::Float(f) => Some(f.get()),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Term::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Int(i) => write!(f, "{i}"),
+            Term::Float(x) => write!(f, "{}", x.get()),
+            Term::Str(s) => write!(f, "{:?}", s.as_str()),
+            Term::Atom(s) => write!(f, "{s}"),
+            Term::Var(v) => write!(f, "{v}"),
+            Term::App(_, _) => {
+                if let Some(items) = self.as_list() {
+                    write!(f, "[")?;
+                    for (i, t) in items.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{t}")?;
+                    }
+                    write!(f, "]")
+                } else if let Term::App(sym, args) = self {
+                    // Improper list `[h | t]`.
+                    if *sym == cons_sym() && args.len() == 2 {
+                        return write!(f, "[{} | {}]", args[0], args[1]);
+                    }
+                    write!(f, "{sym}(")?;
+                    for (i, t) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{t}")?;
+                    }
+                    write!(f, ")")
+                } else {
+                    unreachable!()
+                }
+            }
+        }
+    }
+}
+
+/// A ground tuple: the arguments of a fact. Cheap to clone (shared storage),
+/// ordered and hashable so relations can be kept as sets.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Arc<[Term]>);
+
+impl Tuple {
+    /// Construct from ground terms. Panics (debug builds) if any term is
+    /// non-ground: facts are ground by construction everywhere upstream.
+    pub fn new(terms: Vec<Term>) -> Tuple {
+        debug_assert!(terms.iter().all(Term::is_ground), "non-ground fact");
+        Tuple(terms.into())
+    }
+
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn terms(&self) -> &[Term] {
+        &self.0
+    }
+
+    pub fn get(&self, i: usize) -> &Term {
+        &self.0[i]
+    }
+
+    /// Sum of the argument byte sizes (message-cost accounting).
+    pub fn byte_size(&self) -> usize {
+        self.0.iter().map(Term::byte_size).sum()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, t) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl From<Vec<Term>> for Tuple {
+    fn from(v: Vec<Term>) -> Tuple {
+        Tuple::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_roundtrip() {
+        let l = Term::list(vec![Term::Int(1), Term::Int(2), Term::Int(3)], None);
+        let items = l.as_list().expect("proper list");
+        assert_eq!(items.len(), 3);
+        assert_eq!(*items[1], Term::Int(2));
+        assert_eq!(l.to_string(), "[1, 2, 3]");
+    }
+
+    #[test]
+    fn improper_list_display() {
+        let l = Term::cons(Term::Int(1), Term::var("T"));
+        assert!(l.as_list().is_none());
+        assert_eq!(l.to_string(), "[1 | T]");
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(Term::Int(5).is_ground());
+        assert!(!Term::var("X").is_ground());
+        let t = Term::app("f", vec![Term::Int(1), Term::var("X")]);
+        assert!(!t.is_ground());
+        assert_eq!(t.vars(), vec![Symbol::intern("X")]);
+    }
+
+    #[test]
+    fn var_collection_dedups_and_orders() {
+        let t = Term::app(
+            "f",
+            vec![Term::var("X"), Term::app("g", vec![Term::var("Y"), Term::var("X")])],
+        );
+        assert_eq!(t.vars(), vec![Symbol::intern("X"), Symbol::intern("Y")]);
+    }
+
+    #[test]
+    fn float_total_order() {
+        let nan = F64::new(f64::NAN);
+        assert_eq!(nan, nan);
+        assert!(F64::new(1.0) < F64::new(2.0));
+        assert!(F64::new(-1.0) < F64::new(0.0));
+        assert!(F64::new(2.0) < nan);
+        assert_eq!(F64::new(0.0), F64::new(-0.0));
+    }
+
+    #[test]
+    fn float_hash_consistent_with_eq() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Term::float(0.0));
+        assert!(s.contains(&Term::float(-0.0)));
+    }
+
+    #[test]
+    fn tuple_ordering_deterministic() {
+        let a = Tuple::new(vec![Term::Int(1), Term::atom("a")]);
+        let b = Tuple::new(vec![Term::Int(1), Term::atom("b")]);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "(1, a)");
+    }
+
+    #[test]
+    fn term_size_and_bytes() {
+        let t = Term::app("f", vec![Term::Int(1), Term::str("xy")]);
+        assert_eq!(t.size(), 3);
+        assert!(t.byte_size() > 8);
+    }
+}

@@ -1,0 +1,25 @@
+//! # sensorlog-netsim
+//!
+//! Deterministic discrete-event sensor-network simulator — the substitution
+//! for TOSSIM (see DESIGN.md). The paper's evaluation metrics are functions
+//! of the message-passing schedule (communication cost, load balance,
+//! latency, correctness under loss), which this simulator reproduces with:
+//!
+//! * unit-disk radio over [`topology::Topology`] (grids and random
+//!   geometric graphs);
+//! * bounded, jittered per-hop delays (Theorems 1–3 assume bounded delays);
+//! * Bernoulli and per-link (asymmetric) message loss;
+//! * per-node clock skew bounded by τc;
+//! * per-node / per-kind message, byte and energy accounting
+//!   ([`metrics::Metrics`]).
+//!
+//! Nodes implement [`sim::App`]; the harness injects sensor readings via
+//! [`sim::Simulator::invoke`].
+
+pub mod metrics;
+pub mod sim;
+pub mod topology;
+
+pub use metrics::{EnergyModel, Metrics, NodeCounters};
+pub use sim::{App, Ctx, MsgMeta, SimConfig, SimTime, Simulator};
+pub use topology::{NodeId, Topology, TopologyKind};

@@ -1,0 +1,656 @@
+//! The discrete-event simulator core.
+//!
+//! Nodes are instances of an [`App`]; they exchange messages over the
+//! unit-disk topology with bounded per-hop delays, Bernoulli losses, and
+//! per-node clock skew — exactly the environment Theorems 1–3 assume
+//! (bounded message delays, bounded clock difference τc). Deterministic for
+//! a fixed seed: event ties break on a global sequence number.
+
+use crate::metrics::Metrics;
+use crate::topology::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Simulated time in milliseconds.
+pub type SimTime = u64;
+
+/// Size/kind introspection for message accounting.
+pub trait MsgMeta {
+    /// Approximate on-air payload size in bytes.
+    fn size_bytes(&self) -> usize;
+    /// Coarse message category for the per-kind counters
+    /// (e.g. `"storage"`, `"join"`, `"result"`).
+    fn kind(&self) -> &'static str {
+        "msg"
+    }
+}
+
+/// A node application.
+pub trait App: Sized {
+    type Msg: Clone + MsgMeta;
+
+    /// Called once at time 0.
+    fn on_start(&mut self, _ctx: &mut Ctx<Self::Msg>) {}
+
+    /// A message arrived from a neighbor.
+    fn on_message(&mut self, ctx: &mut Ctx<Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// A timer set via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<Self::Msg>, _tag: u64) {}
+}
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Per-hop delivery delay sampled uniformly from this range (ms).
+    pub hop_delay: (SimTime, SimTime),
+    /// Per-transmission loss probability (uniform across links).
+    pub loss_prob: f64,
+    /// Per-link loss overrides `(from, to) → p` (testbed profile's
+    /// asymmetric links).
+    pub link_loss: HashMap<(NodeId, NodeId), f64>,
+    /// Link-layer retransmissions (ARQ): on loss, up to this many retries
+    /// per hop, each counted as a transmission. 0 = no retries.
+    pub retries: u32,
+    /// Max clock skew: node-local clocks read `now + skew`,
+    /// `skew ∈ [0, clock_skew_max]` (so τc = clock_skew_max).
+    pub clock_skew_max: SimTime,
+    /// RNG seed; fixed seed ⇒ fully deterministic run.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            hop_delay: (5, 30),
+            loss_prob: 0.0,
+            link_loss: HashMap::new(),
+            retries: 0,
+            clock_skew_max: 0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+enum Event<M> {
+    Start(NodeId),
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    Timer { node: NodeId, tag: u64 },
+}
+
+struct Queued<M> {
+    at: SimTime,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Queued<M> {}
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Node-side API handle passed to [`App`] callbacks. Sends and timers are
+/// buffered and applied by the simulator when the callback returns.
+pub struct Ctx<'a, M> {
+    /// This node's id.
+    pub node: NodeId,
+    /// Global simulation time (apps should normally use [`Ctx::local_time`]).
+    pub now: SimTime,
+    /// Node-local clock (global time + this node's skew).
+    pub local_time: SimTime,
+    topo: &'a Topology,
+    sends: Vec<(NodeId, M)>,
+    timers: Vec<(SimTime, u64)>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Unicast to a direct neighbor. Panics on non-neighbors: multi-hop
+    /// routing is the network stack's job, not the radio's.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        assert!(
+            self.topo.are_neighbors(self.node, to),
+            "{} attempted radio send to non-neighbor {}",
+            self.node,
+            to
+        );
+        self.sends.push((to, msg));
+    }
+
+    /// Broadcast to every neighbor (counted as one transmission per
+    /// neighbor delivery attempt, one tx record per neighbor — conservative
+    /// for load accounting).
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        let neighbors: Vec<NodeId> = self.topo.neighbors(self.node).to_vec();
+        for n in neighbors {
+            self.sends.push((n, msg.clone()));
+        }
+    }
+
+    /// Fire `on_timer(tag)` after `delay` ms of global time.
+    pub fn set_timer(&mut self, delay: SimTime, tag: u64) {
+        self.timers.push((delay, tag));
+    }
+
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.topo.neighbors(self.node)
+    }
+
+    pub fn position(&self) -> (f64, f64) {
+        self.topo.position(self.node)
+    }
+
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+}
+
+/// The simulator: topology + per-node apps + event queue + metrics.
+pub struct Simulator<A: App> {
+    topo: Topology,
+    apps: Vec<A>,
+    queue: BinaryHeap<Reverse<Queued<A::Msg>>>,
+    now: SimTime,
+    seq: u64,
+    skew: Vec<SimTime>,
+    /// Crashed nodes: deliver nothing, fire no timers, send nothing.
+    failed: Vec<bool>,
+    rng: StdRng,
+    pub config: SimConfig,
+    pub metrics: Metrics,
+    events_processed: u64,
+}
+
+impl<A: App> Simulator<A> {
+    /// Build a simulator; `make_app` constructs each node's application.
+    /// Start events for every node are queued at t = 0.
+    pub fn new(
+        topo: Topology,
+        config: SimConfig,
+        mut make_app: impl FnMut(NodeId, &Topology) -> A,
+    ) -> Simulator<A> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let skew: Vec<SimTime> = (0..topo.len())
+            .map(|_| {
+                if config.clock_skew_max == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=config.clock_skew_max)
+                }
+            })
+            .collect();
+        let apps: Vec<A> = topo.nodes().map(|id| make_app(id, &topo)).collect();
+        let metrics = Metrics::new(topo.len());
+        let failed = vec![false; apps.len()];
+        let mut sim = Simulator {
+            topo,
+            apps,
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            skew,
+            failed,
+            rng,
+            config,
+            metrics,
+            events_processed: 0,
+        };
+        for id in sim.topo.nodes() {
+            sim.push(0, Event::Start(id));
+        }
+        sim
+    }
+
+    fn push(&mut self, at: SimTime, event: Event<A::Msg>) {
+        self.queue.push(Reverse(Queued {
+            at,
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub fn local_time(&self, node: NodeId) -> SimTime {
+        self.now + self.skew[node.index()]
+    }
+
+    pub fn node(&self, id: NodeId) -> &A {
+        &self.apps[id.index()]
+    }
+
+    pub fn node_mut(&mut self, id: NodeId) -> &mut A {
+        &mut self.apps[id.index()]
+    }
+
+    pub fn nodes(&self) -> impl Iterator<Item = &A> {
+        self.apps.iter()
+    }
+
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Crash a node: it stops receiving, sending, and firing timers
+    /// ("fault-tolerant … immune to certain topology changes", Sec. III-A:
+    /// the replication of PA is exactly what failures test).
+    pub fn fail_node(&mut self, id: NodeId) {
+        self.failed[id.index()] = true;
+    }
+
+    pub fn is_failed(&self, id: NodeId) -> bool {
+        self.failed[id.index()]
+    }
+
+    /// Run `f` on a node *now* (workload injection: "a sensor reading was
+    /// generated at this node"), processing any sends/timers it produces.
+    pub fn invoke(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut Ctx<A::Msg>)) {
+        if self.failed[node.index()] {
+            return; // dead nodes do nothing
+        }
+        let mut ctx = Ctx {
+            node,
+            now: self.now,
+            local_time: self.now + self.skew[node.index()],
+            topo: &self.topo,
+            sends: Vec::new(),
+            timers: Vec::new(),
+        };
+        f(&mut self.apps[node.index()], &mut ctx);
+        let (sends, timers) = (ctx.sends, ctx.timers);
+        self.apply_outputs(node, sends, timers);
+    }
+
+    fn apply_outputs(&mut self, from: NodeId, sends: Vec<(NodeId, A::Msg)>, timers: Vec<(SimTime, u64)>) {
+        for (to, msg) in sends {
+            let bytes = msg.size_bytes();
+            let p = self
+                .config
+                .link_loss
+                .get(&(from, to))
+                .copied()
+                .unwrap_or(self.config.loss_prob);
+            // Link-layer ARQ: attempt until delivered or retries exhausted;
+            // every attempt is a transmission, failed attempts are losses.
+            let mut delivered = false;
+            let mut extra_delay: SimTime = 0;
+            for _attempt in 0..=self.config.retries {
+                self.metrics.record_tx(from, bytes, msg.kind());
+                if p > 0.0 && self.rng.gen::<f64>() < p {
+                    self.metrics.record_loss();
+                    extra_delay += 5; // retransmission backoff
+                    continue;
+                }
+                delivered = true;
+                break;
+            }
+            if !delivered {
+                continue;
+            }
+            let (lo, hi) = self.config.hop_delay;
+            let delay = if hi > lo {
+                self.rng.gen_range(lo..=hi)
+            } else {
+                lo
+            };
+            self.push(self.now + delay + extra_delay, Event::Deliver { to, from, msg });
+        }
+        for (delay, tag) in timers {
+            self.push(self.now + delay, Event::Timer { node: from, tag });
+        }
+    }
+
+    /// Process one event; false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Reverse(q) = match self.queue.pop() {
+            Some(q) => q,
+            None => return false,
+        };
+        debug_assert!(q.at >= self.now, "time went backwards");
+        self.now = q.at;
+        self.events_processed += 1;
+        match q.event {
+            Event::Start(node) => {
+                self.invoke(node, |app, ctx| app.on_start(ctx));
+            }
+            Event::Deliver { to, from, msg } => {
+                if self.failed[to.index()] {
+                    self.metrics.record_loss();
+                } else {
+                    self.metrics.record_rx(to, msg.size_bytes());
+                    self.invoke(to, |app, ctx| app.on_message(ctx, from, msg));
+                }
+            }
+            Event::Timer { node, tag } => {
+                self.invoke(node, |app, ctx| app.on_timer(ctx, tag));
+            }
+        }
+        true
+    }
+
+    /// Run until the queue drains or simulated time exceeds `limit`.
+    /// Returns the final simulated time.
+    pub fn run_to_quiescence(&mut self, limit: SimTime) -> SimTime {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > limit {
+                break;
+            }
+            self.step();
+        }
+        self.now
+    }
+
+    /// Run while events are scheduled at or before `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > t {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// True when no events remain.
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flood app: node 0 starts a flood; everyone re-broadcasts once.
+    struct Flood {
+        id: NodeId,
+        seen: bool,
+        received_at: Option<SimTime>,
+    }
+
+    #[derive(Clone)]
+    struct Ping;
+
+    impl MsgMeta for Ping {
+        fn size_bytes(&self) -> usize {
+            8
+        }
+        fn kind(&self) -> &'static str {
+            "ping"
+        }
+    }
+
+    impl App for Flood {
+        type Msg = Ping;
+
+        fn on_start(&mut self, ctx: &mut Ctx<Ping>) {
+            if self.id == NodeId(0) {
+                self.seen = true;
+                self.received_at = Some(ctx.now);
+                ctx.broadcast(Ping);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<Ping>, _from: NodeId, msg: Ping) {
+            if !self.seen {
+                self.seen = true;
+                self.received_at = Some(ctx.now);
+                ctx.broadcast(msg);
+            }
+        }
+    }
+
+    fn flood_sim(cfg: SimConfig) -> Simulator<Flood> {
+        Simulator::new(Topology::square_grid(4), cfg, |id, _| Flood {
+            id,
+            seen: false,
+            received_at: None,
+        })
+    }
+
+    #[test]
+    fn flood_reaches_everyone() {
+        let mut sim = flood_sim(SimConfig::default());
+        sim.run_to_quiescence(100_000);
+        assert!(sim.nodes().all(|n| n.seen));
+        // Messages were counted: every node broadcast once to each neighbor.
+        assert!(sim.metrics.total_tx() > 0);
+        assert_eq!(sim.metrics.tx_by_kind["ping"], sim.metrics.total_tx());
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let mut a = flood_sim(SimConfig::default());
+        let mut b = flood_sim(SimConfig::default());
+        a.run_to_quiescence(100_000);
+        b.run_to_quiescence(100_000);
+        assert_eq!(a.metrics.total_tx(), b.metrics.total_tx());
+        let ta: Vec<_> = a.nodes().map(|n| n.received_at).collect();
+        let tb: Vec<_> = b.nodes().map(|n| n.received_at).collect();
+        assert_eq!(ta, tb);
+        assert_eq!(a.events_processed(), b.events_processed());
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let mut a = flood_sim(SimConfig::default());
+        let mut b = flood_sim(SimConfig {
+            seed: 99,
+            ..SimConfig::default()
+        });
+        a.run_to_quiescence(100_000);
+        b.run_to_quiescence(100_000);
+        let ta: Vec<_> = a.nodes().map(|n| n.received_at).collect();
+        let tb: Vec<_> = b.nodes().map(|n| n.received_at).collect();
+        assert_ne!(ta, tb, "delay jitter should differ across seeds");
+    }
+
+    #[test]
+    fn total_loss_blocks_flood() {
+        let mut sim = flood_sim(SimConfig {
+            loss_prob: 1.0,
+            ..SimConfig::default()
+        });
+        sim.run_to_quiescence(100_000);
+        let reached = sim.nodes().filter(|n| n.seen).count();
+        assert_eq!(reached, 1); // only the origin
+        assert!(sim.metrics.lost > 0);
+        assert_eq!(sim.metrics.delivered, 0);
+    }
+
+    #[test]
+    fn partial_loss_partial_delivery() {
+        let mut sim = flood_sim(SimConfig {
+            loss_prob: 0.3,
+            seed: 7,
+            ..SimConfig::default()
+        });
+        sim.run_to_quiescence(100_000);
+        assert!(sim.metrics.lost > 0);
+        assert!(sim.metrics.delivered > 0);
+        let r = sim.metrics.delivery_ratio();
+        assert!(r > 0.4 && r < 0.95, "ratio {r} should reflect ~30% loss");
+    }
+
+    #[test]
+    fn per_link_loss_override() {
+        let mut cfg = SimConfig::default();
+        // Kill both directions of the 0-1 link on a 1x2 grid.
+        cfg.link_loss.insert((NodeId(0), NodeId(1)), 1.0);
+        let topo = Topology::grid(2, 1);
+        let mut sim = Simulator::new(topo, cfg, |id, _| Flood {
+            id,
+            seen: false,
+            received_at: None,
+        });
+        sim.run_to_quiescence(10_000);
+        assert!(!sim.node(NodeId(1)).seen);
+    }
+
+    #[test]
+    fn clock_skew_bounded() {
+        let sim = flood_sim(SimConfig {
+            clock_skew_max: 50,
+            ..SimConfig::default()
+        });
+        for id in sim.topology().nodes() {
+            let lt = sim.local_time(id);
+            assert!(lt >= sim.now() && lt <= sim.now() + 50);
+        }
+    }
+
+    #[test]
+    fn timers_fire() {
+        struct TimerApp {
+            fired: Vec<(SimTime, u64)>,
+        }
+        #[derive(Clone)]
+        struct Nothing;
+        impl MsgMeta for Nothing {
+            fn size_bytes(&self) -> usize {
+                0
+            }
+        }
+        impl App for TimerApp {
+            type Msg = Nothing;
+            fn on_start(&mut self, ctx: &mut Ctx<Nothing>) {
+                ctx.set_timer(100, 1);
+                ctx.set_timer(50, 2);
+            }
+            fn on_message(&mut self, _: &mut Ctx<Nothing>, _: NodeId, _: Nothing) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<Nothing>, tag: u64) {
+                self.fired.push((ctx.now, tag));
+            }
+        }
+        let mut sim = Simulator::new(Topology::grid(1, 1), SimConfig::default(), |_, _| {
+            TimerApp { fired: Vec::new() }
+        });
+        sim.run_to_quiescence(1_000);
+        assert_eq!(sim.node(NodeId(0)).fired, vec![(50, 2), (100, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn send_to_non_neighbor_panics() {
+        struct Bad;
+        #[derive(Clone)]
+        struct Nothing;
+        impl MsgMeta for Nothing {
+            fn size_bytes(&self) -> usize {
+                0
+            }
+        }
+        impl App for Bad {
+            type Msg = Nothing;
+            fn on_start(&mut self, ctx: &mut Ctx<Nothing>) {
+                ctx.send(NodeId(8), Nothing); // diagonal/non-adjacent
+            }
+            fn on_message(&mut self, _: &mut Ctx<Nothing>, _: NodeId, _: Nothing) {}
+        }
+        let mut sim = Simulator::new(Topology::square_grid(3), SimConfig::default(), |_, _| Bad);
+        sim.run_to_quiescence(100);
+    }
+
+    #[test]
+    fn run_until_advances_clock() {
+        let mut sim = flood_sim(SimConfig::default());
+        sim.run_until(10);
+        assert!(sim.now() >= 10 || sim.is_quiescent());
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+
+    struct Echo {
+        id: NodeId,
+        heard: u32,
+    }
+    #[derive(Clone)]
+    struct Beep;
+    impl MsgMeta for Beep {
+        fn size_bytes(&self) -> usize {
+            1
+        }
+    }
+    impl App for Echo {
+        type Msg = Beep;
+        fn on_start(&mut self, ctx: &mut Ctx<Beep>) {
+            if self.id == NodeId(0) {
+                ctx.broadcast(Beep);
+                ctx.set_timer(100, 1);
+            }
+        }
+        fn on_message(&mut self, _: &mut Ctx<Beep>, _: NodeId, _: Beep) {
+            self.heard += 1;
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<Beep>, _: u64) {
+            ctx.broadcast(Beep);
+        }
+    }
+
+    #[test]
+    fn failed_node_receives_nothing() {
+        let mut sim = Simulator::new(Topology::grid(2, 1), SimConfig::default(), |id, _| Echo {
+            id,
+            heard: 0,
+        });
+        sim.fail_node(NodeId(1));
+        sim.run_to_quiescence(10_000);
+        assert!(sim.is_failed(NodeId(1)));
+        assert_eq!(sim.node(NodeId(1)).heard, 0);
+        assert!(sim.metrics.lost >= 1, "drops at dead nodes count as losses");
+    }
+
+    #[test]
+    fn failed_node_fires_no_timers_and_sends_nothing() {
+        let mut sim = Simulator::new(Topology::grid(2, 1), SimConfig::default(), |id, _| Echo {
+            id,
+            heard: 0,
+        });
+        // Let the start broadcast land, then kill node 0 before its timer.
+        sim.run_until(50);
+        sim.fail_node(NodeId(0));
+        sim.run_to_quiescence(10_000);
+        // Node 1 heard exactly the first broadcast, not the timer rebroadcast.
+        assert_eq!(sim.node(NodeId(1)).heard, 1);
+    }
+
+    #[test]
+    fn invoke_on_failed_node_is_noop() {
+        let mut sim = Simulator::new(Topology::grid(2, 1), SimConfig::default(), |id, _| Echo {
+            id,
+            heard: 0,
+        });
+        sim.fail_node(NodeId(0));
+        sim.invoke(NodeId(0), |app, ctx| {
+            app.heard = 99;
+            ctx.broadcast(Beep);
+        });
+        assert_eq!(sim.node(NodeId(0)).heard, 0);
+    }
+}

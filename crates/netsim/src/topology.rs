@@ -1,0 +1,302 @@
+//! Network topologies: 2D grids (the paper's primary evaluation setting,
+//! Sec. III-A) and connected random geometric graphs (for the "PA in
+//! General Networks" extension).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Node identifier: index into the topology's node list.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Topology kinds (used by routing to pick strategies).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologyKind {
+    /// `cols × rows` grid, unit spacing, unit transmission radius
+    /// (4-neighborhood: diagonal distance √2 exceeds the unit radius).
+    Grid { cols: u32, rows: u32 },
+    /// Random geometric graph in a `[0, side] × [0, side]` square.
+    Geometric { side: f64, radius: f64 },
+}
+
+/// An immutable network topology: node positions plus the unit-disk
+/// adjacency.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    pub kind: TopologyKind,
+    positions: Vec<(f64, f64)>,
+    adjacency: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// `cols × rows` grid with unit spacing. Node `(x, y)` has id
+    /// `y * cols + x` — x grows rightward, y upward.
+    pub fn grid(cols: u32, rows: u32) -> Topology {
+        assert!(cols > 0 && rows > 0, "empty grid");
+        let n = (cols * rows) as usize;
+        let mut positions = Vec::with_capacity(n);
+        for y in 0..rows {
+            for x in 0..cols {
+                positions.push((x as f64, y as f64));
+            }
+        }
+        let mut adjacency = vec![Vec::new(); n];
+        let id = |x: u32, y: u32| NodeId(y * cols + x);
+        for y in 0..rows {
+            for x in 0..cols {
+                let mut neigh = Vec::new();
+                if x > 0 {
+                    neigh.push(id(x - 1, y));
+                }
+                if x + 1 < cols {
+                    neigh.push(id(x + 1, y));
+                }
+                if y > 0 {
+                    neigh.push(id(x, y - 1));
+                }
+                if y + 1 < rows {
+                    neigh.push(id(x, y + 1));
+                }
+                adjacency[id(x, y).index()] = neigh;
+            }
+        }
+        Topology {
+            kind: TopologyKind::Grid { cols, rows },
+            positions,
+            adjacency,
+        }
+    }
+
+    /// Square grid `m × m`.
+    pub fn square_grid(m: u32) -> Topology {
+        Topology::grid(m, m)
+    }
+
+    /// Connected random geometric graph: `n` nodes uniform in a square of
+    /// side `side`, connected iff within `radius`. Re-samples (up to 200
+    /// attempts) until connected; panics if the density is hopeless.
+    pub fn random_geometric(n: usize, side: f64, radius: f64, seed: u64) -> Topology {
+        assert!(n > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _attempt in 0..200 {
+            let positions: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+                .collect();
+            let mut adjacency = vec![Vec::new(); n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let (x1, y1) = positions[i];
+                    let (x2, y2) = positions[j];
+                    if (x1 - x2).powi(2) + (y1 - y2).powi(2) <= radius * radius {
+                        adjacency[i].push(NodeId(j as u32));
+                        adjacency[j].push(NodeId(i as u32));
+                    }
+                }
+            }
+            let topo = Topology {
+                kind: TopologyKind::Geometric { side, radius },
+                positions,
+                adjacency,
+            };
+            if topo.is_connected() {
+                return topo;
+            }
+        }
+        panic!("random_geometric: could not sample a connected graph (n={n}, side={side}, radius={radius})");
+    }
+
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.positions.len() as u32).map(NodeId)
+    }
+
+    pub fn position(&self, id: NodeId) -> (f64, f64) {
+        self.positions[id.index()]
+    }
+
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.adjacency[id.index()]
+    }
+
+    pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
+        self.adjacency[a.index()].contains(&b)
+    }
+
+    /// Grid coordinates of a node (grid topologies only).
+    pub fn grid_coords(&self, id: NodeId) -> Option<(u32, u32)> {
+        match self.kind {
+            TopologyKind::Grid { cols, .. } => Some((id.0 % cols, id.0 / cols)),
+            _ => None,
+        }
+    }
+
+    /// Node at grid coordinates (grid topologies only).
+    pub fn node_at(&self, x: u32, y: u32) -> Option<NodeId> {
+        match self.kind {
+            TopologyKind::Grid { cols, rows } => {
+                if x < cols && y < rows {
+                    Some(NodeId(y * cols + x))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    pub fn grid_dims(&self) -> Option<(u32, u32)> {
+        match self.kind {
+            TopologyKind::Grid { cols, rows } => Some((cols, rows)),
+            _ => None,
+        }
+    }
+
+    /// Euclidean distance between two nodes.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        let (x1, y1) = self.position(a);
+        let (x2, y2) = self.position(b);
+        ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt()
+    }
+
+    /// BFS connectivity check.
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &w in self.neighbors(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == self.len()
+    }
+
+    /// Hop distance (BFS); `None` if unreachable.
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        if a == b {
+            return Some(0);
+        }
+        let mut dist = vec![usize::MAX; self.len()];
+        dist[a.index()] = 0;
+        let mut queue = std::collections::VecDeque::from([a]);
+        while let Some(v) = queue.pop_front() {
+            for &w in self.neighbors(v) {
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = dist[v.index()] + 1;
+                    if w == b {
+                        return Some(dist[w.index()]);
+                    }
+                    queue.push_back(w);
+                }
+            }
+        }
+        None
+    }
+
+    /// The node whose position is closest to `(x, y)` (geographic-hash
+    /// target resolution).
+    pub fn closest_node(&self, x: f64, y: f64) -> NodeId {
+        let mut best = NodeId(0);
+        let mut best_d = f64::INFINITY;
+        for id in self.nodes() {
+            let (px, py) = self.position(id);
+            let d = (px - x).powi(2) + (py - y).powi(2);
+            if d < best_d {
+                best_d = d;
+                best = id;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape() {
+        let t = Topology::grid(4, 3);
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.grid_coords(NodeId(0)), Some((0, 0)));
+        assert_eq!(t.grid_coords(NodeId(5)), Some((1, 1)));
+        assert_eq!(t.node_at(1, 1), Some(NodeId(5)));
+        assert_eq!(t.node_at(4, 0), None);
+        assert_eq!(t.position(NodeId(5)), (1.0, 1.0));
+    }
+
+    #[test]
+    fn grid_neighbors_four_connected() {
+        let t = Topology::square_grid(3);
+        // corner has 2, edge 3, center 4
+        assert_eq!(t.neighbors(NodeId(0)).len(), 2);
+        assert_eq!(t.neighbors(NodeId(1)).len(), 3);
+        assert_eq!(t.neighbors(NodeId(4)).len(), 4);
+        assert!(t.are_neighbors(NodeId(0), NodeId(1)));
+        assert!(!t.are_neighbors(NodeId(0), NodeId(4))); // diagonal
+    }
+
+    #[test]
+    fn grid_connected_and_hops() {
+        let t = Topology::square_grid(5);
+        assert!(t.is_connected());
+        // Manhattan distance in a grid.
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(24)), Some(8));
+        assert_eq!(t.hop_distance(NodeId(7), NodeId(7)), Some(0));
+    }
+
+    #[test]
+    fn random_geometric_connected_deterministic() {
+        let t1 = Topology::random_geometric(30, 5.0, 1.6, 42);
+        let t2 = Topology::random_geometric(30, 5.0, 1.6, 42);
+        assert!(t1.is_connected());
+        assert_eq!(t1.position(NodeId(7)), t2.position(NodeId(7)));
+        // Unit-disk property.
+        for id in t1.nodes() {
+            for &n in t1.neighbors(id) {
+                assert!(t1.distance(id, n) <= 1.6 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn closest_node_resolution() {
+        let t = Topology::square_grid(4);
+        assert_eq!(t.closest_node(0.1, 0.2), NodeId(0));
+        assert_eq!(t.closest_node(2.9, 3.1), t.node_at(3, 3).unwrap());
+    }
+
+    #[test]
+    fn distance_metric() {
+        let t = Topology::square_grid(3);
+        assert!((t.distance(NodeId(0), NodeId(8)) - 8f64.sqrt()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,107 @@
+//! Geographic hashing (Sec. III-B "Hashing Derived Tuples").
+//!
+//! "For efficient elimination of duplicates … we need to hash and store the
+//! derived tuples across the network such that identical derived tuples are
+//! stored at same (or close-by) nodes. We can use well-known geographic
+//! hashing schemes." This module hashes a tuple key to a point in the
+//! deployment area; the owner is the closest node (GHT's home-node rule).
+
+use sensorlog_logic::{Symbol, Term, Tuple};
+use sensorlog_netsim::{NodeId, Topology};
+use std::fmt::Write;
+
+/// FNV-1a, the classic cheap byte hash (in-tree per DESIGN.md — no external
+/// hashing dependency).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Canonical byte encoding of a term sequence (display form with
+/// separators; stable because `Term: Display` is deterministic).
+fn encode(pred: Symbol, terms: &[Term]) -> String {
+    let mut s = String::with_capacity(32);
+    let _ = write!(s, "{pred}|");
+    for t in terms {
+        let _ = write!(s, "{t};");
+    }
+    s
+}
+
+/// Hash a (predicate, tuple) pair to a stable 64-bit key.
+pub fn hash_fact(pred: Symbol, tuple: &Tuple) -> u64 {
+    fnv1a(encode(pred, tuple.terms()).as_bytes())
+}
+
+/// The owner node of a fact: hash → point in the bounding box → closest
+/// node. Identical facts always meet at the same owner; distribution is
+/// uniform across the area (load balance for derived storage).
+pub fn owner_of(topo: &Topology, pred: Symbol, tuple: &Tuple) -> NodeId {
+    let h = hash_fact(pred, tuple);
+    // Bounding box from the topology kind.
+    let (w, hgt) = match topo.kind {
+        sensorlog_netsim::TopologyKind::Grid { cols, rows } => {
+            ((cols.max(1) - 1) as f64, (rows.max(1) - 1) as f64)
+        }
+        sensorlog_netsim::TopologyKind::Geometric { side, .. } => (side, side),
+    };
+    let x = (h >> 32) as f64 / u32::MAX as f64 * w;
+    let y = (h & 0xFFFF_FFFF) as f64 / u32::MAX as f64 * hgt;
+    topo.closest_node(x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensorlog_logic::parse_fact;
+
+    fn fact(src: &str) -> (Symbol, Tuple) {
+        let (p, args) = parse_fact(src).unwrap();
+        (p, Tuple::new(args))
+    }
+
+    #[test]
+    fn deterministic_owner() {
+        let topo = Topology::square_grid(8);
+        let (p, t) = fact("cov(3, 100)");
+        assert_eq!(owner_of(&topo, p, &t), owner_of(&topo, p, &t));
+    }
+
+    #[test]
+    fn different_facts_spread() {
+        let topo = Topology::square_grid(8);
+        let mut owners = std::collections::HashSet::new();
+        for i in 0..200 {
+            let (p, t) = fact(&format!("cov({i}, {})", i * 7));
+            owners.insert(owner_of(&topo, p, &t));
+        }
+        // 200 facts over 64 nodes: expect wide spread.
+        assert!(owners.len() > 30, "only {} distinct owners", owners.len());
+    }
+
+    #[test]
+    fn predicate_distinguishes() {
+        let (p1, t1) = fact("cov(1, 2)");
+        let (p2, t2) = fact("uncov(1, 2)");
+        assert_ne!(hash_fact(p1, &t1), hash_fact(p2, &t2));
+    }
+
+    #[test]
+    fn function_symbol_tuples_hash() {
+        let topo = Topology::square_grid(4);
+        let (p, t) = fact("traj([r(1,2,3), r(4,5,6)])");
+        let o = owner_of(&topo, p, &t);
+        assert!(o.index() < topo.len());
+    }
+
+    #[test]
+    fn fnv_known_values() {
+        // FNV-1a("") = offset basis; FNV-1a("a") well-known.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

@@ -1,0 +1,28 @@
+//! # sensorlog-netstack
+//!
+//! Network services layered on the simulator, used by the distributed
+//! deductive engine and the baselines:
+//!
+//! * [`router`] — grid coordinate routing, greedy geographic routing with
+//!   BFS fallback;
+//! * [`ght`] — geographic hashing: derived tuples meet at their owner node
+//!   (Sec. III-B);
+//! * [`regions`] — PA storage/join regions: grid rows & columns, coordinate
+//!   bands for general topologies, spatial-constraint truncation
+//!   (Sec. III-A);
+//! * [`tree`] — data-gathering spanning trees (BFS + the distributed
+//!   beacon protocol);
+//! * [`tag`] — TAG-style in-network aggregation (the paper's citation \[32\]);
+//! * [`flood`] — the hand-written procedural shortest-path-tree protocol
+//!   (the Kairos-style comparator for Example 3).
+
+pub mod flood;
+pub mod ght;
+pub mod regions;
+pub mod router;
+pub mod tag;
+pub mod tree;
+
+pub use ght::owner_of;
+pub use router::Router;
+pub use tree::GatherTree;

@@ -1,0 +1,169 @@
+//! Storage and join-computation regions (Sec. III-A).
+//!
+//! PA uses the tuple's grid row as the storage region and its column as the
+//! join-computation region — every vertical line intersects every
+//! horizontal line, the GPA intersection invariant. In general topologies
+//! rows/columns generalize to coordinate *bands* whose width guarantees a
+//! connected walk (the banded scheme standing in for \[44\]'s construction).
+//! Spatial join constraints truncate regions to the constraint radius
+//! (Sec. III-A "Function Symbols and Spatial Constraints").
+
+use sensorlog_netsim::{NodeId, Topology, TopologyKind};
+
+/// The ordered list of nodes in `node`'s grid row (left → right).
+pub fn grid_row(topo: &Topology, node: NodeId) -> Vec<NodeId> {
+    let (_, y) = topo.grid_coords(node).expect("grid topology");
+    let (cols, _) = topo.grid_dims().expect("grid topology");
+    (0..cols).map(|x| topo.node_at(x, y).expect("in range")).collect()
+}
+
+/// The ordered list of nodes in `node`'s grid column (bottom → top).
+pub fn grid_col(topo: &Topology, node: NodeId) -> Vec<NodeId> {
+    let (x, _) = topo.grid_coords(node).expect("grid topology");
+    let (_, rows) = topo.grid_dims().expect("grid topology");
+    (0..rows).map(|y| topo.node_at(x, y).expect("in range")).collect()
+}
+
+/// Horizontal band: nodes with `|y − y(node)| ≤ width/2`, ordered by x.
+/// With `width ≥` the radio radius, consecutive members are mutually
+/// reachable through the band (walked via the router).
+pub fn horizontal_band(topo: &Topology, node: NodeId, width: f64) -> Vec<NodeId> {
+    let (_, y0) = topo.position(node);
+    let mut members: Vec<NodeId> = topo
+        .nodes()
+        .filter(|&n| (topo.position(n).1 - y0).abs() <= width / 2.0)
+        .collect();
+    members.sort_by(|&a, &b| {
+        topo.position(a)
+            .0
+            .partial_cmp(&topo.position(b).0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    members
+}
+
+/// Vertical band: nodes with `|x − x(node)| ≤ width/2`, ordered by y.
+pub fn vertical_band(topo: &Topology, node: NodeId, width: f64) -> Vec<NodeId> {
+    let (x0, _) = topo.position(node);
+    let mut members: Vec<NodeId> = topo
+        .nodes()
+        .filter(|&n| (topo.position(n).0 - x0).abs() <= width / 2.0)
+        .collect();
+    members.sort_by(|&a, &b| {
+        topo.position(a)
+            .1
+            .partial_cmp(&topo.position(b).1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    members
+}
+
+/// Storage region for PA: row on grids, horizontal band elsewhere.
+pub fn storage_region(topo: &Topology, node: NodeId, band_width: f64) -> Vec<NodeId> {
+    match topo.kind {
+        TopologyKind::Grid { .. } => grid_row(topo, node),
+        TopologyKind::Geometric { .. } => horizontal_band(topo, node, band_width),
+    }
+}
+
+/// Join-computation region for PA: column on grids, vertical band elsewhere.
+pub fn join_region(topo: &Topology, node: NodeId, band_width: f64) -> Vec<NodeId> {
+    match topo.kind {
+        TopologyKind::Grid { .. } => grid_col(topo, node),
+        TopologyKind::Geometric { .. } => vertical_band(topo, node, band_width),
+    }
+}
+
+/// Truncate a region to the nodes within Euclidean `radius` of `center`,
+/// preserving order — the spatial-constraint optimization: "store each
+/// tuple over only an appropriate part of the horizontal path, and
+/// similarly traverse only an appropriate part of the vertical path".
+pub fn truncate(topo: &Topology, region: &[NodeId], center: NodeId, radius: f64) -> Vec<NodeId> {
+    let (cx, cy) = topo.position(center);
+    region
+        .iter()
+        .copied()
+        .filter(|&n| {
+            let (x, y) = topo.position(n);
+            ((x - cx).powi(2) + (y - cy).powi(2)).sqrt() <= radius
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_and_cols() {
+        let topo = Topology::square_grid(4);
+        let n = topo.node_at(2, 1).unwrap();
+        let row = grid_row(&topo, n);
+        assert_eq!(row.len(), 4);
+        assert!(row.iter().all(|&m| topo.grid_coords(m).unwrap().1 == 1));
+        let col = grid_col(&topo, n);
+        assert_eq!(col.len(), 4);
+        assert!(col.iter().all(|&m| topo.grid_coords(m).unwrap().0 == 2));
+        // Every row intersects every column (the GPA invariant).
+        for y in 0..4 {
+            let r = grid_row(&topo, topo.node_at(0, y).unwrap());
+            for x in 0..4 {
+                let c = grid_col(&topo, topo.node_at(x, 0).unwrap());
+                assert!(r.iter().any(|m| c.contains(m)));
+            }
+        }
+    }
+
+    #[test]
+    fn bands_cover_and_intersect() {
+        let topo = Topology::random_geometric(50, 6.0, 1.8, 3);
+        let w = 1.8;
+        for &a in &[NodeId(0), NodeId(10), NodeId(25)] {
+            let h = horizontal_band(&topo, a, w);
+            assert!(h.contains(&a));
+            for &b in &[NodeId(5), NodeId(30), NodeId(49)] {
+                let v = vertical_band(&topo, b, w);
+                assert!(v.contains(&b));
+                // Bands of sufficient width always intersect in a bounded
+                // deployment (the crossing cell is nonempty whp; assert on
+                // these seeds).
+                assert!(
+                    h.iter().any(|m| v.contains(m)),
+                    "band intersection empty for {a}/{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn band_ordering() {
+        let topo = Topology::random_geometric(30, 5.0, 1.6, 7);
+        let band = horizontal_band(&topo, NodeId(3), 2.0);
+        for w in band.windows(2) {
+            assert!(topo.position(w[0]).0 <= topo.position(w[1]).0);
+        }
+    }
+
+    #[test]
+    fn truncation_filters_by_radius() {
+        let topo = Topology::square_grid(8);
+        let center = topo.node_at(4, 4).unwrap();
+        let row = grid_row(&topo, center);
+        let t = truncate(&topo, &row, center, 2.0);
+        // x ∈ {2..6} at distance ≤ 2 from x=4.
+        assert_eq!(t.len(), 5);
+        assert!(t.len() < row.len());
+        let t0 = truncate(&topo, &row, center, 0.0);
+        assert_eq!(t0, vec![center]);
+    }
+
+    #[test]
+    fn storage_join_dispatch() {
+        let grid = Topology::square_grid(4);
+        assert_eq!(storage_region(&grid, NodeId(5), 1.0).len(), 4);
+        assert_eq!(join_region(&grid, NodeId(5), 1.0).len(), 4);
+        let geo = Topology::random_geometric(20, 4.0, 1.6, 5);
+        assert!(!storage_region(&geo, NodeId(2), 1.6).is_empty());
+        assert!(!join_region(&geo, NodeId(2), 1.6).is_empty());
+    }
+}

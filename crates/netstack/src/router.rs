@@ -1,0 +1,178 @@
+//! Multi-hop routing.
+//!
+//! Grids route greedily along coordinates (x first, then y — exactly the
+//! "route in x then y" behaviour PA needs for its perpendicular walks).
+//! Arbitrary topologies use greedy geographic routing with a precomputed
+//! BFS next-hop fallback for local minima (our substitution for GPSR-style
+//! perimeter mode — see DESIGN.md).
+
+use sensorlog_netsim::{NodeId, Topology};
+
+/// Next-hop oracle over a topology. Cheap to build for grids; for general
+/// graphs it lazily materializes per-destination BFS parent trees.
+#[derive(Debug)]
+pub struct Router {
+    /// `fallback[dest][node]` = next hop from `node` toward `dest`
+    /// (usize::MAX = unreachable/self). Built on demand per destination.
+    fallback: Vec<Option<Vec<u32>>>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl Router {
+    pub fn new(topo: &Topology) -> Router {
+        Router {
+            fallback: vec![None; topo.len()],
+        }
+    }
+
+    /// Next hop from `from` toward `dest`. `None` when `from == dest`.
+    /// Panics if `dest` is unreachable (topologies are connected by
+    /// construction).
+    pub fn next_hop(&mut self, topo: &Topology, from: NodeId, dest: NodeId) -> Option<NodeId> {
+        if from == dest {
+            return None;
+        }
+        // Grid fast path: decrease x difference first, then y.
+        if let (Some((fx, fy)), Some((dx, dy))) = (topo.grid_coords(from), topo.grid_coords(dest))
+        {
+            let (nx, ny) = if fx != dx {
+                (if dx > fx { fx + 1 } else { fx - 1 }, fy)
+            } else {
+                (fx, if dy > fy { fy + 1 } else { fy - 1 })
+            };
+            return topo.node_at(nx, ny);
+        }
+        // General topologies: BFS parent pointers toward dest. (Pure greedy
+        // can live-lock against the fallback at local minima — mixing the
+        // two per hop is not loop-free — so the router is fully
+        // table-driven off-grid; `greedy_step` remains available as a
+        // primitive for protocols that handle their own recovery.)
+        let table = self.table_for(topo, dest);
+        let hop = table[from.index()];
+        assert!(hop != NONE, "{dest} unreachable from {from}");
+        Some(NodeId(hop))
+    }
+
+    fn table_for(&mut self, topo: &Topology, dest: NodeId) -> &Vec<u32> {
+        if self.fallback[dest.index()].is_none() {
+            let mut next = vec![NONE; topo.len()];
+            let mut queue = std::collections::VecDeque::from([dest]);
+            let mut seen = vec![false; topo.len()];
+            seen[dest.index()] = true;
+            while let Some(v) = queue.pop_front() {
+                for &w in topo.neighbors(v) {
+                    if !seen[w.index()] {
+                        seen[w.index()] = true;
+                        // First hop from w toward dest goes through v.
+                        next[w.index()] = v.0;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            self.fallback[dest.index()] = Some(next);
+        }
+        self.fallback[dest.index()].as_ref().expect("just built")
+    }
+}
+
+/// One greedy geographic step: the neighbor strictly closer to `dest`.
+pub fn greedy_step(topo: &Topology, from: NodeId, dest: NodeId) -> Option<NodeId> {
+    let d0 = topo.distance(from, dest);
+    let mut best: Option<(NodeId, f64)> = None;
+    for &n in topo.neighbors(from) {
+        if n == dest {
+            return Some(dest);
+        }
+        let d = topo.distance(n, dest);
+        if d < d0 && best.is_none_or(|(_, bd)| d < bd) {
+            best = Some((n, d));
+        }
+    }
+    best.map(|(n, _)| n)
+}
+
+/// The full multi-hop path from `from` to `dest` (inclusive of both ends).
+pub fn route_path(router: &mut Router, topo: &Topology, from: NodeId, dest: NodeId) -> Vec<NodeId> {
+    let mut path = vec![from];
+    let mut cur = from;
+    while cur != dest {
+        let nxt = router
+            .next_hop(topo, cur, dest)
+            .expect("next_hop returns Some while cur != dest");
+        assert!(
+            !path.contains(&nxt),
+            "routing loop {from}->{dest} via {nxt}"
+        );
+        path.push(nxt);
+        cur = nxt;
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_routes_x_then_y() {
+        let topo = Topology::square_grid(5);
+        let mut r = Router::new(&topo);
+        let from = topo.node_at(0, 0).unwrap();
+        let dest = topo.node_at(3, 2).unwrap();
+        let path = route_path(&mut r, &topo, from, dest);
+        // 3 x-steps then 2 y-steps = 6 nodes.
+        assert_eq!(path.len(), 6);
+        let coords: Vec<_> = path
+            .iter()
+            .map(|&n| topo.grid_coords(n).unwrap())
+            .collect();
+        assert_eq!(coords[0], (0, 0));
+        assert_eq!(coords[3], (3, 0));
+        assert_eq!(coords[5], (3, 2));
+    }
+
+    #[test]
+    fn self_route_is_none() {
+        let topo = Topology::square_grid(3);
+        let mut r = Router::new(&topo);
+        assert_eq!(r.next_hop(&topo, NodeId(4), NodeId(4)), None);
+    }
+
+    #[test]
+    fn geometric_routes_reach() {
+        let topo = Topology::random_geometric(40, 6.0, 1.7, 1);
+        let mut r = Router::new(&topo);
+        for a in [0u32, 5, 17] {
+            for b in [3u32, 22, 39] {
+                if a == b {
+                    continue;
+                }
+                let path = route_path(&mut r, &topo, NodeId(a), NodeId(b));
+                assert_eq!(*path.first().unwrap(), NodeId(a));
+                assert_eq!(*path.last().unwrap(), NodeId(b));
+                // every hop is a radio link
+                for w in path.windows(2) {
+                    assert!(topo.are_neighbors(w[0], w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_step_makes_progress() {
+        let topo = Topology::square_grid(4);
+        let step = greedy_step(&topo, NodeId(0), NodeId(15)).unwrap();
+        assert!(topo.distance(step, NodeId(15)) < topo.distance(NodeId(0), NodeId(15)));
+    }
+
+    #[test]
+    fn path_length_matches_hop_distance_on_grid() {
+        let topo = Topology::square_grid(6);
+        let mut r = Router::new(&topo);
+        let a = topo.node_at(1, 1).unwrap();
+        let b = topo.node_at(4, 5).unwrap();
+        let path = route_path(&mut r, &topo, a, b);
+        assert_eq!(path.len() - 1, topo.hop_distance(a, b).unwrap());
+    }
+}

@@ -1,0 +1,185 @@
+//! Data-gathering spanning tree (the substrate for TAG-style aggregation,
+//! Sec. IV-C "We can use specialized distributed techniques such as TAG").
+//!
+//! A BFS tree rooted at the sink. [`GatherTree`] is the precomputed
+//! structure; [`build_distributed`] runs the classic beacon-flood protocol
+//! on the simulator and reports its message cost (it must agree with the
+//! precomputed tree on hop counts).
+
+use sensorlog_netsim::{App, Ctx, MsgMeta, NodeId, SimConfig, Simulator, Topology};
+use std::collections::VecDeque;
+
+/// A rooted spanning tree: parent pointers + depth per node.
+#[derive(Clone, Debug)]
+pub struct GatherTree {
+    pub root: NodeId,
+    pub parent: Vec<Option<NodeId>>,
+    pub depth: Vec<u32>,
+}
+
+impl GatherTree {
+    /// BFS tree from `root`.
+    pub fn bfs(topo: &Topology, root: NodeId) -> GatherTree {
+        let mut parent = vec![None; topo.len()];
+        let mut depth = vec![u32::MAX; topo.len()];
+        depth[root.index()] = 0;
+        let mut q = VecDeque::from([root]);
+        while let Some(v) = q.pop_front() {
+            for &w in topo.neighbors(v) {
+                if depth[w.index()] == u32::MAX {
+                    depth[w.index()] = depth[v.index()] + 1;
+                    parent[w.index()] = Some(v);
+                    q.push_back(w);
+                }
+            }
+        }
+        GatherTree {
+            root,
+            parent,
+            depth,
+        }
+    }
+
+    /// Children of a node.
+    pub fn children(&self, n: NodeId) -> Vec<NodeId> {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p == Some(n))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    pub fn is_leaf(&self, n: NodeId) -> bool {
+        self.children(n).is_empty()
+    }
+
+    pub fn max_depth(&self) -> u32 {
+        self.depth
+            .iter()
+            .copied()
+            .filter(|&d| d != u32::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Beacon message of the distributed tree protocol.
+#[derive(Clone, Debug)]
+pub struct Beacon {
+    pub depth: u32,
+}
+
+impl MsgMeta for Beacon {
+    fn size_bytes(&self) -> usize {
+        4
+    }
+    fn kind(&self) -> &'static str {
+        "beacon"
+    }
+}
+
+/// Node state of the distributed tree protocol.
+pub struct TreeNode {
+    pub id: NodeId,
+    pub root: NodeId,
+    pub parent: Option<NodeId>,
+    pub depth: Option<u32>,
+}
+
+impl App for TreeNode {
+    type Msg = Beacon;
+
+    fn on_start(&mut self, ctx: &mut Ctx<Beacon>) {
+        if self.id == self.root {
+            self.depth = Some(0);
+            ctx.broadcast(Beacon { depth: 0 });
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Beacon>, from: NodeId, msg: Beacon) {
+        let new_depth = msg.depth + 1;
+        if self.depth.is_none_or(|d| new_depth < d) {
+            self.depth = Some(new_depth);
+            self.parent = Some(from);
+            ctx.broadcast(Beacon { depth: new_depth });
+        }
+    }
+}
+
+/// Run the distributed tree construction; returns (tree, message count).
+pub fn build_distributed(
+    topo: &Topology,
+    root: NodeId,
+    config: SimConfig,
+) -> (GatherTree, u64) {
+    let mut sim = Simulator::new(topo.clone(), config, |id, _| TreeNode {
+        id,
+        root,
+        parent: None,
+        depth: None,
+    });
+    sim.run_to_quiescence(10_000_000);
+    let mut parent = vec![None; topo.len()];
+    let mut depth = vec![u32::MAX; topo.len()];
+    for id in topo.nodes() {
+        let n = sim.node(id);
+        parent[id.index()] = n.parent;
+        depth[id.index()] = n.depth.unwrap_or(u32::MAX);
+    }
+    (
+        GatherTree {
+            root,
+            parent,
+            depth,
+        },
+        sim.metrics.total_tx(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_tree_depths() {
+        let topo = Topology::square_grid(5);
+        let t = GatherTree::bfs(&topo, NodeId(0));
+        // Depth = Manhattan distance from corner.
+        for id in topo.nodes() {
+            let (x, y) = topo.grid_coords(id).unwrap();
+            assert_eq!(t.depth[id.index()], x + y);
+        }
+        assert_eq!(t.max_depth(), 8);
+        assert!(t.parent[0].is_none());
+    }
+
+    #[test]
+    fn children_partition() {
+        let topo = Topology::square_grid(4);
+        let t = GatherTree::bfs(&topo, NodeId(0));
+        let mut count = 0;
+        for id in topo.nodes() {
+            count += t.children(id).len();
+        }
+        assert_eq!(count, topo.len() - 1); // every non-root has one parent
+    }
+
+    #[test]
+    fn distributed_matches_bfs_depths() {
+        let topo = Topology::square_grid(4);
+        let (tree, msgs) = build_distributed(&topo, NodeId(0), SimConfig::default());
+        let oracle = GatherTree::bfs(&topo, NodeId(0));
+        assert_eq!(tree.depth, oracle.depth);
+        assert!(msgs > 0);
+    }
+
+    #[test]
+    fn distributed_on_geometric() {
+        let topo = Topology::random_geometric(30, 5.0, 1.7, 9);
+        let (tree, _) = build_distributed(&topo, NodeId(0), SimConfig::default());
+        for id in topo.nodes() {
+            assert!(tree.depth[id.index()] != u32::MAX, "{id} unreached");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The `sensorlog` command-line interface.
+//!
+//! ```text
+//! sensorlog analyze <program.dl>
+//!     Parse + classify: safety, stratification, XY components, windows.
+//!
+//! sensorlog run <program.dl> [--facts <facts.dl>] [--output <pred>]
+//!     Centralized bottom-up evaluation over a fact file.
+//!
+//! sensorlog deploy <program.dl> --grid <m> [--events <events.txt>]
+//!         [--strategy pa|centroid|broadcast|local] [--loss <p>]
+//!         [--seed <n>] [--horizon <ms>]
+//!     Distributed evaluation on an m×m simulated grid. Events file lines:
+//!         +<at_ms> @<node> fact(args).
+//!         -<at_ms> @<node> fact(args).
+//! ```
+
+use sensorlog::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("deploy") => cmd_deploy(&args[1..]),
+        _ => {
+            eprintln!("usage: sensorlog <analyze|run|deploy> <program.dl> [options]");
+            eprintln!("       (see `src/bin/sensorlog.rs` header for options)");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn load_program(args: &[String]) -> Result<(String, sensorlog::logic::Program), AnyError> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("missing <program.dl> argument")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let prog = parse_program(&src)?;
+    Ok((src, prog))
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), AnyError> {
+    let (_, prog) = load_program(args)?;
+    let analysis = analyze(&prog, &BuiltinRegistry::standard())?;
+    println!("class: {:?}", analysis.class);
+    println!("rules: {}", analysis.program.rules.len());
+    for r in &analysis.program.rules {
+        println!("  #{:<2} {}", r.id, r);
+    }
+    println!("strata:");
+    for (i, stratum) in analysis.strat.strata.iter().enumerate() {
+        let names: Vec<&str> = stratum.iter().map(|s| s.as_str()).collect();
+        println!("  {i}: {}", names.join(", "));
+    }
+    for info in &analysis.xy {
+        let order: Vec<String> = info
+            .stage_order
+            .iter()
+            .map(|p| format!("{p}[stage@{}]", info.stage_pos[p]))
+            .collect();
+        println!("XY component: {}", order.join(" -> "));
+    }
+    if !analysis.program.windows.is_empty() {
+        println!("windows:");
+        for (p, w) in &analysis.program.windows {
+            println!("  {p}: {w} ms");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), AnyError> {
+    let (src, prog) = load_program(args)?;
+    let reg = BuiltinRegistry::standard();
+    let analysis = analyze(&prog, &reg)?;
+    let outputs: Vec<Symbol> = if let Some(o) = flag(args, "--output") {
+        vec![Symbol::intern(&o)]
+    } else if analysis.program.outputs.is_empty() {
+        analysis.program.idb_preds().into_iter().collect()
+    } else {
+        analysis.program.outputs.clone()
+    };
+    let engine = Engine::new(analysis, reg);
+    let mut edb = Database::new();
+    if let Some(facts_path) = flag(args, "--facts") {
+        let text = std::fs::read_to_string(&facts_path).map_err(|e| format!("{facts_path}: {e}"))?;
+        let n = edb.load_facts(&text)?;
+        eprintln!("loaded {n} facts from {facts_path}");
+    }
+    let out = engine.run(&edb)?;
+    for p in outputs {
+        for t in out.sorted(p) {
+            println!("{p}{t}.");
+        }
+    }
+    let _ = src;
+    Ok(())
+}
+
+fn cmd_deploy(args: &[String]) -> Result<(), AnyError> {
+    let (src, prog) = load_program(args)?;
+    let m: u32 = flag(args, "--grid")
+        .ok_or("deploy requires --grid <m>")?
+        .parse()?;
+    let strategy = match flag(args, "--strategy").as_deref() {
+        None | Some("pa") => Strategy::Perpendicular { band_width: 1.0 },
+        Some("centroid") => Strategy::Centroid,
+        Some("broadcast") => Strategy::NaiveBroadcast,
+        Some("local") => Strategy::LocalStorage,
+        Some(other) => return Err(format!("unknown strategy `{other}`").into()),
+    };
+    let mut sim = SimConfig::default();
+    if let Some(p) = flag(args, "--loss") {
+        sim.loss_prob = p.parse()?;
+    }
+    if let Some(s) = flag(args, "--seed") {
+        sim.seed = s.parse()?;
+    }
+    let horizon: u64 = flag(args, "--horizon")
+        .map(|h| h.parse())
+        .transpose()?
+        .unwrap_or(600_000_000);
+
+    let topo = Topology::square_grid(m);
+    let n_nodes = topo.len();
+    let cfg = DeployConfig {
+        rt: RtConfig {
+            strategy,
+            ..RtConfig::default()
+        },
+        sim,
+        ..DeployConfig::default()
+    };
+    let mut d = Deployment::new(&src, BuiltinRegistry::standard(), topo, cfg)
+        .map_err(|e| e.to_string())?;
+    let _ = prog;
+
+    let mut events = Vec::new();
+    if let Some(path) = flag(args, "--events") {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        events = WorkloadEvent::parse_script(&text)?;
+        if let Some(bad) = events.iter().find(|ev| ev.node.index() >= n_nodes) {
+            return Err(format!("event node {} outside the {m}x{m} grid", bad.node).into());
+        }
+        eprintln!("scheduled {} events", events.len());
+    }
+    d.schedule_all(events.clone());
+    let converged = d.run(horizon);
+
+    for &p in &d.prog.outputs.clone() {
+        for t in d.results(p) {
+            println!("{p}{t}.");
+        }
+    }
+    eprintln!(
+        "-- {} nodes, strategy {}, converged at {:.1}s",
+        n_nodes,
+        d.strategy.name(),
+        converged as f64 / 1000.0
+    );
+    eprintln!(
+        "-- messages: {} total ({} store, {} probe, {} result), hottest node {}, energy {:.1} mJ",
+        d.metrics().total_tx(),
+        d.metrics().tx_by_kind.get("store").unwrap_or(&0),
+        d.metrics().tx_by_kind.get("probe").unwrap_or(&0),
+        d.metrics().tx_by_kind.get("result").unwrap_or(&0),
+        d.metrics().max_node_load(),
+        d.metrics().total_energy_uj() / 1000.0
+    );
+    if !events.is_empty() && d.metrics().lost == 0 {
+        let report = sensorlog::core::oracle::check(&d, &events, d.prog.outputs[0]);
+        eprintln!(
+            "-- oracle: {} ({} expected, {} missing, {} spurious)",
+            if report.exact() { "exact" } else { "DIVERGED" },
+            report.expected,
+            report.missing.len(),
+            report.spurious.len()
+        );
+    }
+    Ok(())
+}

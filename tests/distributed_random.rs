@@ -1,0 +1,184 @@
+//! Randomized distributed-vs-oracle checks: small deployments with random
+//! workloads across strategies and seeds must converge exactly (loss-free).
+//! Seeds are fixed for determinism; each case is a full simulated network.
+
+use sensorlog::core::workload::UniformStreams;
+use sensorlog::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sym(s: &str) -> Symbol {
+    Symbol::intern(s)
+}
+
+const JOIN3: &str = r#"
+    .output q.
+    q(X, Y) :- r1(N1, X, K), r2(N2, Y, K).
+"#;
+
+const NEG: &str = r#"
+    .output alert.
+    cov(V, K)   :- sight(N1, V, K), supp(N2, S, K).
+    alert(V, K) :- not cov(V, K), sight(N1, V, K).
+"#;
+
+fn run_one(src: &str, output: &str, strategy: Strategy, seed: u64, with_deletes: bool) {
+    let topo = Topology::square_grid(4);
+    let cfg = DeployConfig {
+        rt: RtConfig {
+            strategy,
+            ..RtConfig::default()
+        },
+        sim: SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+        ..DeployConfig::default()
+    };
+    let mut d = Deployment::new(src, BuiltinRegistry::standard(), topo.clone(), cfg).unwrap();
+    let preds: Vec<Symbol> = if src == JOIN3 {
+        vec![sym("r1"), sym("r2")]
+    } else {
+        vec![sym("sight"), sym("supp")]
+    };
+    let events = UniformStreams {
+        preds,
+        interval: 10_000,
+        duration: 20_000,
+        delete_fraction: if with_deletes { 0.3 } else { 0.0 },
+        delete_lag: 25_000,
+        groups: 6,
+        seed: seed * 3 + 1,
+    }
+    .events(&topo);
+    d.schedule_all(events.clone());
+    d.run(60_000_000);
+    let report = oracle::check(&d, &events, sym(output));
+    assert!(
+        report.exact(),
+        "{} seed {seed} deletes {with_deletes}: missing {:?} spurious {:?}",
+        strategy.name(),
+        report.missing,
+        report.spurious
+    );
+}
+
+#[test]
+fn random_join_workloads_all_strategies() {
+    for seed in [1u64, 2, 3] {
+        for strategy in [
+            Strategy::Perpendicular { band_width: 1.0 },
+            Strategy::NaiveBroadcast,
+            Strategy::LocalStorage,
+            Strategy::Centroid,
+        ] {
+            run_one(JOIN3, "q", strategy, seed, false);
+        }
+    }
+}
+
+#[test]
+fn random_join_with_deletes_pa() {
+    for seed in [4u64, 5, 6, 7] {
+        run_one(JOIN3, "q", Strategy::Perpendicular { band_width: 1.0 }, seed, true);
+    }
+}
+
+#[test]
+fn random_negation_with_deletes() {
+    for seed in [8u64, 9, 10] {
+        for strategy in [
+            Strategy::Perpendicular { band_width: 1.0 },
+            Strategy::Centroid,
+        ] {
+            run_one(NEG, "alert", strategy, seed, true);
+        }
+    }
+}
+
+#[test]
+fn random_event_storms_same_instant() {
+    // Many updates at the *same* millisecond stress the timestamp
+    // tie-breaking (Definition 2 ID ordering).
+    for seed in [11u64, 12] {
+        let topo = Topology::square_grid(4);
+        let mut d = Deployment::new(
+            JOIN3,
+            BuiltinRegistry::standard(),
+            topo.clone(),
+            DeployConfig::default(),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        for burst in 0..3u64 {
+            let at = 1_000 + burst * 20_000;
+            for _ in 0..10 {
+                let node = NodeId(rng.gen_range(0..16));
+                let pred = if rng.gen() { sym("r1") } else { sym("r2") };
+                let tuple = Tuple::new(vec![
+                    Term::Int(node.0 as i64),
+                    Term::Int(rng.gen_range(0..1000)),
+                    Term::Int(rng.gen_range(0..4)),
+                ]);
+                events.push(WorkloadEvent {
+                    at,
+                    node,
+                    pred,
+                    tuple,
+                    kind: UpdateKind::Insert,
+                });
+            }
+        }
+        d.schedule_all(events.clone());
+        d.run(60_000_000);
+        let report = oracle::check(&d, &events, sym("q"));
+        assert!(report.expected > 0, "storm must produce joins");
+        assert!(
+            report.exact(),
+            "seed {seed}: missing {:?} spurious {:?}",
+            report.missing,
+            report.spurious
+        );
+    }
+}
+
+#[test]
+fn clock_skew_and_jitter_randomized() {
+    for seed in [13u64, 14] {
+        let topo = Topology::square_grid(4);
+        let cfg = DeployConfig {
+            sim: SimConfig {
+                seed,
+                clock_skew_max: 40,
+                hop_delay: (5, 60),
+                ..SimConfig::default()
+            },
+            rt: RtConfig {
+                tau_c: 40,
+                ..RtConfig::default()
+            },
+            ..DeployConfig::default()
+        };
+        let mut d = Deployment::new(NEG, BuiltinRegistry::standard(), topo.clone(), cfg).unwrap();
+        let events = UniformStreams {
+            preds: vec![sym("sight"), sym("supp")],
+            interval: 12_000,
+            duration: 24_000,
+            delete_fraction: 0.25,
+            delete_lag: 30_000,
+            groups: 5,
+            seed,
+        }
+        .events(&topo);
+        d.schedule_all(events.clone());
+        d.run(120_000_000);
+        let report = oracle::check(&d, &events, sym("alert"));
+        assert!(
+            report.exact(),
+            "seed {seed}: missing {:?} spurious {:?}",
+            report.missing,
+            report.spurious
+        );
+    }
+}
