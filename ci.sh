@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, full test suite.
+#
+#   ./ci.sh            # everything
+#   ./ci.sh --fast     # skip the release build
+#
+# Mirrors what reviewers run by hand; keep it boring and fast. All steps
+# are offline (vendored deps only).
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (workspace) =="
+cargo test --workspace -q
+
+if [[ "$fast" -eq 0 ]]; then
+    echo "== cargo build --release =="
+    cargo build --release -q
+fi
+
+echo "CI OK"

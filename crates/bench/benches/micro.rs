@@ -106,7 +106,8 @@ fn bench_incremental(c: &mut Criterion) {
                 let t = Tuple::new(vec![Term::Int(50)]);
                 e.apply(Update::insert(Symbol::intern("supp"), t.clone(), 1000))
                     .unwrap();
-                e.apply(Update::delete(Symbol::intern("supp"), t, 1001)).unwrap();
+                e.apply(Update::delete(Symbol::intern("supp"), t, 1001))
+                    .unwrap();
                 black_box(e.db.len_of(Symbol::intern("alert")))
             },
         )

@@ -6,7 +6,7 @@ use sensorlog_core::oracle;
 use sensorlog_core::{PassMode, RtConfig, Strategy};
 use sensorlog_logic::builtin::BuiltinRegistry;
 use sensorlog_logic::Symbol;
-use sensorlog_netsim::{SimConfig, SimTime, Topology};
+use sensorlog_netsim::{SharedSummary, SimConfig, SimTime, Topology, TraceSummary};
 
 /// Summary of one deployment run.
 #[derive(Clone, Debug)]
@@ -27,6 +27,11 @@ pub struct RunPoint {
     pub tx_result: u64,
     pub delivery_ratio: f64,
     pub final_time: SimTime,
+    /// Streaming event-trace counters for the run (messages by kind,
+    /// drops by reason, timer volume) — see `sensorlog_netsim::trace`.
+    pub trace: TraceSummary,
+    /// High-water mark of the simulator's pending event queue.
+    pub max_queue_depth: usize,
 }
 
 /// Run `src` on `topo` with the given strategy/config and workload; check
@@ -55,6 +60,9 @@ pub fn run_case(
     };
     let mut d = Deployment::new(src, BuiltinRegistry::standard(), topo, cfg)
         .expect("experiment program compiles");
+    // Constant-memory trace summary: counters only, no record storage.
+    let trace = SharedSummary::new();
+    d.sim.set_trace(Box::new(trace.clone()));
     d.schedule_all(events.clone());
     let final_time = d.run(horizon);
     let report = oracle::check(&d, &events, output);
@@ -86,6 +94,8 @@ pub fn run_case(
         tx_result: m.tx_by_kind.get("result").copied().unwrap_or(0),
         delivery_ratio: m.delivery_ratio(),
         final_time,
+        trace: trace.snapshot(),
+        max_queue_depth: d.sim.max_queue_depth(),
     }
 }
 

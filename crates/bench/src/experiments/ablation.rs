@@ -3,6 +3,8 @@
 //! (magic-set transformation ablation, Sec. V).
 
 use crate::table::{f2, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sensorlog_eval::counting::CountingEngine;
 use sensorlog_eval::rederive::RederiveEngine;
 use sensorlog_eval::relation::Database;
@@ -10,8 +12,6 @@ use sensorlog_eval::{Engine, IncrementalEngine, Update};
 use sensorlog_logic::builtin::BuiltinRegistry;
 use sensorlog_logic::magic::{magic_transform, Query};
 use sensorlog_logic::{analyze, parse_program, Atom, Symbol, Term, Tuple};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// Coverage by *any* suppressor in the epoch group: cov tuples accumulate
@@ -119,7 +119,14 @@ pub fn fig12() -> Table {
     let mut t = Table::new(
         "fig12",
         "magic-set ablation: t(a, Y)? over random graphs",
-        &["edges", "full tuples", "full ms", "magic tuples", "magic ms", "answers"],
+        &[
+            "edges",
+            "full tuples",
+            "full ms",
+            "magic tuples",
+            "magic ms",
+            "answers",
+        ],
     );
     const TC: &str = r#"
         t(X, Y) :- e(X, Y).

@@ -65,7 +65,13 @@ pub fn fig13() -> Table {
     let mut t = Table::new(
         "fig13",
         "node failure at T/2 (8x8 grid): result completeness after the crash",
-        &["victim", "PA compl", "PA sound", "Centroid compl", "Centroid sound"],
+        &[
+            "victim",
+            "PA compl",
+            "PA sound",
+            "Centroid compl",
+            "Centroid sound",
+        ],
     );
     let topo = Topology::square_grid(8);
     let center = Strategy::center(&topo);
@@ -73,13 +79,7 @@ pub fn fig13() -> Table {
     for (label, victim) in [("center (the server)", center), ("corner node", corner)] {
         let (pa_c, pa_s) = run_with_failure(Strategy::Perpendicular { band_width: 1.0 }, victim);
         let (ce_c, ce_s) = run_with_failure(Strategy::Centroid, victim);
-        t.row(vec![
-            label.into(),
-            f2(pa_c),
-            f2(pa_s),
-            f2(ce_c),
-            f2(ce_s),
-        ]);
+        t.row(vec![label.into(), f2(pa_c), f2(pa_s), f2(ce_c), f2(ce_s)]);
     }
     t
 }

@@ -6,6 +6,8 @@
 //! play the role of rows/columns on connected random geometric graphs.
 
 use crate::table::{f2, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sensorlog_core::deploy::{DeployConfig, Deployment, WorkloadEvent};
 use sensorlog_core::oracle;
 use sensorlog_core::{RtConfig, Strategy};
@@ -13,8 +15,6 @@ use sensorlog_eval::UpdateKind;
 use sensorlog_logic::builtin::BuiltinRegistry;
 use sensorlog_logic::{Symbol, Term, Tuple};
 use sensorlog_netsim::{SimConfig, Topology};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const JOIN3: &str = r#"
     .output q.
@@ -58,7 +58,14 @@ pub fn fig16() -> Table {
     let mut t = Table::new(
         "fig16",
         "banded PA on random geometric graphs (radio radius 1.7)",
-        &["nodes", "side", "PA msgs", "PA compl", "Centroid msgs", "Centroid compl"],
+        &[
+            "nodes",
+            "side",
+            "PA msgs",
+            "PA compl",
+            "Centroid msgs",
+            "Centroid compl",
+        ],
     );
     for (n, side) in [(25usize, 4.0f64), (50, 5.5), (100, 8.0)] {
         let mut row = vec![n.to_string(), format!("{side:.1}")];

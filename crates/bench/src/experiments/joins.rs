@@ -64,13 +64,7 @@ pub fn fig4_fig5() -> (Table, Table) {
     let mut fig5 = Table::new(
         "fig5",
         "two-stream join: hottest-node load (msgs) and imbalance (max/mean)",
-        &[
-            "m",
-            "PA max",
-            "PA imb",
-            "Centroid max",
-            "Centroid imb",
-        ],
+        &["m", "PA max", "PA imb", "Centroid max", "Centroid imb"],
     );
     for m in sizes {
         let points: Vec<RunPoint> = join_strategies()

@@ -23,7 +23,13 @@ pub fn table1() -> Table {
     let mut t = Table::new(
         "table1",
         "per-node memory: peak stored items under PA",
-        &["program", "grid", "peak replicas", "peak derivs", "peak total"],
+        &[
+            "program",
+            "grid",
+            "peak replicas",
+            "peak derivs",
+            "peak total",
+        ],
     );
 
     // Two-stream join on 8x8.

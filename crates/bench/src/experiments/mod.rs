@@ -11,3 +11,4 @@ pub mod memory;
 pub mod negation;
 pub mod robustness;
 pub mod sptree;
+pub mod tracesum;

@@ -5,13 +5,13 @@
 
 use crate::common::run_case;
 use crate::table::{f2, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sensorlog_core::deploy::WorkloadEvent;
 use sensorlog_core::{PassMode, Strategy};
 use sensorlog_eval::UpdateKind;
 use sensorlog_logic::{Symbol, Term, Tuple};
 use sensorlog_netsim::{SimConfig, Topology};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Per-epoch alert with negation: a sighting is covered when a suppressor
 /// reading from the same node exists for that epoch; deleting the
@@ -79,14 +79,7 @@ pub fn fig10() -> Table {
         "fig10",
         "negation maintenance under insert/delete mix (8x8 grid, Example-1-style query)",
         &[
-            "del frac",
-            "msgs",
-            "store",
-            "probe",
-            "result",
-            "alerts",
-            "compl",
-            "sound",
+            "del frac", "msgs", "store", "probe", "result", "alerts", "compl", "sound",
         ],
     );
     for frac in [0.0f64, 0.25, 0.5] {

@@ -3,12 +3,12 @@
 
 use crate::common::run_case;
 use crate::table::{f2, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sensorlog_core::workload::UniformStreams;
 use sensorlog_core::{PassMode, Strategy};
 use sensorlog_logic::Symbol;
 use sensorlog_netsim::{SimConfig, Topology};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const JOIN2: &str = r#"
     .output q.
@@ -37,7 +37,10 @@ pub fn fig9() -> Table {
     for loss in [0.0f64, 0.05, 0.10, 0.20, 0.30] {
         let mut row = vec![f2(loss)];
         let mut pa_sound = 1.0;
-        for strategy in [Strategy::Perpendicular { band_width: 1.0 }, Strategy::Centroid] {
+        for strategy in [
+            Strategy::Perpendicular { band_width: 1.0 },
+            Strategy::Centroid,
+        ] {
             for retries in [0u32, 3] {
                 let topo = Topology::square_grid(8);
                 let events = UniformStreams {
@@ -85,7 +88,14 @@ pub fn table2() -> Table {
     let mut t = Table::new(
         "table2",
         "testbed profile: skew 50ms, delay 5-80ms, asymmetric loss ~5%, MAC ARQ x3",
-        &["grid", "events", "compl", "sound", "delivery", "converged s"],
+        &[
+            "grid",
+            "events",
+            "compl",
+            "sound",
+            "delivery",
+            "converged s",
+        ],
     );
     for m in [3u32, 4] {
         let topo = Topology::square_grid(m);

@@ -15,9 +15,9 @@ use sensorlog_core::workload::graph_edges;
 use sensorlog_core::{RtConfig, Strategy};
 use sensorlog_logic::builtin::BuiltinRegistry;
 use sensorlog_logic::{Symbol, Term};
+use sensorlog_netsim::NodeId;
 use sensorlog_netsim::{SimConfig, Topology};
 use sensorlog_netstack::flood::run_flood;
-use sensorlog_netsim::NodeId;
 
 pub const LOGIC_H: &str = r#"
     .output h.
@@ -89,11 +89,7 @@ pub fn fig8() -> Table {
         let (j_msgs, j_t, j_ok) = run_deductive(LOGIC_J, "j", m);
         assert!(h_ok, "logicH wrong tree at m={m}");
         assert!(j_ok, "logicJ wrong tree at m={m}");
-        let flood = run_flood(
-            &Topology::square_grid(m),
-            NodeId(0),
-            SimConfig::default(),
-        );
+        let flood = run_flood(&Topology::square_grid(m), NodeId(0), SimConfig::default());
         t.row(vec![
             m.to_string(),
             h_msgs.to_string(),

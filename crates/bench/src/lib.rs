@@ -17,8 +17,8 @@ pub use table::Table;
 
 /// All experiment ids, in report order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table1",
-    "table2",
+    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "table1", "table2", "table3",
 ];
 
 /// Run experiments by id; unknown ids are reported and skipped.
@@ -47,6 +47,7 @@ pub fn run(ids: &[&str]) -> Vec<Table> {
             "fig16" => out.push(experiments::geometric::fig16()),
             "table1" => out.push(experiments::memory::table1()),
             "table2" => out.push(experiments::robustness::table2()),
+            "table3" => out.push(experiments::tracesum::table3()),
             other => eprintln!("unknown experiment id: {other}"),
         }
     }

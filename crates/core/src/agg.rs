@@ -148,10 +148,7 @@ pub fn run_central_collection(
     readings: &[f64],
 ) -> AggRun {
     let tree = GatherTree::bfs(topo, root);
-    let messages: u64 = topo
-        .nodes()
-        .map(|n| tree.depth[n.index()] as u64)
-        .sum();
+    let messages: u64 = topo.nodes().map(|n| tree.depth[n.index()] as u64).sum();
     // Semantically identical; compute via the same fold.
     let mut acc = sensorlog_netstack::tag::Partial::of(readings[0]);
     for &r in &readings[1..] {
@@ -165,13 +162,9 @@ pub fn run_central_collection(
 
 /// Oracle: evaluate the same program with the centralized deductive engine
 /// over the readings as facts.
-pub fn oracle_value(
-    src: &str,
-    query: &AggQuery,
-    readings: &[f64],
-) -> Result<f64, EvalError> {
-    let prog = sensorlog_logic::parse_program(src)
-        .map_err(|e| EvalError::Internal(e.to_string()))?;
+pub fn oracle_value(src: &str, query: &AggQuery, readings: &[f64]) -> Result<f64, EvalError> {
+    let prog =
+        sensorlog_logic::parse_program(src).map_err(|e| EvalError::Internal(e.to_string()))?;
     let reg = BuiltinRegistry::standard();
     let analysis = analyze(&prog, &reg)?;
     let engine = Engine::new(analysis, reg);

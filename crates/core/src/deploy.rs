@@ -2,14 +2,14 @@
 //! [`SensorlogNode`]s, inject workload events, run to quiescence, and
 //! collect results + communication metrics.
 
+use crate::partial::RuleShape;
 use crate::plan::{compile_source, DistProgram, PlanTiming};
 use crate::runtime::{NetInfo, NodeStats, RtConfig, SensorlogNode};
 use crate::strategy::Strategy;
-use crate::partial::RuleShape;
 use sensorlog_eval::UpdateKind;
 use sensorlog_logic::builtin::BuiltinRegistry;
 use sensorlog_logic::{Symbol, Tuple};
-use sensorlog_netsim::{Metrics, NodeId, SimConfig, SimTime, Simulator, Topology};
+use sensorlog_netsim::{Metrics, NodeId, SharedJournal, SimConfig, SimTime, Simulator, Topology};
 use sensorlog_netstack::ght;
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -73,14 +73,12 @@ impl WorkloadEvent {
 }
 
 /// Full deployment configuration.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct DeployConfig {
     pub rt: RtConfig,
     pub sim: SimConfig,
     pub plan: PlanTiming,
 }
-
 
 /// A running deployment.
 pub struct Deployment {
@@ -145,6 +143,16 @@ impl Deployment {
                 node.inject_static(ctx, pred, tuple.clone());
             });
         }
+    }
+
+    /// Attach a fresh event journal to the simulator and return a shared
+    /// handle to it. Every subsequent simulator event (send, deliver,
+    /// drop, timer, node failure) is recorded; snapshot or take the
+    /// journal after `run` for replay checking and trace summaries.
+    pub fn attach_journal(&mut self) -> SharedJournal {
+        let journal = SharedJournal::new(self.sim.config.seed);
+        self.sim.set_trace(Box::new(journal.clone()));
+        journal
     }
 
     /// Queue a workload event (applied in `run`).

@@ -1,0 +1,357 @@
+//! Runtime invariant checking over a [`Deployment`].
+//!
+//! The distributed runtime maintains redundant state on purpose — counts
+//! of derivations at owners, replicated fragments along storage regions,
+//! globally unique tuple ids — and each redundancy implies an invariant
+//! that must hold at quiescence. This module makes those invariants
+//! executable so tests (and debugging sessions) can assert them after any
+//! run instead of inferring health from end-to-end results alone:
+//!
+//! 1. **Count non-negativity** — every per-derivation-key count in an
+//!    owner's [`crate::runtime::SensorlogNode`] state is positive at
+//!    quiescence. Counts
+//!    may be transiently negative mid-run (a delete delta overtaking its
+//!    insert on an independent route), which is why this is a quiescence
+//!    invariant, not a step invariant.
+//! 2. **Tuple-id uniqueness** — a [`TupleId`] denotes one fact network-
+//!    wide: no two nodes may bind the same id to different (pred, tuple)
+//!    pairs. (The same binding replicated on many nodes is the normal
+//!    case and is fine.)
+//! 3. **Holddown settlement** — at quiescence no owner entry may have a
+//!    holddown still armed or a liveness state that differs from what it
+//!    last propagated.
+//! 4. **Oracle consistency** (opt-in, loss-free runs only) — gathered
+//!    results for an output predicate match the centralized engine on the
+//!    net fact set, per [`crate::oracle`]. Under message loss this is
+//!    expected to fail for completeness; use the report's metrics
+//!    instead.
+
+use crate::deploy::{Deployment, WorkloadEvent};
+use crate::oracle;
+use crate::tupleid::TupleId;
+use sensorlog_logic::{Symbol, Tuple};
+use sensorlog_netsim::NodeId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One invariant violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Node the violation was observed at (`None` for network-wide ones).
+    pub node: Option<NodeId>,
+    /// Which invariant, as a stable short name.
+    pub invariant: &'static str,
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Some(n) => write!(f, "[{}] at {}: {}", self.invariant, n, self.detail),
+            None => write!(f, "[{}] {}", self.invariant, self.detail),
+        }
+    }
+}
+
+/// Outcome of an invariant pass.
+#[derive(Clone, Debug, Default)]
+pub struct InvariantReport {
+    pub violations: Vec<Violation>,
+}
+
+impl InvariantReport {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn push(&mut self, node: Option<NodeId>, invariant: &'static str, detail: String) {
+        self.violations.push(Violation {
+            node,
+            invariant,
+            detail,
+        });
+    }
+
+    /// Merge another report's violations into this one.
+    pub fn merge(&mut self, other: InvariantReport) {
+        self.violations.extend(other.violations);
+    }
+}
+
+impl fmt::Display for InvariantReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ok() {
+            return write!(f, "all invariants hold");
+        }
+        writeln!(f, "{} invariant violation(s):", self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Check the structural invariants (1)–(3) over every live node.
+///
+/// Call at quiescence (after [`Deployment::run`] returns); counts and
+/// holddowns are legitimately unsettled while messages are in flight, so
+/// a non-quiescent simulator only gets the id-uniqueness check.
+pub fn check_structural(d: &Deployment) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    let quiescent = d.sim.is_quiescent();
+    let mut id_map: HashMap<TupleId, (NodeId, Symbol, Tuple)> = HashMap::new();
+
+    for id in d.sim.topology().nodes() {
+        if d.sim.is_failed(id) {
+            continue; // crashed nodes keep arbitrary frozen state
+        }
+        let node = d.sim.node(id);
+
+        if quiescent {
+            for (pred, tuple, count) in node.derivation_count_entries() {
+                if count < 0 {
+                    report.push(
+                        Some(id),
+                        "count-nonnegative",
+                        format!("{pred}{tuple:?} has derivation count {count}"),
+                    );
+                }
+            }
+            for (pred, tuple) in node.unsettled_owned() {
+                report.push(
+                    Some(id),
+                    "holddown-settled",
+                    format!("{pred}{tuple:?} unsettled at quiescence"),
+                );
+            }
+        }
+
+        for (tid, pred, tuple) in node.id_bindings() {
+            match id_map.get(&tid) {
+                None => {
+                    id_map.insert(tid, (id, pred, tuple));
+                }
+                Some((first_node, p0, t0)) if *p0 != pred || *t0 != tuple => {
+                    report.push(
+                        None,
+                        "tuple-id-unique",
+                        format!(
+                            "id {tid:?} bound to {p0}{t0:?} at {first_node} \
+                             but {pred}{tuple:?} at {id}"
+                        ),
+                    );
+                }
+                Some(_) => {} // same binding replicated: fine
+            }
+        }
+    }
+    report
+}
+
+/// Check invariant (4): gathered results equal the centralized oracle's
+/// for each of `preds`. Only meaningful for loss-free, failure-free runs
+/// inside every stream window.
+pub fn check_against_oracle(
+    d: &Deployment,
+    events: &[WorkloadEvent],
+    preds: &[Symbol],
+) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    for &pred in preds {
+        let r = oracle::check(d, events, pred);
+        for t in &r.missing {
+            report.push(
+                None,
+                "oracle-complete",
+                format!("{pred}{t:?} expected but not derived"),
+            );
+        }
+        for t in &r.spurious {
+            report.push(
+                None,
+                "oracle-sound",
+                format!("{pred}{t:?} derived but not expected"),
+            );
+        }
+    }
+    report
+}
+
+/// All invariants: structural checks plus oracle consistency for the
+/// program's declared output predicates.
+pub fn check_all(d: &Deployment, events: &[WorkloadEvent]) -> InvariantReport {
+    let mut report = check_structural(d);
+    report.merge(check_against_oracle(d, events, &d.prog.outputs));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::DeployConfig;
+    use crate::msg::Payload;
+    use crate::tupleid::{DerivationKey, FactRecord};
+    use sensorlog_eval::UpdateKind;
+    use sensorlog_logic::builtin::BuiltinRegistry;
+    use sensorlog_logic::Term;
+    use sensorlog_netsim::App;
+
+    fn join_deployment() -> (Deployment, Vec<WorkloadEvent>) {
+        let src = r#"
+            .output q.
+            q(X, Y) :- r1(X, T), r2(Y, T).
+        "#;
+        let topo = sensorlog_netsim::Topology::square_grid(4);
+        let mut d = Deployment::new(
+            src,
+            BuiltinRegistry::standard(),
+            topo,
+            DeployConfig::default(),
+        )
+        .unwrap();
+        let mk = |p: &str, args: Vec<i64>| {
+            (
+                Symbol::intern(p),
+                Tuple::new(args.into_iter().map(Term::Int).collect()),
+            )
+        };
+        let (p1, t1) = mk("r1", vec![1, 7]);
+        let (p2, t2) = mk("r2", vec![2, 7]);
+        let events = vec![
+            WorkloadEvent {
+                at: 10,
+                node: NodeId(1),
+                pred: p1,
+                tuple: t1,
+                kind: UpdateKind::Insert,
+            },
+            WorkloadEvent {
+                at: 20,
+                node: NodeId(14),
+                pred: p2,
+                tuple: t2,
+                kind: UpdateKind::Insert,
+            },
+        ];
+        d.schedule_all(events.clone());
+        d.run(60_000);
+        (d, events)
+    }
+
+    #[test]
+    fn clean_run_upholds_all_invariants() {
+        let (d, events) = join_deployment();
+        assert!(d.sim.is_quiescent());
+        let report = check_all(&d, &events);
+        assert!(report.ok(), "{report}");
+        assert_eq!(format!("{report}"), "all invariants hold");
+    }
+
+    /// Acceptance criterion: a deliberately injected count-underflow — a
+    /// delete delta for a derivation the owner never saw — is caught by
+    /// `check_structural`.
+    #[test]
+    fn injected_count_underflow_is_caught() {
+        let (mut d, _) = join_deployment();
+        assert!(check_structural(&d).ok(), "baseline must be green");
+
+        let pred = Symbol::intern("q");
+        let tuple = Tuple::new(vec![Term::Int(1), Term::Int(2)]);
+        let phantom = TupleId {
+            node: NodeId(3),
+            ts: 1,
+            seq: 999,
+        };
+        let key = DerivationKey {
+            rule_id: 0,
+            inputs: vec![(0, phantom)],
+        };
+        let victim = NodeId(5);
+        d.sim.invoke(victim, |node, ctx| {
+            node.on_message(
+                ctx,
+                NodeId(3),
+                Payload::DerivDelta {
+                    pred,
+                    tuple: tuple.clone(),
+                    key,
+                    sign: -1,
+                    tau: 1,
+                },
+            );
+        });
+        d.sim.run_to_quiescence(120_000);
+
+        let report = check_structural(&d);
+        assert!(!report.ok(), "underflow must be flagged");
+        let hit = report
+            .violations
+            .iter()
+            .find(|v| v.invariant == "count-nonnegative")
+            .unwrap_or_else(|| panic!("no count violation in: {report}"));
+        assert_eq!(hit.node, Some(victim));
+        assert!(hit.detail.contains("-1"), "detail: {}", hit.detail);
+    }
+
+    /// Two nodes holding the *same* tuple id bound to *different* facts is
+    /// a network-wide consistency violation (Definition 2: the id denotes
+    /// one fact).
+    #[test]
+    fn conflicting_id_bindings_are_caught() {
+        let (mut d, _) = join_deployment();
+        assert!(check_structural(&d).ok(), "baseline must be green");
+
+        let pred = Symbol::intern("r1");
+        let stolen = TupleId {
+            node: NodeId(9),
+            ts: 50,
+            seq: 7,
+        };
+        for (node, val) in [(NodeId(2), 41), (NodeId(13), 42)] {
+            let fact = FactRecord::insert(pred, Tuple::new(vec![Term::Int(val)]), stolen);
+            d.sim.invoke(node, |n, ctx| {
+                n.on_message(ctx, NodeId(9), Payload::FloodStore { fact });
+            });
+        }
+        d.sim.run_to_quiescence(120_000);
+
+        let report = check_structural(&d);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.invariant == "tuple-id-unique"),
+            "no id-uniqueness violation in: {report}"
+        );
+    }
+
+    /// Under message loss the structural invariants still hold (the
+    /// runtime degrades by dropping, never by corrupting owner state);
+    /// only oracle completeness may suffer.
+    #[test]
+    fn lossy_run_keeps_structural_invariants() {
+        let src = r#"
+            .output q.
+            q(X, Y) :- r1(X, T), r2(Y, T).
+        "#;
+        let topo = sensorlog_netsim::Topology::square_grid(4);
+        let mut config = DeployConfig::default();
+        config.sim.loss_prob = 0.2;
+        config.sim.seed = 5;
+        let mut d = Deployment::new(src, BuiltinRegistry::standard(), topo, config).unwrap();
+        let mut events = Vec::new();
+        for i in 0..6i64 {
+            events.push(WorkloadEvent {
+                at: 10 + 10 * i as u64,
+                node: NodeId((i as u32 * 3) % 16),
+                pred: Symbol::intern(if i % 2 == 0 { "r1" } else { "r2" }),
+                tuple: Tuple::new(vec![Term::Int(i), Term::Int(7)]),
+                kind: UpdateKind::Insert,
+            });
+        }
+        d.schedule_all(events.clone());
+        d.run(120_000);
+        let report = check_structural(&d);
+        assert!(report.ok(), "{report}");
+    }
+}

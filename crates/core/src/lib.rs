@@ -54,6 +54,7 @@
 
 pub mod agg;
 pub mod deploy;
+pub mod invariants;
 pub mod msg;
 pub mod oracle;
 pub mod partial;
@@ -64,6 +65,7 @@ pub mod tupleid;
 pub mod workload;
 
 pub use deploy::{DeployConfig, Deployment, WorkloadEvent};
+pub use invariants::{InvariantReport, Violation};
 pub use plan::{compile_source, DistProgram, PlanTiming};
 pub use runtime::{NetInfo, RtConfig, SensorlogNode};
 pub use strategy::{PassMode, Strategy};

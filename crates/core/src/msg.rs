@@ -154,11 +154,7 @@ mod sizing_tests {
             ts: 1,
             seq: 0,
         };
-        let update = FactRecord::insert(
-            Symbol::intern("r1"),
-            Tuple::new(vec![Term::Int(1)]),
-            id,
-        );
+        let update = FactRecord::insert(Symbol::intern("r1"), Tuple::new(vec![Term::Int(1)]), id);
         let mk_partial = |n_bindings: usize| Partial {
             bindings: (0..n_bindings)
                 .map(|i| (Symbol::intern(&format!("V{i}")), Term::Int(i as i64)))

@@ -42,8 +42,7 @@ impl Partial {
 
     fn absorb(&mut self, s: &Subst) {
         // Keep bindings sorted by variable for canonical comparison.
-        let mut all: Vec<(Symbol, Term)> =
-            s.iter().map(|(v, t)| (*v, t.clone())).collect();
+        let mut all: Vec<(Symbol, Term)> = s.iter().map(|(v, t)| (*v, t.clone())).collect();
         all.sort_by_key(|(v, _)| *v);
         self.bindings = all;
     }
@@ -309,8 +308,11 @@ fn grow(
             for t in ctx.visible_tuples(atom.pred) {
                 let mut s = p.subst();
                 if sem_match_args(&ctx.prog.reg, &atom.args, t.terms(), &mut s) {
-                    let id = (ctx.id_of)(atom.pred, &t)
-                        .expect("stored fragment has a tuple id");
+                    // A visible fragment without an id means its id record
+                    // raced an expiry: skip the match rather than panic.
+                    let Some(id) = (ctx.id_of)(atom.pred, &t) else {
+                        continue;
+                    };
                     let mut q = p.clone();
                     q.bound[i] = true;
                     q.inputs.push((i as u16, id));

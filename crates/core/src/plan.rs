@@ -31,7 +31,9 @@ pub enum CompileError {
     /// Head aggregates are not compiled in-network in this runtime; the
     /// paper routes them to specialized distributed techniques (TAG \[32\],
     /// synopsis diffusion \[23\]) — see `sensorlog_netstack::tag`.
-    AggregatesUnsupported { rule_id: usize },
+    AggregatesUnsupported {
+        rule_id: usize,
+    },
     Analyze(String),
 }
 
@@ -175,8 +177,8 @@ pub fn compile_source(
     reg: BuiltinRegistry,
     timing: PlanTiming,
 ) -> Result<DistProgram, CompileError> {
-    let prog = sensorlog_logic::parse_program(src)
-        .map_err(|e| CompileError::Analyze(e.to_string()))?;
+    let prog =
+        sensorlog_logic::parse_program(src).map_err(|e| CompileError::Analyze(e.to_string()))?;
     let analysis =
         sensorlog_logic::analyze(&prog, &reg).map_err(|e| CompileError::Analyze(e.to_string()))?;
     compile(analysis, reg, timing)

@@ -38,22 +38,26 @@ impl NetInfo {
         NetInfo { topo, next_hop_tbl }
     }
 
-    /// Next hop from `from` toward `dest` (`from != dest`).
-    pub fn next_hop(&self, from: NodeId, dest: NodeId) -> NodeId {
+    /// Next hop from `from` toward `dest` (`from != dest`). `None` when
+    /// `dest` is unreachable from `from` (disconnected topology) — callers
+    /// on the message path must treat that as a routed drop, not a panic.
+    pub fn next_hop(&self, from: NodeId, dest: NodeId) -> Option<NodeId> {
         debug_assert_ne!(from, dest);
-        if let (Some((fx, fy)), Some((dx, dy))) = (
-            self.topo.grid_coords(from),
-            self.topo.grid_coords(dest),
-        ) {
+        if let (Some((fx, fy)), Some((dx, dy))) =
+            (self.topo.grid_coords(from), self.topo.grid_coords(dest))
+        {
             let (nx, ny) = if fx != dx {
                 (if dx > fx { fx + 1 } else { fx - 1 }, fy)
             } else {
                 (fx, if dy > fy { fy + 1 } else { fy - 1 })
             };
-            return self.topo.node_at(nx, ny).expect("in range");
+            return self.topo.node_at(nx, ny);
         }
-        let tbl = self.next_hop_tbl.as_ref().expect("non-grid table");
-        NodeId(tbl[dest.index()][from.index()])
+        let tbl = self.next_hop_tbl.as_ref()?;
+        match tbl[dest.index()][from.index()] {
+            u32::MAX => None, // BFS never reached `from` from `dest`
+            hop => Some(NodeId(hop)),
+        }
     }
 }
 
@@ -129,6 +133,11 @@ pub struct NodeStats {
     pub peak_derivations: usize,
     pub probes_processed: u64,
     pub results_emitted: u64,
+    /// Messages dropped at this node because their destination was
+    /// unreachable or their payload could not be applied (e.g. a
+    /// `ToCenter` arriving at a non-center node). Kept separate from radio
+    /// losses: these drops are routing/protocol-level.
+    pub routing_drops: u64,
 }
 
 enum TimerAction {
@@ -176,16 +185,15 @@ impl SensorlogNode {
         net: Arc<NetInfo>,
         shapes: Arc<Vec<RuleShape>>,
     ) -> SensorlogNode {
-        let center_engine = if cfg.strategy == Strategy::Centroid
-            && Strategy::center(&net.topo) == id
-        {
-            Some(
-                IncrementalEngine::new(prog.analysis.clone(), prog.reg.clone())
-                    .expect("centroid engine"),
-            )
-        } else {
-            None
-        };
+        let center_engine =
+            if cfg.strategy == Strategy::Centroid && Strategy::center(&net.topo) == id {
+                Some(
+                    IncrementalEngine::new(prog.analysis.clone(), prog.reg.clone())
+                        .expect("centroid engine"),
+                )
+            } else {
+                None
+            };
         SensorlogNode {
             id,
             prog,
@@ -235,10 +243,9 @@ impl SensorlogNode {
         let id = self.fresh_id(ctx);
         let entry = self.owned.entry((pred, tuple.clone())).or_default();
         entry.id = Some(id);
-        entry.counts.insert(
-            DerivationKey::new(usize::MAX, Vec::new()),
-            1,
-        );
+        entry
+            .counts
+            .insert(DerivationKey::new(usize::MAX, Vec::new()), 1);
         entry.propagated_live = true;
         self.log_output(pred, &tuple, UpdateKind::Insert, ctx.local_time);
         let fact = FactRecord::insert(pred, tuple, id);
@@ -257,6 +264,60 @@ impl SensorlogNode {
     /// Current replica count (fragment tuples stored here).
     pub fn replica_count(&self) -> usize {
         self.frags.total_tuples()
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant-checker views (read-only; see `crate::invariants`)
+    // ------------------------------------------------------------------
+
+    /// Every per-derivation-key count with its owning (pred, tuple) —
+    /// at quiescence all of these must be non-negative.
+    pub fn derivation_count_entries(&self) -> Vec<(Symbol, Tuple, i64)> {
+        let mut out: Vec<(Symbol, Tuple, i64)> = self
+            .owned
+            .iter()
+            .flat_map(|((p, t), o)| o.counts.values().map(move |&c| (*p, t.clone(), c)))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Every `TupleId → (pred, tuple)` binding this node holds: facts it
+    /// generated, fragment replicas, and owned derived tuples. A given id
+    /// must denote the same fact wherever it appears in the network.
+    pub fn id_bindings(&self) -> Vec<(TupleId, Symbol, Tuple)> {
+        let mut out: Vec<(TupleId, Symbol, Tuple)> = Vec::new();
+        out.extend(
+            self.my_facts
+                .iter()
+                .map(|((p, t), &id)| (id, *p, t.clone())),
+        );
+        out.extend(
+            self.frag_ids
+                .iter()
+                .map(|((p, t), &id)| (id, *p, t.clone())),
+        );
+        out.extend(
+            self.owned
+                .iter()
+                .filter_map(|((p, t), o)| o.id.map(|id| (id, *p, t.clone()))),
+        );
+        out.sort();
+        out
+    }
+
+    /// Owner entries that have not settled: a holddown still armed, or a
+    /// liveness state differing from what was last propagated. Must be
+    /// empty once the network quiesces.
+    pub fn unsettled_owned(&self) -> Vec<(Symbol, Tuple)> {
+        let mut out: Vec<(Symbol, Tuple)> = self
+            .owned
+            .iter()
+            .filter(|(_, o)| o.holddown_armed || o.live() != o.propagated_live)
+            .map(|((p, t), _)| (*p, t.clone()))
+            .collect();
+        out.sort();
+        out
     }
 
     /// Current stored derivation count.
@@ -405,8 +466,7 @@ impl SensorlogNode {
                     (self.cfg.tau_s + self.cfg.tau_c) + self.cfg.tau_j + (w + self.cfg.tau_c);
                 let expire_at = fact.tau.saturating_add(retention);
                 let delay = expire_at.saturating_sub(ctx.local_time).max(1);
-                let tag =
-                    self.arm_timer(TimerAction::ExpireReplica(fact.pred, fact.tuple.clone()));
+                let tag = self.arm_timer(TimerAction::ExpireReplica(fact.pred, fact.tuple.clone()));
                 ctx.set_timer(delay, tag);
             }
         }
@@ -422,9 +482,14 @@ impl SensorlogNode {
         let mut max_passes: u8 = 1;
         for occ in &occs {
             let rule = &self.prog.analysis.program.rules[occ.rule_idx];
-            if let Some(p) =
-                seed_partial(&self.prog, rule, occ.lit_idx, occ.negated, &fact.tuple, fact.id)
-            {
+            if let Some(p) = seed_partial(
+                &self.prog,
+                rule,
+                occ.lit_idx,
+                occ.negated,
+                &fact.tuple,
+                fact.id,
+            ) {
                 if self.cfg.pass_mode == PassMode::MultiPass {
                     let shape = &self.shapes[occ.rule_idx];
                     let remaining = shape
@@ -514,8 +579,7 @@ impl SensorlogNode {
                     None
                 };
                 let incoming = std::mem::take(&mut workitem.partials);
-                let processed =
-                    process_partials(&lctx, rule, shape, incoming, pinned, restrict);
+                let processed = process_partials(&lctx, rule, shape, incoming, pinned, restrict);
                 let needs_full_walk = shape.has_negation_other_than(pinned);
                 let sign = match (sign_base, workitem.negated) {
                     (UpdateKind::Insert, false) | (UpdateKind::Delete, true) => 1i8,
@@ -527,13 +591,10 @@ impl SensorlogNode {
                         if needs_full_walk && !end_of_walk {
                             keep.push(p); // keep checking negations
                         } else {
-                            let key =
-                                DerivationKey::new(rule.id, p.inputs.clone());
+                            let key = DerivationKey::new(rule.id, p.inputs.clone());
                             let head = instantiate(&self.prog, rule, &p);
                             match head {
-                                Some(tuple) => {
-                                    emissions.push((rule.head.pred, tuple, key, sign))
-                                }
+                                Some(tuple) => emissions.push((rule.head.pred, tuple, key, sign)),
                                 None => { /* head eval failed: drop */ }
                             }
                         }
@@ -578,37 +639,39 @@ impl SensorlogNode {
         tau: SimTime,
     ) {
         let owner = ght::owner_of(&self.net.topo, pred, &tuple);
-        let payload = Payload::DerivDelta {
-            pred,
-            tuple,
-            key,
-            sign,
-            tau,
-        };
         if owner == self.id {
-            self.handle_deriv_delta(ctx, payload);
+            self.handle_deriv_delta(ctx, pred, tuple, key, sign);
         } else {
+            let payload = Payload::DerivDelta {
+                pred,
+                tuple,
+                key,
+                sign,
+                tau,
+            };
             self.route(ctx, owner, payload);
         }
     }
 
     /// Owner-side derivation bookkeeping + holddown arming.
-    fn handle_deriv_delta(&mut self, ctx: &mut Ctx<Payload>, payload: Payload) {
-        let Payload::DerivDelta {
-            pred,
-            tuple,
-            key,
-            sign,
-            tau: _,
-        } = payload
-        else {
-            unreachable!("handle_deriv_delta requires DerivDelta");
-        };
-        {
+    fn handle_deriv_delta(
+        &mut self,
+        ctx: &mut Ctx<Payload>,
+        pred: Symbol,
+        tuple: Tuple,
+        key: DerivationKey,
+        sign: i8,
+    ) {
+        let needs_holddown = {
             let entry = self.owned.entry((pred, tuple.clone())).or_default();
             *entry.counts.entry(key).or_insert(0) += sign as i64;
             entry.counts.retain(|_, &mut c| c != 0);
-        }
+            let needed = !entry.holddown_armed && entry.live() != entry.propagated_live;
+            if needed {
+                entry.holddown_armed = true;
+            }
+            needed
+        };
         // Windowed derived streams: owned state expires with the window
         // (silent, Sec. II-B). Re-armed on each delta so the entry outlives
         // its last activity by one window.
@@ -616,10 +679,8 @@ impl SensorlogNode {
             let tag = self.arm_timer(TimerAction::ExpireOwned(pred, tuple.clone()));
             ctx.set_timer(w + self.cfg.tau_c + 1, tag);
         }
-        let entry = self.owned.get_mut(&(pred, tuple.clone())).expect("just inserted");
-        let holddown = self.prog.holddown.get(&pred).copied().unwrap_or(100);
-        if !entry.holddown_armed && entry.live() != entry.propagated_live {
-            entry.holddown_armed = true;
+        if needs_holddown {
+            let holddown = self.prog.holddown.get(&pred).copied().unwrap_or(100);
             let tag = self.arm_timer(TimerAction::Holddown(pred, tuple));
             ctx.set_timer(holddown, tag);
         }
@@ -651,7 +712,13 @@ impl SensorlogNode {
             entry.id = Some(id);
             FactRecord::insert(pred, tuple.clone(), id)
         } else {
-            let id = entry.id.expect("dead tuple was previously inserted");
+            let Some(id) = entry.id else {
+                // Died before its insert was ever propagated (the holddown
+                // debounced the whole lifetime away at arming time but the
+                // flag raced): nothing in the network to retract.
+                self.stats.routing_drops += 1;
+                return;
+            };
             FactRecord::delete(pred, tuple.clone(), id, now)
         };
         self.log_output(pred, &tuple, fact.kind, now);
@@ -665,10 +732,12 @@ impl SensorlogNode {
     }
 
     fn feed_center(&mut self, fact: &FactRecord) {
-        let engine = self
-            .center_engine
-            .as_mut()
-            .expect("only the center feeds the engine");
+        let Some(engine) = self.center_engine.as_mut() else {
+            // A ToCenter payload landed at a non-center node (misrouted
+            // under churn): drop it rather than crash the node.
+            self.stats.routing_drops += 1;
+            return;
+        };
         let upd = Update {
             pred: fact.pred,
             tuple: fact.tuple.clone(),
@@ -687,7 +756,12 @@ impl SensorlogNode {
 
     fn route(&mut self, ctx: &mut Ctx<Payload>, dest: NodeId, payload: Payload) {
         debug_assert_ne!(dest, self.id);
-        let hop = self.net.next_hop(self.id, dest);
+        let Some(hop) = self.net.next_hop(self.id, dest) else {
+            // Unreachable destination (partitioned topology): a logged
+            // drop, indistinguishable from loss to the protocol above.
+            self.stats.routing_drops += 1;
+            return;
+        };
         if hop == dest {
             ctx.send(dest, payload);
         } else {
@@ -739,7 +813,13 @@ impl SensorlogNode {
                     self.deliver_probe(ctx, probe);
                 }
             }
-            d @ Payload::DerivDelta { .. } => self.handle_deriv_delta(ctx, d),
+            Payload::DerivDelta {
+                pred,
+                tuple,
+                key,
+                sign,
+                tau: _,
+            } => self.handle_deriv_delta(ctx, pred, tuple, key, sign),
             Payload::ToCenter { fact } => self.feed_center(&fact),
         }
     }
@@ -805,9 +885,9 @@ mod tests {
         let from = NodeId(0); // (0,0)
         let dest = NodeId(15); // (3,3)
         let hop = net.next_hop(from, dest);
-        assert_eq!(hop, NodeId(1)); // (1,0)
+        assert_eq!(hop, Some(NodeId(1))); // (1,0)
         let hop2 = net.next_hop(NodeId(3), dest); // (3,0) -> up
-        assert_eq!(hop2, NodeId(7)); // (3,1)
+        assert_eq!(hop2, Some(NodeId(7))); // (3,1)
     }
 
     #[test]
@@ -819,13 +899,28 @@ mod tests {
             let (mut cur, dest) = (NodeId(a), NodeId(b));
             let mut hops = 0;
             while cur != dest {
-                let nxt = net.next_hop(cur, dest);
+                let nxt = net.next_hop(cur, dest).expect("connected topology");
                 assert!(topo.are_neighbors(cur, nxt), "{cur}->{nxt} not a link");
                 cur = nxt;
                 hops += 1;
                 assert!(hops <= topo.len(), "routing loop");
             }
         }
+    }
+
+    #[test]
+    fn netinfo_disconnected_returns_none_not_panic() {
+        // Two 2-node islands far apart: cross-island routes must be None.
+        let topo = Topology::from_positions(
+            vec![(0.0, 0.0), (1.0, 0.0), (100.0, 0.0), (101.0, 0.0)],
+            1.5,
+        );
+        assert!(!topo.is_connected());
+        let net = NetInfo::new(topo);
+        assert_eq!(net.next_hop(NodeId(0), NodeId(1)), Some(NodeId(1)));
+        assert_eq!(net.next_hop(NodeId(0), NodeId(2)), None);
+        assert_eq!(net.next_hop(NodeId(3), NodeId(1)), None);
+        assert_eq!(net.next_hop(NodeId(2), NodeId(3)), Some(NodeId(3)));
     }
 
     #[test]

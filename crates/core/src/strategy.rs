@@ -12,8 +12,8 @@
 //! | LocalStorage    | local node      | whole network           |
 //! | Centroid        | — (central server runs the centralized engine) |
 
-use sensorlog_netstack::regions;
 use sensorlog_netsim::{NodeId, Topology, TopologyKind};
+use sensorlog_netstack::regions;
 
 /// One-pass vs multiple-pass join computation (Sec. III-A).
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -86,9 +86,7 @@ impl Strategy {
         spatial_radius: Option<f64>,
     ) -> Option<Vec<NodeId>> {
         let region = match self {
-            Strategy::Perpendicular { band_width } => {
-                regions::join_region(topo, node, *band_width)
-            }
+            Strategy::Perpendicular { band_width } => regions::join_region(topo, node, *band_width),
             Strategy::NaiveBroadcast => vec![node],
             Strategy::LocalStorage => all_nodes_snake(topo),
             Strategy::Centroid => return None,
@@ -177,7 +175,9 @@ mod tests {
         assert!(Strategy::Centroid
             .storage_region(&topo, NodeId(0), None)
             .is_none());
-        assert!(Strategy::Centroid.join_region(&topo, NodeId(0), None).is_none());
+        assert!(Strategy::Centroid
+            .join_region(&topo, NodeId(0), None)
+            .is_none());
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! Workload generators for the experiments (deterministic given a seed).
 
 use crate::deploy::WorkloadEvent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sensorlog_eval::UpdateKind;
 use sensorlog_logic::{Symbol, Term, Tuple};
 use sensorlog_netsim::{NodeId, SimTime, Topology};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Uniform stream generation: every node generates tuples of each stream
 /// at a fixed rate, with a monotonically increasing reading value (the
@@ -99,7 +99,11 @@ impl VehicleWorkload {
             vehicles.push((NodeId(rng.gen_range(0..topo.len() as u32)), "enemy", None));
         }
         for _ in 0..self.n_friendly {
-            vehicles.push((NodeId(rng.gen_range(0..topo.len() as u32)), "friendly", None));
+            vehicles.push((
+                NodeId(rng.gen_range(0..topo.len() as u32)),
+                "friendly",
+                None,
+            ));
         }
         // Two vehicles at the same node and instant are one sighting:
         // multiset-dedup so inserts fire on 0→1 and deletes on 1→0 only.

@@ -142,7 +142,13 @@ fn negation_example1_all_strategies() {
         let events = vec![
             // Enemy at 10, covered by friendly at 12.
             ev(10, 2, "veh", r#"veh("enemy", 10, 1)"#, UpdateKind::Insert),
-            ev(100, 5, "veh", r#"veh("friendly", 12, 1)"#, UpdateKind::Insert),
+            ev(
+                100,
+                5,
+                "veh",
+                r#"veh("friendly", 12, 1)"#,
+                UpdateKind::Insert,
+            ),
             // Enemy at 100, uncovered.
             ev(200, 9, "veh", r#"veh("enemy", 100, 1)"#, UpdateKind::Insert),
         ];
@@ -174,9 +180,21 @@ fn negation_blocker_deletion_reraises_alert() {
     .unwrap();
     let events = vec![
         ev(10, 2, "veh", r#"veh("enemy", 10, 1)"#, UpdateKind::Insert),
-        ev(100, 5, "veh", r#"veh("friendly", 12, 1)"#, UpdateKind::Insert),
+        ev(
+            100,
+            5,
+            "veh",
+            r#"veh("friendly", 12, 1)"#,
+            UpdateKind::Insert,
+        ),
         // The friendly leaves much later: alert must come back.
-        ev(60_000, 5, "veh", r#"veh("friendly", 12, 1)"#, UpdateKind::Delete),
+        ev(
+            60_000,
+            5,
+            "veh",
+            r#"veh("friendly", 12, 1)"#,
+            UpdateKind::Delete,
+        ),
     ];
     d.schedule_all(events.clone());
     d.run(400_000);
@@ -202,10 +220,34 @@ fn two_blockers_commute_distributed() {
     .unwrap();
     let events = vec![
         ev(10, 2, "veh", r#"veh("enemy", 10, 1)"#, UpdateKind::Insert),
-        ev(5_000, 5, "veh", r#"veh("friendly", 11, 1)"#, UpdateKind::Insert),
-        ev(10_000, 8, "veh", r#"veh("friendly", 12, 1)"#, UpdateKind::Insert),
-        ev(60_000, 5, "veh", r#"veh("friendly", 11, 1)"#, UpdateKind::Delete),
-        ev(120_000, 8, "veh", r#"veh("friendly", 12, 1)"#, UpdateKind::Delete),
+        ev(
+            5_000,
+            5,
+            "veh",
+            r#"veh("friendly", 11, 1)"#,
+            UpdateKind::Insert,
+        ),
+        ev(
+            10_000,
+            8,
+            "veh",
+            r#"veh("friendly", 12, 1)"#,
+            UpdateKind::Insert,
+        ),
+        ev(
+            60_000,
+            5,
+            "veh",
+            r#"veh("friendly", 11, 1)"#,
+            UpdateKind::Delete,
+        ),
+        ev(
+            120_000,
+            8,
+            "veh",
+            r#"veh("friendly", 12, 1)"#,
+            UpdateKind::Delete,
+        ),
     ];
     d.schedule_all(events.clone());
     d.run(600_000);
@@ -314,9 +356,13 @@ fn pa_beats_centroid_total_cost_on_larger_grid() {
         Strategy::Centroid,
     ] {
         let topo = Topology::square_grid(m);
-        let mut d =
-            Deployment::new(src, BuiltinRegistry::standard(), topo.clone(), config_with(strategy))
-                .unwrap();
+        let mut d = Deployment::new(
+            src,
+            BuiltinRegistry::standard(),
+            topo.clone(),
+            config_with(strategy),
+        )
+        .unwrap();
         let events = w.events(&topo);
         d.schedule_all(events.clone());
         d.run(3_000_000);
@@ -329,7 +375,11 @@ fn pa_beats_centroid_total_cost_on_larger_grid() {
             report.spurious.len()
         );
         assert!(report.expected > 0, "workload must produce join results");
-        loads.push((strategy.name(), d.metrics().max_node_load(), d.metrics().imbalance()));
+        loads.push((
+            strategy.name(),
+            d.metrics().max_node_load(),
+            d.metrics().imbalance(),
+        ));
     }
     // PA's hottest node must carry less than Centroid's server.
     assert!(
@@ -349,8 +399,20 @@ fn clock_skew_tolerated() {
     let mut d = Deployment::new(UNCOV, BuiltinRegistry::standard(), topo, cfg).unwrap();
     let events = vec![
         ev(10, 2, "veh", r#"veh("enemy", 10, 1)"#, UpdateKind::Insert),
-        ev(5_000, 5, "veh", r#"veh("friendly", 12, 1)"#, UpdateKind::Insert),
-        ev(40_000, 9, "veh", r#"veh("enemy", 100, 1)"#, UpdateKind::Insert),
+        ev(
+            5_000,
+            5,
+            "veh",
+            r#"veh("friendly", 12, 1)"#,
+            UpdateKind::Insert,
+        ),
+        ev(
+            40_000,
+            9,
+            "veh",
+            r#"veh("enemy", 100, 1)"#,
+            UpdateKind::Insert,
+        ),
     ];
     d.schedule_all(events.clone());
     d.run(300_000);
@@ -441,7 +503,11 @@ fn message_loss_degrades_completeness_not_soundness_much() {
     let report = oracle::check(&d, &events, sym("q"));
     assert!(report.expected > 0, "workload must produce join results");
     // Loss may drop results but fabricated results should be rare.
-    assert!(report.completeness() > 0.3, "completeness {}", report.completeness());
+    assert!(
+        report.completeness() > 0.3,
+        "completeness {}",
+        report.completeness()
+    );
     assert!(report.soundness() > 0.7, "soundness {}", report.soundness());
 }
 
@@ -530,7 +596,13 @@ fn function_symbols_travel_the_network() {
     assert!(report.exact());
     let results = d.results(sym("pair"));
     assert_eq!(results.len(), 1);
-    assert!(results.iter().next().unwrap().get(0).to_string().starts_with("pt("));
+    assert!(results
+        .iter()
+        .next()
+        .unwrap()
+        .get(0)
+        .to_string()
+        .starts_with("pt("));
 }
 
 #[test]
@@ -563,7 +635,10 @@ fn windowed_replicas_expire_and_join_respects_window() {
     d.schedule_all(events);
     d.run(300_000);
     let results = d.results(sym("q"));
-    assert!(results.contains(&tuple("x(1, 2)")), "in-window join missing");
+    assert!(
+        results.contains(&tuple("x(1, 2)")),
+        "in-window join missing"
+    );
     assert!(
         !results.contains(&tuple("x(3, 4)")),
         "expired tuple must not join: {results:?}"
@@ -629,7 +704,16 @@ fn logich_repairs_tree_after_edge_deletion() {
     // Graph facts: the full 2x2 link set, injected at incident nodes.
     let mut events = Vec::new();
     let mut at = 100;
-    for (a, b) in [(0u32, 1u32), (1, 0), (0, 2), (2, 0), (1, 3), (3, 1), (2, 3), (3, 2)] {
+    for (a, b) in [
+        (0u32, 1u32),
+        (1, 0),
+        (0, 2),
+        (2, 0),
+        (1, 3),
+        (3, 1),
+        (2, 3),
+        (3, 2),
+    ] {
         events.push(ev(at, a, "g", &format!("g({a}, {b})"), UpdateKind::Insert));
         at += 300;
     }
@@ -650,7 +734,11 @@ fn logich_repairs_tree_after_edge_deletion() {
     assert_eq!(depths_of(0), vec![0]);
     assert_eq!(depths_of(1), vec![1]);
     assert_eq!(depths_of(3), vec![2]);
-    assert_eq!(depths_of(2), vec![3], "node 2 must re-home via 3: {results:?}");
+    assert_eq!(
+        depths_of(2),
+        vec![3],
+        "node 2 must re-home via 3: {results:?}"
+    );
 }
 
 #[test]
@@ -752,5 +840,9 @@ fn centroid_under_loss_stays_sound() {
     d.schedule_all(events.clone());
     d.run(200_000);
     let report = oracle::check(&d, &events, sym("q"));
-    assert!(report.spurious.is_empty(), "loss fabricated: {:?}", report.spurious);
+    assert!(
+        report.spurious.is_empty(),
+        "loss fabricated: {:?}",
+        report.spurious
+    );
 }

@@ -113,12 +113,10 @@ fn sum(values: &BTreeSet<Term>) -> Result<Term, EvalError> {
         let mut acc: i64 = 0;
         for v in values {
             if let Term::Int(i) = v {
-                acc = acc
-                    .checked_add(*i)
-                    .ok_or(EvalError::LimitExceeded {
-                        what: "sum overflow",
-                        limit: i64::MAX as usize,
-                    })?;
+                acc = acc.checked_add(*i).ok_or(EvalError::LimitExceeded {
+                    what: "sum overflow",
+                    limit: i64::MAX as usize,
+                })?;
             }
         }
         Ok(Term::Int(acc))
@@ -195,10 +193,7 @@ mod tests {
 
     #[test]
     fn agg_in_first_position() {
-        let out = run(
-            "q(count<Y>, X) :- e(X, Y).",
-            &["e(1, 2)", "e(1, 3)"],
-        );
+        let out = run("q(count<Y>, X) :- e(X, Y).", &["e(1, 2)", "e(1, 3)"]);
         assert_eq!(out, vec![tup("2, 1")]);
     }
 

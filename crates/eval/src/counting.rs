@@ -66,8 +66,8 @@ impl CountingEngine {
     }
 
     pub fn from_source(src: &str, reg: BuiltinRegistry) -> Result<CountingEngine, EvalError> {
-        let prog = sensorlog_logic::parse_program(src)
-            .map_err(|e| EvalError::Internal(e.to_string()))?;
+        let prog =
+            sensorlog_logic::parse_program(src).map_err(|e| EvalError::Internal(e.to_string()))?;
         let analysis = sensorlog_logic::analyze(&prog, &reg)?;
         CountingEngine::new(analysis, reg)
     }

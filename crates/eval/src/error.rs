@@ -13,16 +13,11 @@ pub enum EvalError {
     /// A resource guard tripped — usually runaway recursion through
     /// function symbols ("introduction of function symbols … may result in
     /// non-termination", Sec. IV-C).
-    LimitExceeded {
-        what: &'static str,
-        limit: usize,
-    },
+    LimitExceeded { what: &'static str, limit: usize },
     /// The runtime derivation-cycle check for locally non-recursive
     /// evaluation found a cycle: the program is outside the supported class
     /// (Sec. IV-C, "Evaluating General Recursive Programs").
-    DerivationCycle {
-        pred: Symbol,
-    },
+    DerivationCycle { pred: Symbol },
     /// A body variable was unbound where groundness was required; indicates
     /// an internal planning bug (safety checking should prevent it).
     Internal(String),

@@ -36,7 +36,6 @@ pub struct Visibility<'a> {
     pub windows: &'a BTreeMap<Symbol, u64>,
 }
 
-
 /// Semantic pattern match: like `sensorlog_logic::unify::match_args`, but evaluates interpreted
 /// function symbols in ground pattern positions and *solves* linear stage
 /// patterns — `D + 1` matched against `2` binds `D = 1`. This is what lets
@@ -85,12 +84,7 @@ pub fn sem_match(reg: &BuiltinRegistry, pat: &Term, val: &Term, s: &mut Subst) -
 }
 
 /// [`sem_match`] over an argument list.
-pub fn sem_match_args(
-    reg: &BuiltinRegistry,
-    pats: &[Term],
-    vals: &[Term],
-    s: &mut Subst,
-) -> bool {
+pub fn sem_match_args(reg: &BuiltinRegistry, pats: &[Term], vals: &[Term], s: &mut Subst) -> bool {
     pats.len() == vals.len()
         && pats
             .iter()
@@ -585,7 +579,9 @@ mod tests {
         let ev = BodyEval::new(&db, &reg);
         // Pin the second literal to (2, 3): only X=1,Z=3 solution remains.
         let pin = tup("2, 3");
-        let sols = ev.solutions(&rule.body, Subst::new(), Some((1, &pin))).unwrap();
+        let sols = ev
+            .solutions(&rule.body, Subst::new(), Some((1, &pin)))
+            .unwrap();
         assert_eq!(sols.len(), 1);
         let head = instantiate_head(&rule, &sols[0].subst, &reg).unwrap();
         assert_eq!(head, tup("1, 3"));
@@ -602,7 +598,9 @@ mod tests {
         let reg = BuiltinRegistry::standard();
         let ev = BodyEval::new(&db, &reg);
         let pin = tup("2");
-        let sols = ev.solutions(&rule.body, Subst::new(), Some((1, &pin))).unwrap();
+        let sols = ev
+            .solutions(&rule.body, Subst::new(), Some((1, &pin)))
+            .unwrap();
         assert_eq!(sols.len(), 1);
         let head = instantiate_head(&rule, &sols[0].subst, &reg).unwrap();
         assert_eq!(head, tup("2"));
@@ -633,7 +631,9 @@ mod tests {
         // occurrence 1 to the filtered tuple still yields the solution
         // via occurrence 0 (where the filter does not apply).
         let pin = tup("1, 1");
-        let sols = ev.solutions(&rule.body, Subst::new(), Some((1, &pin))).unwrap();
+        let sols = ev
+            .solutions(&rule.body, Subst::new(), Some((1, &pin)))
+            .unwrap();
         assert_eq!(sols.len(), 1);
         // Filtering occurrence 0 instead kills it: the delta staircase
         // (old state before the updated occurrence).
@@ -648,7 +648,9 @@ mod tests {
             filter: Some(&filter0),
             vis: None,
         };
-        let sols = ev0.solutions(&rule.body, Subst::new(), Some((1, &pin))).unwrap();
+        let sols = ev0
+            .solutions(&rule.body, Subst::new(), Some((1, &pin)))
+            .unwrap();
         assert!(sols.is_empty());
     }
 
@@ -709,7 +711,10 @@ mod tests {
                 windows: &windows,
             }),
         };
-        assert!(ev.solutions(&rule.body, Subst::new(), None).unwrap().is_empty());
+        assert!(ev
+            .solutions(&rule.body, Subst::new(), None)
+            .unwrap()
+            .is_empty());
         // At tau=60 the s-tuple is deleted: q(1) holds.
         let ev = BodyEval {
             db: &db,
@@ -720,7 +725,10 @@ mod tests {
                 windows: &windows,
             }),
         };
-        assert_eq!(ev.solutions(&rule.body, Subst::new(), None).unwrap().len(), 1);
+        assert_eq!(
+            ev.solutions(&rule.body, Subst::new(), None).unwrap().len(),
+            1
+        );
     }
 
     #[test]

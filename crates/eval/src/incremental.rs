@@ -175,8 +175,8 @@ impl IncrementalEngine {
     }
 
     pub fn from_source(src: &str, reg: BuiltinRegistry) -> Result<IncrementalEngine, EvalError> {
-        let prog = sensorlog_logic::parse_program(src)
-            .map_err(|e| EvalError::Internal(e.to_string()))?;
+        let prog =
+            sensorlog_logic::parse_program(src).map_err(|e| EvalError::Internal(e.to_string()))?;
         let analysis = sensorlog_logic::analyze(&prog, &reg)?;
         IncrementalEngine::new(analysis, reg)
     }
@@ -227,11 +227,7 @@ impl IncrementalEngine {
     /// expiring a tuple after sufficient time" — silent, no join phase).
     /// Derivation entries of expired derived tuples are garbage-collected.
     pub fn advance_time(&mut self, now: u64) {
-        let preds: Vec<(Symbol, u64)> = self
-            .windows
-            .iter()
-            .map(|(&p, &w)| (p, w))
-            .collect();
+        let preds: Vec<(Symbol, u64)> = self.windows.iter().map(|(&p, &w)| (p, w)).collect();
         for (p, w) in preds {
             let expired = self.db.relation_mut(p).expire(w, now);
             for t in expired {
@@ -402,11 +398,8 @@ impl IncrementalEngine {
     /// inputs.
     fn derivation_closes_cycle(&self, pred: Symbol, tuple: &Tuple, d: &Derivation) -> bool {
         let target = (pred, tuple.clone());
-        let mut stack: Vec<(Symbol, Tuple)> = d
-            .inputs
-            .iter()
-            .map(|(_, p, t)| (*p, t.clone()))
-            .collect();
+        let mut stack: Vec<(Symbol, Tuple)> =
+            d.inputs.iter().map(|(_, p, t)| (*p, t.clone())).collect();
         let mut seen: std::collections::HashSet<(Symbol, Tuple)> = stack.iter().cloned().collect();
         while let Some(key) = stack.pop() {
             if key == target {
@@ -476,7 +469,9 @@ impl IncrementalEngine {
         let new_tuple = if matching.is_empty() {
             None
         } else {
-            aggregate_rule(&rule, &matching, &self.reg)?.into_iter().next()
+            aggregate_rule(&rule, &matching, &self.reg)?
+                .into_iter()
+                .next()
         };
         let slot = (rule.id, key);
         let old = self.agg_groups.get(&slot).cloned();
@@ -577,13 +572,19 @@ mod tests {
 
         // A friendly nearby covers it: cov appears, uncov retracts.
         let out = e.apply(ins(r#"veh("friendly", 12, 1)"#, 2)).unwrap();
-        assert!(out.iter().any(|u| u.pred == sym("cov") && u.kind == UpdateKind::Insert));
-        assert!(out.iter().any(|u| u.pred == sym("uncov") && u.kind == UpdateKind::Delete));
+        assert!(out
+            .iter()
+            .any(|u| u.pred == sym("cov") && u.kind == UpdateKind::Insert));
+        assert!(out
+            .iter()
+            .any(|u| u.pred == sym("uncov") && u.kind == UpdateKind::Delete));
         assert!(!e.db.contains(sym("uncov"), &tup("10, 1")));
 
         // Friendly leaves: uncovered again.
         let out = e.apply(del(r#"veh("friendly", 12, 1)"#, 3)).unwrap();
-        assert!(out.iter().any(|u| u.pred == sym("uncov") && u.kind == UpdateKind::Insert));
+        assert!(out
+            .iter()
+            .any(|u| u.pred == sym("uncov") && u.kind == UpdateKind::Insert));
         assert_matches_oracle(&e, UNCOV);
     }
 
@@ -684,7 +685,9 @@ mod tests {
         assert_eq!(out.len(), 3); // a, b, c inserts
         assert!(e.db.contains(sym("c"), &tup("1")));
         let out = e.apply(ins("blocked(1)", 2)).unwrap();
-        assert!(out.iter().any(|u| u.pred == sym("c") && u.kind == UpdateKind::Delete));
+        assert!(out
+            .iter()
+            .any(|u| u.pred == sym("c") && u.kind == UpdateKind::Delete));
         assert!(!e.db.contains(sym("c"), &tup("1")));
         e.apply(del("blocked(1)", 3)).unwrap();
         assert!(e.db.contains(sym("c"), &tup("1")));
@@ -802,7 +805,10 @@ mod tests {
         e.check_local_recursion = true;
         e.apply(ins("e(1, 2)", 1)).unwrap();
         let err = e.apply(ins("e(2, 1)", 2)).unwrap_err();
-        assert!(matches!(err, crate::error::EvalError::DerivationCycle { .. }));
+        assert!(matches!(
+            err,
+            crate::error::EvalError::DerivationCycle { .. }
+        ));
         // DAGs sail through.
         let mut e = engine(src);
         e.check_local_recursion = true;

@@ -56,8 +56,8 @@ impl RederiveEngine {
     }
 
     pub fn from_source(src: &str, reg: BuiltinRegistry) -> Result<RederiveEngine, EvalError> {
-        let prog = sensorlog_logic::parse_program(src)
-            .map_err(|e| EvalError::Internal(e.to_string()))?;
+        let prog =
+            sensorlog_logic::parse_program(src).map_err(|e| EvalError::Internal(e.to_string()))?;
         let analysis = sensorlog_logic::analyze(&prog, &reg)?;
         RederiveEngine::new(analysis, reg)
     }

@@ -50,9 +50,15 @@ impl TupleMeta {
 type Index = HashMap<Vec<Term>, Vec<Tuple>>;
 
 /// A set of ground tuples with metadata and lazy column indexes.
+///
+/// Tuples are kept in a `BTreeMap` so iteration order is the canonical tuple
+/// order, identical across processes. This matters in the distributed
+/// runtime: iteration order here feeds join-probe solution order and hence
+/// message emission order; with a hash map the order would vary with the
+/// per-process hasher seed and replays would diverge under message loss.
 #[derive(Debug, Default)]
 pub struct Relation {
-    tuples: HashMap<Tuple, TupleMeta>,
+    tuples: BTreeMap<Tuple, TupleMeta>,
     /// Lazily-built indexes: column positions → (key values → tuples).
     /// Kept consistent on insert/remove. `RwLock` because index building
     /// happens during `&self` lookups.
@@ -104,11 +110,11 @@ impl Relation {
     /// tombstone.
     pub fn insert(&mut self, t: Tuple, meta: TupleMeta) -> bool {
         match self.tuples.entry(t.clone()) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
                 e.get_mut().del_ts = None;
                 false
             }
-            std::collections::hash_map::Entry::Vacant(e) => {
+            std::collections::btree_map::Entry::Vacant(e) => {
                 e.insert(meta);
                 let mut idx = self.indexes.write();
                 for (cols, map) in idx.iter_mut() {

@@ -72,8 +72,8 @@ impl Engine {
 
     /// Parse + analyze + build in one step.
     pub fn from_source(src: &str, reg: BuiltinRegistry) -> Result<Engine, EvalError> {
-        let prog = sensorlog_logic::parse_program(src)
-            .map_err(|e| EvalError::Internal(e.to_string()))?;
+        let prog =
+            sensorlog_logic::parse_program(src).map_err(|e| EvalError::Internal(e.to_string()))?;
         let analysis = analyze(&prog, &reg)?;
         Ok(Engine::new(analysis, reg))
     }
@@ -100,9 +100,12 @@ impl Engine {
                 .iter()
                 .filter(|r| scc_set.contains(&r.head.pred))
                 .collect();
-            if let Some(info) = self.analysis.xy.iter().find(|i| {
-                i.scc.iter().any(|p| scc_set.contains(p))
-            }) {
+            if let Some(info) = self
+                .analysis
+                .xy
+                .iter()
+                .find(|i| i.scc.iter().any(|p| scc_set.contains(p)))
+            {
                 self.eval_xy(&mut db, &rules, info)?;
             } else if is_recursive_unit(&rules, &scc_set) {
                 self.eval_seminaive(&mut db, &rules, &scc_set)?;
@@ -136,7 +139,10 @@ impl Engine {
                 }
             } else {
                 for sol in &sols {
-                    pending.push((rule.head.pred, instantiate_head(rule, &sol.subst, &self.reg)?));
+                    pending.push((
+                        rule.head.pred,
+                        instantiate_head(rule, &sol.subst, &self.reg)?,
+                    ));
                 }
             }
         }
@@ -162,7 +168,10 @@ impl Engine {
             let sols = ev.solutions(&rule.body, Subst::new(), None)?;
             debug_assert!(rule.agg.is_none(), "aggregates cannot be recursive");
             for sol in &sols {
-                round0.push((rule.head.pred, instantiate_head(rule, &sol.subst, &self.reg)?));
+                round0.push((
+                    rule.head.pred,
+                    instantiate_head(rule, &sol.subst, &self.reg)?,
+                ));
             }
         }
         for (p, t) in round0 {
@@ -193,8 +202,10 @@ impl Engine {
                         let ev = BodyEval::new(db, &self.reg);
                         let sols = ev.solutions(&rule.body, Subst::new(), Some((idx, dt)))?;
                         for sol in &sols {
-                            produced
-                                .push((rule.head.pred, instantiate_head(rule, &sol.subst, &self.reg)?));
+                            produced.push((
+                                rule.head.pred,
+                                instantiate_head(rule, &sol.subst, &self.reg)?,
+                            ));
                         }
                     }
                 }
@@ -231,7 +242,8 @@ impl Engine {
             let sols = ev.solutions(&rule.body, Subst::new(), None)?;
             for sol in &sols {
                 let t = instantiate_head(rule, &sol.subst, &self.reg)?;
-                db.relation_mut(rule.head.pred).insert(t, TupleMeta::default());
+                db.relation_mut(rule.head.pred)
+                    .insert(t, TupleMeta::default());
             }
         }
 
@@ -324,9 +336,9 @@ impl Engine {
 fn is_recursive_unit(rules: &[&Rule], scc_set: &BTreeSet<Symbol>) -> bool {
     scc_set.len() > 1
         || rules.iter().any(|r| {
-            r.body
-                .iter()
-                .any(|l| matches!(l, Literal::Pos(a) | Literal::Neg(a) if scc_set.contains(&a.pred)))
+            r.body.iter().any(
+                |l| matches!(l, Literal::Pos(a) | Literal::Neg(a) if scc_set.contains(&a.pred)),
+            )
         })
 }
 
@@ -437,7 +449,13 @@ mod tests {
             "#,
         );
         let out = e
-            .run(&db(&["zero(0)", "succ(0,1)", "succ(1,2)", "succ(2,3)", "succ(3,4)"]))
+            .run(&db(&[
+                "zero(0)",
+                "succ(0,1)",
+                "succ(1,2)",
+                "succ(2,3)",
+                "succ(3,4)",
+            ]))
             .unwrap();
         assert_eq!(out.sorted(sym("even")), vec![tup("0"), tup("2"), tup("4")]);
         assert_eq!(out.sorted(sym("odd")), vec![tup("1"), tup("3")]);
@@ -454,12 +472,7 @@ mod tests {
         );
         let out = e
             .run(&db(&[
-                "e(1, 2)",
-                "e(2, 3)",
-                "e(5, 6)",
-                "node(2)",
-                "node(3)",
-                "node(6)",
+                "e(1, 2)", "e(2, 3)", "e(5, 6)", "node(2)", "node(3)", "node(6)",
             ]))
             .unwrap();
         assert_eq!(out.sorted(sym("unreach")), vec![tup("6")]);
@@ -491,9 +504,13 @@ mod tests {
         assert!(h.contains(&tup("0, 2, 1")));
         assert!(h.contains(&tup("2, 3, 2")));
         // hp blocks re-adding vertex 2 at depth 2 (via 1).
-        assert!(!h.iter().any(|t| t.get(1) == &Term::Int(2) && t.get(2) == &Term::Int(2)));
+        assert!(!h
+            .iter()
+            .any(|t| t.get(1) == &Term::Int(2) && t.get(2) == &Term::Int(2)));
         // And vertex 1 at depth 2 (via 2).
-        assert!(!h.iter().any(|t| t.get(1) == &Term::Int(1) && t.get(2) == &Term::Int(2)));
+        assert!(!h
+            .iter()
+            .any(|t| t.get(1) == &Term::Int(1) && t.get(2) == &Term::Int(2)));
         // Every reachable vertex appears exactly at its BFS depth.
         let depth_of = |v: i64| {
             h.iter()

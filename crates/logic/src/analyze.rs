@@ -64,7 +64,10 @@ pub enum AnalyzeError {
     },
     /// A negated subgoal's predicate is a builtin predicate — negation of
     /// procedural builtins is not supported (write the complement builtin).
-    NegatedBuiltin { rule_id: usize, pred: Symbol },
+    NegatedBuiltin {
+        rule_id: usize,
+        pred: Symbol,
+    },
     /// The same predicate is used with two different arities.
     ArityMismatch {
         pred: Symbol,

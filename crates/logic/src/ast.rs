@@ -367,7 +367,10 @@ mod tests {
             id: 0,
             head: atom("cov", vec![Term::var("L"), Term::var("T")]),
             body: vec![
-                Literal::Pos(atom("veh", vec![Term::str("enemy"), Term::var("L"), Term::var("T")])),
+                Literal::Pos(atom(
+                    "veh",
+                    vec![Term::str("enemy"), Term::var("L"), Term::var("T")],
+                )),
                 Literal::Cmp(
                     CmpOp::Le,
                     Term::app("dist", vec![Term::var("L"), Term::var("L2")]),
@@ -386,7 +389,10 @@ mod tests {
         let r = Rule {
             id: 0,
             head: atom("short", vec![Term::var("Y")]),
-            body: vec![Literal::Pos(atom("path", vec![Term::var("Y"), Term::var("D")]))],
+            body: vec![Literal::Pos(atom(
+                "path",
+                vec![Term::var("Y"), Term::var("D")],
+            ))],
             agg: Some(AggSpec {
                 func: AggFunc::Min,
                 pos: 1,

@@ -146,7 +146,9 @@ impl BuiltinRegistry {
             Arc::new(|args: &[Term]| {
                 let (a, b, both_int) = num2(args, "min2")?;
                 if both_int {
-                    Ok(Term::Int(args[0].as_i64().unwrap().min(args[1].as_i64().unwrap())))
+                    Ok(Term::Int(
+                        args[0].as_i64().unwrap().min(args[1].as_i64().unwrap()),
+                    ))
                 } else {
                     Ok(Term::float(a.min(b)))
                 }
@@ -157,7 +159,9 @@ impl BuiltinRegistry {
             Arc::new(|args: &[Term]| {
                 let (a, b, both_int) = num2(args, "max2")?;
                 if both_int {
-                    Ok(Term::Int(args[0].as_i64().unwrap().max(args[1].as_i64().unwrap())))
+                    Ok(Term::Int(
+                        args[0].as_i64().unwrap().max(args[1].as_i64().unwrap()),
+                    ))
                 } else {
                     Ok(Term::float(a.max(b)))
                 }
@@ -378,8 +382,12 @@ pub mod stdlib {
                     report_xyz(&args[0]).ok_or_else(|| BuiltinError::new("bad report"))?,
                     report_xyz(&args[1]).ok_or_else(|| BuiltinError::new("bad report"))?,
                 );
-                let dmax = args[2].as_f64().ok_or_else(|| BuiltinError::new("bad Dmax"))?;
-                let tmax = args[3].as_f64().ok_or_else(|| BuiltinError::new("bad Tmax"))?;
+                let dmax = args[2]
+                    .as_f64()
+                    .ok_or_else(|| BuiltinError::new("bad Dmax"))?;
+                let tmax = args[3]
+                    .as_f64()
+                    .ok_or_else(|| BuiltinError::new("bad Tmax"))?;
                 let d = ((r1.0 - r2.0).powi(2) + (r1.1 - r2.1).powi(2)).sqrt();
                 let dt = r2.2 - r1.2;
                 Ok(d <= dmax && dt > 0.0 && dt <= tmax)
@@ -391,7 +399,9 @@ pub mod stdlib {
                 if args.len() != 3 {
                     return Err(BuiltinError::new("is_parallel expects (L1, L2, Tol)"));
                 }
-                let tol = args[2].as_f64().ok_or_else(|| BuiltinError::new("bad Tol"))?;
+                let tol = args[2]
+                    .as_f64()
+                    .ok_or_else(|| BuiltinError::new("bad Tol"))?;
                 let dir = |l: &Term| -> Option<(f64, f64)> {
                     let items = l.as_list()?;
                     if items.len() < 2 {
@@ -478,8 +488,12 @@ mod tests {
     #[test]
     fn comparisons() {
         let r = BuiltinRegistry::standard();
-        assert!(r.compare(CmpOp::Le, &Term::Int(1), &Term::float(1.0)).unwrap());
-        assert!(r.compare(CmpOp::Eq, &Term::Int(1), &Term::float(1.0)).unwrap());
+        assert!(r
+            .compare(CmpOp::Le, &Term::Int(1), &Term::float(1.0))
+            .unwrap());
+        assert!(r
+            .compare(CmpOp::Eq, &Term::Int(1), &Term::float(1.0))
+            .unwrap());
         assert!(r.compare(CmpOp::Lt, &Term::Int(1), &Term::Int(2)).unwrap());
         assert!(!r.compare(CmpOp::Gt, &Term::Int(1), &Term::Int(2)).unwrap());
         // Structural comparison on non-numeric terms.
@@ -512,8 +526,12 @@ mod tests {
             }),
         );
         assert!(r.is_pred(Symbol::intern("even")));
-        assert!(r.call_pred(Symbol::intern("even"), &[Term::Int(4)]).unwrap());
-        assert!(!r.call_pred(Symbol::intern("even"), &[Term::Int(3)]).unwrap());
+        assert!(r
+            .call_pred(Symbol::intern("even"), &[Term::Int(4)])
+            .unwrap());
+        assert!(!r
+            .call_pred(Symbol::intern("even"), &[Term::Int(3)])
+            .unwrap());
     }
 
     #[test]
@@ -547,10 +565,7 @@ mod tests {
         // `member` used as a body predicate resolves to a builtin.
         let rule = parse_rule("q(X) :- p(X, L), member(X, L).").unwrap();
         let resolved = crate::safety::resolve_builtins(&rule, &r);
-        assert!(matches!(
-            resolved.body[1],
-            crate::ast::Literal::Builtin(_)
-        ));
+        assert!(matches!(resolved.body[1], crate::ast::Literal::Builtin(_)));
     }
 
     #[test]

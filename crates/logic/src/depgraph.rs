@@ -240,10 +240,7 @@ mod tests {
         .unwrap();
         let g = DepGraph::build(&p);
         let sccs = g.sccs();
-        let comp = sccs
-            .iter()
-            .find(|c| c.contains(&sym("even")))
-            .unwrap();
+        let comp = sccs.iter().find(|c| c.contains(&sym("even"))).unwrap();
         assert!(comp.contains(&sym("odd")));
         assert!(g.is_recursive(sym("even")));
     }

@@ -25,7 +25,11 @@ impl Adornment {
     }
 
     pub fn bound_positions(&self) -> impl Iterator<Item = usize> + '_ {
-        self.0.iter().enumerate().filter(|(_, b)| **b).map(|(i, _)| i)
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b)
+            .map(|(i, _)| i)
     }
 
     pub fn has_bound(&self) -> bool {
@@ -274,7 +278,12 @@ mod tests {
             .iter()
             .any(|l| matches!(l, Literal::Pos(a) if a.pred == sym("e"))));
         // Every adorned t rule is guarded by the magic predicate.
-        for r in res.program.rules.iter().filter(|r| r.head.pred == sym("t__bf")) {
+        for r in res
+            .program
+            .rules
+            .iter()
+            .filter(|r| r.head.pred == sym("t__bf"))
+        {
             assert!(matches!(&r.body[0], Literal::Pos(a) if a.pred == sym("m_t__bf")));
         }
     }

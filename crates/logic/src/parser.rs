@@ -506,12 +506,18 @@ mod tests {
         for l in &r1.body {
             l.collect_vars(&mut vars);
         }
-        let anon: Vec<_> = vars.iter().filter(|v| v.as_str().starts_with("_G")).collect();
+        let anon: Vec<_> = vars
+            .iter()
+            .filter(|v| v.as_str().starts_with("_G"))
+            .collect();
         assert_eq!(anon.len(), 2);
         assert_ne!(anon[0], anon[1]);
         // d+1 desugars to add(D, 1)
         let head_arg = &p.rules[2].head.args[2];
-        assert_eq!(head_arg, &Term::app("add", vec![Term::var("D"), Term::Int(1)]));
+        assert_eq!(
+            head_arg,
+            &Term::app("add", vec![Term::var("D"), Term::Int(1)])
+        );
     }
 
     #[test]
@@ -572,7 +578,10 @@ mod tests {
             t,
             Term::app(
                 "add",
-                vec![Term::Int(1), Term::app("mul", vec![Term::Int(2), Term::Int(3)])]
+                vec![
+                    Term::Int(1),
+                    Term::app("mul", vec![Term::Int(2), Term::Int(3)])
+                ]
             )
         );
         let t = parse_term("(1 + 2) * 3").unwrap();
@@ -580,7 +589,10 @@ mod tests {
             t,
             Term::app(
                 "mul",
-                vec![Term::app("add", vec![Term::Int(1), Term::Int(2)]), Term::Int(3)]
+                vec![
+                    Term::app("add", vec![Term::Int(1), Term::Int(2)]),
+                    Term::Int(3)
+                ]
             )
         );
     }

@@ -68,7 +68,7 @@ pub fn stratify(prog: &Program) -> Result<Stratification, StratifyError> {
 /// Stratify a prebuilt dependency graph.
 pub fn stratify_graph(g: &DepGraph) -> Result<Stratification, StratifyError> {
     let sccs = g.sccs(); // reverse topological: dependencies first
-    // Reject negative edges inside an SCC.
+                         // Reject negative edges inside an SCC.
     for scc in &sccs {
         let negs = g.internal_negative_edges(scc);
         if let Some(&edge) = negs.first() {

@@ -100,19 +100,6 @@ impl From<&str> for Symbol {
     }
 }
 
-impl serde::Serialize for Symbol {
-    fn serialize<S: serde::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
-        ser.serialize_str(self.as_str())
-    }
-}
-
-impl<'de> serde::Deserialize<'de> for Symbol {
-    fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(de)?;
-        Ok(Symbol::intern(&s))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -158,10 +158,9 @@ impl Term {
     /// first occurrence, duplicates skipped).
     pub fn collect_vars(&self, out: &mut Vec<Symbol>) {
         match self {
-            Term::Var(v)
-                if !out.contains(v) => {
-                    out.push(*v);
-                }
+            Term::Var(v) if !out.contains(v) => {
+                out.push(*v);
+            }
             Term::App(_, args) => {
                 for a in args.iter() {
                     a.collect_vars(out);
@@ -346,7 +345,10 @@ mod tests {
     fn var_collection_dedups_and_orders() {
         let t = Term::app(
             "f",
-            vec![Term::var("X"), Term::app("g", vec![Term::var("Y"), Term::var("X")])],
+            vec![
+                Term::var("X"),
+                Term::app("g", vec![Term::var("Y"), Term::var("X")]),
+            ],
         );
         assert_eq!(t.vars(), vec![Symbol::intern("X"), Symbol::intern("Y")]);
     }

@@ -259,7 +259,10 @@ mod tests {
     fn unify_two_open_terms() {
         // f(X, g(Y)) ~ f(1, g(2))
         let mut s = Subst::new();
-        let a = Term::app("f", vec![Term::var("X"), Term::app("g", vec![Term::var("Y")])]);
+        let a = Term::app(
+            "f",
+            vec![Term::var("X"), Term::app("g", vec![Term::var("Y")])],
+        );
         let b = Term::app("f", vec![Term::Int(1), Term::app("g", vec![Term::Int(2)])]);
         assert!(unify(&a, &b, &mut s));
         assert_eq!(s.resolve(&Term::var("X")), Term::Int(1));

@@ -99,13 +99,18 @@ impl fmt::Display for XyError {
             XyError::NoStageAssignment { scc, detail } => write!(
                 f,
                 "component {{{}}} is not XY-stratified: {detail}",
-                scc.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+                scc.iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
-            XyError::TooManyCandidates { scc } => write!(
+            XyError::TooManyCandidates { scc } => {
+                write!(
                 f,
                 "component {{{}}} too large for stage-position search; add `.stage pred N.` hints",
                 scc.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
-            ),
+            )
+            }
         }
     }
 }
@@ -125,9 +130,9 @@ pub fn check_scc(prog: &Program, scc: &[Symbol]) -> Result<XyInfo, XyError> {
         .collect();
     for r in &rules {
         if r.agg.is_some()
-            && r.body.iter().any(|l| {
-                matches!(l, Literal::Pos(a) | Literal::Neg(a) if scc_set.contains(&a.pred))
-            })
+            && r.body.iter().any(
+                |l| matches!(l, Literal::Pos(a) | Literal::Neg(a) if scc_set.contains(&a.pred)),
+            )
         {
             return Err(XyError::AggregateInScc { rule_id: r.id });
         }
@@ -214,15 +219,18 @@ fn try_assignments(
 
 /// Relation of an SCC body literal's stage to the head stage, given the
 /// rule's comparison constraints. `None` = indeterminate (reject).
-fn relate(head: StageExpr, body: StageExpr, rule: &Rule, pos: &BTreeMap<Symbol, usize>) -> Option<StageRel> {
+fn relate(
+    head: StageExpr,
+    body: StageExpr,
+    rule: &Rule,
+    pos: &BTreeMap<Symbol, usize>,
+) -> Option<StageRel> {
     match (head, body) {
-        (StageExpr::Linear(hv, ho), StageExpr::Linear(bv, bo)) if hv == bv => {
-            match ho - bo {
-                d if d > 0 => Some(StageRel::Lower),
-                0 => Some(StageRel::Same),
-                _ => None,
-            }
-        }
+        (StageExpr::Linear(hv, ho), StageExpr::Linear(bv, bo)) if hv == bv => match ho - bo {
+            d if d > 0 => Some(StageRel::Lower),
+            0 => Some(StageRel::Same),
+            _ => None,
+        },
         (StageExpr::Const(hc), StageExpr::Const(bc)) => match hc - bc {
             d if d > 0 => Some(StageRel::Lower),
             0 => Some(StageRel::Same),
@@ -414,7 +422,10 @@ mod tests {
 
     #[test]
     fn stage_expr_shapes() {
-        assert_eq!(stage_expr(&parse_term("5").unwrap()), Some(StageExpr::Const(5)));
+        assert_eq!(
+            stage_expr(&parse_term("5").unwrap()),
+            Some(StageExpr::Const(5))
+        );
         assert_eq!(
             stage_expr(&parse_term("D").unwrap()),
             Some(StageExpr::Linear(sym("D"), 0))
@@ -440,8 +451,16 @@ mod tests {
         assert_eq!(info.stage_pos[&sym("h")], 2);
         assert_eq!(info.stage_pos[&sym("hp")], 1);
         // Within a stage, hp must be evaluated before h (h negates hp).
-        let ih = info.stage_order.iter().position(|&p| p == sym("h")).unwrap();
-        let ihp = info.stage_order.iter().position(|&p| p == sym("hp")).unwrap();
+        let ih = info
+            .stage_order
+            .iter()
+            .position(|&p| p == sym("h"))
+            .unwrap();
+        let ihp = info
+            .stage_order
+            .iter()
+            .position(|&p| p == sym("hp"))
+            .unwrap();
         assert!(ihp < ih);
     }
 

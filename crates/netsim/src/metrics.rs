@@ -103,7 +103,11 @@ impl Metrics {
         if self.per_node.is_empty() {
             return 0.0;
         }
-        self.per_node.iter().map(|c| (c.tx + c.rx) as f64).sum::<f64>() / self.per_node.len() as f64
+        self.per_node
+            .iter()
+            .map(|c| (c.tx + c.rx) as f64)
+            .sum::<f64>()
+            / self.per_node.len() as f64
     }
 
     /// Load imbalance factor: max / mean (1.0 = perfectly balanced).
@@ -187,5 +191,51 @@ mod tests {
         assert_eq!(m.max_node_load(), 0);
         assert!((m.delivery_ratio() - 1.0).abs() < 1e-9);
         assert!((m.imbalance() - 1.0).abs() < 1e-9);
+        assert_eq!(m.mean_node_load(), 0.0);
+        assert_eq!(m.total_energy_uj(), 0.0);
+    }
+
+    #[test]
+    fn all_loss_delivery_ratio_is_zero() {
+        let mut m = Metrics::new(2);
+        for _ in 0..5 {
+            m.record_tx(NodeId(0), 8, "x");
+            m.record_loss();
+        }
+        assert_eq!(m.delivered, 0);
+        assert_eq!(m.lost, 5);
+        assert!((m.delivery_ratio() - 0.0).abs() < 1e-9);
+        // tx happened even though nothing arrived: energy/load still count.
+        assert_eq!(m.total_tx(), 5);
+        assert!(m.total_energy_uj() > 0.0);
+    }
+
+    #[test]
+    fn nodes_but_no_traffic() {
+        let m = Metrics::new(8);
+        // No activity at all: mean 0 must not divide-by-zero imbalance.
+        assert!((m.imbalance() - 1.0).abs() < 1e-9);
+        assert!((m.delivery_ratio() - 1.0).abs() < 1e-9);
+        assert_eq!(m.node(NodeId(7)), NodeCounters::default());
+    }
+
+    #[test]
+    fn perfectly_balanced_imbalance_is_one() {
+        let mut m = Metrics::new(4);
+        for i in 0..4 {
+            m.record_tx(NodeId(i), 10, "x");
+        }
+        assert!((m.imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rx_energy_counts_receiver_side() {
+        let mut m = Metrics::new(2);
+        m.record_rx(NodeId(1), 10);
+        // rx_base 7.0 + 10 bytes * 0.4
+        assert!((m.total_energy_uj() - 11.0).abs() < 1e-9);
+        assert_eq!(m.total_rx(), 1);
+        assert_eq!(m.total_tx(), 0);
+        assert!((m.delivery_ratio() - 1.0).abs() < 1e-9);
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::metrics::Metrics;
 use crate::topology::{NodeId, Topology};
+use crate::trace::{DropReason, TraceEvent, TraceRecord, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -175,6 +176,11 @@ pub struct Simulator<A: App> {
     pub config: SimConfig,
     pub metrics: Metrics,
     events_processed: u64,
+    /// Optional event journal (see [`crate::trace`]). `None` costs one
+    /// branch per event and never constructs a record.
+    trace: Option<Box<dyn TraceSink>>,
+    trace_seq: u64,
+    max_queue_depth: usize,
 }
 
 impl<A: App> Simulator<A> {
@@ -210,6 +216,9 @@ impl<A: App> Simulator<A> {
             config,
             metrics,
             events_processed: 0,
+            trace: None,
+            trace_seq: 0,
+            max_queue_depth: 0,
         };
         for id in sim.topo.nodes() {
             sim.push(0, Event::Start(id));
@@ -224,6 +233,38 @@ impl<A: App> Simulator<A> {
             event,
         }));
         self.seq += 1;
+        self.max_queue_depth = self.max_queue_depth.max(self.queue.len());
+    }
+
+    /// Attach a trace sink (e.g. [`crate::trace::SharedJournal`]); every
+    /// subsequent event is journaled. Pass-by-`Box` so callers keep a
+    /// shared handle if they need the data back afterwards.
+    pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Detach the current trace sink, if any.
+    pub fn clear_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// Journal an event. The closure defers record construction so a run
+    /// without a sink pays only this branch.
+    #[inline]
+    fn emit(&mut self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(TraceRecord {
+                seq: self.trace_seq,
+                at: self.now,
+                event: event(),
+            });
+            self.trace_seq += 1;
+        }
+    }
+
+    /// High-water mark of the pending event queue over the whole run.
+    pub fn max_queue_depth(&self) -> usize {
+        self.max_queue_depth
     }
 
     pub fn now(&self) -> SimTime {
@@ -259,6 +300,7 @@ impl<A: App> Simulator<A> {
     /// the replication of PA is exactly what failures test).
     pub fn fail_node(&mut self, id: NodeId) {
         self.failed[id.index()] = true;
+        self.emit(|| TraceEvent::NodeFail { node: id });
     }
 
     pub fn is_failed(&self, id: NodeId) -> bool {
@@ -284,9 +326,15 @@ impl<A: App> Simulator<A> {
         self.apply_outputs(node, sends, timers);
     }
 
-    fn apply_outputs(&mut self, from: NodeId, sends: Vec<(NodeId, A::Msg)>, timers: Vec<(SimTime, u64)>) {
+    fn apply_outputs(
+        &mut self,
+        from: NodeId,
+        sends: Vec<(NodeId, A::Msg)>,
+        timers: Vec<(SimTime, u64)>,
+    ) {
         for (to, msg) in sends {
             let bytes = msg.size_bytes();
+            let kind = msg.kind();
             let p = self
                 .config
                 .link_loss
@@ -297,8 +345,15 @@ impl<A: App> Simulator<A> {
             // every attempt is a transmission, failed attempts are losses.
             let mut delivered = false;
             let mut extra_delay: SimTime = 0;
-            for _attempt in 0..=self.config.retries {
-                self.metrics.record_tx(from, bytes, msg.kind());
+            for attempt in 0..=self.config.retries {
+                self.metrics.record_tx(from, bytes, kind);
+                self.emit(|| TraceEvent::Send {
+                    from,
+                    to,
+                    kind,
+                    bytes,
+                    attempt,
+                });
                 if p > 0.0 && self.rng.gen::<f64>() < p {
                     self.metrics.record_loss();
                     extra_delay += 5; // retransmission backoff
@@ -308,6 +363,12 @@ impl<A: App> Simulator<A> {
                 break;
             }
             if !delivered {
+                self.emit(|| TraceEvent::Drop {
+                    from,
+                    to,
+                    kind,
+                    reason: DropReason::Loss,
+                });
                 continue;
             }
             let (lo, hi) = self.config.hop_delay;
@@ -316,7 +377,10 @@ impl<A: App> Simulator<A> {
             } else {
                 lo
             };
-            self.push(self.now + delay + extra_delay, Event::Deliver { to, from, msg });
+            self.push(
+                self.now + delay + extra_delay,
+                Event::Deliver { to, from, msg },
+            );
         }
         for (delay, tag) in timers {
             self.push(self.now + delay, Event::Timer { node: from, tag });
@@ -334,17 +398,35 @@ impl<A: App> Simulator<A> {
         self.events_processed += 1;
         match q.event {
             Event::Start(node) => {
+                if !self.failed[node.index()] {
+                    self.emit(|| TraceEvent::Start { node });
+                }
                 self.invoke(node, |app, ctx| app.on_start(ctx));
             }
             Event::Deliver { to, from, msg } => {
                 if self.failed[to.index()] {
                     self.metrics.record_loss();
+                    self.emit(|| TraceEvent::Drop {
+                        from,
+                        to,
+                        kind: msg.kind(),
+                        reason: DropReason::DeadNode,
+                    });
                 } else {
                     self.metrics.record_rx(to, msg.size_bytes());
+                    self.emit(|| TraceEvent::Deliver {
+                        from,
+                        to,
+                        kind: msg.kind(),
+                        bytes: msg.size_bytes(),
+                    });
                     self.invoke(to, |app, ctx| app.on_message(ctx, from, msg));
                 }
             }
             Event::Timer { node, tag } => {
+                if !self.failed[node.index()] {
+                    self.emit(|| TraceEvent::Timer { node, tag });
+                }
                 self.invoke(node, |app, ctx| app.on_timer(ctx, tag));
             }
         }
@@ -579,6 +661,118 @@ mod tests {
         let mut sim = flood_sim(SimConfig::default());
         sim.run_until(10);
         assert!(sim.now() >= 10 || sim.is_quiescent());
+    }
+
+    fn lossy_cfg() -> SimConfig {
+        SimConfig {
+            loss_prob: 0.25,
+            retries: 1,
+            seed: 11,
+            ..SimConfig::default()
+        }
+    }
+
+    fn journaled_flood(cfg: SimConfig) -> crate::trace::Journal {
+        let shared = crate::trace::SharedJournal::new(cfg.seed);
+        let mut sim = flood_sim(cfg);
+        sim.set_trace(Box::new(shared.clone()));
+        sim.run_to_quiescence(100_000);
+        shared.take()
+    }
+
+    #[test]
+    fn record_replay_byte_identical() {
+        // A journal recorded from a seeded run, re-run under the same
+        // configuration, must reproduce byte-for-byte.
+        let a = journaled_flood(lossy_cfg());
+        let b = journaled_flood(lossy_cfg());
+        assert_eq!(
+            a.first_divergence(&b),
+            None,
+            "first divergence: {:?} vs {:?}",
+            a.first_divergence(&b).map(|i| &a.records[i]),
+            a.first_divergence(&b).and_then(|i| b.records.get(i)),
+        );
+        assert_eq!(a.to_text(), b.to_text(), "journals must be byte-identical");
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert!(!a.records.is_empty());
+        // Trace seq numbers are monotonic from 0.
+        for (i, r) in a.records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn replay_checker_verifies_live_rerun() {
+        let recorded = journaled_flood(lossy_cfg());
+        let mut sim = flood_sim(lossy_cfg());
+        let checker = crate::trace::ReplayChecker::new(recorded);
+        let shared = std::rc::Rc::new(std::cell::RefCell::new(checker));
+        struct SharedChecker(std::rc::Rc<std::cell::RefCell<crate::trace::ReplayChecker>>);
+        impl crate::trace::TraceSink for SharedChecker {
+            fn record(&mut self, rec: crate::trace::TraceRecord) {
+                self.0.borrow_mut().record(rec);
+            }
+        }
+        sim.set_trace(Box::new(SharedChecker(shared.clone())));
+        sim.run_to_quiescence(100_000);
+        let result = shared.borrow().result();
+        if let Err(d) = result {
+            panic!("{d}");
+        }
+    }
+
+    #[test]
+    fn different_seed_diverges_in_journal() {
+        let a = journaled_flood(lossy_cfg());
+        let b = journaled_flood(SimConfig {
+            seed: 12,
+            ..lossy_cfg()
+        });
+        assert!(a.first_divergence(&b).is_some());
+    }
+
+    #[test]
+    fn trace_covers_loss_and_failure_events() {
+        let shared = crate::trace::SharedJournal::new(0);
+        let mut sim = flood_sim(SimConfig {
+            loss_prob: 0.5,
+            seed: 3,
+            ..SimConfig::default()
+        });
+        sim.set_trace(Box::new(shared.clone()));
+        sim.fail_node(NodeId(15));
+        sim.run_to_quiescence(100_000);
+        let j = shared.take();
+        let s = j.summary();
+        assert!(s.sends > 0);
+        assert!(s.drops_loss > 0, "50% loss must journal drops");
+        assert_eq!(s.node_failures, 1);
+        assert_eq!(s.sends_by_kind["ping"], s.sends);
+        assert_eq!(
+            s.sends,
+            sim.metrics.total_tx(),
+            "journal sends == metric tx"
+        );
+        // Queue high-water mark is tracked for run summaries.
+        assert!(sim.max_queue_depth() > 0);
+    }
+
+    #[test]
+    fn disabled_trace_changes_nothing() {
+        // Runs with and without a sink produce identical outcomes: the
+        // journal is an observer, never a participant.
+        let mut plain = flood_sim(lossy_cfg());
+        plain.run_to_quiescence(100_000);
+        let shared = crate::trace::SharedJournal::new(lossy_cfg().seed);
+        let mut traced = flood_sim(lossy_cfg());
+        traced.set_trace(Box::new(shared.clone()));
+        traced.run_to_quiescence(100_000);
+        assert_eq!(plain.metrics.total_tx(), traced.metrics.total_tx());
+        assert_eq!(plain.events_processed(), traced.events_processed());
+        let ta: Vec<_> = plain.nodes().map(|n| n.received_at).collect();
+        let tb: Vec<_> = traced.nodes().map(|n| n.received_at).collect();
+        assert_eq!(ta, tb);
     }
 }
 

@@ -118,6 +118,34 @@ impl Topology {
         panic!("random_geometric: could not sample a connected graph (n={n}, side={side}, radius={radius})");
     }
 
+    /// Geometric topology from explicit node positions with unit-disk
+    /// adjacency at `radius`. Unlike [`Topology::random_geometric`] this
+    /// does *not* require connectivity — testbed layouts and
+    /// partition/fault experiments need disconnected graphs.
+    pub fn from_positions(positions: Vec<(f64, f64)>, radius: f64) -> Topology {
+        let n = positions.len();
+        let side = positions
+            .iter()
+            .flat_map(|&(x, y)| [x, y])
+            .fold(0.0f64, f64::max);
+        let mut adjacency = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (x1, y1) = positions[i];
+                let (x2, y2) = positions[j];
+                if (x1 - x2).powi(2) + (y1 - y2).powi(2) <= radius * radius {
+                    adjacency[i].push(NodeId(j as u32));
+                    adjacency[j].push(NodeId(i as u32));
+                }
+            }
+        }
+        Topology {
+            kind: TopologyKind::Geometric { side, radius },
+            positions,
+            adjacency,
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.positions.len()
     }

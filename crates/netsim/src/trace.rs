@@ -1,0 +1,522 @@
+//! Deterministic event tracing: journal, replay check, run summaries.
+//!
+//! Every simulator event — send attempt, delivery, drop, timer, node
+//! failure — can be journaled as a structured [`TraceRecord`] carrying the
+//! simulated time and a monotonic trace sequence number. The journal of a
+//! seeded run is a complete, canonical transcript: re-running the same
+//! configuration must reproduce it byte-for-byte (see
+//! [`Journal::to_text`]), which turns "the run is deterministic" from a
+//! hope into an assertable property and makes divergence *localizable* —
+//! [`ReplayChecker`] pinpoints the first record where a re-run departs
+//! from a recorded journal.
+//!
+//! Tracing is off by default and costs nothing when disabled: the
+//! simulator holds an `Option<Box<dyn TraceSink>>` and every emission
+//! site is `if let Some(sink) = …` around a closure that *constructs* the
+//! record, so a disabled run pays one predictable branch per event and
+//! never allocates or formats anything. Benches run with tracing off.
+
+use crate::sim::SimTime;
+use crate::topology::NodeId;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Why a message did not reach its destination.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Lost on the air (Bernoulli link loss), possibly after ARQ retries.
+    Loss,
+    /// Destination node had crashed before delivery.
+    DeadNode,
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DropReason::Loss => "loss",
+            DropReason::DeadNode => "dead",
+        })
+    }
+}
+
+/// One structured simulator event.
+///
+/// Message payloads are represented by their [`MsgMeta`](crate::MsgMeta)
+/// kind and size, not their contents: the trace layer must not require
+/// `Msg: Debug` and the (kind, bytes, endpoints, time) tuple is already
+/// enough to detect any ordering or scheduling divergence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A node's `on_start` callback ran.
+    Start { node: NodeId },
+    /// One transmission attempt (each ARQ retry is its own record).
+    Send {
+        from: NodeId,
+        to: NodeId,
+        kind: &'static str,
+        bytes: usize,
+        attempt: u32,
+    },
+    /// A message reached its destination's `on_message`.
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        kind: &'static str,
+        bytes: usize,
+    },
+    /// A transmission attempt or scheduled delivery was dropped.
+    Drop {
+        from: NodeId,
+        to: NodeId,
+        kind: &'static str,
+        reason: DropReason,
+    },
+    /// A timer fired at `node`.
+    Timer { node: NodeId, tag: u64 },
+    /// A node was crashed via `fail_node`.
+    NodeFail { node: NodeId },
+}
+
+/// A journaled event: monotonic trace sequence number + simulated time +
+/// the event itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    pub seq: u64,
+    pub at: SimTime,
+    pub event: TraceEvent,
+}
+
+impl fmt::Display for TraceRecord {
+    /// Canonical single-line rendering; [`Journal::to_text`] is the
+    /// concatenation of these, so two runs are byte-identical iff their
+    /// rendered journals are equal.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:08} {:>8} ", self.seq, self.at)?;
+        match &self.event {
+            TraceEvent::Start { node } => write!(f, "start {node}"),
+            TraceEvent::Send {
+                from,
+                to,
+                kind,
+                bytes,
+                attempt,
+            } => write!(f, "send {from}->{to} {kind} {bytes}B try{attempt}"),
+            TraceEvent::Deliver {
+                from,
+                to,
+                kind,
+                bytes,
+            } => write!(f, "deliver {from}->{to} {kind} {bytes}B"),
+            TraceEvent::Drop {
+                from,
+                to,
+                kind,
+                reason,
+            } => write!(f, "drop {from}->{to} {kind} {reason}"),
+            TraceEvent::Timer { node, tag } => write!(f, "timer {node} tag={tag}"),
+            TraceEvent::NodeFail { node } => write!(f, "fail {node}"),
+        }
+    }
+}
+
+/// Receiver of trace records. Implementations must not assume anything
+/// about call frequency; the simulator calls `record` once per event in
+/// event order.
+pub trait TraceSink {
+    fn record(&mut self, rec: TraceRecord);
+}
+
+/// Discards everything. Attaching this is equivalent to (but costlier
+/// than) not attaching a sink at all; it exists for tests and for APIs
+/// that want a sink unconditionally.
+#[derive(Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn record(&mut self, _rec: TraceRecord) {}
+}
+
+/// A recorded run: the seed it was produced under plus every record.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Journal {
+    /// Simulator RNG seed of the recorded run.
+    pub seed: u64,
+    pub records: Vec<TraceRecord>,
+}
+
+impl Journal {
+    /// Canonical textual rendering. Byte-identical across runs iff the
+    /// runs produced identical event sequences.
+    pub fn to_text(&self) -> String {
+        use fmt::Write;
+        let mut s = String::with_capacity(self.records.len() * 48 + 16);
+        let _ = writeln!(s, "seed={}", self.seed);
+        for r in &self.records {
+            let _ = writeln!(s, "{r}");
+        }
+        s
+    }
+
+    /// FNV-1a hash of [`Journal::to_text`] — a compact fingerprint for
+    /// logging alongside experiment rows.
+    pub fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_text().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Aggregate counters for experiment tables.
+    pub fn summary(&self) -> TraceSummary {
+        let mut s = TraceSummary::default();
+        for r in &self.records {
+            s.absorb(r);
+        }
+        s
+    }
+
+    /// First index at which `self` and `other` disagree (record-wise),
+    /// or `None` when one is a prefix of the other of equal length.
+    pub fn first_divergence(&self, other: &Journal) -> Option<usize> {
+        let n = self.records.len().min(other.records.len());
+        (0..n)
+            .find(|&i| self.records[i] != other.records[i])
+            .or_else(|| (self.records.len() != other.records.len()).then_some(n))
+    }
+}
+
+/// Per-run aggregate of a [`Journal`] — the numbers experiment tables
+/// want (message counts by kind, drops, timer volume).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    pub sends: u64,
+    pub delivers: u64,
+    pub drops_loss: u64,
+    pub drops_dead: u64,
+    pub timers: u64,
+    pub node_failures: u64,
+    pub sends_by_kind: BTreeMap<&'static str, u64>,
+}
+
+impl TraceSummary {
+    /// Fold one record into the counters.
+    pub fn absorb(&mut self, rec: &TraceRecord) {
+        match &rec.event {
+            TraceEvent::Start { .. } => {}
+            TraceEvent::Send { kind, .. } => {
+                self.sends += 1;
+                *self.sends_by_kind.entry(kind).or_insert(0) += 1;
+            }
+            TraceEvent::Deliver { .. } => self.delivers += 1,
+            TraceEvent::Drop { reason, .. } => match reason {
+                DropReason::Loss => self.drops_loss += 1,
+                DropReason::DeadNode => self.drops_dead += 1,
+            },
+            TraceEvent::Timer { .. } => self.timers += 1,
+            TraceEvent::NodeFail { .. } => self.node_failures += 1,
+        }
+    }
+}
+
+/// Shared handle to a streaming [`TraceSummary`] — accumulates counters in
+/// constant memory, never storing records. The right sink for long
+/// experiment runs where only the aggregate matters; use
+/// [`SharedJournal`] when the full transcript is needed.
+#[derive(Clone, Default)]
+pub struct SharedSummary(Rc<RefCell<TraceSummary>>);
+
+impl SharedSummary {
+    pub fn new() -> SharedSummary {
+        SharedSummary::default()
+    }
+
+    /// Snapshot of the counters so far.
+    pub fn snapshot(&self) -> TraceSummary {
+        self.0.borrow().clone()
+    }
+}
+
+impl TraceSink for SharedSummary {
+    fn record(&mut self, rec: TraceRecord) {
+        self.0.borrow_mut().absorb(&rec);
+    }
+}
+
+/// Shared handle to a [`Journal`] being written. Clone it, hand one clone
+/// to the simulator as the sink, keep the other to read the journal after
+/// the run (the simulator owns its sink, so a shared cell is the ergonomic
+/// way to get the data back out).
+#[derive(Clone, Default)]
+pub struct SharedJournal(Rc<RefCell<Journal>>);
+
+impl SharedJournal {
+    pub fn new(seed: u64) -> SharedJournal {
+        SharedJournal(Rc::new(RefCell::new(Journal {
+            seed,
+            records: Vec::new(),
+        })))
+    }
+
+    /// Snapshot of the journal so far.
+    pub fn snapshot(&self) -> Journal {
+        self.0.borrow().clone()
+    }
+
+    /// Take the journal out, leaving an empty one behind.
+    pub fn take(&self) -> Journal {
+        std::mem::take(&mut self.0.borrow_mut())
+    }
+}
+
+impl TraceSink for SharedJournal {
+    fn record(&mut self, rec: TraceRecord) {
+        self.0.borrow_mut().records.push(rec);
+    }
+}
+
+/// Verifies a re-run against a recorded journal record-by-record. The
+/// first mismatch is retained (expected vs actual) rather than panicking,
+/// so callers can report it with context; `result()` at the end also
+/// catches truncated re-runs.
+pub struct ReplayChecker {
+    expected: Journal,
+    next: usize,
+    divergence: Option<ReplayDivergence>,
+}
+
+/// The first point where a replay departed from the recorded journal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayDivergence {
+    pub index: usize,
+    /// `None` when the replay produced more records than were recorded.
+    pub expected: Option<TraceRecord>,
+    /// `None` when the replay ended before the recorded journal did.
+    pub actual: Option<TraceRecord>,
+}
+
+impl fmt::Display for ReplayDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "replay diverged at record {}:", self.index)?;
+        match &self.expected {
+            Some(r) => writeln!(f, "  expected: {r}")?,
+            None => writeln!(f, "  expected: <end of journal>")?,
+        }
+        match &self.actual {
+            Some(r) => write!(f, "  actual:   {r}"),
+            None => write!(f, "  actual:   <replay ended>"),
+        }
+    }
+}
+
+impl ReplayChecker {
+    pub fn new(expected: Journal) -> ReplayChecker {
+        ReplayChecker {
+            expected,
+            next: 0,
+            divergence: None,
+        }
+    }
+
+    /// `Ok(())` when every record matched and the replay covered the whole
+    /// journal; otherwise the first divergence.
+    pub fn result(&self) -> Result<(), ReplayDivergence> {
+        if let Some(d) = &self.divergence {
+            return Err(d.clone());
+        }
+        if self.next < self.expected.records.len() {
+            return Err(ReplayDivergence {
+                index: self.next,
+                expected: Some(self.expected.records[self.next].clone()),
+                actual: None,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl TraceSink for ReplayChecker {
+    fn record(&mut self, rec: TraceRecord) {
+        if self.divergence.is_some() {
+            return; // only the first divergence is interesting
+        }
+        match self.expected.records.get(self.next) {
+            Some(exp) if *exp == rec => self.next += 1,
+            Some(exp) => {
+                self.divergence = Some(ReplayDivergence {
+                    index: self.next,
+                    expected: Some(exp.clone()),
+                    actual: Some(rec),
+                });
+            }
+            None => {
+                self.divergence = Some(ReplayDivergence {
+                    index: self.next,
+                    expected: None,
+                    actual: Some(rec),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, at: SimTime, event: TraceEvent) -> TraceRecord {
+        TraceRecord { seq, at, event }
+    }
+
+    fn sample_journal() -> Journal {
+        Journal {
+            seed: 7,
+            records: vec![
+                rec(0, 0, TraceEvent::Start { node: NodeId(0) }),
+                rec(
+                    1,
+                    0,
+                    TraceEvent::Send {
+                        from: NodeId(0),
+                        to: NodeId(1),
+                        kind: "ping",
+                        bytes: 8,
+                        attempt: 0,
+                    },
+                ),
+                rec(
+                    2,
+                    12,
+                    TraceEvent::Deliver {
+                        from: NodeId(0),
+                        to: NodeId(1),
+                        kind: "ping",
+                        bytes: 8,
+                    },
+                ),
+                rec(
+                    3,
+                    20,
+                    TraceEvent::Timer {
+                        node: NodeId(1),
+                        tag: 4,
+                    },
+                ),
+                rec(
+                    4,
+                    21,
+                    TraceEvent::Drop {
+                        from: NodeId(1),
+                        to: NodeId(0),
+                        kind: "ping",
+                        reason: DropReason::Loss,
+                    },
+                ),
+                rec(5, 30, TraceEvent::NodeFail { node: NodeId(1) }),
+            ],
+        }
+    }
+
+    #[test]
+    fn text_rendering_is_stable() {
+        let j = sample_journal();
+        let text = j.to_text();
+        assert!(text.starts_with("seed=7\n"));
+        assert!(text.contains("send n0->n1 ping 8B try0"));
+        assert!(text.contains("drop n1->n0 ping loss"));
+        assert_eq!(text, j.to_text(), "rendering must be a pure function");
+        assert_eq!(j.content_hash(), j.content_hash());
+    }
+
+    #[test]
+    fn summary_counts_by_kind() {
+        let s = sample_journal().summary();
+        assert_eq!(s.sends, 1);
+        assert_eq!(s.delivers, 1);
+        assert_eq!(s.drops_loss, 1);
+        assert_eq!(s.drops_dead, 0);
+        assert_eq!(s.timers, 1);
+        assert_eq!(s.node_failures, 1);
+        assert_eq!(s.sends_by_kind["ping"], 1);
+    }
+
+    #[test]
+    fn replay_checker_accepts_identical_stream() {
+        let j = sample_journal();
+        let mut c = ReplayChecker::new(j.clone());
+        for r in &j.records {
+            c.record(r.clone());
+        }
+        assert!(c.result().is_ok());
+    }
+
+    #[test]
+    fn replay_checker_flags_mismatch_and_truncation() {
+        let j = sample_journal();
+        // Mismatch at index 1.
+        let mut c = ReplayChecker::new(j.clone());
+        c.record(j.records[0].clone());
+        c.record(rec(
+            1,
+            0,
+            TraceEvent::Timer {
+                node: NodeId(9),
+                tag: 0,
+            },
+        ));
+        let d = c.result().unwrap_err();
+        assert_eq!(d.index, 1);
+        assert!(d.expected.is_some() && d.actual.is_some());
+        assert!(format!("{d}").contains("diverged at record 1"));
+        // Truncated replay.
+        let mut c = ReplayChecker::new(j.clone());
+        c.record(j.records[0].clone());
+        let d = c.result().unwrap_err();
+        assert_eq!(d.index, 1);
+        assert!(d.actual.is_none());
+        // Overlong replay.
+        let mut c = ReplayChecker::new(Journal::default());
+        c.record(j.records[0].clone());
+        let d = c.result().unwrap_err();
+        assert_eq!(d.index, 0);
+        assert!(d.expected.is_none());
+    }
+
+    #[test]
+    fn first_divergence_positions() {
+        let a = sample_journal();
+        assert_eq!(a.first_divergence(&a), None);
+        let mut b = a.clone();
+        b.records[2].at += 1;
+        assert_eq!(a.first_divergence(&b), Some(2));
+        let mut c = a.clone();
+        c.records.pop();
+        assert_eq!(a.first_divergence(&c), Some(5));
+    }
+
+    #[test]
+    fn shared_summary_streams_counters() {
+        let shared = SharedSummary::new();
+        let mut sink = shared.clone();
+        for r in sample_journal().records {
+            sink.record(r);
+        }
+        assert_eq!(shared.snapshot(), sample_journal().summary());
+    }
+
+    #[test]
+    fn shared_journal_round_trip() {
+        let shared = SharedJournal::new(3);
+        let mut sink = shared.clone();
+        sink.record(rec(0, 0, TraceEvent::Start { node: NodeId(0) }));
+        assert_eq!(shared.snapshot().records.len(), 1);
+        let j = shared.take();
+        assert_eq!(j.seed, 3);
+        assert_eq!(j.records.len(), 1);
+        assert!(shared.snapshot().records.is_empty());
+    }
+}

@@ -10,18 +10,23 @@
 
 use sensorlog_netsim::{NodeId, Topology, TopologyKind};
 
-/// The ordered list of nodes in `node`'s grid row (left → right).
+/// The ordered list of nodes in `node`'s grid row (left → right). Falls
+/// back to a unit-width horizontal band on non-grid topologies rather
+/// than panicking.
 pub fn grid_row(topo: &Topology, node: NodeId) -> Vec<NodeId> {
-    let (_, y) = topo.grid_coords(node).expect("grid topology");
-    let (cols, _) = topo.grid_dims().expect("grid topology");
-    (0..cols).map(|x| topo.node_at(x, y).expect("in range")).collect()
+    match (topo.grid_coords(node), topo.grid_dims()) {
+        (Some((_, y)), Some((cols, _))) => (0..cols).filter_map(|x| topo.node_at(x, y)).collect(),
+        _ => horizontal_band(topo, node, 1.0),
+    }
 }
 
 /// The ordered list of nodes in `node`'s grid column (bottom → top).
+/// Falls back to a unit-width vertical band on non-grid topologies.
 pub fn grid_col(topo: &Topology, node: NodeId) -> Vec<NodeId> {
-    let (x, _) = topo.grid_coords(node).expect("grid topology");
-    let (_, rows) = topo.grid_dims().expect("grid topology");
-    (0..rows).map(|y| topo.node_at(x, y).expect("in range")).collect()
+    match (topo.grid_coords(node), topo.grid_dims()) {
+        (Some((x, _)), Some((_, rows))) => (0..rows).filter_map(|y| topo.node_at(x, y)).collect(),
+        _ => vertical_band(topo, node, 1.0),
+    }
 }
 
 /// Horizontal band: nodes with `|y − y(node)| ≤ width/2`, ordered by x.

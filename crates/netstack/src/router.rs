@@ -26,16 +26,15 @@ impl Router {
         }
     }
 
-    /// Next hop from `from` toward `dest`. `None` when `from == dest`.
-    /// Panics if `dest` is unreachable (topologies are connected by
-    /// construction).
+    /// Next hop from `from` toward `dest`. `None` when `from == dest` or
+    /// when `dest` is unreachable from `from` (disconnected topologies
+    /// route nothing across a partition — callers drop the message).
     pub fn next_hop(&mut self, topo: &Topology, from: NodeId, dest: NodeId) -> Option<NodeId> {
         if from == dest {
             return None;
         }
         // Grid fast path: decrease x difference first, then y.
-        if let (Some((fx, fy)), Some((dx, dy))) = (topo.grid_coords(from), topo.grid_coords(dest))
-        {
+        if let (Some((fx, fy)), Some((dx, dy))) = (topo.grid_coords(from), topo.grid_coords(dest)) {
             let (nx, ny) = if fx != dx {
                 (if dx > fx { fx + 1 } else { fx - 1 }, fy)
             } else {
@@ -49,13 +48,14 @@ impl Router {
         // table-driven off-grid; `greedy_step` remains available as a
         // primitive for protocols that handle their own recovery.)
         let table = self.table_for(topo, dest);
-        let hop = table[from.index()];
-        assert!(hop != NONE, "{dest} unreachable from {from}");
-        Some(NodeId(hop))
+        match table[from.index()] {
+            NONE => None, // unreachable across a partition
+            hop => Some(NodeId(hop)),
+        }
     }
 
     fn table_for(&mut self, topo: &Topology, dest: NodeId) -> &Vec<u32> {
-        if self.fallback[dest.index()].is_none() {
+        self.fallback[dest.index()].get_or_insert_with(|| {
             let mut next = vec![NONE; topo.len()];
             let mut queue = std::collections::VecDeque::from([dest]);
             let mut seen = vec![false; topo.len()];
@@ -70,9 +70,8 @@ impl Router {
                     }
                 }
             }
-            self.fallback[dest.index()] = Some(next);
-        }
-        self.fallback[dest.index()].as_ref().expect("just built")
+            next
+        })
     }
 }
 
@@ -92,14 +91,18 @@ pub fn greedy_step(topo: &Topology, from: NodeId, dest: NodeId) -> Option<NodeId
     best.map(|(n, _)| n)
 }
 
-/// The full multi-hop path from `from` to `dest` (inclusive of both ends).
-pub fn route_path(router: &mut Router, topo: &Topology, from: NodeId, dest: NodeId) -> Vec<NodeId> {
+/// The full multi-hop path from `from` to `dest` (inclusive of both
+/// ends), or `None` when `dest` is unreachable from `from`.
+pub fn route_path(
+    router: &mut Router,
+    topo: &Topology,
+    from: NodeId,
+    dest: NodeId,
+) -> Option<Vec<NodeId>> {
     let mut path = vec![from];
     let mut cur = from;
     while cur != dest {
-        let nxt = router
-            .next_hop(topo, cur, dest)
-            .expect("next_hop returns Some while cur != dest");
+        let nxt = router.next_hop(topo, cur, dest)?;
         assert!(
             !path.contains(&nxt),
             "routing loop {from}->{dest} via {nxt}"
@@ -107,7 +110,7 @@ pub fn route_path(router: &mut Router, topo: &Topology, from: NodeId, dest: Node
         path.push(nxt);
         cur = nxt;
     }
-    path
+    Some(path)
 }
 
 #[cfg(test)]
@@ -120,13 +123,10 @@ mod tests {
         let mut r = Router::new(&topo);
         let from = topo.node_at(0, 0).unwrap();
         let dest = topo.node_at(3, 2).unwrap();
-        let path = route_path(&mut r, &topo, from, dest);
+        let path = route_path(&mut r, &topo, from, dest).unwrap();
         // 3 x-steps then 2 y-steps = 6 nodes.
         assert_eq!(path.len(), 6);
-        let coords: Vec<_> = path
-            .iter()
-            .map(|&n| topo.grid_coords(n).unwrap())
-            .collect();
+        let coords: Vec<_> = path.iter().map(|&n| topo.grid_coords(n).unwrap()).collect();
         assert_eq!(coords[0], (0, 0));
         assert_eq!(coords[3], (3, 0));
         assert_eq!(coords[5], (3, 2));
@@ -148,7 +148,7 @@ mod tests {
                 if a == b {
                     continue;
                 }
-                let path = route_path(&mut r, &topo, NodeId(a), NodeId(b));
+                let path = route_path(&mut r, &topo, NodeId(a), NodeId(b)).unwrap();
                 assert_eq!(*path.first().unwrap(), NodeId(a));
                 assert_eq!(*path.last().unwrap(), NodeId(b));
                 // every hop is a radio link
@@ -172,7 +172,7 @@ mod tests {
         let mut r = Router::new(&topo);
         let a = topo.node_at(1, 1).unwrap();
         let b = topo.node_at(4, 5).unwrap();
-        let path = route_path(&mut r, &topo, a, b);
+        let path = route_path(&mut r, &topo, a, b).unwrap();
         assert_eq!(path.len() - 1, topo.hop_distance(a, b).unwrap());
     }
 }

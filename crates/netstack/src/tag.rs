@@ -92,7 +92,9 @@ pub struct TagNode {
 impl TagNode {
     fn maybe_forward(&mut self, ctx: &mut Ctx<PartialMsg>) {
         if self.received == self.expected_children {
-            let partial = self.acc.expect("initialized on start");
+            // No accumulator yet means a child's partial beat our own
+            // start event; wait for on_start to fold in our reading.
+            let Some(partial) = self.acc else { return };
             match self.parent {
                 Some(p) => ctx.send(p, PartialMsg { partial }),
                 None => self.result = Some(partial),
@@ -105,12 +107,21 @@ impl App for TagNode {
     type Msg = PartialMsg;
 
     fn on_start(&mut self, ctx: &mut Ctx<PartialMsg>) {
-        self.acc = Some(Partial::of(self.reading));
+        let own = Partial::of(self.reading);
+        self.acc = Some(match self.acc {
+            Some(acc) => acc.merge(own), // children that raced our start
+            None => own,
+        });
         self.maybe_forward(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<PartialMsg>, _from: NodeId, msg: PartialMsg) {
-        self.acc = Some(self.acc.expect("started").merge(msg.partial));
+        // A child's partial can, in principle, arrive before our own start
+        // event: merge into whatever we have instead of panicking.
+        self.acc = Some(match self.acc {
+            Some(acc) => acc.merge(msg.partial),
+            None => msg.partial,
+        });
         self.received += 1;
         self.maybe_forward(ctx);
     }
@@ -169,10 +180,7 @@ mod tests {
         let readings = vec![1.0; 36];
         let (_, tag_msgs) = run_epoch(&topo, &tree, &readings, SimConfig::default());
         // Naive: each reading travels depth hops to the root.
-        let naive: u64 = topo
-            .nodes()
-            .map(|n| tree.depth[n.index()] as u64)
-            .sum();
+        let naive: u64 = topo.nodes().map(|n| tree.depth[n.index()] as u64).sum();
         assert!(tag_msgs < naive, "TAG {tag_msgs} !< naive {naive}");
     }
 

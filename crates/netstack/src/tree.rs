@@ -108,11 +108,7 @@ impl App for TreeNode {
 }
 
 /// Run the distributed tree construction; returns (tree, message count).
-pub fn build_distributed(
-    topo: &Topology,
-    root: NodeId,
-    config: SimConfig,
-) -> (GatherTree, u64) {
+pub fn build_distributed(topo: &Topology, root: NodeId, config: SimConfig) -> (GatherTree, u64) {
     let mut sim = Simulator::new(topo.clone(), config, |id, _| TreeNode {
         id,
         root,

@@ -41,7 +41,10 @@ fn main() {
     let oracle = oracle_value(QUERY, &query, &readings).expect("oracle evaluates");
 
     println!("\n64-node grid, one epoch:");
-    println!("  TAG in-network:      value {:>8.3}  — {:>4} messages", tag.value, tag.messages);
+    println!(
+        "  TAG in-network:      value {:>8.3}  — {:>4} messages",
+        tag.value, tag.messages
+    );
     println!(
         "  central collection:  value {:>8.3}  — {:>4} messages",
         central.value, central.messages

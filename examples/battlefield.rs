@@ -77,7 +77,10 @@ fn main() {
         eprintln!("missing: {:?}", report.missing);
         eprintln!("spurious: {:?}", report.spurious);
     }
-    assert!(report.exact(), "distributed alerts diverged from the oracle");
+    assert!(
+        report.exact(),
+        "distributed alerts diverged from the oracle"
+    );
     println!(
         "\noracle check: exact — {} standing alerts, {} total messages",
         report.expected,

@@ -44,7 +44,11 @@ fn run(name: &str, src: &str, out_pred: &str, depth_col: (usize, usize)) -> u64 
     let converged = d.run(200_000_000);
     let results = d.results(Symbol::intern(out_pred));
 
-    println!("\n== {name}: {} tuples, converged at {:.1}s ==", results.len(), converged as f64 / 1000.0);
+    println!(
+        "\n== {name}: {} tuples, converged at {:.1}s ==",
+        results.len(),
+        converged as f64 / 1000.0
+    );
     for node in topo.nodes() {
         let (x, y) = topo.grid_coords(node).unwrap();
         let want = (x + y) as i64;

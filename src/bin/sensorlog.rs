@@ -102,7 +102,8 @@ fn cmd_run(args: &[String]) -> Result<(), AnyError> {
     let engine = Engine::new(analysis, reg);
     let mut edb = Database::new();
     if let Some(facts_path) = flag(args, "--facts") {
-        let text = std::fs::read_to_string(&facts_path).map_err(|e| format!("{facts_path}: {e}"))?;
+        let text =
+            std::fs::read_to_string(&facts_path).map_err(|e| format!("{facts_path}: {e}"))?;
         let n = edb.load_facts(&text)?;
         eprintln!("loaded {n} facts from {facts_path}");
     }
@@ -150,8 +151,8 @@ fn cmd_deploy(args: &[String]) -> Result<(), AnyError> {
         sim,
         ..DeployConfig::default()
     };
-    let mut d = Deployment::new(&src, BuiltinRegistry::standard(), topo, cfg)
-        .map_err(|e| e.to_string())?;
+    let mut d =
+        Deployment::new(&src, BuiltinRegistry::standard(), topo, cfg).map_err(|e| e.to_string())?;
     let _ = prog;
 
     let mut events = Vec::new();

@@ -58,8 +58,7 @@ pub mod prelude {
     pub use sensorlog_eval::{Database, Engine, EvalConfig, IncrementalEngine, Update, UpdateKind};
     pub use sensorlog_logic::builtin::BuiltinRegistry;
     pub use sensorlog_logic::{
-        analyze, parse_fact, parse_program, parse_rule, Analysis, ProgramClass, Symbol, Term,
-        Tuple,
+        analyze, parse_fact, parse_program, parse_rule, Analysis, ProgramClass, Symbol, Term, Tuple,
     };
     pub use sensorlog_netsim::{NodeId, SimConfig, Simulator, Topology};
 }

@@ -2,10 +2,10 @@
 //! workloads across strategies and seeds must converge exactly (loss-free).
 //! Seeds are fixed for determinism; each case is a full simulated network.
 
-use sensorlog::core::workload::UniformStreams;
-use sensorlog::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sensorlog::core::workload::UniformStreams;
+use sensorlog::prelude::*;
 
 fn sym(s: &str) -> Symbol {
     Symbol::intern(s)
@@ -80,7 +80,13 @@ fn random_join_workloads_all_strategies() {
 #[test]
 fn random_join_with_deletes_pa() {
     for seed in [4u64, 5, 6, 7] {
-        run_one(JOIN3, "q", Strategy::Perpendicular { band_width: 1.0 }, seed, true);
+        run_one(
+            JOIN3,
+            "q",
+            Strategy::Perpendicular { band_width: 1.0 },
+            seed,
+            true,
+        );
     }
 }
 

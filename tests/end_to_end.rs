@@ -117,8 +117,7 @@ fn centralized_engines_agree_on_mixed_updates() {
     "#;
     let reg = BuiltinRegistry::standard;
     let mut inc = IncrementalEngine::from_source(program, reg()).unwrap();
-    let mut dred =
-        sensorlog::eval::rederive::RederiveEngine::from_source(program, reg()).unwrap();
+    let mut dred = sensorlog::eval::rederive::RederiveEngine::from_source(program, reg()).unwrap();
     let mut updates = Vec::new();
     let mut ts = 0;
     for k in 0..4i64 {
@@ -179,10 +178,18 @@ fn window_expiry_end_to_end() {
         q(X) :- s(X).
     "#;
     let mut inc = IncrementalEngine::from_source(program, BuiltinRegistry::standard()).unwrap();
-    inc.apply(Update::insert(sym("s"), Tuple::new(vec![Term::Int(1)]), 100))
-        .unwrap();
-    inc.apply(Update::insert(sym("s"), Tuple::new(vec![Term::Int(2)]), 900))
-        .unwrap();
+    inc.apply(Update::insert(
+        sym("s"),
+        Tuple::new(vec![Term::Int(1)]),
+        100,
+    ))
+    .unwrap();
+    inc.apply(Update::insert(
+        sym("s"),
+        Tuple::new(vec![Term::Int(2)]),
+        900,
+    ))
+    .unwrap();
     assert_eq!(inc.db.len_of(sym("q")), 2);
     inc.advance_time(1_200);
     // s(1) expired (100 + 1000 <= 1200), s(2) still in window.
@@ -202,10 +209,7 @@ fn magic_and_full_evaluation_agree_end_to_end() {
     let reg = BuiltinRegistry::standard();
     let mut edb = Database::new();
     for (a, b) in [(1, 2), (2, 3), (3, 4), (10, 11)] {
-        edb.insert(
-            sym("e"),
-            Tuple::new(vec![Term::Int(a), Term::Int(b)]),
-        );
+        edb.insert(sym("e"), Tuple::new(vec![Term::Int(a), Term::Int(b)]));
     }
     let analysis = analyze(&prog, &reg).unwrap();
     let full = Engine::new(analysis, reg.clone()).run(&edb).unwrap();
