@@ -25,6 +25,11 @@ cargo test --workspace -q
 if [[ "$fast" -eq 0 ]]; then
     echo "== cargo build --release =="
     cargo build --release -q
+
+    # Telemetry pipeline end-to-end + snapshot-schema golden check; writes
+    # BENCH_smoke.json (gitignored) as the inspectable artifact.
+    echo "== bench smoke (--quick) =="
+    cargo run -q --release -p sensorlog-bench --bin smoke -- --quick
 fi
 
 echo "CI OK"

@@ -1,0 +1,110 @@
+//! Bench smoke run: one small, fast deployment with telemetry enabled,
+//! exported as `BENCH_smoke.json` (JSONL snapshot records), plus a golden
+//! check that the snapshot schema hasn't drifted.
+//!
+//! ```text
+//! smoke --quick [--out BENCH_smoke.json]
+//! ```
+//!
+//! CI runs `--quick` after the release build: it proves the telemetry
+//! pipeline end-to-end (deploy → instrument → snapshot → JSONL) in a few
+//! hundred milliseconds, and fails if either the emitted record schema
+//! diverges from `crates/bench/golden/snapshot_schema.txt` or the run
+//! produced an implausibly empty snapshot.
+
+use sensorlog_bench::common::run_case;
+use sensorlog_core::workload::UniformStreams;
+use sensorlog_core::{PassMode, Strategy};
+use sensorlog_logic::Symbol;
+use sensorlog_netsim::{SimConfig, Topology};
+use sensorlog_telemetry::Snapshot;
+use std::process::ExitCode;
+
+const JOIN2: &str = r#"
+    .output q.
+    q(X, Y) :- r1(N1, X, K), r2(N2, Y, K).
+"#;
+
+const GOLDEN_SCHEMA: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/snapshot_schema.txt");
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_smoke.json".into());
+
+    // Golden check first: schema drift should fail even if the run would.
+    let want = match std::fs::read_to_string(GOLDEN_SCHEMA) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("smoke: cannot read golden schema {GOLDEN_SCHEMA}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let got = Snapshot::schema_fingerprint();
+    if got != want {
+        eprintln!(
+            "smoke: snapshot schema drifted from golden file.\n\
+             If the change is intentional, update {GOLDEN_SCHEMA}.\n\
+             --- golden ---\n{want}--- current ---\n{got}"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let m: u32 = if quick { 4 } else { 8 };
+    let topo = Topology::square_grid(m);
+    let events = UniformStreams {
+        preds: vec![Symbol::intern("r1"), Symbol::intern("r2")],
+        interval: 8_000,
+        duration: 16_000,
+        delete_fraction: 0.0,
+        delete_lag: 0,
+        groups: m * m * 2,
+        seed: 41 + m as u64,
+    }
+    .events(&topo);
+    let point = run_case(
+        JOIN2,
+        topo,
+        Strategy::Perpendicular { band_width: 1.0 },
+        PassMode::OnePass,
+        SimConfig::default(),
+        None,
+        events,
+        Symbol::intern("q"),
+        30_000_000,
+    );
+
+    let snap = &point.snapshot;
+    let plausible = point.total_tx > 0
+        && !snap.pred_scopes().is_empty()
+        && snap.phase("sim.deliver").is_some()
+        && snap.merged_hist("tx_bytes").is_some();
+    if !plausible {
+        eprintln!(
+            "smoke: snapshot implausibly empty (tx={}, preds={:?})",
+            point.total_tx,
+            snap.pred_scopes()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if let Err(e) = std::fs::write(&out_path, snap.to_jsonl()) {
+        eprintln!("smoke: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "smoke OK: m={m} tx={} counters={} hists={} phases={} -> {out_path}",
+        point.total_tx,
+        snap.counters.len(),
+        snap.hists.len(),
+        snap.phases.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -7,6 +7,7 @@ use sensorlog_core::{PassMode, RtConfig, Strategy};
 use sensorlog_logic::builtin::BuiltinRegistry;
 use sensorlog_logic::Symbol;
 use sensorlog_netsim::{SharedSummary, SimConfig, SimTime, Topology, TraceSummary};
+use sensorlog_telemetry::{Snapshot, Telemetry};
 
 /// Summary of one deployment run.
 #[derive(Clone, Debug)]
@@ -32,6 +33,11 @@ pub struct RunPoint {
     pub trace: TraceSummary,
     /// High-water mark of the simulator's pending event queue.
     pub max_queue_depth: usize,
+    /// Full telemetry export of the run: per-predicate message counters,
+    /// per-phase timings (count / wall-ns / sim-ms), and network-wide
+    /// histogram rollups. `run_case` always runs with telemetry enabled,
+    /// so every experiment point carries its own breakdown.
+    pub snapshot: Snapshot,
 }
 
 /// Run `src` on `topo` with the given strategy/config and workload; check
@@ -56,6 +62,7 @@ pub fn run_case(
             ..RtConfig::default()
         },
         sim,
+        telemetry: Telemetry::enabled(),
         ..DeployConfig::default()
     };
     let mut d = Deployment::new(src, BuiltinRegistry::standard(), topo, cfg)
@@ -89,13 +96,14 @@ pub fn run_case(
             .map(|s| s.peak_derivations)
             .max()
             .unwrap_or(0),
-        tx_store: m.tx_by_kind.get("store").copied().unwrap_or(0),
-        tx_probe: m.tx_by_kind.get("probe").copied().unwrap_or(0),
-        tx_result: m.tx_by_kind.get("result").copied().unwrap_or(0),
+        tx_store: m.tx_of("store"),
+        tx_probe: m.tx_of("probe"),
+        tx_result: m.tx_of("result"),
         delivery_ratio: m.delivery_ratio(),
         final_time,
         trace: trace.snapshot(),
         max_queue_depth: d.sim.max_queue_depth(),
+        snapshot: d.telemetry_snapshot(),
     }
 }
 

@@ -11,4 +11,5 @@ pub mod memory;
 pub mod negation;
 pub mod robustness;
 pub mod sptree;
+pub mod telemetry;
 pub mod tracesum;

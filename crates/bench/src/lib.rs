@@ -18,13 +18,14 @@ pub use table::Table;
 /// All experiment ids, in report order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "table1", "table2", "table3",
+    "fig15", "fig16", "table1", "table2", "table3", "table4", "table5",
 ];
 
 /// Run experiments by id; unknown ids are reported and skipped.
 pub fn run(ids: &[&str]) -> Vec<Table> {
     let mut out = Vec::new();
     let mut fig45: Option<(Table, Table)> = None;
+    let mut tab45: Option<(Table, Table)> = None;
     for &id in ids {
         match id {
             "fig4" | "fig5" => {
@@ -48,6 +49,13 @@ pub fn run(ids: &[&str]) -> Vec<Table> {
             "table1" => out.push(experiments::memory::table1()),
             "table2" => out.push(experiments::robustness::table2()),
             "table3" => out.push(experiments::tracesum::table3()),
+            "table4" | "table5" => {
+                if tab45.is_none() {
+                    tab45 = Some(experiments::telemetry::table4_table5());
+                }
+                let (t4, t5) = tab45.clone().expect("computed");
+                out.push(if id == "table4" { t4 } else { t5 });
+            }
             other => eprintln!("unknown experiment id: {other}"),
         }
     }

@@ -11,6 +11,7 @@ use sensorlog_logic::builtin::BuiltinRegistry;
 use sensorlog_logic::{Symbol, Tuple};
 use sensorlog_netsim::{Metrics, NodeId, SharedJournal, SimConfig, SimTime, Simulator, Topology};
 use sensorlog_netstack::ght;
+use sensorlog_telemetry::{MetricsRegistry, Scope, Snapshot, Telemetry};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -78,6 +79,9 @@ pub struct DeployConfig {
     pub rt: RtConfig,
     pub sim: SimConfig,
     pub plan: PlanTiming,
+    /// Telemetry handle shared by the simulator and every node (disabled by
+    /// default — a disabled handle costs one branch per recording site).
+    pub telemetry: Telemetry,
 }
 
 /// A running deployment.
@@ -111,15 +115,18 @@ impl Deployment {
                 .collect::<Vec<_>>(),
         );
         let prog2 = Arc::clone(&prog);
-        let sim = Simulator::new(topo, config.sim, move |id, _| {
+        let tele = config.telemetry.clone();
+        let mut sim = Simulator::new(topo, config.sim, move |id, _| {
             SensorlogNode::new(
                 id,
                 Arc::clone(&prog2),
                 Arc::clone(&cfg),
                 Arc::clone(&net),
                 Arc::clone(&shapes),
+                tele.clone(),
             )
         });
+        sim.set_telemetry(config.telemetry.clone());
         let mut d = Deployment {
             sim,
             prog,
@@ -183,7 +190,18 @@ impl Deployment {
             });
         }
         self.schedule = remaining;
-        self.sim.run_to_quiescence(horizon)
+        let t = self.sim.run_to_quiescence(horizon);
+        #[cfg(debug_assertions)]
+        if self.sim.is_quiescent() {
+            for (kind, tx, rx, lost) in self.sim.metrics.kind_balance() {
+                debug_assert_eq!(
+                    tx,
+                    rx + lost,
+                    "message conservation violated for kind `{kind}`"
+                );
+            }
+        }
+        t
     }
 
     /// Crash a node mid-run (fault-injection experiments). Readings it
@@ -213,6 +231,49 @@ impl Deployment {
     /// Communication metrics of the run.
     pub fn metrics(&self) -> &Metrics {
         &self.sim.metrics
+    }
+
+    /// Export the run's full telemetry as one [`Snapshot`]: the simulator's
+    /// per-node / per-kind traffic registry, the deployment-level registry
+    /// (per-predicate counters, byte/latency histograms), phase timings,
+    /// and per-node runtime stats rolled up as global gauges. Works whether
+    /// or not `DeployConfig::telemetry` was enabled (the simulator metrics
+    /// and node stats are always collected).
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        snap.meta
+            .insert("nodes".into(), self.sim.topology().len().to_string());
+        snap.meta
+            .insert("strategy".into(), self.strategy.name().to_string());
+        snap.meta
+            .insert("seed".into(), self.sim.config.seed.to_string());
+        snap.meta
+            .insert("sim_time_ms".into(), self.sim.now().to_string());
+        snap.absorb_registry(self.sim.metrics.registry());
+        if let Some(reg) = self.sim.telemetry().registry() {
+            snap.absorb_registry(&reg);
+        }
+        snap.absorb_profiler(&self.sim.telemetry().profiler());
+        // Per-node runtime stats, rolled up network-wide.
+        let mut rollup = MetricsRegistry::new();
+        for n in self.sim.nodes() {
+            rollup.gauge_max(Scope::Global, "peak_replicas", n.stats.peak_replicas as u64);
+            rollup.gauge_max(
+                Scope::Global,
+                "peak_derivations",
+                n.stats.peak_derivations as u64,
+            );
+            rollup.bump(Scope::Global, "probes_processed", n.stats.probes_processed);
+            rollup.bump(Scope::Global, "results_emitted", n.stats.results_emitted);
+            rollup.bump(Scope::Global, "routing_drops", n.stats.routing_drops);
+        }
+        rollup.gauge_set(
+            Scope::Global,
+            "peak_node_memory",
+            self.peak_node_memory() as u64,
+        );
+        snap.absorb_registry(&rollup);
+        snap
     }
 
     /// Per-node stats (Table 1 memory accounting).

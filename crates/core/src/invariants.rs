@@ -25,6 +25,15 @@
 //!    net fact set, per [`crate::oracle`]. Under message loss this is
 //!    expected to fail for completeness; use the report's metrics
 //!    instead.
+//! 5. **Message conservation** — network-wide, per message kind, every
+//!    transmission attempt is accounted for exactly once:
+//!    `tx == rx + lost`. Loss on air, ARQ retransmissions, and drops at
+//!    crashed nodes all book a `lost`; anything else delivered books an
+//!    `rx`. A gap means the simulator leaked or double-counted a message.
+//!    Like (1) and (3) this only holds at quiescence — in-flight messages
+//!    have a `tx` but no disposition yet — so the check is skipped on a
+//!    non-quiescent simulator. [`Deployment::run`] also debug-asserts it
+//!    after every quiescent run.
 
 use crate::deploy::{Deployment, WorkloadEvent};
 use crate::oracle;
@@ -148,6 +157,28 @@ pub fn check_structural(d: &Deployment) -> InvariantReport {
     report
 }
 
+/// Check invariant (5): per message kind, `tx == rx + lost` network-wide.
+///
+/// Only meaningful at quiescence (an in-flight message has been
+/// transmitted but not yet delivered or dropped), so a non-quiescent
+/// simulator yields an empty report.
+pub fn check_message_conservation(d: &Deployment) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    if !d.sim.is_quiescent() {
+        return report;
+    }
+    for (kind, tx, rx, lost) in d.metrics().kind_balance() {
+        if tx != rx + lost {
+            report.push(
+                None,
+                "message-conservation",
+                format!("kind `{kind}`: {tx} sent but {rx} delivered + {lost} lost"),
+            );
+        }
+    }
+    report
+}
+
 /// Check invariant (4): gathered results equal the centralized oracle's
 /// for each of `preds`. Only meaningful for loss-free, failure-free runs
 /// inside every stream window.
@@ -181,6 +212,7 @@ pub fn check_against_oracle(
 /// program's declared output predicates.
 pub fn check_all(d: &Deployment, events: &[WorkloadEvent]) -> InvariantReport {
     let mut report = check_structural(d);
+    report.merge(check_message_conservation(d));
     report.merge(check_against_oracle(d, events, &d.prog.outputs));
     report
 }
@@ -352,6 +384,66 @@ mod tests {
         d.schedule_all(events.clone());
         d.run(120_000);
         let report = check_structural(&d);
+        assert!(report.ok(), "{report}");
+    }
+
+    /// Invariant (5) on a clean run: every kind balances with zero losses.
+    #[test]
+    fn clean_run_conserves_messages() {
+        let (d, _) = join_deployment();
+        assert!(d.sim.is_quiescent());
+        let report = check_message_conservation(&d);
+        assert!(report.ok(), "{report}");
+        let rows = d.metrics().kind_balance();
+        assert!(!rows.is_empty(), "a join run must send messages");
+        for (kind, tx, rx, lost) in rows {
+            assert_eq!(lost, 0, "loss-free run lost {lost} `{kind}` messages");
+            assert_eq!(tx, rx);
+        }
+    }
+
+    /// Invariant (5) under heavy loss: `lost` is nonzero, yet every
+    /// transmission is still accounted for (`tx == rx + lost` per kind).
+    #[test]
+    fn lossy_run_conserves_messages() {
+        let src = r#"
+            .output q.
+            q(X, Y) :- r1(X, T), r2(Y, T).
+        "#;
+        let topo = sensorlog_netsim::Topology::square_grid(4);
+        let mut config = DeployConfig::default();
+        config.sim.loss_prob = 0.25;
+        config.sim.seed = 11;
+        let mut d = Deployment::new(src, BuiltinRegistry::standard(), topo, config).unwrap();
+        let mut events = Vec::new();
+        for i in 0..8i64 {
+            events.push(WorkloadEvent {
+                at: 10 + 10 * i as u64,
+                node: NodeId((i as u32 * 5) % 16),
+                pred: Symbol::intern(if i % 2 == 0 { "r1" } else { "r2" }),
+                tuple: Tuple::new(vec![Term::Int(i), Term::Int(3)]),
+                kind: UpdateKind::Insert,
+            });
+        }
+        d.schedule_all(events);
+        d.run(120_000);
+        assert!(d.sim.is_quiescent());
+        assert!(d.metrics().lost() > 0, "0.25 loss must drop something");
+        let report = check_message_conservation(&d);
+        assert!(report.ok(), "{report}");
+    }
+
+    /// Invariant (5) with a mid-run crash: deliveries to the dead node
+    /// book as losses, so the per-kind balance still closes.
+    #[test]
+    fn crashed_node_run_conserves_messages() {
+        let (mut d, events) = join_deployment();
+        d.fail_node(NodeId(6));
+        let at = d.sim.now() + 10;
+        d.schedule_all(events.iter().map(|e| WorkloadEvent { at, ..e.clone() }));
+        d.run(240_000);
+        assert!(d.sim.is_quiescent());
+        let report = check_message_conservation(&d);
         assert!(report.ok(), "{report}");
     }
 }

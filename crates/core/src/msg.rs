@@ -102,6 +102,23 @@ impl MsgMeta for Payload {
     }
 }
 
+impl Payload {
+    /// The predicate this payload is about (the stream being stored or
+    /// probed, or the derived predicate being delta'd). Used for telemetry's
+    /// per-predicate traffic accounting; envelopes report their inner
+    /// payload's predicate.
+    pub fn pred(&self) -> Symbol {
+        match self {
+            Payload::Routed { inner, .. } => inner.pred(),
+            Payload::StoreWalk { fact, .. }
+            | Payload::FloodStore { fact }
+            | Payload::ToCenter { fact } => fact.pred,
+            Payload::Probe(p) => p.update.pred,
+            Payload::DerivDelta { pred, .. } => *pred,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,8 +16,9 @@ use crate::tupleid::{DerivationKey, FactRecord, TupleId};
 use sensorlog_eval::relation::{Database, TupleMeta};
 use sensorlog_eval::{IncrementalEngine, Update, UpdateKind};
 use sensorlog_logic::{Symbol, Tuple};
-use sensorlog_netsim::{App, Ctx, NodeId, SimTime, Topology, TopologyKind};
+use sensorlog_netsim::{App, Ctx, MsgMeta, NodeId, SimTime, Topology, TopologyKind};
 use sensorlog_netstack::ght;
+use sensorlog_telemetry::{Scope, Telemetry};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -175,6 +176,9 @@ pub struct SensorlogNode {
     pub stats: NodeStats,
     /// Output-predicate transitions observed at this owner.
     pub output_log: Vec<(Symbol, Tuple, UpdateKind, SimTime)>,
+    /// Telemetry handle shared across the deployment (disabled by default;
+    /// a pure observer — it never touches timers, messages, or the RNG).
+    tele: Telemetry,
 }
 
 impl SensorlogNode {
@@ -184,13 +188,14 @@ impl SensorlogNode {
         cfg: Arc<RtConfig>,
         net: Arc<NetInfo>,
         shapes: Arc<Vec<RuleShape>>,
+        tele: Telemetry,
     ) -> SensorlogNode {
         let center_engine =
             if cfg.strategy == Strategy::Centroid && Strategy::center(&net.topo) == id {
-                Some(
-                    IncrementalEngine::new(prog.analysis.clone(), prog.reg.clone())
-                        .expect("centroid engine"),
-                )
+                let mut engine = IncrementalEngine::new(prog.analysis.clone(), prog.reg.clone())
+                    .expect("centroid engine");
+                engine.profiler = tele.profiler();
+                Some(engine)
             } else {
                 None
             };
@@ -211,6 +216,7 @@ impl SensorlogNode {
             center_engine,
             stats: NodeStats::default(),
             output_log: Vec::new(),
+            tele,
         }
     }
 
@@ -221,6 +227,7 @@ impl SensorlogNode {
     /// A sensor reading was generated at this node: create the fact and
     /// run the update pipeline.
     pub fn generate(&mut self, ctx: &mut Ctx<Payload>, pred: Symbol, tuple: Tuple) {
+        self.tele.bump(Scope::Pred(pred.as_str()), "generated");
         let id = self.fresh_id(ctx);
         self.my_facts.insert((pred, tuple.clone()), id);
         let fact = FactRecord::insert(pred, tuple, id);
@@ -232,6 +239,7 @@ impl SensorlogNode {
         let Some(&id) = self.my_facts.get(&(pred, tuple.clone())) else {
             return; // unknown tuple: nothing to delete
         };
+        self.tele.bump(Scope::Pred(pred.as_str()), "retracted");
         self.my_facts.remove(&(pred, tuple.clone()));
         let fact = FactRecord::delete(pred, tuple, id, ctx.local_time);
         self.initiate_update(ctx, fact);
@@ -341,6 +349,7 @@ impl SensorlogNode {
 
     /// Start the storage phase for `fact` and schedule its join phase.
     fn initiate_update(&mut self, ctx: &mut Ctx<Payload>, fact: FactRecord) {
+        let _span = self.tele.span("core.update.initiate");
         // A stream no rule consumes needs neither replication nor a probe:
         // derived results "will anyway be hashed appropriately for further
         // use of the join-query result" (Sec. III-A) — and sink predicates
@@ -365,6 +374,8 @@ impl SensorlogNode {
             Strategy::NaiveBroadcast => {
                 self.store_replica(ctx, &fact);
                 self.flood_seen.insert((fact.id, fact.kind));
+                self.tele
+                    .bump(Scope::Pred(fact.pred.as_str()), "flood_broadcasts");
                 ctx.broadcast(Payload::FloodStore { fact: fact.clone() });
             }
             _ => {
@@ -415,6 +426,8 @@ impl SensorlogNode {
         // replica tracks the newest tuple *generation* (by ID, Definition 2)
         // and a tombstone never gets clobbered by its own generation's
         // late-arriving insert.
+        self.tele
+            .bump(Scope::Pred(fact.pred.as_str()), "replicas_stored");
         let key = (fact.pred, fact.tuple.clone());
         let stored = self.frag_ids.get(&key).copied();
         match fact.kind {
@@ -474,6 +487,7 @@ impl SensorlogNode {
 
     /// Build and launch the join probe for `fact`.
     fn start_join(&mut self, ctx: &mut Ctx<Payload>, fact: FactRecord) {
+        let _span = self.tele.span("core.join.start");
         let occs = match self.prog.occurrences.get(&fact.pred) {
             Some(o) => o.clone(),
             None => return, // pred not consumed by any rule
@@ -538,9 +552,16 @@ impl SensorlogNode {
 
     /// Run the join-computation step at this node (Fig. 1) and forward.
     fn process_probe(&mut self, ctx: &mut Ctx<Payload>, mut probe: ProbeMsg) {
+        let _span = self.tele.span("core.join.probe");
         self.stats.probes_processed += 1;
         let tau = probe.update.tau;
         let sign_base = probe.update.kind;
+        // Sim-time age of the update at the moment its probe reaches us —
+        // the in-network join latency the paper bounds with τs + τc.
+        self.tele
+            .record_sim("core.join.probe", ctx.local_time.saturating_sub(tau));
+        self.tele
+            .bump(Scope::Pred(probe.update.pred.as_str()), "probes_processed");
 
         let mut emissions: Vec<(Symbol, Tuple, DerivationKey, i8)> = Vec::new();
         {
@@ -608,6 +629,8 @@ impl SensorlogNode {
 
         for (pred, tuple, key, sign) in emissions {
             self.stats.results_emitted += 1;
+            self.tele
+                .bump(Scope::Pred(pred.as_str()), "results_emitted");
             self.emit_deriv_delta(ctx, pred, tuple, key, sign, tau);
         }
 
@@ -640,7 +663,7 @@ impl SensorlogNode {
     ) {
         let owner = ght::owner_of(&self.net.topo, pred, &tuple);
         if owner == self.id {
-            self.handle_deriv_delta(ctx, pred, tuple, key, sign);
+            self.handle_deriv_delta(ctx, pred, tuple, key, sign, tau);
         } else {
             let payload = Payload::DerivDelta {
                 pred,
@@ -661,7 +684,14 @@ impl SensorlogNode {
         tuple: Tuple,
         key: DerivationKey,
         sign: i8,
+        tau: SimTime,
     ) {
+        let _span = self.tele.span("core.result.apply");
+        self.tele.bump(Scope::Pred(pred.as_str()), "deriv_deltas");
+        // Sim-time lag between the originating update and its derivation
+        // delta landing at the owner (storage + join + result routing).
+        self.tele
+            .record_sim("core.result.apply", ctx.local_time.saturating_sub(tau));
         let needs_holddown = {
             let entry = self.owned.entry((pred, tuple.clone())).or_default();
             *entry.counts.entry(key).or_insert(0) += sign as i64;
@@ -702,6 +732,7 @@ impl SensorlogNode {
             return; // transition debounced away
         }
         entry.propagated_live = live;
+        self.tele.bump(Scope::Pred(pred.as_str()), "holddown_fired");
         let fact = if live {
             let id = TupleId {
                 node: self.id,
@@ -756,10 +787,20 @@ impl SensorlogNode {
 
     fn route(&mut self, ctx: &mut Ctx<Payload>, dest: NodeId, payload: Payload) {
         debug_assert_ne!(dest, self.id);
+        if self.tele.is_enabled() {
+            // Per-predicate traffic accounting, one bump per hop (the same
+            // currency as the simulator's per-kind tx counters).
+            self.tele.bump(
+                Scope::Pred(payload.pred().as_str()),
+                sent_counter(payload.kind()),
+            );
+        }
         let Some(hop) = self.net.next_hop(self.id, dest) else {
             // Unreachable destination (partitioned topology): a logged
             // drop, indistinguishable from loss to the protocol above.
             self.stats.routing_drops += 1;
+            self.tele
+                .bump(Scope::Pred(payload.pred().as_str()), "routing_drops");
             return;
         };
         if hop == dest {
@@ -802,6 +843,8 @@ impl SensorlogNode {
             Payload::FloodStore { fact } => {
                 if self.flood_seen.insert((fact.id, fact.kind)) {
                     self.store_replica(ctx, &fact);
+                    self.tele
+                        .bump(Scope::Pred(fact.pred.as_str()), "flood_broadcasts");
                     ctx.broadcast(Payload::FloodStore { fact });
                 }
             }
@@ -818,10 +861,22 @@ impl SensorlogNode {
                 tuple,
                 key,
                 sign,
-                tau: _,
-            } => self.handle_deriv_delta(ctx, pred, tuple, key, sign),
+                tau,
+            } => self.handle_deriv_delta(ctx, pred, tuple, key, sign, tau),
             Payload::ToCenter { fact } => self.feed_center(&fact),
         }
+    }
+}
+
+/// Telemetry counter name for a routed payload of the given message kind
+/// (`&'static` so counter keys never allocate on the hot path).
+fn sent_counter(kind: &'static str) -> &'static str {
+    match kind {
+        "store" => "sent_store",
+        "probe" => "sent_probe",
+        "result" => "sent_result",
+        "centroid" => "sent_centroid",
+        _ => "sent_other",
     }
 }
 

@@ -32,6 +32,7 @@ use sensorlog_logic::ast::{Literal, Rule};
 use sensorlog_logic::builtin::BuiltinRegistry;
 use sensorlog_logic::unify::{match_term, Subst};
 use sensorlog_logic::{Symbol, Term, Tuple};
+use sensorlog_telemetry::Profiler;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 
@@ -117,6 +118,9 @@ pub struct IncrementalEngine {
     /// Predicates defined by aggregate rules (liveness via `agg_groups`).
     agg_heads: BTreeSet<Symbol>,
     pub stats: IncStats,
+    /// Phase profiler (disabled by default): times update application and
+    /// aggregate-group recomputation.
+    pub profiler: Profiler,
     /// Cascade guard.
     pub max_cascade: usize,
     /// Runtime check for the *locally non-recursive* property (Sec. IV-C):
@@ -169,6 +173,7 @@ impl IncrementalEngine {
             idb,
             agg_heads,
             stats: IncStats::default(),
+            profiler: Profiler::disabled(),
             max_cascade: 1_000_000,
             check_local_recursion: false,
         })
@@ -189,6 +194,7 @@ impl IncrementalEngine {
     /// Apply one base-stream update and cascade to quiescence. Returns every
     /// derived-stream update emitted (in emission order).
     pub fn apply(&mut self, update: Update) -> Result<Vec<Update>, EvalError> {
+        let _span = self.profiler.span("inc.apply");
         let mut queue: VecDeque<Update> = VecDeque::new();
         let mut emitted: Vec<Update> = Vec::new();
         queue.push_back(update);
@@ -448,6 +454,7 @@ impl IncrementalEngine {
         key: Vec<Term>,
         ts: u64,
     ) -> Result<Vec<Update>, EvalError> {
+        let _span = self.profiler.span("inc.agg_group");
         // Seed the body with the group key by matching head args.
         let mut seed = Subst::new();
         for (pat, val) in rule.head.args.iter().zip(key.iter()) {

@@ -21,6 +21,7 @@ use sensorlog_logic::ast::Literal;
 use sensorlog_logic::builtin::BuiltinRegistry;
 use sensorlog_logic::unify::{match_args, Subst};
 use sensorlog_logic::{Symbol, Tuple};
+use sensorlog_telemetry::Profiler;
 use std::collections::{HashSet, VecDeque};
 
 use crate::incremental::{Update, UpdateKind};
@@ -31,6 +32,9 @@ pub struct RederiveEngine {
     pub reg: BuiltinRegistry,
     pub db: Database,
     pub body_evals: u64,
+    /// Phase profiler (disabled by default): times insert cascades and the
+    /// over-delete/rederive passes separately.
+    pub profiler: Profiler,
     pub max_cascade: usize,
 }
 
@@ -51,6 +55,7 @@ impl RederiveEngine {
             reg,
             db: Database::new(),
             body_evals: 0,
+            profiler: Profiler::disabled(),
             max_cascade: 1_000_000,
         })
     }
@@ -76,6 +81,7 @@ impl RederiveEngine {
 
     /// Insert: semi-naive delta cascade (sign-free — presence is the state).
     fn insert(&mut self, u: Update) -> Result<(), EvalError> {
+        let _span = self.profiler.span("dred.insert");
         if !self
             .db
             .relation_mut(u.pred)
@@ -146,6 +152,7 @@ impl RederiveEngine {
 
     /// Delete: over-delete transitively, then rederive survivors.
     fn delete(&mut self, u: Update) -> Result<(), EvalError> {
+        let _span = self.profiler.span("dred.delete");
         if !self.db.contains(u.pred, &u.tuple) {
             return Ok(());
         }
@@ -257,6 +264,7 @@ impl RederiveEngine {
 
     /// Can `tuple` of `pred` be derived from the current database?
     fn rederivable(&mut self, pred: Symbol, tuple: &Tuple) -> Result<bool, EvalError> {
+        let _span = self.profiler.span("dred.rederive");
         for ri in 0..self.analysis.program.rules.len() {
             let rule = self.analysis.program.rules[ri].clone();
             if rule.head.pred != pred {

@@ -26,6 +26,7 @@ use sensorlog_logic::depgraph::DepGraph;
 use sensorlog_logic::unify::Subst;
 use sensorlog_logic::xy::{stage_expr, StageExpr, XyInfo};
 use sensorlog_logic::{analyze, Symbol, Term, Tuple};
+use sensorlog_telemetry::Profiler;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Resource guards for evaluation. Function symbols make the language
@@ -55,6 +56,9 @@ pub struct Engine {
     pub analysis: Analysis,
     pub reg: BuiltinRegistry,
     pub config: EvalConfig,
+    /// Phase profiler (disabled by default; wire a live one via
+    /// [`Profiler`] to time semi-naive rounds and XY stages).
+    pub profiler: Profiler,
     sccs: Vec<Vec<Symbol>>,
 }
 
@@ -66,6 +70,7 @@ impl Engine {
             analysis,
             reg,
             config: EvalConfig::default(),
+            profiler: Profiler::disabled(),
             sccs,
         }
     }
@@ -125,6 +130,7 @@ impl Engine {
     /// Single pass for a non-recursive SCC (negation/aggregates allowed —
     /// everything they reference is already complete).
     fn eval_once(&self, db: &mut Database, rules: &[&Rule]) -> Result<(), EvalError> {
+        let _span = self.profiler.span("eval.once");
         // Two-phase: compute all head tuples against the pre-pass state,
         // then insert, so rules for the same head don't see each other's
         // output mid-pass (they couldn't depend on it: same-SCC and
@@ -161,6 +167,7 @@ impl Engine {
         scc_set: &BTreeSet<Symbol>,
     ) -> Result<(), EvalError> {
         // Round 0: full evaluation of every rule.
+        let round0_span = self.profiler.span("eval.seminaive.round");
         let mut delta: HashMap<Symbol, Vec<Tuple>> = HashMap::new();
         let mut round0: Vec<(Symbol, Tuple)> = Vec::new();
         for rule in rules {
@@ -179,9 +186,11 @@ impl Engine {
                 delta.entry(p).or_default().push(t);
             }
         }
+        drop(round0_span);
 
         let mut iterations = 0usize;
         while delta.values().any(|v| !v.is_empty()) {
+            let _round = self.profiler.span("eval.seminaive.round");
             iterations += 1;
             if iterations > self.config.max_iterations {
                 return Err(EvalError::LimitExceeded {
@@ -256,6 +265,7 @@ impl Engine {
         let mut stages_run = 0usize;
         // Visit stages in order; `hi` grows as higher-stage tuples appear.
         while stage <= hi + 1 {
+            let _stage_span = self.profiler.span("eval.xy.stage");
             stages_run += 1;
             if stages_run > self.config.max_stages {
                 return Err(EvalError::LimitExceeded {

@@ -1,11 +1,17 @@
 //! Communication accounting: the paper's evaluation currency.
 //!
-//! Tracks per-node and per-message-kind transmissions, receptions, bytes
-//! and losses, plus a simple radio energy model. "Communication cost" in
-//! the experiment harness means `total_tx` unless stated otherwise; "load
-//! balance" compares `max_node_tx` against the mean.
+//! Since the telemetry refactor this is a thin compatibility shim over
+//! [`sensorlog_telemetry::MetricsRegistry`]: the bespoke counter fields the
+//! bench experiments used to poke at (`tx_by_kind`, `lost`, `delivered`)
+//! are gone, replaced by registry-backed accessors with the same names.
+//! Per-node counters pre-resolve their registry ids at construction so the
+//! hot path stays a `Vec`-indexed add, exactly as cheap as the old struct
+//! fields. "Communication cost" in the experiment harness still means
+//! `total_tx` unless stated otherwise; "load balance" compares
+//! `max_node_load` against the mean.
 
 use crate::topology::NodeId;
+use sensorlog_telemetry::{CounterId, MetricsRegistry, Scope};
 use std::collections::BTreeMap;
 
 /// Radio energy model (defaults loosely follow mica2-class motes: sending
@@ -29,7 +35,7 @@ impl Default for EnergyModel {
     }
 }
 
-/// Per-node counters.
+/// Per-node counters (a read-side view; storage lives in the registry).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct NodeCounters {
     pub tx: u64,
@@ -38,64 +44,165 @@ pub struct NodeCounters {
     pub rx_bytes: u64,
 }
 
-/// Whole-run metrics.
+/// Pre-resolved registry ids for one node's four counters.
+#[derive(Clone, Copy, Debug)]
+struct NodeIds {
+    tx: CounterId,
+    rx: CounterId,
+    tx_bytes: CounterId,
+    rx_bytes: CounterId,
+}
+
+/// Whole-run metrics, backed by a deterministic metrics registry.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
-    per_node: Vec<NodeCounters>,
-    /// tx message count per message kind (storage / join / result / …).
-    pub tx_by_kind: BTreeMap<&'static str, u64>,
-    pub lost: u64,
-    pub delivered: u64,
+    reg: MetricsRegistry,
+    per_node: Vec<NodeIds>,
     pub energy: EnergyModel,
 }
 
 impl Metrics {
     pub fn new(n_nodes: usize) -> Metrics {
+        let mut reg = MetricsRegistry::new();
+        let per_node = (0..n_nodes as u32)
+            .map(|n| NodeIds {
+                tx: reg.counter(Scope::Node(n), "tx"),
+                rx: reg.counter(Scope::Node(n), "rx"),
+                tx_bytes: reg.counter(Scope::Node(n), "tx_bytes"),
+                rx_bytes: reg.counter(Scope::Node(n), "rx_bytes"),
+            })
+            .collect();
         Metrics {
-            per_node: vec![NodeCounters::default(); n_nodes],
+            reg,
+            per_node,
             energy: EnergyModel::default(),
-            ..Metrics::default()
         }
     }
 
     pub fn record_tx(&mut self, node: NodeId, bytes: usize, kind: &'static str) {
-        let c = &mut self.per_node[node.index()];
-        c.tx += 1;
-        c.tx_bytes += bytes as u64;
-        *self.tx_by_kind.entry(kind).or_insert(0) += 1;
+        let ids = self.per_node[node.index()];
+        self.reg.inc(ids.tx);
+        self.reg.inc_by(ids.tx_bytes, bytes as u64);
+        self.reg.bump(Scope::Kind(kind), "tx", 1);
     }
 
-    pub fn record_rx(&mut self, node: NodeId, bytes: usize) {
-        let c = &mut self.per_node[node.index()];
-        c.rx += 1;
-        c.rx_bytes += bytes as u64;
-        self.delivered += 1;
+    pub fn record_rx(&mut self, node: NodeId, bytes: usize, kind: &'static str) {
+        let ids = self.per_node[node.index()];
+        self.reg.inc(ids.rx);
+        self.reg.inc_by(ids.rx_bytes, bytes as u64);
+        self.reg.bump(Scope::Kind(kind), "rx", 1);
     }
 
-    pub fn record_loss(&mut self) {
-        self.lost += 1;
+    pub fn record_loss(&mut self, kind: &'static str) {
+        self.reg.bump(Scope::Kind(kind), "lost", 1);
     }
 
     pub fn node(&self, id: NodeId) -> NodeCounters {
-        self.per_node[id.index()]
+        let ids = self.per_node[id.index()];
+        NodeCounters {
+            tx: self.reg.counter_value(ids.tx),
+            rx: self.reg.counter_value(ids.rx),
+            tx_bytes: self.reg.counter_value(ids.tx_bytes),
+            rx_bytes: self.reg.counter_value(ids.rx_bytes),
+        }
+    }
+
+    fn nodes(&self) -> impl Iterator<Item = NodeCounters> + '_ {
+        self.per_node.iter().map(|ids| NodeCounters {
+            tx: self.reg.counter_value(ids.tx),
+            rx: self.reg.counter_value(ids.rx),
+            tx_bytes: self.reg.counter_value(ids.tx_bytes),
+            rx_bytes: self.reg.counter_value(ids.rx_bytes),
+        })
+    }
+
+    /// Message kinds seen on the wire so far, with tx counts — the old
+    /// `tx_by_kind` field, now computed from the registry.
+    pub fn tx_by_kind(&self) -> BTreeMap<&'static str, u64> {
+        self.by_kind("tx")
+    }
+
+    fn by_kind(&self, name: &'static str) -> BTreeMap<&'static str, u64> {
+        self.reg
+            .counters()
+            .filter_map(|(key, v)| match key.scope {
+                Scope::Kind(k) if key.name == name => Some((k, v)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    pub fn tx_of(&self, kind: &'static str) -> u64 {
+        self.reg.count(Scope::Kind(kind), "tx")
+    }
+
+    pub fn rx_of(&self, kind: &'static str) -> u64 {
+        self.reg.count(Scope::Kind(kind), "rx")
+    }
+
+    pub fn lost_of(&self, kind: &'static str) -> u64 {
+        self.reg.count(Scope::Kind(kind), "lost")
+    }
+
+    /// Total messages lost on air (all kinds) — the old `lost` field.
+    pub fn lost(&self) -> u64 {
+        self.by_kind("lost").values().sum()
+    }
+
+    /// Total messages delivered (all kinds) — the old `delivered` field.
+    pub fn delivered(&self) -> u64 {
+        self.by_kind("rx").values().sum()
+    }
+
+    /// Per-kind `(kind, tx, rx, lost)` rows for the message-conservation
+    /// invariant: at quiescence every transmission was either delivered or
+    /// lost, so `tx == rx + lost` must hold per kind.
+    pub fn kind_balance(&self) -> Vec<(&'static str, u64, u64, u64)> {
+        let tx = self.by_kind("tx");
+        let rx = self.by_kind("rx");
+        let lost = self.by_kind("lost");
+        let mut kinds: Vec<&'static str> = tx
+            .keys()
+            .chain(rx.keys())
+            .chain(lost.keys())
+            .copied()
+            .collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        kinds
+            .into_iter()
+            .map(|k| {
+                (
+                    k,
+                    tx.get(k).copied().unwrap_or(0),
+                    rx.get(k).copied().unwrap_or(0),
+                    lost.get(k).copied().unwrap_or(0),
+                )
+            })
+            .collect()
+    }
+
+    /// The backing registry (for exporters and network-wide rollups).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.reg
     }
 
     /// Total messages transmitted.
     pub fn total_tx(&self) -> u64 {
-        self.per_node.iter().map(|c| c.tx).sum()
+        self.nodes().map(|c| c.tx).sum()
     }
 
     pub fn total_tx_bytes(&self) -> u64 {
-        self.per_node.iter().map(|c| c.tx_bytes).sum()
+        self.nodes().map(|c| c.tx_bytes).sum()
     }
 
     pub fn total_rx(&self) -> u64 {
-        self.per_node.iter().map(|c| c.rx).sum()
+        self.nodes().map(|c| c.rx).sum()
     }
 
     /// Heaviest node's message load (tx + rx): the hotspot metric.
     pub fn max_node_load(&self) -> u64 {
-        self.per_node.iter().map(|c| c.tx + c.rx).max().unwrap_or(0)
+        self.nodes().map(|c| c.tx + c.rx).max().unwrap_or(0)
     }
 
     /// Mean node message load.
@@ -103,11 +210,7 @@ impl Metrics {
         if self.per_node.is_empty() {
             return 0.0;
         }
-        self.per_node
-            .iter()
-            .map(|c| (c.tx + c.rx) as f64)
-            .sum::<f64>()
-            / self.per_node.len() as f64
+        self.nodes().map(|c| (c.tx + c.rx) as f64).sum::<f64>() / self.per_node.len() as f64
     }
 
     /// Load imbalance factor: max / mean (1.0 = perfectly balanced).
@@ -121,8 +224,7 @@ impl Metrics {
 
     /// Total radio energy in microjoules under the energy model.
     pub fn total_energy_uj(&self) -> f64 {
-        self.per_node
-            .iter()
+        self.nodes()
             .map(|c| {
                 c.tx as f64 * self.energy.tx_base_uj
                     + c.tx_bytes as f64 * self.energy.tx_per_byte_uj
@@ -134,11 +236,12 @@ impl Metrics {
 
     /// Delivery ratio = delivered / (delivered + lost).
     pub fn delivery_ratio(&self) -> f64 {
-        let attempts = self.delivered + self.lost;
+        let (delivered, lost) = (self.delivered(), self.lost());
+        let attempts = delivered + lost;
         if attempts == 0 {
             1.0
         } else {
-            self.delivered as f64 / attempts as f64
+            delivered as f64 / attempts as f64
         }
     }
 }
@@ -152,14 +255,16 @@ mod tests {
         let mut m = Metrics::new(3);
         m.record_tx(NodeId(0), 100, "storage");
         m.record_tx(NodeId(0), 50, "join");
-        m.record_rx(NodeId(1), 100);
-        m.record_loss();
+        m.record_rx(NodeId(1), 100, "storage");
+        m.record_loss("join");
         assert_eq!(m.total_tx(), 2);
         assert_eq!(m.total_tx_bytes(), 150);
         assert_eq!(m.total_rx(), 1);
         assert_eq!(m.node(NodeId(0)).tx, 2);
-        assert_eq!(m.tx_by_kind["storage"], 1);
-        assert_eq!(m.lost, 1);
+        assert_eq!(m.tx_by_kind()["storage"], 1);
+        assert_eq!(m.lost(), 1);
+        assert_eq!(m.lost_of("join"), 1);
+        assert_eq!(m.rx_of("storage"), 1);
         assert!((m.delivery_ratio() - 0.5).abs() < 1e-9);
     }
 
@@ -200,10 +305,10 @@ mod tests {
         let mut m = Metrics::new(2);
         for _ in 0..5 {
             m.record_tx(NodeId(0), 8, "x");
-            m.record_loss();
+            m.record_loss("x");
         }
-        assert_eq!(m.delivered, 0);
-        assert_eq!(m.lost, 5);
+        assert_eq!(m.delivered(), 0);
+        assert_eq!(m.lost(), 5);
         assert!((m.delivery_ratio() - 0.0).abs() < 1e-9);
         // tx happened even though nothing arrived: energy/load still count.
         assert_eq!(m.total_tx(), 5);
@@ -231,11 +336,25 @@ mod tests {
     #[test]
     fn rx_energy_counts_receiver_side() {
         let mut m = Metrics::new(2);
-        m.record_rx(NodeId(1), 10);
+        m.record_rx(NodeId(1), 10, "x");
         // rx_base 7.0 + 10 bytes * 0.4
         assert!((m.total_energy_uj() - 11.0).abs() < 1e-9);
         assert_eq!(m.total_rx(), 1);
         assert_eq!(m.total_tx(), 0);
         assert!((m.delivery_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kind_balance_reports_every_kind() {
+        let mut m = Metrics::new(2);
+        m.record_tx(NodeId(0), 8, "ping");
+        m.record_rx(NodeId(1), 8, "ping");
+        m.record_tx(NodeId(0), 8, "pong");
+        m.record_loss("pong");
+        let rows = m.kind_balance();
+        assert_eq!(rows, vec![("ping", 1, 1, 0), ("pong", 1, 0, 1)]);
+        for (_, tx, rx, lost) in rows {
+            assert_eq!(tx, rx + lost);
+        }
     }
 }

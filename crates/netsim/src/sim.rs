@@ -11,6 +11,7 @@ use crate::topology::{NodeId, Topology};
 use crate::trace::{DropReason, TraceEvent, TraceRecord, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sensorlog_telemetry::{Scope, Telemetry, BYTES_BUCKETS, SIM_MS_BUCKETS};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -181,6 +182,11 @@ pub struct Simulator<A: App> {
     trace: Option<Box<dyn TraceSink>>,
     trace_seq: u64,
     max_queue_depth: usize,
+    /// Optional telemetry handle (spans + histograms). Disabled costs one
+    /// branch per use, same contract as `trace`. Telemetry is an observer:
+    /// it never touches the RNG or the event queue, so enabling it cannot
+    /// change a run's journal.
+    telemetry: Telemetry,
 }
 
 impl<A: App> Simulator<A> {
@@ -219,6 +225,7 @@ impl<A: App> Simulator<A> {
             trace: None,
             trace_seq: 0,
             max_queue_depth: 0,
+            telemetry: Telemetry::disabled(),
         };
         for id in sim.topo.nodes() {
             sim.push(0, Event::Start(id));
@@ -246,6 +253,17 @@ impl<A: App> Simulator<A> {
     /// Detach the current trace sink, if any.
     pub fn clear_trace(&mut self) -> Option<Box<dyn TraceSink>> {
         self.trace.take()
+    }
+
+    /// Attach a telemetry handle; the caller keeps a clone to read results
+    /// back. Spans cover routing, delivery, and timer dispatch; histograms
+    /// cover per-node message sizes and hop delays.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.telemetry = tele;
+    }
+
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Journal an event. The closure defers record construction so a run
@@ -332,9 +350,12 @@ impl<A: App> Simulator<A> {
         sends: Vec<(NodeId, A::Msg)>,
         timers: Vec<(SimTime, u64)>,
     ) {
+        let _route_span = self.telemetry.span("sim.route");
         for (to, msg) in sends {
             let bytes = msg.size_bytes();
             let kind = msg.kind();
+            self.telemetry
+                .observe(Scope::Node(from.0), "tx_bytes", BYTES_BUCKETS, bytes as u64);
             let p = self
                 .config
                 .link_loss
@@ -355,7 +376,7 @@ impl<A: App> Simulator<A> {
                     attempt,
                 });
                 if p > 0.0 && self.rng.gen::<f64>() < p {
-                    self.metrics.record_loss();
+                    self.metrics.record_loss(kind);
                     extra_delay += 5; // retransmission backoff
                     continue;
                 }
@@ -377,6 +398,12 @@ impl<A: App> Simulator<A> {
             } else {
                 lo
             };
+            self.telemetry.observe(
+                Scope::Global,
+                "hop_delay_ms",
+                SIM_MS_BUCKETS,
+                delay + extra_delay,
+            );
             self.push(
                 self.now + delay + extra_delay,
                 Event::Deliver { to, from, msg },
@@ -405,7 +432,7 @@ impl<A: App> Simulator<A> {
             }
             Event::Deliver { to, from, msg } => {
                 if self.failed[to.index()] {
-                    self.metrics.record_loss();
+                    self.metrics.record_loss(msg.kind());
                     self.emit(|| TraceEvent::Drop {
                         from,
                         to,
@@ -413,7 +440,8 @@ impl<A: App> Simulator<A> {
                         reason: DropReason::DeadNode,
                     });
                 } else {
-                    self.metrics.record_rx(to, msg.size_bytes());
+                    let _span = self.telemetry.span("sim.deliver");
+                    self.metrics.record_rx(to, msg.size_bytes(), msg.kind());
                     self.emit(|| TraceEvent::Deliver {
                         from,
                         to,
@@ -424,6 +452,7 @@ impl<A: App> Simulator<A> {
                 }
             }
             Event::Timer { node, tag } => {
+                let _span = self.telemetry.span("sim.timer");
                 if !self.failed[node.index()] {
                     self.emit(|| TraceEvent::Timer { node, tag });
                 }
@@ -520,7 +549,7 @@ mod tests {
         assert!(sim.nodes().all(|n| n.seen));
         // Messages were counted: every node broadcast once to each neighbor.
         assert!(sim.metrics.total_tx() > 0);
-        assert_eq!(sim.metrics.tx_by_kind["ping"], sim.metrics.total_tx());
+        assert_eq!(sim.metrics.tx_by_kind()["ping"], sim.metrics.total_tx());
     }
 
     #[test]
@@ -559,8 +588,8 @@ mod tests {
         sim.run_to_quiescence(100_000);
         let reached = sim.nodes().filter(|n| n.seen).count();
         assert_eq!(reached, 1); // only the origin
-        assert!(sim.metrics.lost > 0);
-        assert_eq!(sim.metrics.delivered, 0);
+        assert!(sim.metrics.lost() > 0);
+        assert_eq!(sim.metrics.delivered(), 0);
     }
 
     #[test]
@@ -571,8 +600,8 @@ mod tests {
             ..SimConfig::default()
         });
         sim.run_to_quiescence(100_000);
-        assert!(sim.metrics.lost > 0);
-        assert!(sim.metrics.delivered > 0);
+        assert!(sim.metrics.lost() > 0);
+        assert!(sim.metrics.delivered() > 0);
         let r = sim.metrics.delivery_ratio();
         assert!(r > 0.4 && r < 0.95, "ratio {r} should reflect ~30% loss");
     }
@@ -817,7 +846,10 @@ mod failure_tests {
         sim.run_to_quiescence(10_000);
         assert!(sim.is_failed(NodeId(1)));
         assert_eq!(sim.node(NodeId(1)).heard, 0);
-        assert!(sim.metrics.lost >= 1, "drops at dead nodes count as losses");
+        assert!(
+            sim.metrics.lost() >= 1,
+            "drops at dead nodes count as losses"
+        );
     }
 
     #[test]

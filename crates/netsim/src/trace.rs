@@ -188,6 +188,289 @@ impl Journal {
             .find(|&i| self.records[i] != other.records[i])
             .or_else(|| (self.records.len() != other.records.len()).then_some(n))
     }
+
+    /// Serialize to JSONL: a header object, then one object per record.
+    /// The format is stable and hand-parsed by [`Journal::from_jsonl`], so
+    /// a journal written by one process replays byte-identically in a
+    /// later one.
+    pub fn to_jsonl(&self) -> String {
+        use fmt::Write;
+        let mut s = String::with_capacity(self.records.len() * 72 + 64);
+        let _ = writeln!(
+            s,
+            r#"{{"type":"journal","seed":{},"records":{}}}"#,
+            self.seed,
+            self.records.len()
+        );
+        for r in &self.records {
+            let _ = write!(s, r#"{{"type":"rec","seq":{},"at":{},"#, r.seq, r.at);
+            match &r.event {
+                TraceEvent::Start { node } => {
+                    let _ = write!(s, r#""ev":"start","node":{}"#, node.0);
+                }
+                TraceEvent::Send {
+                    from,
+                    to,
+                    kind,
+                    bytes,
+                    attempt,
+                } => {
+                    let _ = write!(
+                        s,
+                        r#""ev":"send","from":{},"to":{},"kind":{},"bytes":{},"attempt":{}"#,
+                        from.0,
+                        to.0,
+                        json_escape(kind),
+                        bytes,
+                        attempt
+                    );
+                }
+                TraceEvent::Deliver {
+                    from,
+                    to,
+                    kind,
+                    bytes,
+                } => {
+                    let _ = write!(
+                        s,
+                        r#""ev":"deliver","from":{},"to":{},"kind":{},"bytes":{}"#,
+                        from.0,
+                        to.0,
+                        json_escape(kind),
+                        bytes
+                    );
+                }
+                TraceEvent::Drop {
+                    from,
+                    to,
+                    kind,
+                    reason,
+                } => {
+                    let _ = write!(
+                        s,
+                        r#""ev":"drop","from":{},"to":{},"kind":{},"reason":"{reason}""#,
+                        from.0,
+                        to.0,
+                        json_escape(kind)
+                    );
+                }
+                TraceEvent::Timer { node, tag } => {
+                    let _ = write!(s, r#""ev":"timer","node":{},"tag":{}"#, node.0, tag);
+                }
+                TraceEvent::NodeFail { node } => {
+                    let _ = write!(s, r#""ev":"fail","node":{}"#, node.0);
+                }
+            }
+            let _ = writeln!(s, "}}");
+        }
+        s
+    }
+
+    /// Parse a journal previously produced by [`Journal::to_jsonl`].
+    pub fn from_jsonl(text: &str) -> Result<Journal, JournalParseError> {
+        let err = |line: usize, msg: &str| JournalParseError {
+            line: line + 1,
+            msg: msg.to_string(),
+        };
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (hline, header) = lines.next().ok_or_else(|| err(0, "empty journal file"))?;
+        if field_str(header, "type").as_deref() != Some("journal") {
+            return Err(err(hline, "first line is not a journal header"));
+        }
+        let seed = field_u64(header, "seed").ok_or_else(|| err(hline, "header missing seed"))?;
+        let declared = field_u64(header, "records")
+            .ok_or_else(|| err(hline, "header missing record count"))?;
+        let mut records = Vec::with_capacity(declared as usize);
+        for (lineno, line) in lines {
+            if field_str(line, "type").as_deref() != Some("rec") {
+                return Err(err(lineno, "expected a rec object"));
+            }
+            let seq = field_u64(line, "seq").ok_or_else(|| err(lineno, "missing seq"))?;
+            let at = field_u64(line, "at").ok_or_else(|| err(lineno, "missing at"))?;
+            let ev = field_str(line, "ev").ok_or_else(|| err(lineno, "missing ev"))?;
+            let node_of = |key: &str| -> Result<NodeId, JournalParseError> {
+                field_u64(line, key)
+                    .map(|n| NodeId(n as u32))
+                    .ok_or_else(|| err(lineno, &format!("missing {key}")))
+            };
+            let kind_of = || -> Result<&'static str, JournalParseError> {
+                field_str(line, "kind")
+                    .map(|k| intern_kind(&k))
+                    .ok_or_else(|| err(lineno, "missing kind"))
+            };
+            let event = match ev.as_str() {
+                "start" => TraceEvent::Start {
+                    node: node_of("node")?,
+                },
+                "send" => TraceEvent::Send {
+                    from: node_of("from")?,
+                    to: node_of("to")?,
+                    kind: kind_of()?,
+                    bytes: field_u64(line, "bytes").ok_or_else(|| err(lineno, "missing bytes"))?
+                        as usize,
+                    attempt: field_u64(line, "attempt")
+                        .ok_or_else(|| err(lineno, "missing attempt"))?
+                        as u32,
+                },
+                "deliver" => TraceEvent::Deliver {
+                    from: node_of("from")?,
+                    to: node_of("to")?,
+                    kind: kind_of()?,
+                    bytes: field_u64(line, "bytes").ok_or_else(|| err(lineno, "missing bytes"))?
+                        as usize,
+                },
+                "drop" => TraceEvent::Drop {
+                    from: node_of("from")?,
+                    to: node_of("to")?,
+                    kind: kind_of()?,
+                    reason: match field_str(line, "reason").as_deref() {
+                        Some("loss") => DropReason::Loss,
+                        Some("dead") => DropReason::DeadNode,
+                        _ => return Err(err(lineno, "bad drop reason")),
+                    },
+                },
+                "timer" => TraceEvent::Timer {
+                    node: node_of("node")?,
+                    tag: field_u64(line, "tag").ok_or_else(|| err(lineno, "missing tag"))?,
+                },
+                "fail" => TraceEvent::NodeFail {
+                    node: node_of("node")?,
+                },
+                other => return Err(err(lineno, &format!("unknown event {other:?}"))),
+            };
+            records.push(TraceRecord { seq, at, event });
+        }
+        if records.len() as u64 != declared {
+            return Err(JournalParseError {
+                line: 1,
+                msg: format!(
+                    "header declared {declared} records, file contains {}",
+                    records.len()
+                ),
+            });
+        }
+        Ok(Journal { seed, records })
+    }
+
+    /// Write the JSONL form to `path`.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Load a journal from a JSONL file written by [`Journal::save`].
+    pub fn load(path: &std::path::Path) -> std::io::Result<Journal> {
+        let text = std::fs::read_to_string(path)?;
+        Journal::from_jsonl(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// A malformed journal file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalParseError {
+    /// 1-based line number.
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for JournalParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "journal parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for JournalParseError {}
+
+/// Re-intern a message kind read from disk. Known kinds map to the
+/// workspace's static literals; unseen ones are leaked once and reused
+/// (bounded by the number of *distinct* kinds, not records).
+fn intern_kind(s: &str) -> &'static str {
+    const KNOWN: &[&str] = &["store", "probe", "result", "centroid", "msg", "ping"];
+    if let Some(&k) = KNOWN.iter().find(|&&k| k == s) {
+        return k;
+    }
+    use std::sync::Mutex;
+    static EXTRA: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut extra = EXTRA.lock().expect("kind interner poisoned");
+    if let Some(&k) = extra.iter().find(|&&k| k == s) {
+        return k;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    extra.push(leaked);
+    leaked
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Raw value slice for `"key":` in a single-line JSON object.
+fn field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(inner) = rest.strip_prefix('"') {
+        let mut escaped = false;
+        for (i, ch) in inner.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '"' {
+                return Some(&inner[..i]);
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim())
+    }
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    field_raw(line, key)?.parse().ok()
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let raw = field_raw(line, key)?;
+    if !raw.contains('\\') {
+        return Some(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            Some(c) => out.push(c),
+            None => return None,
+        }
+    }
+    Some(out)
 }
 
 /// Per-run aggregate of a [`Journal`] — the numbers experiment tables
@@ -506,6 +789,84 @@ mod tests {
             sink.record(r);
         }
         assert_eq!(shared.snapshot(), sample_journal().summary());
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_exact() {
+        let j = sample_journal();
+        let text = j.to_jsonl();
+        let back = Journal::from_jsonl(&text).unwrap();
+        assert_eq!(j, back);
+        assert_eq!(j.to_text(), back.to_text());
+        assert_eq!(j.content_hash(), back.content_hash());
+        // Kinds come back as the canonical static literals.
+        if let TraceEvent::Send { kind, .. } = &back.records[1].event {
+            assert_eq!(*kind, "ping");
+        } else {
+            panic!("record 1 should be a send");
+        }
+    }
+
+    #[test]
+    fn jsonl_unknown_kind_is_interned_once() {
+        let j = Journal {
+            seed: 1,
+            records: vec![
+                rec(
+                    0,
+                    0,
+                    TraceEvent::Send {
+                        from: NodeId(0),
+                        to: NodeId(1),
+                        kind: "exotic",
+                        bytes: 1,
+                        attempt: 0,
+                    },
+                ),
+                rec(
+                    1,
+                    5,
+                    TraceEvent::Deliver {
+                        from: NodeId(0),
+                        to: NodeId(1),
+                        kind: "exotic",
+                        bytes: 1,
+                    },
+                ),
+            ],
+        };
+        let back = Journal::from_jsonl(&j.to_jsonl()).unwrap();
+        assert_eq!(j, back);
+        let (k0, k1) = match (&back.records[0].event, &back.records[1].event) {
+            (TraceEvent::Send { kind: a, .. }, TraceEvent::Deliver { kind: b, .. }) => (*a, *b),
+            _ => panic!("unexpected events"),
+        };
+        // Same leaked allocation reused, not one leak per record.
+        assert!(std::ptr::eq(k0, k1));
+    }
+
+    #[test]
+    fn jsonl_parse_errors_carry_line_numbers() {
+        assert!(Journal::from_jsonl("").is_err());
+        let e = Journal::from_jsonl("{\"type\":\"rec\"}\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let good = sample_journal().to_jsonl();
+        let truncated: String = good.lines().take(3).collect::<Vec<_>>().join("\n");
+        let e = Journal::from_jsonl(&truncated).unwrap_err();
+        assert!(e.msg.contains("declared"), "{e}");
+        let mut garbled = good.clone();
+        garbled.push_str("{\"type\":\"rec\",\"seq\":9,\"at\":9,\"ev\":\"warp\"}\n");
+        assert!(Journal::from_jsonl(&garbled).is_err());
+    }
+
+    #[test]
+    fn save_and_load_files() {
+        let j = sample_journal();
+        let path = std::env::temp_dir().join("sensorlog_trace_unit.jsonl");
+        j.save(&path).unwrap();
+        let back = Journal::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(j, back);
     }
 
     #[test]

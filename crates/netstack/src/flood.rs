@@ -8,6 +8,7 @@
 //! in-network evaluation against this hand-written protocol.
 
 use sensorlog_netsim::{App, Ctx, MsgMeta, NodeId, SimConfig, Simulator, Topology};
+use sensorlog_telemetry::{Scope, Telemetry};
 
 #[derive(Clone, Debug)]
 pub struct DistBeacon {
@@ -63,6 +64,20 @@ pub struct FloodResult {
 
 /// Run the procedural baseline; deterministic for a given config seed.
 pub fn run_flood(topo: &Topology, root: NodeId, config: SimConfig) -> FloodResult {
+    run_flood_with(topo, root, config, Telemetry::disabled())
+}
+
+/// [`run_flood`] with a telemetry handle: the simulator records per-node
+/// tx/rx counters and hop-delay histograms into the shared registry, the
+/// whole run is timed under the `flood.run` phase, and per-node broadcast
+/// counts land under `Scope::Layer("flood")`.
+pub fn run_flood_with(
+    topo: &Topology,
+    root: NodeId,
+    config: SimConfig,
+    tele: Telemetry,
+) -> FloodResult {
+    let _span = tele.span("flood.run");
     let mut sim = Simulator::new(topo.clone(), config, |id, _| FloodNode {
         id,
         root,
@@ -70,7 +85,16 @@ pub fn run_flood(topo: &Topology, root: NodeId, config: SimConfig) -> FloodResul
         parent: None,
         broadcasts: 0,
     });
+    sim.set_telemetry(tele.clone());
     let converged_at = sim.run_to_quiescence(100_000_000);
+    tele.record_sim("flood.run", converged_at);
+    for id in topo.nodes() {
+        tele.add(
+            Scope::Layer("flood"),
+            "broadcasts",
+            sim.node(id).broadcasts as u64,
+        );
+    }
     FloodResult {
         tree: topo
             .nodes()

@@ -7,6 +7,7 @@
 //! perimeter mode — see DESIGN.md).
 
 use sensorlog_netsim::{NodeId, Topology};
+use sensorlog_telemetry::{Scope, Telemetry};
 
 /// Next-hop oracle over a topology. Cheap to build for grids; for general
 /// graphs it lazily materializes per-destination BFS parent trees.
@@ -15,6 +16,7 @@ pub struct Router {
     /// `fallback[dest][node]` = next hop from `node` toward `dest`
     /// (usize::MAX = unreachable/self). Built on demand per destination.
     fallback: Vec<Option<Vec<u32>>>,
+    tele: Telemetry,
 }
 
 const NONE: u32 = u32::MAX;
@@ -23,7 +25,15 @@ impl Router {
     pub fn new(topo: &Topology) -> Router {
         Router {
             fallback: vec![None; topo.len()],
+            tele: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle: hop decisions and BFS-table builds are
+    /// counted under `Scope::Layer("netstack")`.
+    pub fn with_telemetry(mut self, tele: Telemetry) -> Router {
+        self.tele = tele;
+        self
     }
 
     /// Next hop from `from` toward `dest`. `None` when `from == dest` or
@@ -40,6 +50,7 @@ impl Router {
             } else {
                 (fx, if dy > fy { fy + 1 } else { fy - 1 })
             };
+            self.tele.bump(Scope::Layer("netstack"), "grid_hops");
             return topo.node_at(nx, ny);
         }
         // General topologies: BFS parent pointers toward dest. (Pure greedy
@@ -47,15 +58,23 @@ impl Router {
         // two per hop is not loop-free — so the router is fully
         // table-driven off-grid; `greedy_step` remains available as a
         // primitive for protocols that handle their own recovery.)
-        let table = self.table_for(topo, dest);
-        match table[from.index()] {
-            NONE => None, // unreachable across a partition
-            hop => Some(NodeId(hop)),
+        let hop = self.table_for(topo, dest)[from.index()];
+        match hop {
+            NONE => {
+                self.tele.bump(Scope::Layer("netstack"), "unreachable");
+                None // unreachable across a partition
+            }
+            hop => {
+                self.tele.bump(Scope::Layer("netstack"), "bfs_hops");
+                Some(NodeId(hop))
+            }
         }
     }
 
     fn table_for(&mut self, topo: &Topology, dest: NodeId) -> &Vec<u32> {
+        let tele = &self.tele;
         self.fallback[dest.index()].get_or_insert_with(|| {
+            tele.bump(Scope::Layer("netstack"), "bfs_tables_built");
             let mut next = vec![NONE; topo.len()];
             let mut queue = std::collections::VecDeque::from([dest]);
             let mut seen = vec![false; topo.len()];

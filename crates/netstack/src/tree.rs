@@ -7,6 +7,7 @@
 //! precomputed tree on hop counts).
 
 use sensorlog_netsim::{App, Ctx, MsgMeta, NodeId, SimConfig, Simulator, Topology};
+use sensorlog_telemetry::Telemetry;
 use std::collections::VecDeque;
 
 /// A rooted spanning tree: parent pointers + depth per node.
@@ -109,13 +110,27 @@ impl App for TreeNode {
 
 /// Run the distributed tree construction; returns (tree, message count).
 pub fn build_distributed(topo: &Topology, root: NodeId, config: SimConfig) -> (GatherTree, u64) {
+    build_distributed_with(topo, root, config, Telemetry::disabled())
+}
+
+/// [`build_distributed`] with a telemetry handle: beacon traffic lands in
+/// the shared registry and the protocol run is timed as `tree.build`.
+pub fn build_distributed_with(
+    topo: &Topology,
+    root: NodeId,
+    config: SimConfig,
+    tele: Telemetry,
+) -> (GatherTree, u64) {
+    let _span = tele.span("tree.build");
     let mut sim = Simulator::new(topo.clone(), config, |id, _| TreeNode {
         id,
         root,
         parent: None,
         depth: None,
     });
-    sim.run_to_quiescence(10_000_000);
+    sim.set_telemetry(tele.clone());
+    let converged_at = sim.run_to_quiescence(10_000_000);
+    tele.record_sim("tree.build", converged_at);
     let mut parent = vec![None; topo.len()];
     let mut depth = vec![u32::MAX; topo.len()];
     for id in topo.nodes() {

@@ -1,0 +1,174 @@
+//! Span-based phase profiler with zero-cost-when-disabled guards.
+//!
+//! The enabled/disabled split mirrors `netsim`'s `TraceSink` pattern: a
+//! disabled [`Profiler`] is a `None` and both `span()` and `record_sim()`
+//! are a single branch. Wall time is measured with `Instant` on guard drop;
+//! simulated time is recorded explicitly by the instrumented code (the
+//! simulator's clock, not ours). Wall times never feed anything
+//! determinism-sensitive — they are export-only.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Aggregate for one phase name.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Number of completed spans plus `record_sim` calls.
+    pub count: u64,
+    /// Total wall time across spans, nanoseconds.
+    pub wall_ns: u64,
+    /// Total simulated time recorded, milliseconds (the sim's tick unit).
+    pub sim_ms: u64,
+}
+
+type Phases = Rc<RefCell<BTreeMap<&'static str, PhaseStat>>>;
+
+/// Cheap clone-handle; all clones share one phase table.
+#[derive(Clone, Default)]
+pub struct Profiler {
+    phases: Option<Phases>,
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.phases.is_some() {
+            "Profiler(enabled)"
+        } else {
+            "Profiler(disabled)"
+        })
+    }
+}
+
+impl Profiler {
+    pub fn enabled() -> Self {
+        Profiler {
+            phases: Some(Rc::new(RefCell::new(BTreeMap::new()))),
+        }
+    }
+
+    pub fn disabled() -> Self {
+        Profiler::default()
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.phases.is_some()
+    }
+
+    /// Open a wall-time span; elapsed time is added to `phase` when the
+    /// guard drops. On a disabled profiler this is one branch and no clock
+    /// read.
+    #[inline]
+    pub fn span(&self, phase: &'static str) -> Span {
+        match &self.phases {
+            Some(p) => Span {
+                inner: Some((Rc::clone(p), phase, Instant::now())),
+            },
+            None => Span::inert(),
+        }
+    }
+
+    /// Add `dt` simulated milliseconds to `phase`.
+    #[inline]
+    pub fn record_sim(&self, phase: &'static str, dt: u64) {
+        if let Some(p) = &self.phases {
+            let mut map = p.borrow_mut();
+            let stat = map.entry(phase).or_default();
+            stat.count += 1;
+            stat.sim_ms += dt;
+        }
+    }
+
+    /// Add raw wall nanoseconds to `phase` (for pre-measured intervals).
+    pub fn record_wall_ns(&self, phase: &'static str, ns: u64) {
+        if let Some(p) = &self.phases {
+            let mut map = p.borrow_mut();
+            let stat = map.entry(phase).or_default();
+            stat.count += 1;
+            stat.wall_ns += ns;
+        }
+    }
+
+    /// Snapshot of all phases, sorted by name.
+    pub fn phases(&self) -> Vec<(&'static str, PhaseStat)> {
+        match &self.phases {
+            Some(p) => p.borrow().iter().map(|(k, v)| (*k, *v)).collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Wall-time span guard returned by [`Profiler::span`].
+pub struct Span {
+    inner: Option<(Phases, &'static str, Instant)>,
+}
+
+impl Span {
+    /// The no-op guard of a disabled profiler.
+    pub fn inert() -> Self {
+        Span { inner: None }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((phases, phase, start)) = self.inner.take() {
+            let ns = start.elapsed().as_nanos() as u64;
+            let mut map = phases.borrow_mut();
+            let stat = map.entry(phase).or_default();
+            stat.count += 1;
+            stat.wall_ns += ns;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_is_inert() {
+        let p = Profiler::disabled();
+        drop(p.span("x"));
+        p.record_sim("x", 5);
+        assert!(p.phases().is_empty());
+    }
+
+    #[test]
+    fn spans_aggregate_per_phase() {
+        let p = Profiler::enabled();
+        for _ in 0..3 {
+            let _s = p.span("round");
+        }
+        {
+            let _outer = p.span("outer");
+            let _inner = p.span("round"); // nesting is fine; phases are independent
+        }
+        let phases = p.phases();
+        let round = phases.iter().find(|(n, _)| *n == "round").unwrap().1;
+        assert_eq!(round.count, 4);
+        let outer = phases.iter().find(|(n, _)| *n == "outer").unwrap().1;
+        assert_eq!(outer.count, 1);
+    }
+
+    #[test]
+    fn sim_time_accumulates_separately() {
+        let p = Profiler::enabled();
+        p.record_sim("join.latency", 120);
+        p.record_sim("join.latency", 30);
+        let stat = p.phases()[0].1;
+        assert_eq!(stat.sim_ms, 150);
+        assert_eq!(stat.count, 2);
+        assert_eq!(stat.wall_ns, 0);
+    }
+
+    #[test]
+    fn clones_share_the_table() {
+        let p = Profiler::enabled();
+        let q = p.clone();
+        drop(q.span("a"));
+        assert_eq!(p.phases().len(), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Property test: merging per-node histograms is exactly the histogram of
+//! the concatenated samples — the lossless-rollup guarantee the
+//! network-wide exporter relies on.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sensorlog_telemetry::Histogram;
+
+const BOUNDS: &[u64] = &[4, 16, 64, 256, 1024];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_equals_concat(per_node in vec(vec(0u64..4096, 0..40), 0..8)) {
+        let mut merged: Option<Histogram> = None;
+        let mut whole = Histogram::new(BOUNDS);
+        for samples in &per_node {
+            let mut h = Histogram::new(BOUNDS);
+            for &s in samples {
+                h.observe(s);
+                whole.observe(s);
+            }
+            match &mut merged {
+                None => merged = Some(h),
+                Some(m) => m.merge(&h).unwrap(),
+            }
+        }
+        let merged = merged.unwrap_or_else(|| Histogram::new(BOUNDS));
+        prop_assert_eq!(&merged, &whole);
+        // Conservation inside the merged histogram itself.
+        let bucketed: u64 = merged.bucket_counts().iter().sum::<u64>() + merged.overflow();
+        prop_assert_eq!(bucketed, merged.count());
+    }
+
+    #[test]
+    fn merge_is_order_insensitive(xs in vec(0u64..4096, 0..60), ys in vec(0u64..4096, 0..60)) {
+        let mk = |samples: &[u64]| {
+            let mut h = Histogram::new(BOUNDS);
+            for &s in samples {
+                h.observe(s);
+            }
+            h
+        };
+        let (a, b) = (mk(&xs), mk(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+}

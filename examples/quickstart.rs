@@ -90,9 +90,9 @@ fn main() {
     println!(
         "\nnetwork cost: {} messages ({} storage, {} probe, {} result)",
         d.metrics().total_tx(),
-        d.metrics().tx_by_kind.get("store").unwrap_or(&0),
-        d.metrics().tx_by_kind.get("probe").unwrap_or(&0),
-        d.metrics().tx_by_kind.get("result").unwrap_or(&0),
+        &d.metrics().tx_of("store"),
+        &d.metrics().tx_of("probe"),
+        &d.metrics().tx_of("result"),
     );
 
     // ---------------------------------------------------------------

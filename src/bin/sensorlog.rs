@@ -9,10 +9,15 @@
 //!
 //! sensorlog deploy <program.dl> --grid <m> [--events <events.txt>]
 //!         [--strategy pa|centroid|broadcast|local] [--loss <p>]
-//!         [--seed <n>] [--horizon <ms>]
+//!         [--seed <n>] [--horizon <ms>] [--trace <journal.jsonl>]
+//!         [--metrics <snapshot.jsonl>]
 //!     Distributed evaluation on an m×m simulated grid. Events file lines:
 //!         +<at_ms> @<node> fact(args).
 //!         -<at_ms> @<node> fact(args).
+//!     --trace persists the event journal (replayable via
+//!     `sensorlog_netsim::Journal::load` + `ReplayChecker`); --metrics
+//!     writes the telemetry snapshot (counters, histograms, phase timings)
+//!     as JSONL, or to stdout with `--metrics -`.
 //! ```
 
 use sensorlog::prelude::*;
@@ -141,6 +146,9 @@ fn cmd_deploy(args: &[String]) -> Result<(), AnyError> {
         .transpose()?
         .unwrap_or(600_000_000);
 
+    let trace_path = flag(args, "--trace");
+    let metrics_path = flag(args, "--metrics");
+
     let topo = Topology::square_grid(m);
     let n_nodes = topo.len();
     let cfg = DeployConfig {
@@ -149,11 +157,17 @@ fn cmd_deploy(args: &[String]) -> Result<(), AnyError> {
             ..RtConfig::default()
         },
         sim,
+        telemetry: if metrics_path.is_some() {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        },
         ..DeployConfig::default()
     };
     let mut d =
         Deployment::new(&src, BuiltinRegistry::standard(), topo, cfg).map_err(|e| e.to_string())?;
     let _ = prog;
+    let journal = trace_path.as_ref().map(|_| d.attach_journal());
 
     let mut events = Vec::new();
     if let Some(path) = flag(args, "--events") {
@@ -181,13 +195,13 @@ fn cmd_deploy(args: &[String]) -> Result<(), AnyError> {
     eprintln!(
         "-- messages: {} total ({} store, {} probe, {} result), hottest node {}, energy {:.1} mJ",
         d.metrics().total_tx(),
-        d.metrics().tx_by_kind.get("store").unwrap_or(&0),
-        d.metrics().tx_by_kind.get("probe").unwrap_or(&0),
-        d.metrics().tx_by_kind.get("result").unwrap_or(&0),
+        &d.metrics().tx_of("store"),
+        &d.metrics().tx_of("probe"),
+        &d.metrics().tx_of("result"),
         d.metrics().max_node_load(),
         d.metrics().total_energy_uj() / 1000.0
     );
-    if !events.is_empty() && d.metrics().lost == 0 {
+    if !events.is_empty() && d.metrics().lost() == 0 {
         let report = sensorlog::core::oracle::check(&d, &events, d.prog.outputs[0]);
         eprintln!(
             "-- oracle: {} ({} expected, {} missing, {} spurious)",
@@ -196,6 +210,27 @@ fn cmd_deploy(args: &[String]) -> Result<(), AnyError> {
             report.missing.len(),
             report.spurious.len()
         );
+    }
+    if let (Some(path), Some(journal)) = (&trace_path, journal) {
+        let j = journal.take();
+        let n = j.records.len();
+        j.save(std::path::Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("-- trace: {n} journal records written to {path}");
+    }
+    if let Some(path) = &metrics_path {
+        let snap = d.telemetry_snapshot();
+        if path == "-" {
+            print!("{}", snap.to_jsonl());
+        } else {
+            std::fs::write(path, snap.to_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "-- metrics: {} counters, {} histograms, {} phases written to {path}",
+                snap.counters.len(),
+                snap.hists.len(),
+                snap.phases.len()
+            );
+        }
     }
     Ok(())
 }

@@ -18,7 +18,10 @@
 //!   aggregation, and the procedural flood baseline;
 //! * [`core`] — the distributed asynchronous deductive engine: the
 //!   (Generalized) Perpendicular Approach with storage/join phases, derived
-//!   stream hashing, and distributed set-of-derivations maintenance.
+//!   stream hashing, and distributed set-of-derivations maintenance;
+//! * [`telemetry`] — workspace-wide observability: deterministic metrics
+//!   registry, span-based phase profiler, and JSONL/Prometheus/table
+//!   exporters.
 //!
 //! ## Hello, sensor network
 //!
@@ -50,6 +53,7 @@ pub use sensorlog_eval as eval;
 pub use sensorlog_logic as logic;
 pub use sensorlog_netsim as netsim;
 pub use sensorlog_netstack as netstack;
+pub use sensorlog_telemetry as telemetry;
 
 /// Everything a typical application needs.
 pub mod prelude {
@@ -61,4 +65,5 @@ pub mod prelude {
         analyze, parse_fact, parse_program, parse_rule, Analysis, ProgramClass, Symbol, Term, Tuple,
     };
     pub use sensorlog_netsim::{NodeId, SimConfig, Simulator, Topology};
+    pub use sensorlog_telemetry::{Scope, Snapshot, Telemetry};
 }

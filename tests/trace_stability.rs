@@ -1,0 +1,69 @@
+//! Pinned trace-hash regression: a lossy 200-node logicH run whose event
+//! journal must stay byte-identical across observability changes, and must
+//! be unaffected by enabling telemetry (the observer may never touch the
+//! RNG, the event queue, or timers).
+//!
+//! The pinned values come from `examples/trace_hash.rs` run at the
+//! pre-telemetry baseline. If a change legitimately alters simulator
+//! behavior (new message kind, different timer schedule), re-run the
+//! example and update the constants — but an unexplained diff here means
+//! determinism broke.
+
+use sensorlog::core::deploy::{DeployConfig, Deployment};
+use sensorlog::core::strategy::Strategy;
+use sensorlog::core::workload::graph_edges;
+use sensorlog::prelude::*;
+
+const LOGIC_H: &str = r#"
+    .output h.
+    h(0, 0, 0).
+    h(0, X, 1) :- g(0, X).
+    hp(Y, D + 1) :- h(_, Y, D'), (D + 1) > D', h(_, X, D), g(X, Y).
+    h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).
+"#;
+
+const PINNED_HASH: u64 = 0x38152b0464c5999b;
+const PINNED_RECORDS: usize = 28603;
+const PINNED_TX: u64 = 13831;
+
+fn run_probe(telemetry: Telemetry) -> (usize, u64, u64) {
+    let topo = Topology::grid(20, 10); // 200 nodes
+    let cfg = DeployConfig {
+        rt: RtConfig {
+            strategy: Strategy::Perpendicular { band_width: 1.0 },
+            ..RtConfig::default()
+        },
+        sim: SimConfig {
+            loss_prob: 0.1,
+            seed: 17,
+            ..SimConfig::default()
+        },
+        telemetry,
+        ..DeployConfig::default()
+    };
+    let mut d = Deployment::new(LOGIC_H, BuiltinRegistry::standard(), topo.clone(), cfg).unwrap();
+    let journal = d.attach_journal();
+    d.schedule_all(graph_edges(&topo, 100, 200));
+    d.run(2_000_000);
+    let j = journal.take();
+    (j.records.len(), j.content_hash(), d.metrics().total_tx())
+}
+
+#[test]
+fn lossy_logic_h_trace_is_pinned() {
+    let (records, hash, tx) = run_probe(Telemetry::disabled());
+    assert_eq!(records, PINNED_RECORDS, "journal record count drifted");
+    assert_eq!(tx, PINNED_TX, "transmission count drifted");
+    assert_eq!(hash, PINNED_HASH, "journal content hash drifted");
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_trace() {
+    let (records, hash, tx) = run_probe(Telemetry::enabled());
+    assert_eq!(records, PINNED_RECORDS);
+    assert_eq!(tx, PINNED_TX);
+    assert_eq!(
+        hash, PINNED_HASH,
+        "an enabled telemetry handle changed simulator behavior"
+    );
+}
