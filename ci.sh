@@ -23,13 +23,24 @@ echo "== cargo test (workspace) =="
 cargo test --workspace -q
 
 if [[ "$fast" -eq 0 ]]; then
-    echo "== cargo build --release =="
-    cargo build --release -q
+    echo "== cargo build --release (workspace, timed) =="
+    build_start=$SECONDS
+    cargo build --release -q --workspace
+    echo "release build took $((SECONDS - build_start))s"
 
     # Telemetry pipeline end-to-end + snapshot-schema golden check; writes
     # BENCH_smoke.json (gitignored) as the inspectable artifact.
     echo "== bench smoke (--quick) =="
     cargo run -q --release -p sensorlog-bench --bin smoke -- --quick
+
+    # Scheduler/index microbench on a tiny budget: must exit 0 and emit
+    # parseable JSON. The committed BENCH_sched.json is the full-budget
+    # artifact; the smoke run writes to a scratch path and is discarded.
+    echo "== sched microbench smoke (--quick) =="
+    sched_out=$(mktemp /tmp/bench_sched.XXXXXX.json)
+    cargo run -q --release -p sensorlog-bench --bin sched -- --quick --out "$sched_out"
+    python3 -m json.tool "$sched_out" > /dev/null
+    rm -f "$sched_out"
 fi
 
 echo "CI OK"

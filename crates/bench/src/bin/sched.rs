@@ -1,0 +1,369 @@
+//! Scheduler + join microbenchmarks, exported as `BENCH_sched.json`.
+//!
+//! ```text
+//! sched [--quick] [--out BENCH_sched.json]
+//! ```
+//!
+//! Two comparisons, matching the hot paths the timer-wheel/index work
+//! optimized:
+//!
+//! * **queue** — the event queue under the simulator's hold model (pop the
+//!   head, push a successor at `head + delay` with delay drawn from the
+//!   bounded per-hop window), `BinaryHeap` vs `TimerWheel`, at pending
+//!   populations of 100 / 1k / 10k / 100k events ("nodes": steady state is
+//!   roughly one in-flight event per node). Also pure enqueue (fill from
+//!   empty) and pure dequeue (drain) ops/sec.
+//! * **probe** — `Relation::select` through a maintained hash index vs the
+//!   filtered-scan baseline, ops/sec at growing relation sizes.
+//! * **join** — end-to-end semi-naive evaluation of the logicH / logicJ
+//!   shortest-path-tree programs on a grid EDB, `EvalConfig::use_index`
+//!   on vs off, wall-clock speedup.
+//!
+//! `--quick` shrinks every dimension so CI can prove the harness end-to-end
+//! (runs, exits 0, JSON parses) in well under a second; the committed
+//! `BENCH_sched.json` comes from a full run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sensorlog_eval::relation::{Relation, TupleMeta};
+use sensorlog_eval::{Database, Engine, EvalConfig};
+use sensorlog_logic::builtin::BuiltinRegistry;
+use sensorlog_logic::{Symbol, Term, Tuple};
+use sensorlog_netsim::{SimTime, TimerWheel, Topology};
+use std::collections::BinaryHeap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const LOGIC_H: &str = r#"
+    .output h.
+    h(0, 0, 0).
+    h(0, X, 1) :- g(0, X).
+    hp(Y, D + 1) :- h(_, Y, D'), (D + 1) > D', h(_, X, D), g(X, Y).
+    h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).
+"#;
+
+const LOGIC_J: &str = r#"
+    .output j.
+    j(0, 0).
+    j(X, 1) :- g(0, X).
+    jp(Y, D + 1) :- j(Y, D'), (D + 1) > D', j(X, D), g(X, Y).
+    j(Y, D + 1) :- g(X, Y), j(X, D), not jp(Y, D + 1).
+"#;
+
+/// The bounded per-hop delay window the simulator draws from
+/// (`SimConfig::hop_delay` default), which is what makes the calendar-queue
+/// layout effective: successors land within a few ring slots of the head.
+const DELAY: (u64, u64) = (10, 40);
+
+/// One event-queue backend under test.
+trait Queue {
+    fn push(&mut self, at: SimTime, seq: u64);
+    fn pop(&mut self) -> Option<(SimTime, u64)>;
+}
+
+struct Heap(BinaryHeap<std::cmp::Reverse<(SimTime, u64)>>);
+
+impl Queue for Heap {
+    fn push(&mut self, at: SimTime, seq: u64) {
+        self.0.push(std::cmp::Reverse((at, seq)));
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        self.0.pop().map(|std::cmp::Reverse(x)| x)
+    }
+}
+
+struct Wheel(TimerWheel<()>);
+
+impl Queue for Wheel {
+    fn push(&mut self, at: SimTime, seq: u64) {
+        self.0.push(at, seq, ());
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        self.0.pop().map(|(at, seq, ())| (at, seq))
+    }
+}
+
+struct QueueRow {
+    nodes: usize,
+    backend: &'static str,
+    hold_ops_per_sec: f64,
+    enqueue_ops_per_sec: f64,
+    dequeue_ops_per_sec: f64,
+}
+
+/// Hold model: pop the earliest event, schedule its successor a bounded
+/// delay later. `ops` pops+pushes at a steady pending population of `n`.
+fn bench_queue<Q: Queue>(mut mk: impl FnMut() -> Q, n: usize, ops: usize) -> (f64, f64, f64) {
+    let mut rng = StdRng::seed_from_u64(0xBE0C + n as u64);
+    let init: Vec<(SimTime, u64)> = (0..n)
+        .map(|i| (rng.gen_range(1_000..1_000 + DELAY.1), i as u64))
+        .collect();
+
+    // Steady-state hold model.
+    let mut q = mk();
+    for &(at, seq) in &init {
+        q.push(at, seq);
+    }
+    let mut seq = n as u64;
+    let t0 = Instant::now();
+    for _ in 0..ops {
+        let (at, _) = q.pop().expect("hold model never drains");
+        seq += 1;
+        q.push(at + rng.gen_range(DELAY.0..=DELAY.1), seq);
+    }
+    let hold = ops as f64 / t0.elapsed().as_secs_f64();
+
+    // Pure enqueue (fill from empty) and pure dequeue (drain), repeated so
+    // small populations still accumulate measurable work.
+    let rounds = (200_000 / n).max(1);
+    let mut enq_s = 0.0;
+    let mut deq_s = 0.0;
+    for _ in 0..rounds {
+        let mut q = mk();
+        let t0 = Instant::now();
+        for &(at, seq) in &init {
+            q.push(at, seq);
+        }
+        enq_s += t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        while q.pop().is_some() {}
+        deq_s += t0.elapsed().as_secs_f64();
+    }
+    let total = (rounds * n) as f64;
+    (hold, total / enq_s, total / deq_s)
+}
+
+struct ProbeRow {
+    tuples: usize,
+    indexed_ops_per_sec: f64,
+    scan_ops_per_sec: f64,
+}
+
+/// `Relation::select` through a maintained index vs a filtered scan.
+fn bench_probe(tuples: usize, probes: usize) -> ProbeRow {
+    let mut indexed = Relation::new();
+    indexed.register_index(&[0]);
+    let mut scan = Relation::new();
+    let keys = (tuples / 4).max(1) as i64;
+    for i in 0..tuples {
+        let t = Tuple::new(vec![Term::Int(i as i64 % keys), Term::Int(i as i64)]);
+        indexed.insert(t.clone(), TupleMeta::default());
+        scan.insert(t, TupleMeta::default());
+    }
+    let mut rng = StdRng::seed_from_u64(0x9806E);
+    let mut out = Vec::new();
+    // Warm: build the maintained index before timing.
+    indexed.select(&[0], &[Term::Int(0)], &mut out);
+
+    let t0 = Instant::now();
+    for _ in 0..probes {
+        out.clear();
+        indexed.select(&[0], &[Term::Int(rng.gen_range(0..keys))], &mut out);
+    }
+    let idx_ops = probes as f64 / t0.elapsed().as_secs_f64();
+
+    // Scan baseline: fewer probes (each is O(tuples)), same key stream.
+    let mut rng = StdRng::seed_from_u64(0x9806E);
+    let scan_probes = (probes / 50).max(10);
+    let t0 = Instant::now();
+    for _ in 0..scan_probes {
+        out.clear();
+        let key = Term::Int(rng.gen_range(0..keys));
+        out.extend(scan.tuples().filter(|t| t.get(0) == &key).cloned());
+    }
+    let scan_ops = scan_probes as f64 / t0.elapsed().as_secs_f64();
+    ProbeRow {
+        tuples,
+        indexed_ops_per_sec: idx_ops,
+        scan_ops_per_sec: scan_ops,
+    }
+}
+
+struct JoinRow {
+    program: &'static str,
+    grid: u32,
+    indexed_ms: f64,
+    scan_ms: f64,
+    index_hits: u64,
+    index_builds: u64,
+}
+
+/// Semi-naive logicH/logicJ on an m×m grid EDB, indexed vs forced-scan.
+fn bench_join(program: &'static str, src: &str, out_pred: &str, m: u32) -> JoinRow {
+    let topo = Topology::square_grid(m);
+    let mut edb = Database::new();
+    let g = Symbol::intern("g");
+    for a in topo.nodes() {
+        for &b in topo.neighbors(a) {
+            edb.insert(
+                g,
+                Tuple::new(vec![Term::Int(a.0 as i64), Term::Int(b.0 as i64)]),
+            );
+        }
+    }
+    let run = |use_index: bool| {
+        let mut engine =
+            Engine::from_source(src, BuiltinRegistry::standard()).expect("bench program compiles");
+        engine.config = EvalConfig {
+            use_index,
+            ..EvalConfig::default()
+        };
+        let t0 = Instant::now();
+        let out = engine.run(&edb).expect("bench program evaluates");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            out.len_of(Symbol::intern(out_pred)) > 0,
+            "join bench produced no output"
+        );
+        (ms, out.index_stats())
+    };
+    let (indexed_ms, stats) = run(true);
+    let (scan_ms, _) = run(false);
+    JoinRow {
+        program,
+        grid: m,
+        indexed_ms,
+        scan_ms,
+        index_hits: stats.hits,
+        index_builds: stats.builds,
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_sched.json".into());
+
+    let (sizes, hold_ops): (&[usize], usize) = if quick {
+        (&[100, 1_000], 20_000)
+    } else {
+        (&[100, 1_000, 10_000, 100_000], 2_000_000)
+    };
+
+    let mut queue_rows: Vec<QueueRow> = Vec::new();
+    for &n in sizes {
+        let (h_hold, h_enq, h_deq) = bench_queue(|| Heap(BinaryHeap::new()), n, hold_ops);
+        queue_rows.push(QueueRow {
+            nodes: n,
+            backend: "heap",
+            hold_ops_per_sec: h_hold,
+            enqueue_ops_per_sec: h_enq,
+            dequeue_ops_per_sec: h_deq,
+        });
+        let (w_hold, w_enq, w_deq) = bench_queue(|| Wheel(TimerWheel::new()), n, hold_ops);
+        queue_rows.push(QueueRow {
+            nodes: n,
+            backend: "wheel",
+            hold_ops_per_sec: w_hold,
+            enqueue_ops_per_sec: w_enq,
+            dequeue_ops_per_sec: w_deq,
+        });
+        eprintln!(
+            "queue n={n}: hold {:.2}x enq {:.2}x deq {:.2}x (wheel/heap)",
+            w_hold / h_hold,
+            w_enq / h_enq,
+            w_deq / h_deq
+        );
+    }
+
+    let probe_sizes: &[usize] = if quick {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let probe_rows: Vec<ProbeRow> = probe_sizes
+        .iter()
+        .map(|&t| bench_probe(t, if quick { 20_000 } else { 500_000 }))
+        .collect();
+
+    let join_grid = if quick { 6 } else { 14 };
+    let join_rows = vec![
+        bench_join("logicH", LOGIC_H, "h", join_grid),
+        bench_join("logicJ", LOGIC_J, "j", join_grid),
+    ];
+    for j in &join_rows {
+        eprintln!(
+            "join {} grid={}: indexed {:.1} ms vs scan {:.1} ms ({:.2}x)",
+            j.program,
+            j.grid,
+            j.indexed_ms,
+            j.scan_ms,
+            j.scan_ms / j.indexed_ms
+        );
+    }
+
+    // Hand-rolled JSON — stable field order, no external deps.
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"bench\": \"sched\",\n  \"quick\": {quick},\n"));
+    s.push_str(&format!(
+        "  \"delay_model_ms\": [{}, {}],\n  \"queue\": [\n",
+        DELAY.0, DELAY.1
+    ));
+    for (i, r) in queue_rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"nodes\": {}, \"backend\": \"{}\", \"hold_ops_per_sec\": {:.0}, \
+             \"enqueue_ops_per_sec\": {:.0}, \"dequeue_ops_per_sec\": {:.0}}}{}\n",
+            r.nodes,
+            r.backend,
+            r.hold_ops_per_sec,
+            r.enqueue_ops_per_sec,
+            r.dequeue_ops_per_sec,
+            if i + 1 < queue_rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"queue_dequeue_speedup\": {");
+    for (i, pair) in queue_rows.chunks(2).enumerate() {
+        s.push_str(&format!(
+            "{}\"{}\": {:.2}",
+            if i > 0 { ", " } else { "" },
+            pair[0].nodes,
+            pair[1].dequeue_ops_per_sec / pair[0].dequeue_ops_per_sec
+        ));
+    }
+    s.push_str("},\n  \"probe\": [\n");
+    for (i, r) in probe_rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"tuples\": {}, \"indexed_ops_per_sec\": {:.0}, \"scan_ops_per_sec\": {:.0}}}{}\n",
+            r.tuples,
+            r.indexed_ops_per_sec,
+            r.scan_ops_per_sec,
+            if i + 1 < probe_rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"join\": [\n");
+    for (i, r) in join_rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"program\": \"{}\", \"grid\": {}, \"indexed_ms\": {:.2}, \"scan_ms\": {:.2}, \
+             \"speedup\": {:.2}, \"index_hits\": {}, \"index_builds\": {}}}{}\n",
+            r.program,
+            r.grid,
+            r.indexed_ms,
+            r.scan_ms,
+            r.scan_ms / r.indexed_ms,
+            r.index_hits,
+            r.index_builds,
+            if i + 1 < join_rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &s) {
+        eprintln!("sched: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "sched OK: {} queue rows, {} probe rows, {} join rows -> {out_path}",
+        queue_rows.len(),
+        probe_rows.len(),
+        join_rows.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -116,3 +116,89 @@ pub fn join_strategies() -> Vec<Strategy> {
         Strategy::LocalStorage,
     ]
 }
+
+/// A fully-specified deployment run — everything [`run_case`] needs, owned,
+/// so a sweep can be described up front and executed on any worker thread.
+#[derive(Clone)]
+pub struct CaseSpec {
+    pub src: String,
+    pub topo: Topology,
+    pub strategy: Strategy,
+    pub pass_mode: PassMode,
+    pub sim: SimConfig,
+    pub spatial_radius: Option<f64>,
+    pub events: Vec<WorkloadEvent>,
+    pub output: Symbol,
+    pub horizon: SimTime,
+}
+
+impl CaseSpec {
+    pub fn run(&self) -> RunPoint {
+        run_case(
+            &self.src,
+            self.topo.clone(),
+            self.strategy,
+            self.pass_mode,
+            self.sim.clone(),
+            self.spatial_radius,
+            self.events.clone(),
+            self.output,
+            self.horizon,
+        )
+    }
+}
+
+/// Worker threads for [`run_cases`]: `SENSORLOG_BENCH_THREADS` if set and
+/// nonzero, else the machine's available parallelism.
+pub fn bench_threads() -> usize {
+    match std::env::var("SENSORLOG_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Run every case, fanning out across [`bench_threads`] worker threads.
+/// Each case is an independent, deterministic, single-threaded simulation;
+/// results come back in spec order, so tables built from them are
+/// byte-identical to a serial run (see `tests/parallel_driver.rs`).
+pub fn run_cases(specs: &[CaseSpec]) -> Vec<RunPoint> {
+    run_cases_with(specs, bench_threads())
+}
+
+/// [`run_cases`] with an explicit worker count (1 = serial reference).
+pub fn run_cases_with(specs: &[CaseSpec], threads: usize) -> Vec<RunPoint> {
+    let threads = threads.clamp(1, specs.len().max(1));
+    if threads == 1 {
+        return specs.iter().map(CaseSpec::run).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<RunPoint>> = (0..specs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= specs.len() {
+                            break done;
+                        }
+                        done.push((i, specs[i].run()));
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            for (i, p) in w.join().expect("bench worker panicked") {
+                slots[i] = Some(p);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every case ran"))
+        .collect()
+}

@@ -1,7 +1,7 @@
 //! Join experiments: Figs. 4–7 (communication cost vs. network size, load
 //! balance, multi-stream one-pass vs. multiple-pass, spatial constraints).
 
-use crate::common::{join_strategies, run_case, RunPoint};
+use crate::common::{join_strategies, run_case, run_cases, CaseSpec, RunPoint};
 use crate::table::{f2, Table};
 use sensorlog_core::deploy::WorkloadEvent;
 use sensorlog_core::workload::UniformStreams;
@@ -33,22 +33,22 @@ fn join_workload(topo: &Topology, preds: &[&str], groups: u32, seed: u64) -> Vec
 }
 
 /// One (strategy, m) cell of the Fig. 4/5 sweep.
-fn sweep_cell(strategy: Strategy, m: u32) -> RunPoint {
+fn sweep_spec(strategy: Strategy, m: u32) -> CaseSpec {
     let topo = Topology::square_grid(m);
     // Selective join keys (≈1 partner per key): result volume stays
     // proportional to input volume as the network grows.
     let events = join_workload(&topo, &["r1", "r2"], m * m * 2, 41 + m as u64);
-    run_case(
-        JOIN2,
+    CaseSpec {
+        src: JOIN2.to_string(),
         topo,
         strategy,
-        PassMode::OnePass,
-        SimConfig::default(),
-        None,
+        pass_mode: PassMode::OnePass,
+        sim: SimConfig::default(),
+        spatial_radius: None,
         events,
-        sym("q"),
-        30_000_000,
-    )
+        output: sym("q"),
+        horizon: 30_000_000,
+    }
 }
 
 /// Fig. 4: total communication cost vs. network size for a two-stream join
@@ -66,12 +66,17 @@ pub fn fig4_fig5() -> (Table, Table) {
         "two-stream join: hottest-node load (msgs) and imbalance (max/mean)",
         &["m", "PA max", "PA imb", "Centroid max", "Centroid imb"],
     );
-    for m in sizes {
-        let points: Vec<RunPoint> = join_strategies()
-            .into_iter()
-            .map(|s| sweep_cell(s, m))
-            .collect();
-        for p in &points {
+    // The whole (size × strategy) sweep fans out across worker threads —
+    // each cell is its own deterministic single-threaded simulation, and
+    // `run_cases` hands results back in spec order.
+    let specs: Vec<CaseSpec> = sizes
+        .iter()
+        .flat_map(|&m| join_strategies().into_iter().map(move |s| sweep_spec(s, m)))
+        .collect();
+    let all_points = run_cases(&specs);
+    for (si, &m) in sizes.iter().enumerate() {
+        let points: &[RunPoint] = &all_points[si * 4..si * 4 + 4];
+        for p in points {
             assert!(
                 p.completeness > 0.999 && p.soundness > 0.999,
                 "lossless runs must be exact (m={m})"
@@ -111,7 +116,9 @@ pub fn fig6() -> Table {
             "mpass KB",
         ],
     );
-    for n in [2usize, 3, 4] {
+    let ns = [2usize, 3, 4];
+    let mut specs = Vec::new();
+    for &n in &ns {
         let preds: Vec<String> = (1..=n).map(|i| format!("r{i}")).collect();
         let pred_refs: Vec<&str> = preds.iter().map(String::as_str).collect();
         let body: Vec<String> = (1..=n).map(|i| format!("r{i}(N{i}, X{i}, K)")).collect();
@@ -121,22 +128,27 @@ pub fn fig6() -> Table {
             head_args.join(", "),
             body.join(", ")
         );
-        let mut row = vec![n.to_string()];
         for mode in [PassMode::OnePass, PassMode::MultiPass] {
             let topo = Topology::square_grid(10);
             // Tight groups keep the n-way join output bounded.
             let events = join_workload(&topo, &pred_refs, 120, 77);
-            let p = run_case(
-                &src,
+            specs.push(CaseSpec {
+                src: src.clone(),
                 topo,
-                Strategy::Perpendicular { band_width: 1.0 },
-                mode,
-                SimConfig::default(),
-                None,
+                strategy: Strategy::Perpendicular { band_width: 1.0 },
+                pass_mode: mode,
+                sim: SimConfig::default(),
+                spatial_radius: None,
                 events,
-                sym("q"),
-                60_000_000,
-            );
+                output: sym("q"),
+                horizon: 60_000_000,
+            });
+        }
+    }
+    let points = run_cases(&specs);
+    for (i, &n) in ns.iter().enumerate() {
+        let mut row = vec![n.to_string()];
+        for p in &points[i * 2..i * 2 + 2] {
             assert!(p.completeness > 0.999, "lossless run must be complete");
             assert!(p.expected > 0, "workload must produce joins (n={n})");
             row.push(p.total_tx.to_string());

@@ -1,7 +1,7 @@
 //! Fig. 9 (robustness under message loss) and Table 2 (the testbed
 //! profile: clock skew + jittered delays + asymmetric links).
 
-use crate::common::run_case;
+use crate::common::{run_case, run_cases, CaseSpec};
 use crate::table::{f2, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -34,9 +34,9 @@ pub fn fig9() -> Table {
             "PA sound",
         ],
     );
-    for loss in [0.0f64, 0.05, 0.10, 0.20, 0.30] {
-        let mut row = vec![f2(loss)];
-        let mut pa_sound = 1.0;
+    let losses = [0.0f64, 0.05, 0.10, 0.20, 0.30];
+    let mut specs = Vec::new();
+    for &loss in &losses {
         for strategy in [
             Strategy::Perpendicular { band_width: 1.0 },
             Strategy::Centroid,
@@ -53,29 +53,32 @@ pub fn fig9() -> Table {
                     seed: 5,
                 }
                 .events(&topo);
-                let p = run_case(
-                    JOIN2,
+                specs.push(CaseSpec {
+                    src: JOIN2.to_string(),
                     topo,
                     strategy,
-                    PassMode::OnePass,
-                    SimConfig {
+                    pass_mode: PassMode::OnePass,
+                    sim: SimConfig {
                         loss_prob: loss,
                         retries,
                         seed: 17,
                         ..SimConfig::default()
                     },
-                    None,
+                    spatial_radius: None,
                     events,
-                    sym("q"),
-                    30_000_000,
-                );
-                row.push(f2(p.completeness));
-                if retries == 0 && matches!(strategy, Strategy::Perpendicular { .. }) {
-                    pa_sound = p.soundness;
-                }
+                    output: sym("q"),
+                    horizon: 30_000_000,
+                });
             }
         }
-        row.push(f2(pa_sound));
+    }
+    let points = run_cases(&specs);
+    for (i, &loss) in losses.iter().enumerate() {
+        // Spec order per loss: PA, PA+ARQ, Centroid, Centroid+ARQ.
+        let p = &points[i * 4..i * 4 + 4];
+        let mut row = vec![f2(loss)];
+        row.extend(p.iter().map(|p| f2(p.completeness)));
+        row.push(f2(p[0].soundness));
         t.row(row);
     }
     t

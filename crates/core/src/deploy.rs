@@ -254,8 +254,28 @@ impl Deployment {
             snap.absorb_registry(&reg);
         }
         snap.absorb_profiler(&self.sim.telemetry().profiler());
+        // Scheduler operation counters (wheel tiers are zero under the
+        // heap backend; batching is backend-independent).
+        let sched = self.sim.sched_stats();
         // Per-node runtime stats, rolled up network-wide.
         let mut rollup = MetricsRegistry::new();
+        rollup.bump(Scope::Global, "sched.pushes", sched.pushes);
+        rollup.bump(Scope::Global, "sched.batched_msgs", sched.batched_msgs);
+        rollup.bump(Scope::Global, "sched.ring_pushes", sched.ring_pushes);
+        rollup.bump(Scope::Global, "sched.spill_pushes", sched.spill_pushes);
+        rollup.bump(Scope::Global, "sched.migrations", sched.migrations);
+        rollup.bump(
+            Scope::Global,
+            "sched.window_advances",
+            sched.window_advances,
+        );
+        let mut idx = sensorlog_eval::IndexStatsSnapshot::default();
+        for n in self.sim.nodes() {
+            idx.merge(n.index_stats());
+        }
+        rollup.bump(Scope::Global, "join.index.hits", idx.hits);
+        rollup.bump(Scope::Global, "join.index.builds", idx.builds);
+        rollup.bump(Scope::Global, "join.index.scans", idx.scans);
         for n in self.sim.nodes() {
             rollup.gauge_max(Scope::Global, "peak_replicas", n.stats.peak_replicas as u64);
             rollup.gauge_max(

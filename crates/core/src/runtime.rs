@@ -274,6 +274,16 @@ impl SensorlogNode {
         self.frags.total_tuples()
     }
 
+    /// Join-index activity on this node: fragment-store probes plus, on a
+    /// Centroid center, the incremental engine's database.
+    pub fn index_stats(&self) -> sensorlog_eval::IndexStatsSnapshot {
+        let mut s = self.frags.index_stats();
+        if let Some(engine) = &self.center_engine {
+            s.merge(engine.db.index_stats());
+        }
+        s
+    }
+
     // ------------------------------------------------------------------
     // Invariant-checker views (read-only; see `crate::invariants`)
     // ------------------------------------------------------------------

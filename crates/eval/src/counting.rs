@@ -29,6 +29,8 @@ pub struct CountingEngine {
     occurrences: HashMap<Symbol, Vec<(usize, usize, bool)>>,
     pub body_evals: u64,
     pub max_cascade: usize,
+    /// Probe via relation indexes; disable for the scan A/B baseline.
+    pub use_index: bool,
 }
 
 impl CountingEngine {
@@ -54,14 +56,17 @@ impl CountingEngine {
                 }
             }
         }
+        let mut db = Database::new();
+        crate::planner::register_program_indexes(&mut db, &analysis.program.rules);
         Ok(CountingEngine {
             analysis,
             reg,
-            db: Database::new(),
+            db,
             counts: HashMap::new(),
             occurrences,
             body_evals: 0,
             max_cascade: 1_000_000,
+            use_index: true,
         })
     }
 
@@ -140,6 +145,7 @@ impl CountingEngine {
                 reg: &self.reg,
                 filter: Some(&filter),
                 vis: None,
+                use_index: self.use_index,
             };
             self.body_evals += 1;
             let sols = ev.solutions(&rule.body, Subst::new(), Some((li, &u.tuple)))?;

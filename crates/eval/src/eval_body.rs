@@ -107,6 +107,9 @@ pub struct BodyEval<'a> {
     pub reg: &'a BuiltinRegistry,
     pub filter: Option<&'a TupleFilter>,
     pub vis: Option<Visibility<'a>>,
+    /// When false, positive-literal probes bypass the relation indexes and
+    /// run as filtered scans — the A/B baseline for `EvalConfig::use_index`.
+    pub use_index: bool,
 }
 
 impl<'a> BodyEval<'a> {
@@ -116,6 +119,7 @@ impl<'a> BodyEval<'a> {
             reg,
             filter: None,
             vis: None,
+            use_index: true,
         }
     }
 
@@ -284,8 +288,19 @@ impl<'a> BodyEval<'a> {
         let mut raw = Vec::new();
         if cols.is_empty() {
             raw.extend(rel.tuples().cloned());
-        } else {
+        } else if self.use_index {
             rel.select(&cols, &key, &mut raw);
+        } else {
+            // Forced-scan baseline: same result set and canonical order as
+            // `select`, without touching the index machinery or its stats.
+            raw.extend(
+                rel.tuples()
+                    .filter(|t| {
+                        cols.iter().all(|&c| c < t.arity())
+                            && cols.iter().zip(key.iter()).all(|(&c, k)| t.get(c) == k)
+                    })
+                    .cloned(),
+            );
         }
         raw.retain(|t| {
             if let Some(f) = self.filter {
@@ -623,6 +638,7 @@ mod tests {
             reg: &reg,
             filter: Some(&filter),
             vis: None,
+            use_index: true,
         };
         // e(1,1) join e(1,1) exists, but occurrence 1 excludes the tuple.
         let sols = ev.solutions(&rule.body, Subst::new(), None).unwrap();
@@ -647,6 +663,7 @@ mod tests {
             reg: &reg,
             filter: Some(&filter0),
             vis: None,
+            use_index: true,
         };
         let sols = ev0
             .solutions(&rule.body, Subst::new(), Some((1, &pin)))
@@ -672,6 +689,7 @@ mod tests {
                 tau: 350,
                 windows: &windows,
             }),
+            use_index: true,
         };
         let sols = ev.solutions(&rule.body, Subst::new(), None).unwrap();
         // tau=350: p(1) gen 100 within window (100+300>350), p(2) in future.
@@ -685,6 +703,7 @@ mod tests {
                 tau: 550,
                 windows: &windows,
             }),
+            use_index: true,
         };
         let sols = ev2.solutions(&rule.body, Subst::new(), None).unwrap();
         assert_eq!(sols.len(), 1);
@@ -710,6 +729,7 @@ mod tests {
                 tau: 30,
                 windows: &windows,
             }),
+            use_index: true,
         };
         assert!(ev
             .solutions(&rule.body, Subst::new(), None)
@@ -724,6 +744,7 @@ mod tests {
                 tau: 60,
                 windows: &windows,
             }),
+            use_index: true,
         };
         assert_eq!(
             ev.solutions(&rule.body, Subst::new(), None).unwrap().len(),

@@ -129,6 +129,9 @@ pub struct IncrementalEngine {
     /// [`EvalError::DerivationCycle`] instead of silently keeping zombie
     /// support. Off by default (costs a DFS per derivation).
     pub check_local_recursion: bool,
+    /// Probe via relation indexes (planner-registered, maintained through
+    /// insert/delete). Disable for the scan A/B baseline.
+    pub use_index: bool,
 }
 
 impl IncrementalEngine {
@@ -162,10 +165,12 @@ impl IncrementalEngine {
         }
         let windows = effective_windows(&analysis);
         let idb = analysis.program.idb_preds();
+        let mut db = Database::new();
+        crate::planner::register_program_indexes(&mut db, &analysis.program.rules);
         Ok(IncrementalEngine {
             analysis,
             reg,
-            db: Database::new(),
+            db,
             windows,
             derivs: HashMap::new(),
             agg_groups: HashMap::new(),
@@ -176,6 +181,7 @@ impl IncrementalEngine {
             profiler: Profiler::disabled(),
             max_cascade: 1_000_000,
             check_local_recursion: false,
+            use_index: true,
         })
     }
 
@@ -313,6 +319,7 @@ impl IncrementalEngine {
                 reg: &self.reg,
                 filter: Some(&filter),
                 vis: None,
+                use_index: self.use_index,
             };
             self.stats.body_evals += 1;
             let sols = ev.solutions(&rule.body, Subst::new(), Some((li, &u.tuple)))?;
@@ -462,7 +469,8 @@ impl IncrementalEngine {
                 return Ok(Vec::new()); // key shape impossible (stale)
             }
         }
-        let ev = BodyEval::new(&self.db, &self.reg);
+        let mut ev = BodyEval::new(&self.db, &self.reg);
+        ev.use_index = self.use_index;
         self.stats.body_evals += 1;
         let sols = ev.solutions(&rule.body, seed, None)?;
         // Keep only solutions matching this exact group key (head args may

@@ -14,6 +14,8 @@
 //! * [`incremental`] — continuous maintenance under inserts/deletes with the
 //!   paper's **set-of-derivations** approach (Sec. IV), plus the
 //!   [`counting`] and [`rederive`] alternatives it compares against;
+//! * [`planner`] — static probe planning: the bound-position signatures
+//!   each body literal probes with, driving persistent index registration;
 //! * [`window`] — sliding-window expiry.
 
 pub mod aggregate;
@@ -21,6 +23,7 @@ pub mod counting;
 pub mod error;
 pub mod eval_body;
 pub mod incremental;
+pub mod planner;
 pub mod rederive;
 pub mod relation;
 pub mod seminaive;
@@ -29,5 +32,6 @@ pub mod window;
 pub use error::EvalError;
 pub use eval_body::{BodyEval, Solution, TupleFilter, Visibility};
 pub use incremental::{IncrementalEngine, Update, UpdateKind};
-pub use relation::{Database, Relation, TupleMeta};
+pub use planner::{plan_probes, program_signatures};
+pub use relation::{Database, IndexStatsSnapshot, Relation, TupleMeta};
 pub use seminaive::{effective_windows, Engine, EvalConfig};

@@ -1,0 +1,183 @@
+//! Static probe planning: which index signature each body literal probes.
+//!
+//! [`order_body`] fixes the literal evaluation order; this module replays
+//! that order *statically*, tracking which variables are bound at each
+//! step, and derives for every positive literal the set of argument
+//! positions that will be ground when the literal is probed — its
+//! **bound-position signature**. The signature is what [`Relation::select`]
+//! keys its persistent hash indexes on, so planning and probing agree by
+//! construction: the dynamic ground-column set computed per substitution is
+//! exactly the static bound set whenever the rule is safe (matching a
+//! positive atom binds all of its variables; seeds and pins bind theirs).
+//!
+//! [`program_signatures`] enumerates the signatures a program can probe —
+//! the unpinned order of every rule plus each pinned variant the semi-naive
+//! and incremental engines actually use — so engines can register them all
+//! up front and every probe lands on a maintained index instead of a scan.
+//!
+//! [`order_body`]: crate::eval_body::order_body
+//! [`Relation::select`]: crate::relation::Relation::select
+
+use crate::eval_body::order_body;
+use sensorlog_logic::ast::{CmpOp, Literal, Rule};
+use sensorlog_logic::unify::Subst;
+use sensorlog_logic::{Symbol, Term};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Argument positions of `args` whose variables are all in `bound`
+/// (constants qualify vacuously), sorted ascending.
+fn bound_cols(args: &[Term], bound: &[Symbol]) -> Vec<usize> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, t)| t.vars().iter().all(|v| bound.contains(v)))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Per-literal probe signatures for one evaluation order. `plan[i]` is the
+/// sorted bound-column set literal `i` probes with; empty means full scan
+/// (or a literal that is never probed: pinned, negated, comparison,
+/// builtin).
+pub fn plan_probes(
+    body: &[Literal],
+    order: &[usize],
+    pinned: Option<usize>,
+    seed: &Subst,
+) -> Vec<Vec<usize>> {
+    let mut bound: Vec<Symbol> = seed.iter().map(|(v, _)| *v).collect();
+    let mut plan: Vec<Vec<usize>> = vec![Vec::new(); body.len()];
+    for &idx in order {
+        let is_pinned = pinned == Some(idx);
+        match &body[idx] {
+            Literal::Pos(a) => {
+                if !is_pinned {
+                    plan[idx] = bound_cols(&a.args, &bound);
+                }
+                a.collect_vars(&mut bound);
+            }
+            Literal::Neg(a) => {
+                // Negated literals check one exact tuple (no index probe),
+                // but a *pinned* negated literal matches positively and
+                // binds its variables — mirror order_body.
+                if is_pinned {
+                    a.collect_vars(&mut bound);
+                }
+            }
+            Literal::Cmp(CmpOp::Eq, l, r) => {
+                // Assignments bind their variable side (order_body's rule).
+                for t in [l, r] {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            bound.push(*v);
+                        }
+                    }
+                }
+            }
+            Literal::Cmp(..) | Literal::Builtin(_) => {}
+        }
+    }
+    plan
+}
+
+/// Every probe signature the engines can hit for `rules`: for each rule,
+/// the unpinned evaluation order plus one pinned variant per relational
+/// literal (semi-naive pins positive SCC occurrences; the incremental
+/// engine pins positive *and* negated occurrences). Seeds are not modeled —
+/// a seeded variable only ever *adds* bound columns, and the resulting
+/// larger signature is promoted on use.
+pub fn program_signatures<'a, R>(rules: R) -> BTreeMap<Symbol, BTreeSet<Vec<usize>>>
+where
+    R: IntoIterator<Item = &'a Rule>,
+{
+    let mut out: BTreeMap<Symbol, BTreeSet<Vec<usize>>> = BTreeMap::new();
+    let seed = Subst::new();
+    for rule in rules {
+        let mut pins: Vec<Option<usize>> = vec![None];
+        for (i, lit) in rule.body.iter().enumerate() {
+            if matches!(lit, Literal::Pos(_) | Literal::Neg(_)) {
+                pins.push(Some(i));
+            }
+        }
+        for pinned in pins {
+            let order = order_body(&rule.body, pinned);
+            let plan = plan_probes(&rule.body, &order, pinned, &seed);
+            for (i, cols) in plan.iter().enumerate() {
+                if cols.is_empty() {
+                    continue;
+                }
+                if let Literal::Pos(a) = &rule.body[i] {
+                    out.entry(a.pred).or_default().insert(cols.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Register every signature from [`program_signatures`] on `db`, so probes
+/// land on maintained indexes from the first iteration. Registration is
+/// policy, not data — it survives [`crate::relation::Relation::clone`].
+pub fn register_program_indexes<'a, R>(db: &mut crate::relation::Database, rules: R)
+where
+    R: IntoIterator<Item = &'a Rule>,
+{
+    for (pred, sigs) in program_signatures(rules) {
+        for cols in sigs {
+            db.register_index(pred, &cols);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensorlog_logic::parser::parse_rule;
+
+    #[test]
+    fn join_plan_binds_second_literal() {
+        let rule = parse_rule("q(X, Z) :- e(X, Y), e(Y, Z).").unwrap();
+        let order = order_body(&rule.body, None);
+        let plan = plan_probes(&rule.body, &order, None, &Subst::new());
+        // First literal scans, second probes on its join column.
+        assert_eq!(plan[order[0]], Vec::<usize>::new());
+        assert_eq!(plan[order[1]], vec![0]);
+    }
+
+    #[test]
+    fn pinned_literal_is_not_probed_but_binds() {
+        let rule = parse_rule("q(X, Z) :- e(X, Y), e(Y, Z).").unwrap();
+        let order = order_body(&rule.body, Some(1));
+        let plan = plan_probes(&rule.body, &order, Some(1), &Subst::new());
+        assert!(plan[1].is_empty(), "pinned literal never probes");
+        assert_eq!(plan[0], vec![1], "e(X, Y) probes on Y bound by the pin");
+    }
+
+    #[test]
+    fn constants_and_assignments_count_as_bound() {
+        let rule = parse_rule("q(X) :- Y == 3, p(7, Y, X).").unwrap();
+        let order = order_body(&rule.body, None);
+        let plan = plan_probes(&rule.body, &order, None, &Subst::new());
+        assert_eq!(plan[1], vec![0, 1], "constant col 0 + assigned col 1");
+    }
+
+    #[test]
+    fn seed_variables_are_bound() {
+        let rule = parse_rule("q(X) :- p(S, X).").unwrap();
+        let order = order_body(&rule.body, None);
+        let mut seed = Subst::new();
+        seed.bind(Symbol::intern("S"), Term::Int(4));
+        let plan = plan_probes(&rule.body, &order, None, &seed);
+        assert_eq!(plan[0], vec![0]);
+    }
+
+    #[test]
+    fn program_signatures_cover_pinned_variants() {
+        let rule = parse_rule("t(X, Y) :- t(X, Z), e(Z, Y).").unwrap();
+        let sigs = program_signatures(std::iter::once(&rule));
+        let e = sigs.get(&Symbol::intern("e")).unwrap();
+        // Unpinned: e probed on Z (col 0). Pinned on e: t probed on Z.
+        assert!(e.contains(&vec![0]));
+        let t = sigs.get(&Symbol::intern("t")).unwrap();
+        assert!(t.contains(&vec![1]), "t probed on Z when e is the delta");
+    }
+}

@@ -36,6 +36,8 @@ pub struct RederiveEngine {
     /// over-delete/rederive passes separately.
     pub profiler: Profiler,
     pub max_cascade: usize,
+    /// Probe via relation indexes; disable for the scan A/B baseline.
+    pub use_index: bool,
 }
 
 impl RederiveEngine {
@@ -50,13 +52,16 @@ impl RederiveEngine {
                 "rederivation maintenance does not support aggregates".into(),
             ));
         }
+        let mut db = Database::new();
+        crate::planner::register_program_indexes(&mut db, &analysis.program.rules);
         Ok(RederiveEngine {
             analysis,
             reg,
-            db: Database::new(),
+            db,
             body_evals: 0,
             profiler: Profiler::disabled(),
             max_cascade: 1_000_000,
+            use_index: true,
         })
     }
 
@@ -110,7 +115,8 @@ impl RederiveEngine {
                     if negated {
                         // An insert into a negated subgoal can only delete;
                         // over-delete the affected heads, then rederive.
-                        let ev = BodyEval::new(&self.db, &self.reg);
+                        let mut ev = BodyEval::new(&self.db, &self.reg);
+                        ev.use_index = self.use_index;
                         self.body_evals += 1;
                         let sols = ev.solutions(&rule.body, Subst::new(), Some((li, &tuple)))?;
                         let mut victims = Vec::new();
@@ -127,7 +133,8 @@ impl RederiveEngine {
                             }
                         }
                     } else {
-                        let ev = BodyEval::new(&self.db, &self.reg);
+                        let mut ev = BodyEval::new(&self.db, &self.reg);
+                        ev.use_index = self.use_index;
                         self.body_evals += 1;
                         let sols = ev.solutions(&rule.body, Subst::new(), Some((li, &tuple)))?;
                         let mut fresh = Vec::new();
@@ -183,7 +190,8 @@ impl RederiveEngine {
                     if !matches_occ {
                         continue;
                     }
-                    let ev = BodyEval::new(&self.db, &self.reg);
+                    let mut ev = BodyEval::new(&self.db, &self.reg);
+                    ev.use_index = self.use_index;
                     self.body_evals += 1;
                     let sols = ev.solutions(&rule.body, Subst::new(), Some((li, &tuple)))?;
                     let mut heads = Vec::new();
@@ -244,7 +252,8 @@ impl RederiveEngine {
                     if !is_neg_occ {
                         continue;
                     }
-                    let ev = BodyEval::new(&self.db, &self.reg);
+                    let mut ev = BodyEval::new(&self.db, &self.reg);
+                    ev.use_index = self.use_index;
                     self.body_evals += 1;
                     let sols = ev.solutions(&rule.body, Subst::new(), Some((li, &tuple)))?;
                     let mut fresh = Vec::new();
@@ -286,6 +295,7 @@ impl RederiveEngine {
                 reg: &self.reg,
                 filter: Some(&filter),
                 vis: None,
+                use_index: self.use_index,
             };
             self.body_evals += 1;
             let sols = ev.solutions(&rule.body, seed, None)?;

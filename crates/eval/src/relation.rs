@@ -7,7 +7,8 @@
 
 use parking_lot::RwLock;
 use sensorlog_logic::{Symbol, Term, Tuple};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-tuple metadata.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -49,28 +50,86 @@ impl TupleMeta {
 
 type Index = HashMap<Vec<Term>, Vec<Tuple>>;
 
-/// A set of ground tuples with metadata and lazy column indexes.
+/// An unregistered signature is probed by scanning this many times before
+/// it is promoted to a persistent index — a safety net for probe paths the
+/// static planner doesn't enumerate (seeded XY stages, ad-hoc queries).
+const PROMOTE_AFTER: u32 = 4;
+
+/// Index machinery behind one lock: built indexes, the registered
+/// (persistent) signatures, and scan counts driving auto-promotion.
+#[derive(Debug, Default)]
+struct IndexStore {
+    /// Built indexes: column positions → (key values → sorted tuples).
+    /// Kept consistent on insert/remove; postings stay in canonical tuple
+    /// order so probe results are independent of build/maintenance history.
+    built: HashMap<Vec<usize>, Index>,
+    /// Persistent signatures — the bound-position sets the planner probes
+    /// (`crate::planner`). Registration survives [`Relation::clone`]; the
+    /// index itself is rebuilt on first probe and maintained from then on.
+    registered: BTreeSet<Vec<usize>>,
+    /// Probe counts for unregistered signatures (promotion heuristic).
+    scan_counts: HashMap<Vec<usize>, u32>,
+}
+
+/// Probe counters for `join.index.*` telemetry. Relaxed atomics: probes
+/// take `&self`, and the counts are only read for snapshots.
+#[derive(Debug, Default)]
+pub struct IndexStats {
+    /// Probes served by a maintained index.
+    pub hits: AtomicU64,
+    /// Index builds (first probe of a registered/promoted signature).
+    pub builds: AtomicU64,
+    /// Probes served by a filtered scan (unregistered signature).
+    pub scans: AtomicU64,
+}
+
+/// Owned snapshot of [`IndexStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexStatsSnapshot {
+    pub hits: u64,
+    pub builds: u64,
+    pub scans: u64,
+}
+
+impl IndexStatsSnapshot {
+    pub fn merge(&mut self, other: IndexStatsSnapshot) {
+        self.hits += other.hits;
+        self.builds += other.builds;
+        self.scans += other.scans;
+    }
+}
+
+/// A set of ground tuples with metadata and persistent column indexes.
 ///
 /// Tuples are kept in a `BTreeMap` so iteration order is the canonical tuple
 /// order, identical across processes. This matters in the distributed
 /// runtime: iteration order here feeds join-probe solution order and hence
 /// message emission order; with a hash map the order would vary with the
 /// per-process hasher seed and replays would diverge under message loss.
+/// Index postings are kept sorted for the same reason: probe results are in
+/// canonical order no matter when the index was built.
 #[derive(Debug, Default)]
 pub struct Relation {
     tuples: BTreeMap<Tuple, TupleMeta>,
-    /// Lazily-built indexes: column positions → (key values → tuples).
-    /// Kept consistent on insert/remove. `RwLock` because index building
-    /// happens during `&self` lookups.
-    indexes: RwLock<HashMap<Vec<usize>, Index>>,
+    /// See [`IndexStore`]. `RwLock` because index building and promotion
+    /// happen during `&self` lookups.
+    indexes: RwLock<IndexStore>,
+    stats: IndexStats,
 }
 
 impl Clone for Relation {
     fn clone(&self) -> Relation {
-        // Indexes are a cache: don't copy them.
+        // Built indexes are a cache: don't copy them. Registrations are
+        // *policy* and survive the clone — the planner's signatures keep
+        // paying off after the semi-naive engine clones its working EDB.
         Relation {
             tuples: self.tuples.clone(),
-            indexes: RwLock::new(HashMap::new()),
+            indexes: RwLock::new(IndexStore {
+                built: HashMap::new(),
+                registered: self.indexes.read().registered.clone(),
+                scan_counts: HashMap::new(),
+            }),
+            stats: IndexStats::default(),
         }
     }
 }
@@ -117,9 +176,12 @@ impl Relation {
             std::collections::btree_map::Entry::Vacant(e) => {
                 e.insert(meta);
                 let mut idx = self.indexes.write();
-                for (cols, map) in idx.iter_mut() {
+                for (cols, map) in idx.built.iter_mut() {
                     let key = key_of(&t, cols);
-                    map.entry(key).or_default().push(t.clone());
+                    let v = map.entry(key).or_default();
+                    // Sorted insertion keeps postings canonical.
+                    let pos = v.partition_point(|x| x < &t);
+                    v.insert(pos, t.clone());
                 }
                 true
             }
@@ -130,7 +192,7 @@ impl Relation {
     pub fn remove(&mut self, t: &Tuple) -> bool {
         if self.tuples.remove(t).is_some() {
             let mut idx = self.indexes.write();
-            for (cols, map) in idx.iter_mut() {
+            for (cols, map) in idx.built.iter_mut() {
                 let key = key_of(t, cols);
                 if let Some(v) = map.get_mut(&key) {
                     v.retain(|x| x != t);
@@ -158,30 +220,96 @@ impl Relation {
         }
     }
 
-    /// Tuples whose argument values at `cols` equal `key`, via the lazy
-    /// index. `cols` must be sorted and non-empty.
+    /// Register `cols` as a persistent index signature: the index is built
+    /// on the first probe and maintained through insert/delete from then
+    /// on, and the registration survives [`Clone`]. `cols` must be sorted
+    /// and non-empty.
+    pub fn register_index(&mut self, cols: &[usize]) {
+        debug_assert!(!cols.is_empty() && cols.windows(2).all(|w| w[0] < w[1]));
+        self.indexes.write().registered.insert(cols.to_vec());
+    }
+
+    /// Registered index signatures, sorted.
+    pub fn registered_indexes(&self) -> Vec<Vec<usize>> {
+        self.indexes.read().registered.iter().cloned().collect()
+    }
+
+    /// Probe counters (see [`IndexStats`]).
+    pub fn index_stats(&self) -> IndexStatsSnapshot {
+        IndexStatsSnapshot {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            builds: self.stats.builds.load(Ordering::Relaxed),
+            scans: self.stats.scans.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Contents of the built index on `cols`, sorted by key — diagnostics
+    /// and the index-maintenance property test. `None` if not built.
+    pub fn index_contents(&self, cols: &[usize]) -> Option<Vec<(Vec<Term>, Vec<Tuple>)>> {
+        let idx = self.indexes.read();
+        let map = idx.built.get(cols)?;
+        let mut v: Vec<(Vec<Term>, Vec<Tuple>)> =
+            map.iter().map(|(k, ts)| (k.clone(), ts.clone())).collect();
+        v.sort();
+        Some(v)
+    }
+
+    /// Tuples whose argument values at `cols` equal `key`, in canonical
+    /// tuple order. `cols` must be sorted and non-empty.
+    ///
+    /// Probe policy: a built index answers directly; a registered (or
+    /// promoted) signature builds its index on first probe and keeps it
+    /// maintained; anything else is a filtered scan — cheap for one-shot
+    /// probes, counted toward promotion so a hot unregistered signature
+    /// stops rescanning after [`PROMOTE_AFTER`] probes.
     pub fn select(&self, cols: &[usize], key: &[Term], out: &mut Vec<Tuple>) {
         debug_assert!(!cols.is_empty());
         {
             let idx = self.indexes.read();
-            if let Some(map) = idx.get(cols) {
+            if let Some(map) = idx.built.get(cols) {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 if let Some(v) = map.get(key) {
                     out.extend(v.iter().cloned());
                 }
                 return;
             }
         }
-        // Build the index.
+        let mut idx = self.indexes.write();
+        let promote = idx.registered.contains(cols) || {
+            let c = idx.scan_counts.entry(cols.to_vec()).or_insert(0);
+            *c += 1;
+            *c >= PROMOTE_AFTER
+        };
+        if !promote {
+            drop(idx);
+            self.stats.scans.fetch_add(1, Ordering::Relaxed);
+            // BTreeMap iteration: results are already in canonical order.
+            out.extend(
+                self.tuples
+                    .keys()
+                    .filter(|t| {
+                        cols.iter().all(|&c| c < t.arity())
+                            && cols.iter().zip(key.iter()).all(|(&c, k)| t.get(c) == k)
+                    })
+                    .cloned(),
+            );
+            return;
+        }
+        // Build the index (and keep it: insert/remove maintain it).
+        self.stats.builds.fetch_add(1, Ordering::Relaxed);
         let mut map: Index = HashMap::new();
         for t in self.tuples.keys() {
             if cols.iter().all(|&c| c < t.arity()) {
+                // Sorted iteration ⇒ postings born sorted.
                 map.entry(key_of(t, cols)).or_default().push(t.clone());
             }
         }
         if let Some(v) = map.get(key) {
             out.extend(v.iter().cloned());
         }
-        self.indexes.write().insert(cols.to_vec(), map);
+        idx.scan_counts.remove(cols);
+        idx.registered.insert(cols.to_vec());
+        idx.built.insert(cols.to_vec(), map);
     }
 
     /// Drop expired tuples: `gen_ts + window ≤ now`. Returns the expired
@@ -264,6 +392,21 @@ impl Database {
         v
     }
 
+    /// Register a persistent index signature on relation `p` (see
+    /// [`Relation::register_index`]).
+    pub fn register_index(&mut self, p: Symbol, cols: &[usize]) {
+        self.relation_mut(p).register_index(cols);
+    }
+
+    /// Probe counters summed across all relations.
+    pub fn index_stats(&self) -> IndexStatsSnapshot {
+        let mut s = IndexStatsSnapshot::default();
+        for r in self.rels.values() {
+            s.merge(r.index_stats());
+        }
+        s
+    }
+
     /// Load facts from a text block of `pred(args).` facts (multiple per
     /// line fine; blank lines and `%` comments allowed).
     pub fn load_facts(&mut self, src: &str) -> Result<usize, sensorlog_logic::ParseError> {
@@ -322,6 +465,7 @@ mod tests {
     #[test]
     fn index_select_and_consistency() {
         let mut r = Relation::new();
+        r.register_index(&[0]);
         for i in 0..10 {
             r.insert(tup(vec![i % 3, i]), TupleMeta::default());
         }
@@ -392,6 +536,47 @@ mod tests {
         assert!(db.contains(sym("e"), &tup(vec![1, 2])));
         let sorted = db.sorted(sym("e"));
         assert!(sorted[0] < sorted[1]);
+    }
+
+    #[test]
+    fn unregistered_signature_promotes_after_repeated_scans() {
+        let mut r = Relation::new();
+        for i in 0..5 {
+            r.insert(tup(vec![i, i * 10]), TupleMeta::default());
+        }
+        let mut out = Vec::new();
+        for _ in 0..PROMOTE_AFTER {
+            out.clear();
+            r.select(&[1], &[Term::Int(20)], &mut out);
+        }
+        let s = r.index_stats();
+        assert_eq!(s.scans, (PROMOTE_AFTER - 1) as u64);
+        assert_eq!(s.builds, 1, "the PROMOTE_AFTER-th probe builds the index");
+        out.clear();
+        r.select(&[1], &[Term::Int(20)], &mut out);
+        assert_eq!(r.index_stats().hits, 1);
+        assert_eq!(out, vec![tup(vec![2, 20])]);
+    }
+
+    #[test]
+    fn registration_survives_clone_and_rebuilds_on_probe() {
+        let mut r = Relation::new();
+        r.register_index(&[0]);
+        r.insert(tup(vec![1, 2]), TupleMeta::default());
+        let mut out = Vec::new();
+        r.select(&[0], &[Term::Int(1)], &mut out);
+        assert_eq!(r.index_stats().builds, 1);
+        let c = r.clone();
+        assert_eq!(c.registered_indexes(), vec![vec![0]]);
+        assert_eq!(c.index_stats().builds, 0, "stats reset on clone");
+        out.clear();
+        c.select(&[0], &[Term::Int(1)], &mut out);
+        assert_eq!(
+            c.index_stats().builds,
+            1,
+            "first probe after clone rebuilds"
+        );
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

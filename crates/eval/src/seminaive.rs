@@ -39,6 +39,10 @@ pub struct EvalConfig {
     pub max_stages: usize,
     /// Max total derived tuples.
     pub max_tuples: usize,
+    /// Probe positive literals through the planner-registered relation
+    /// indexes. `false` forces filtered scans — the A/B baseline the
+    /// scheduler bench compares against.
+    pub use_index: bool,
 }
 
 impl Default for EvalConfig {
@@ -47,6 +51,7 @@ impl Default for EvalConfig {
             max_iterations: 100_000,
             max_stages: 100_000,
             max_tuples: 10_000_000,
+            use_index: true,
         }
     }
 }
@@ -92,6 +97,9 @@ impl Engine {
     /// (EDB + all derived relations).
     pub fn run(&self, edb: &Database) -> Result<Database, EvalError> {
         let mut db = edb.clone();
+        if self.config.use_index {
+            crate::planner::register_program_indexes(&mut db, &self.analysis.program.rules);
+        }
         let prog = &self.analysis.program;
         let idb = prog.idb_preds();
         for scc in &self.sccs {
@@ -137,7 +145,8 @@ impl Engine {
         // non-recursive means no rule references the head).
         let mut pending: Vec<(Symbol, Tuple)> = Vec::new();
         for rule in rules {
-            let ev = BodyEval::new(db, &self.reg);
+            let mut ev = BodyEval::new(db, &self.reg);
+            ev.use_index = self.config.use_index;
             let sols = ev.solutions(&rule.body, Subst::new(), None)?;
             if rule.agg.is_some() {
                 for t in aggregate_rule(rule, &sols, &self.reg)? {
@@ -171,7 +180,8 @@ impl Engine {
         let mut delta: HashMap<Symbol, Vec<Tuple>> = HashMap::new();
         let mut round0: Vec<(Symbol, Tuple)> = Vec::new();
         for rule in rules {
-            let ev = BodyEval::new(db, &self.reg);
+            let mut ev = BodyEval::new(db, &self.reg);
+            ev.use_index = self.config.use_index;
             let sols = ev.solutions(&rule.body, Subst::new(), None)?;
             debug_assert!(rule.agg.is_none(), "aggregates cannot be recursive");
             for sol in &sols {
@@ -208,7 +218,8 @@ impl Engine {
                     let empty = Vec::new();
                     let dts = delta.get(&atom.pred).unwrap_or(&empty);
                     for dt in dts {
-                        let ev = BodyEval::new(db, &self.reg);
+                        let mut ev = BodyEval::new(db, &self.reg);
+                        ev.use_index = self.config.use_index;
                         let sols = ev.solutions(&rule.body, Subst::new(), Some((idx, dt)))?;
                         for sol in &sols {
                             produced.push((
@@ -247,7 +258,8 @@ impl Engine {
             )
         });
         for rule in &import {
-            let ev = BodyEval::new(db, &self.reg);
+            let mut ev = BodyEval::new(db, &self.reg);
+            ev.use_index = self.config.use_index;
             let sols = ev.solutions(&rule.body, Subst::new(), None)?;
             for sol in &sols {
                 let t = instantiate_head(rule, &sol.subst, &self.reg)?;
@@ -293,7 +305,8 @@ impl Engine {
                             seed.bind(v, Term::Int(stage - off));
                         }
                     }
-                    let ev = BodyEval::new(db, &self.reg);
+                    let mut ev = BodyEval::new(db, &self.reg);
+                    ev.use_index = self.config.use_index;
                     let sols = ev.solutions(&rule.body, seed, None)?;
                     let mut new_tuples = Vec::new();
                     for sol in &sols {

@@ -20,11 +20,13 @@ pub mod metrics;
 pub mod sim;
 pub mod topology;
 pub mod trace;
+pub mod wheel;
 
 pub use metrics::{EnergyModel, Metrics, NodeCounters};
-pub use sim::{App, Ctx, MsgMeta, SimConfig, SimTime, Simulator};
+pub use sim::{App, Ctx, MsgMeta, Sched, SchedStats, SimConfig, SimTime, Simulator};
 pub use topology::{NodeId, Topology, TopologyKind};
 pub use trace::{
     DropReason, Journal, ReplayChecker, SharedJournal, SharedSummary, TraceEvent, TraceRecord,
     TraceSink, TraceSummary,
 };
+pub use wheel::TimerWheel;

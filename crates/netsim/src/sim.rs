@@ -9,6 +9,7 @@
 use crate::metrics::Metrics;
 use crate::topology::{NodeId, Topology};
 use crate::trace::{DropReason, TraceEvent, TraceRecord, TraceSink};
+use crate::wheel::TimerWheel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sensorlog_telemetry::{Scope, Telemetry, BYTES_BUCKETS, SIM_MS_BUCKETS};
@@ -43,6 +44,20 @@ pub trait App: Sized {
     fn on_timer(&mut self, _ctx: &mut Ctx<Self::Msg>, _tag: u64) {}
 }
 
+/// Event-queue backend. Both pop in exactly `(at, seq)` order, so for a
+/// fixed seed a run is byte-identical under either — the choice is purely
+/// about throughput (see DESIGN.md "Scheduler" and `tests/trace_stability.rs`
+/// which pins both backends to one golden hash).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sched {
+    /// Two-tier calendar queue ([`crate::wheel::TimerWheel`]): O(1)
+    /// amortised push/pop keyed on the bounded per-hop delay model.
+    Wheel,
+    /// The original `BinaryHeap<Reverse<Queued>>`: O(log n) per operation.
+    /// Kept as the reference implementation and for A/B benchmarks.
+    Heap,
+}
+
 /// Simulation parameters.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -61,6 +76,8 @@ pub struct SimConfig {
     pub clock_skew_max: SimTime,
     /// RNG seed; fixed seed ⇒ fully deterministic run.
     pub seed: u64,
+    /// Event-queue backend; observationally pure, defaults to the wheel.
+    pub sched: Sched,
 }
 
 impl Default for SimConfig {
@@ -72,14 +89,26 @@ impl Default for SimConfig {
             retries: 0,
             clock_skew_max: 0,
             seed: 0xC0FFEE,
+            sched: Sched::Wheel,
         }
     }
 }
 
 enum Event<M> {
     Start(NodeId),
-    Deliver { to: NodeId, from: NodeId, msg: M },
-    Timer { node: NodeId, tag: u64 },
+    /// One queue operation carrying every message that was sent to `to`
+    /// with the same sampled arrival time by *adjacent* sends (see
+    /// [`Simulator::apply_outputs`] — only adjacency keeps the (at, seq)
+    /// tie-break order intact). Delivered in push order, which is seq order.
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msgs: Vec<M>,
+    },
+    Timer {
+        node: NodeId,
+        tag: u64,
+    },
 }
 
 struct Queued<M> {
@@ -102,6 +131,75 @@ impl<M> PartialOrd for Queued<M> {
 impl<M> Ord for Queued<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Scheduler operation counters, exported as `sched.*` telemetry gauges by
+/// the deployment layer. Plain fields on the hot path; zero-cost to skip.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchedStats {
+    /// Queue operations (pushes) actually performed.
+    pub pushes: u64,
+    /// Messages that rode an existing queue operation (same link, same
+    /// arrival tick as the immediately preceding send).
+    pub batched_msgs: u64,
+    /// Wheel only: events entering the ring / spill tiers.
+    pub ring_pushes: u64,
+    pub spill_pushes: u64,
+    /// Wheel only: spill-bucket migrations and window rebases.
+    pub migrations: u64,
+    pub window_advances: u64,
+}
+
+/// The pluggable event queue. Both variants pop strictly in `(at, seq)`
+/// order; see [`Sched`].
+enum EventQueue<M> {
+    Heap(BinaryHeap<Reverse<Queued<M>>>),
+    // Boxed: the wheel's inline occupancy bitmap dwarfs the heap variant.
+    Wheel(Box<TimerWheel<Event<M>>>),
+}
+
+impl<M> EventQueue<M> {
+    fn new(sched: Sched) -> EventQueue<M> {
+        match sched {
+            Sched::Heap => EventQueue::Heap(BinaryHeap::new()),
+            Sched::Wheel => EventQueue::Wheel(Box::default()),
+        }
+    }
+
+    fn push(&mut self, at: SimTime, seq: u64, event: Event<M>) {
+        match self {
+            EventQueue::Heap(h) => h.push(Reverse(Queued { at, seq, event })),
+            EventQueue::Wheel(w) => w.push(at, seq, event),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, Event<M>)> {
+        match self {
+            EventQueue::Heap(h) => h.pop().map(|Reverse(q)| (q.at, q.event)),
+            EventQueue::Wheel(w) => w.pop().map(|(at, _seq, ev)| (at, ev)),
+        }
+    }
+
+    /// Timestamp of the next event. `&mut` because the wheel may rebase its
+    /// window while locating it (a pure-lookahead operation: nothing is
+    /// removed or reordered).
+    fn next_at(&mut self) -> Option<SimTime> {
+        match self {
+            EventQueue::Heap(h) => h.peek().map(|Reverse(q)| q.at),
+            EventQueue::Wheel(w) => w.next_at(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            EventQueue::Heap(h) => h.len(),
+            EventQueue::Wheel(w) => w.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -167,9 +265,10 @@ impl<'a, M> Ctx<'a, M> {
 pub struct Simulator<A: App> {
     topo: Topology,
     apps: Vec<A>,
-    queue: BinaryHeap<Reverse<Queued<A::Msg>>>,
+    queue: EventQueue<A::Msg>,
     now: SimTime,
     seq: u64,
+    batched_msgs: u64,
     skew: Vec<SimTime>,
     /// Crashed nodes: deliver nothing, fire no timers, send nothing.
     failed: Vec<bool>,
@@ -210,12 +309,14 @@ impl<A: App> Simulator<A> {
         let apps: Vec<A> = topo.nodes().map(|id| make_app(id, &topo)).collect();
         let metrics = Metrics::new(topo.len());
         let failed = vec![false; apps.len()];
+        let queue = EventQueue::new(config.sched);
         let mut sim = Simulator {
             topo,
             apps,
-            queue: BinaryHeap::new(),
+            queue,
             now: 0,
             seq: 0,
+            batched_msgs: 0,
             skew,
             failed,
             rng,
@@ -234,11 +335,7 @@ impl<A: App> Simulator<A> {
     }
 
     fn push(&mut self, at: SimTime, event: Event<A::Msg>) {
-        self.queue.push(Reverse(Queued {
-            at,
-            seq: self.seq,
-            event,
-        }));
+        self.queue.push(at, self.seq, event);
         self.seq += 1;
         self.max_queue_depth = self.max_queue_depth.max(self.queue.len());
     }
@@ -283,6 +380,22 @@ impl<A: App> Simulator<A> {
     /// High-water mark of the pending event queue over the whole run.
     pub fn max_queue_depth(&self) -> usize {
         self.max_queue_depth
+    }
+
+    /// Scheduler operation counters for this run (`sched.*` telemetry).
+    pub fn sched_stats(&self) -> SchedStats {
+        let mut s = SchedStats {
+            pushes: self.seq,
+            batched_msgs: self.batched_msgs,
+            ..SchedStats::default()
+        };
+        if let EventQueue::Wheel(w) = &self.queue {
+            s.ring_pushes = w.stats.ring_pushes;
+            s.spill_pushes = w.stats.spill_pushes;
+            s.migrations = w.stats.migrations;
+            s.window_advances = w.stats.window_advances;
+        }
+        s
     }
 
     pub fn now(&self) -> SimTime {
@@ -351,6 +464,14 @@ impl<A: App> Simulator<A> {
         timers: Vec<(SimTime, u64)>,
     ) {
         let _route_span = self.telemetry.span("sim.route");
+        // Adjacent sends to the same neighbor that sample the same arrival
+        // tick ride one queue operation. Only *adjacent* merging is sound:
+        // the batch takes the seq of its first message, so merging across an
+        // intervening push would move a message ahead of an event it is
+        // supposed to tie-break behind. (Dropped sends never push, so a loss
+        // between two mergeable sends does not break adjacency — exactly as
+        // in the unbatched baseline.)
+        let mut pending: Option<(NodeId, SimTime, Vec<A::Msg>)> = None;
         for (to, msg) in sends {
             let bytes = msg.size_bytes();
             let kind = msg.kind();
@@ -404,9 +525,35 @@ impl<A: App> Simulator<A> {
                 SIM_MS_BUCKETS,
                 delay + extra_delay,
             );
+            let at = self.now + delay + extra_delay;
+            match &mut pending {
+                Some((pto, pat, msgs)) if *pto == to && *pat == at => {
+                    msgs.push(msg);
+                    self.batched_msgs += 1;
+                }
+                _ => {
+                    if let Some((pto, pat, msgs)) = pending.take() {
+                        self.push(
+                            pat,
+                            Event::Deliver {
+                                to: pto,
+                                from,
+                                msgs,
+                            },
+                        );
+                    }
+                    pending = Some((to, at, vec![msg]));
+                }
+            }
+        }
+        if let Some((pto, pat, msgs)) = pending.take() {
             self.push(
-                self.now + delay + extra_delay,
-                Event::Deliver { to, from, msg },
+                pat,
+                Event::Deliver {
+                    to: pto,
+                    from,
+                    msgs,
+                },
             );
         }
         for (delay, tag) in timers {
@@ -414,44 +561,53 @@ impl<A: App> Simulator<A> {
         }
     }
 
-    /// Process one event; false when the queue is empty.
+    /// Process one queue event; false when the queue is empty. A batched
+    /// delivery counts one logical event per message it carries, so
+    /// `events_processed` is identical to the unbatched baseline.
     pub fn step(&mut self) -> bool {
-        let Reverse(q) = match self.queue.pop() {
-            Some(q) => q,
+        let (at, event) = match self.queue.pop() {
+            Some(e) => e,
             None => return false,
         };
-        debug_assert!(q.at >= self.now, "time went backwards");
-        self.now = q.at;
-        self.events_processed += 1;
-        match q.event {
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        match event {
             Event::Start(node) => {
+                self.events_processed += 1;
                 if !self.failed[node.index()] {
                     self.emit(|| TraceEvent::Start { node });
                 }
                 self.invoke(node, |app, ctx| app.on_start(ctx));
             }
-            Event::Deliver { to, from, msg } => {
-                if self.failed[to.index()] {
-                    self.metrics.record_loss(msg.kind());
-                    self.emit(|| TraceEvent::Drop {
-                        from,
-                        to,
-                        kind: msg.kind(),
-                        reason: DropReason::DeadNode,
-                    });
-                } else {
-                    let _span = self.telemetry.span("sim.deliver");
-                    self.metrics.record_rx(to, msg.size_bytes(), msg.kind());
-                    self.emit(|| TraceEvent::Deliver {
-                        from,
-                        to,
-                        kind: msg.kind(),
-                        bytes: msg.size_bytes(),
-                    });
-                    self.invoke(to, |app, ctx| app.on_message(ctx, from, msg));
+            Event::Deliver { to, from, msgs } => {
+                // Messages in a batch are delivered in push (= seq) order;
+                // each gets its own journal record, metrics, and app
+                // callback, exactly as if it had been queued alone.
+                for msg in msgs {
+                    self.events_processed += 1;
+                    if self.failed[to.index()] {
+                        self.metrics.record_loss(msg.kind());
+                        self.emit(|| TraceEvent::Drop {
+                            from,
+                            to,
+                            kind: msg.kind(),
+                            reason: DropReason::DeadNode,
+                        });
+                    } else {
+                        let _span = self.telemetry.span("sim.deliver");
+                        self.metrics.record_rx(to, msg.size_bytes(), msg.kind());
+                        self.emit(|| TraceEvent::Deliver {
+                            from,
+                            to,
+                            kind: msg.kind(),
+                            bytes: msg.size_bytes(),
+                        });
+                        self.invoke(to, |app, ctx| app.on_message(ctx, from, msg));
+                    }
                 }
             }
             Event::Timer { node, tag } => {
+                self.events_processed += 1;
                 let _span = self.telemetry.span("sim.timer");
                 if !self.failed[node.index()] {
                     self.emit(|| TraceEvent::Timer { node, tag });
@@ -462,26 +618,28 @@ impl<A: App> Simulator<A> {
         true
     }
 
-    /// Run until the queue drains or simulated time exceeds `limit`.
-    /// Returns the final simulated time.
-    pub fn run_to_quiescence(&mut self, limit: SimTime) -> SimTime {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > limit {
+    /// Step through every event scheduled at or before `limit`. The single
+    /// head-draining loop shared by [`Self::run_to_quiescence`] and
+    /// [`Self::run_until`]; a no-op on an empty queue.
+    fn drain_ready(&mut self, limit: SimTime) {
+        while let Some(at) = self.queue.next_at() {
+            if at > limit {
                 break;
             }
             self.step();
         }
+    }
+
+    /// Run until the queue drains or simulated time exceeds `limit`.
+    /// Returns the final simulated time.
+    pub fn run_to_quiescence(&mut self, limit: SimTime) -> SimTime {
+        self.drain_ready(limit);
         self.now
     }
 
     /// Run while events are scheduled at or before `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > t {
-                break;
-            }
-            self.step();
-        }
+        self.drain_ready(t);
         self.now = self.now.max(t);
     }
 
@@ -785,6 +943,129 @@ mod tests {
         );
         // Queue high-water mark is tracked for run summaries.
         assert!(sim.max_queue_depth() > 0);
+    }
+
+    #[test]
+    fn heap_and_wheel_journals_byte_identical() {
+        // The tentpole contract: scheduler backend is observationally pure.
+        // Same seed, lossy + ARQ config → identical journals either way.
+        let wheel = journaled_flood(SimConfig {
+            sched: Sched::Wheel,
+            ..lossy_cfg()
+        });
+        let heap = journaled_flood(SimConfig {
+            sched: Sched::Heap,
+            ..lossy_cfg()
+        });
+        assert_eq!(
+            wheel.first_divergence(&heap),
+            None,
+            "backends diverged: {:?} vs {:?}",
+            wheel.first_divergence(&heap).map(|i| &wheel.records[i]),
+            wheel
+                .first_divergence(&heap)
+                .and_then(|i| heap.records.get(i)),
+        );
+        assert_eq!(wheel.to_text(), heap.to_text());
+        assert_eq!(wheel.content_hash(), heap.content_hash());
+        assert!(!wheel.records.is_empty());
+    }
+
+    #[test]
+    fn heap_and_wheel_agree_on_outcomes() {
+        for sched in [Sched::Wheel, Sched::Heap] {
+            let mut sim = flood_sim(SimConfig {
+                sched,
+                clock_skew_max: 20,
+                loss_prob: 0.2,
+                retries: 2,
+                seed: 23,
+                ..SimConfig::default()
+            });
+            sim.run_to_quiescence(100_000);
+            assert!(sim.nodes().all(|n| n.seen), "{sched:?} flood incomplete");
+        }
+        let mut a = flood_sim(SimConfig {
+            sched: Sched::Wheel,
+            ..lossy_cfg()
+        });
+        let mut b = flood_sim(SimConfig {
+            sched: Sched::Heap,
+            ..lossy_cfg()
+        });
+        a.run_to_quiescence(100_000);
+        b.run_to_quiescence(100_000);
+        assert_eq!(a.metrics.total_tx(), b.metrics.total_tx());
+        assert_eq!(a.events_processed(), b.events_processed());
+        assert_eq!(a.max_queue_depth(), b.max_queue_depth());
+        let ta: Vec<_> = a.nodes().map(|n| n.received_at).collect();
+        let tb: Vec<_> = b.nodes().map(|n| n.received_at).collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn drain_ready_empty_queue_is_noop() {
+        let mut sim = flood_sim(SimConfig::default());
+        sim.run_to_quiescence(100_000);
+        assert!(sim.is_quiescent());
+        let now = sim.now();
+        let processed = sim.events_processed();
+        // Draining an empty queue must not advance time or process events.
+        sim.drain_ready(now + 50_000);
+        assert_eq!(sim.now(), now);
+        assert_eq!(sim.events_processed(), processed);
+        assert!(!sim.step());
+        // run_until on an empty queue still advances the wall clock.
+        sim.run_until(now + 10);
+        assert_eq!(sim.now(), now + 10);
+    }
+
+    #[test]
+    fn zero_jitter_broadcast_batches_per_link() {
+        // With a deterministic hop delay every broadcast send to a given
+        // neighbor shares its arrival tick with... no other send (different
+        // neighbors differ in `to`), so batching only triggers when the app
+        // sends twice to one neighbor in one callback.
+        struct DoubleSend {
+            id: NodeId,
+            heard: u32,
+        }
+        #[derive(Clone)]
+        struct Two;
+        impl MsgMeta for Two {
+            fn size_bytes(&self) -> usize {
+                4
+            }
+        }
+        impl App for DoubleSend {
+            type Msg = Two;
+            fn on_start(&mut self, ctx: &mut Ctx<Two>) {
+                if self.id == NodeId(0) {
+                    let peers: Vec<NodeId> = ctx.neighbors().to_vec();
+                    for p in peers {
+                        ctx.send(p, Two);
+                        ctx.send(p, Two); // same link, same tick → batched
+                    }
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<Two>, _: NodeId, _: Two) {
+                self.heard += 1;
+            }
+        }
+        let cfg = SimConfig {
+            hop_delay: (10, 10), // zero jitter: both sends arrive together
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(Topology::grid(2, 1), cfg, |id, _| DoubleSend {
+            id,
+            heard: 0,
+        });
+        sim.run_to_quiescence(1_000);
+        assert_eq!(sim.node(NodeId(1)).heard, 2);
+        let stats = sim.sched_stats();
+        assert_eq!(stats.batched_msgs, 1, "second send rides the first");
+        // Logical event count is per message, not per queue op.
+        assert_eq!(sim.events_processed(), 2 + 2);
     }
 
     #[test]

@@ -1,0 +1,361 @@
+//! Deterministic hierarchical timer wheel (calendar queue) for the event
+//! scheduler.
+//!
+//! Two tiers:
+//!
+//! * a **ring** of `WHEEL_SLOTS` one-millisecond slots covering the window
+//!   `[base, base + WHEEL_SLOTS)`, with a 64-bit-word occupancy bitmap so
+//!   empty stretches are skipped in O(slots/64);
+//! * a **spill** tier (`BTreeMap<time, Vec<…>>`) for events beyond the
+//!   window — long retention/holddown timers land here and migrate into the
+//!   ring when the window advances.
+//!
+//! Determinism argument (the tie-break contract shared with the
+//! `BinaryHeap` baseline): global pop order must be exactly `(at, seq)`.
+//! Each ring slot holds events of a *single* exact timestamp, appended in
+//! push order — and `seq` is assigned by a monotone counter at push time,
+//! so within a slot FIFO order *is* seq order. Across slots the cursor
+//! visits timestamps in increasing order, and every spill timestamp is
+//! `>= base + WHEEL_SLOTS`, i.e. strictly after everything in the ring.
+//! Spill vectors are themselves per-exact-timestamp and FIFO, and a spill
+//! bucket is migrated wholesale into an *empty* ring slot before any newer
+//! push can target it, so no sorting is ever needed anywhere. Hence the pop
+//! sequence is byte-identical to the heap's `(at, seq)` order.
+//!
+//! The simulator only ever pushes events at `at >= now`, which keeps the
+//! cursor monotone; `push` debug-asserts it.
+
+use crate::sim::SimTime;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Ring size in slots (1 ms each). Power of two so the slot index is a
+/// mask. 4096 ms comfortably covers the bounded per-hop delay model
+/// (default 5–30 ms plus ARQ backoff) and most protocol timers; longer
+/// timers (windowed-replica retention) take the spill path.
+pub const WHEEL_SLOTS: usize = 4096;
+const SLOT_MASK: u64 = (WHEEL_SLOTS as u64) - 1;
+const WORDS: usize = WHEEL_SLOTS / 64;
+
+/// Operation counters for `sched.*` telemetry. Plain fields — the wheel is
+/// single-threaded and the counters are flushed into a snapshot after the
+/// run, never read on the hot path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WheelStats {
+    /// Events that entered the ring directly.
+    pub ring_pushes: u64,
+    /// Events that entered the spill tier.
+    pub spill_pushes: u64,
+    /// Spill buckets migrated into the ring on window advance.
+    pub migrations: u64,
+    /// Window advances (ring rebased onto a later interval).
+    pub window_advances: u64,
+}
+
+/// A deterministic two-tier calendar queue over `(at, seq, item)` entries.
+pub struct TimerWheel<T> {
+    /// Ring slot `i` holds events with `at & SLOT_MASK == i` inside the
+    /// current window, each in seq (push/migration) order.
+    slots: Vec<VecDeque<(SimTime, u64, T)>>,
+    /// Occupancy bitmap over `slots`.
+    bitmap: [u64; WORDS],
+    /// Start of the window the ring currently covers (multiple of
+    /// `WHEEL_SLOTS`). Invariant: `base <= cursor` whenever control is
+    /// outside [`TimerWheel::pop`], so every future push (`at >= cursor`)
+    /// lands at or after the window start — the window never jumps ahead
+    /// of times that external code can still schedule.
+    base: SimTime,
+    /// Timestamp of the last popped event; pushes must not precede it.
+    cursor: SimTime,
+    /// Lower bound on the earliest pending timestamp: scans start here
+    /// instead of rescanning from `cursor` every peek. Raised to the found
+    /// timestamp by a scan (it *is* the minimum), lowered by any push below
+    /// it — so it never skips a schedulable slot.
+    hint: SimTime,
+    /// Far-future events: exact timestamp → FIFO bucket.
+    spill: BTreeMap<SimTime, Vec<(SimTime, u64, T)>>,
+    ring_len: usize,
+    spill_len: usize,
+    pub stats: WheelStats,
+}
+
+impl<T> TimerWheel<T> {
+    pub fn new() -> TimerWheel<T> {
+        let mut slots = Vec::with_capacity(WHEEL_SLOTS);
+        slots.resize_with(WHEEL_SLOTS, VecDeque::new);
+        TimerWheel {
+            slots,
+            bitmap: [0; WORDS],
+            base: 0,
+            cursor: 0,
+            hint: 0,
+            spill: BTreeMap::new(),
+            ring_len: 0,
+            spill_len: 0,
+            stats: WheelStats::default(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring_len + self.spill_len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn slot_of(at: SimTime) -> usize {
+        (at & SLOT_MASK) as usize
+    }
+
+    #[inline]
+    fn mark(&mut self, slot: usize) {
+        self.bitmap[slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    #[inline]
+    fn unmark(&mut self, slot: usize) {
+        self.bitmap[slot / 64] &= !(1u64 << (slot % 64));
+    }
+
+    /// Insert an event. `seq` must be strictly greater than every previously
+    /// pushed seq (the simulator's global counter guarantees this), and `at`
+    /// must not precede the last popped timestamp.
+    pub fn push(&mut self, at: SimTime, seq: u64, item: T) {
+        debug_assert!(at >= self.cursor, "event scheduled in the past");
+        self.hint = self.hint.min(at);
+        if at < self.base + WHEEL_SLOTS as SimTime {
+            let slot = Self::slot_of(at);
+            debug_assert!(
+                self.slots[slot]
+                    .back()
+                    .is_none_or(|(a, s, _)| { *a == at && *s < seq }),
+                "slot holds a foreign timestamp"
+            );
+            self.slots[slot].push_back((at, seq, item));
+            self.mark(slot);
+            self.ring_len += 1;
+            self.stats.ring_pushes += 1;
+        } else {
+            self.spill.entry(at).or_default().push((at, seq, item));
+            self.spill_len += 1;
+            self.stats.spill_pushes += 1;
+        }
+    }
+
+    /// Timestamp of the earliest pending event. Pure lookahead: never
+    /// rebases the window or migrates anything, so a peek can never strand
+    /// a timestamp that external code may still push to (the simulator
+    /// peeks, breaks at a horizon, then injects workload *earlier* than the
+    /// head — that push must stay legal). `&mut` only to raise the scan
+    /// hint.
+    pub fn next_at(&mut self) -> Option<SimTime> {
+        if self.ring_len > 0 {
+            let at = self.scan_ring().expect("ring_len > 0 ⇒ occupied slot");
+            return Some(at);
+        }
+        // Ring empty: every pending event is in spill, and spill keys all
+        // exceed base + WHEEL_SLOTS, so the earliest key is the answer.
+        self.spill.keys().next().copied()
+    }
+
+    /// Remove and return the earliest event as `(at, seq, item)`. This is
+    /// the only place the window rebases: the popped event immediately
+    /// becomes the new cursor, so the rebase can never outrun a future
+    /// push.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        if self.ring_len == 0 {
+            if self.spill_len == 0 {
+                return None;
+            }
+            let &first = self.spill.keys().next().expect("spill_len > 0");
+            self.advance_window_to(first);
+        }
+        let at = self.scan_ring().expect("ring is non-empty");
+        let slot = Self::slot_of(at);
+        let entry = self.slots[slot].pop_front().expect("scan found entry");
+        self.ring_len -= 1;
+        if self.slots[slot].is_empty() {
+            self.unmark(slot);
+        }
+        self.cursor = at;
+        self.hint = at;
+        debug_assert_eq!(entry.0, at);
+        Some(entry)
+    }
+
+    /// Find the earliest occupied slot at or after the hint within the
+    /// current window; raises the hint to it.
+    fn scan_ring(&mut self) -> Option<SimTime> {
+        let from = self.hint.max(self.base);
+        let end = self.base + WHEEL_SLOTS as SimTime;
+        if from >= end {
+            return None;
+        }
+        let mut idx = Self::slot_of(from);
+        // The window start is a multiple of WHEEL_SLOTS, so slot indexes
+        // increase monotonically from `from` to the window end: no wrap.
+        let mut word_i = idx / 64;
+        let mut word = self.bitmap[word_i] & (!0u64 << (idx % 64));
+        loop {
+            if word != 0 {
+                idx = word_i * 64 + word.trailing_zeros() as usize;
+                let at = self.base + idx as SimTime;
+                debug_assert!(at >= from);
+                self.hint = at;
+                return Some(at);
+            }
+            word_i += 1;
+            if word_i >= WORDS {
+                return None;
+            }
+            word = self.bitmap[word_i];
+        }
+    }
+
+    /// Rebase the window so it contains `target`, migrating any spill
+    /// buckets that now fall inside it. Only legal when the ring is empty.
+    fn advance_window_to(&mut self, target: SimTime) {
+        debug_assert_eq!(self.ring_len, 0, "rebase with events still ringed");
+        let new_base = target - (target & SLOT_MASK);
+        debug_assert!(new_base >= self.base);
+        self.base = new_base;
+        self.stats.window_advances += 1;
+        let end = new_base + WHEEL_SLOTS as SimTime;
+        // Migrate every spill bucket inside the new window. Buckets hold a
+        // single exact timestamp in FIFO seq order; the target slots are
+        // empty (ring was empty), so order is preserved wholesale.
+        let keys: Vec<SimTime> = self.spill.range(..end).map(|(&k, _)| k).collect();
+        for k in keys {
+            debug_assert!(k >= new_base, "spill bucket stranded behind window");
+            let bucket = self.spill.remove(&k).expect("listed key");
+            let slot = Self::slot_of(k);
+            self.spill_len -= bucket.len();
+            self.ring_len += bucket.len();
+            self.stats.migrations += 1;
+            let dst = &mut self.slots[slot];
+            debug_assert!(dst.is_empty());
+            dst.extend(bucket);
+            self.mark(slot);
+        }
+    }
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn empty_wheel() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        assert!(w.is_empty());
+        assert_eq!(w.next_at(), None);
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn fifo_within_slot() {
+        let mut w = TimerWheel::new();
+        w.push(10, 0, "a");
+        w.push(10, 1, "b");
+        w.push(5, 2, "c");
+        assert_eq!(w.pop(), Some((5, 2, "c")));
+        assert_eq!(w.pop(), Some((10, 0, "a")));
+        assert_eq!(w.pop(), Some((10, 1, "b")));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn spill_and_migrate() {
+        let mut w = TimerWheel::new();
+        w.push(3, 0, "near");
+        let far = WHEEL_SLOTS as u64 * 3 + 17;
+        w.push(far, 1, "far1");
+        w.push(far, 2, "far2");
+        w.push(far + 1, 3, "far3");
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.pop(), Some((3, 0, "near")));
+        assert_eq!(w.pop(), Some((far, 1, "far1")));
+        assert_eq!(w.pop(), Some((far, 2, "far2")));
+        assert_eq!(w.pop(), Some((far + 1, 3, "far3")));
+        assert!(w.stats.spill_pushes >= 3);
+        assert!(w.stats.window_advances >= 1);
+    }
+
+    #[test]
+    fn push_into_current_tick_while_draining() {
+        // A zero-delay timer set from inside an event handler lands in the
+        // slot currently being drained; its (larger) seq keeps FIFO = seq.
+        let mut w = TimerWheel::new();
+        w.push(7, 0, "first");
+        w.push(7, 1, "second");
+        assert_eq!(w.pop(), Some((7, 0, "first")));
+        w.push(7, 2, "third");
+        assert_eq!(w.pop(), Some((7, 1, "second")));
+        assert_eq!(w.pop(), Some((7, 2, "third")));
+    }
+
+    #[test]
+    fn far_push_to_empty_wheel_spills_then_pops() {
+        let mut w = TimerWheel::new();
+        w.push(2, 0, 'x');
+        assert_eq!(w.pop(), Some((2, 0, 'x')));
+        // The window must NOT rebase on push or peek: external code may
+        // still schedule between the cursor and the far event.
+        let far = WHEEL_SLOTS as u64 * 10;
+        w.push(far, 1, 'y');
+        assert_eq!(w.next_at(), Some(far));
+        w.push(10, 2, 'z'); // earlier than the peeked head — still legal
+        assert_eq!(w.pop(), Some((10, 2, 'z')));
+        assert_eq!(w.pop(), Some((far, 1, 'y')));
+        assert_eq!(w.pop(), None);
+    }
+
+    /// The load-bearing property: pop order is byte-identical to a binary
+    /// heap ordered on (at, seq), under a hold-model workload mixing short
+    /// hop delays, long timers, and same-tick ties.
+    #[test]
+    fn matches_heap_order_randomized() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_CA1E);
+        let mut wheel = TimerWheel::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for i in 0..200u32 {
+            let at = rng.gen_range(0..50);
+            wheel.push(at, seq, i);
+            heap.push(Reverse((at, seq, i)));
+            seq += 1;
+        }
+        let mut popped = 0usize;
+        while let Some(Reverse((hat, hseq, hitem))) = heap.pop() {
+            let got = wheel.pop().expect("wheel has the same events");
+            assert_eq!(got, (hat, hseq, hitem), "divergence at pop {popped}");
+            popped += 1;
+            // Hold model: re-push with mixed short/long delays until a cap.
+            if seq < 5_000 {
+                let delay = match seq % 7 {
+                    0 => 0,                       // same-tick
+                    1..=4 => seq % 29,            // short hop delays
+                    5 => 4_000 + (seq % 1_000),   // window-edge timers
+                    _ => 10_000 + (seq % 20_000), // spill-tier retention
+                };
+                let at = hat + delay;
+                wheel.push(at, seq, popped as u32);
+                heap.push(Reverse((at, seq, popped as u32)));
+                seq += 1;
+            }
+        }
+        assert!(wheel.is_empty());
+        assert_eq!(popped, 5_000);
+    }
+}

@@ -64,6 +64,6 @@ pub mod prelude {
     pub use sensorlog_logic::{
         analyze, parse_fact, parse_program, parse_rule, Analysis, ProgramClass, Symbol, Term, Tuple,
     };
-    pub use sensorlog_netsim::{NodeId, SimConfig, Simulator, Topology};
+    pub use sensorlog_netsim::{NodeId, Sched, SchedStats, SimConfig, Simulator, Topology};
     pub use sensorlog_telemetry::{Scope, Snapshot, Telemetry};
 }

@@ -27,6 +27,10 @@ const PINNED_RECORDS: usize = 28603;
 const PINNED_TX: u64 = 13831;
 
 fn run_probe(telemetry: Telemetry) -> (usize, u64, u64) {
+    run_probe_sched(telemetry, Sched::Wheel)
+}
+
+fn run_probe_sched(telemetry: Telemetry, sched: Sched) -> (usize, u64, u64) {
     let topo = Topology::grid(20, 10); // 200 nodes
     let cfg = DeployConfig {
         rt: RtConfig {
@@ -36,6 +40,7 @@ fn run_probe(telemetry: Telemetry) -> (usize, u64, u64) {
         sim: SimConfig {
             loss_prob: 0.1,
             seed: 17,
+            sched,
             ..SimConfig::default()
         },
         telemetry,
@@ -55,6 +60,19 @@ fn lossy_logic_h_trace_is_pinned() {
     assert_eq!(records, PINNED_RECORDS, "journal record count drifted");
     assert_eq!(tx, PINNED_TX, "transmission count drifted");
     assert_eq!(hash, PINNED_HASH, "journal content hash drifted");
+}
+
+#[test]
+fn heap_backend_matches_the_same_pin() {
+    // The scheduler backend is observationally pure: the retained binary
+    // heap must hit the exact constants pinned for the timer wheel.
+    let (records, hash, tx) = run_probe_sched(Telemetry::disabled(), Sched::Heap);
+    assert_eq!(records, PINNED_RECORDS, "heap backend record count drifted");
+    assert_eq!(tx, PINNED_TX, "heap backend transmission count drifted");
+    assert_eq!(
+        hash, PINNED_HASH,
+        "heap and wheel schedulers produced different journals"
+    );
 }
 
 #[test]
