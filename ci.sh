@@ -28,6 +28,14 @@ if [[ "$fast" -eq 0 ]]; then
     cargo build --release -q --workspace
     echo "release build took $((SECONDS - build_start))s"
 
+    # Static analyzer gate: every example program must pass `sensorlog
+    # check` with zero errors and zero warnings (bounds derivable, no
+    # cartesian joins, no dead rules, windows declared).
+    echo "== sensorlog check (examples, deny warnings) =="
+    for f in examples/programs/*.dl; do
+        cargo run -q --release --bin sensorlog -- check "$f" --deny-warnings
+    done
+
     # Telemetry pipeline end-to-end + snapshot-schema golden check; writes
     # BENCH_smoke.json (gitignored) as the inspectable artifact.
     echo "== bench smoke (--quick) =="

@@ -33,11 +33,32 @@ pub struct RunPoint {
     pub trace: TraceSummary,
     /// High-water mark of the simulator's pending event queue.
     pub max_queue_depth: usize,
+    /// Per-node storage ceiling from the static analyzer (`sensorlog
+    /// check`): sum over predicates of twice the derived tuple bound,
+    /// evaluated at this run's observed event counts. `None` when any
+    /// predicate's bound is unbounded.
+    pub static_bound_total: Option<u64>,
     /// Full telemetry export of the run: per-predicate message counters,
     /// per-phase timings (count / wall-ns / sim-ms), and network-wide
     /// histogram rollups. `run_case` always runs with telemetry enabled,
     /// so every experiment point carries its own breakdown.
     pub snapshot: Snapshot,
+}
+
+/// The static analyzer's per-node storage ceiling for a finished run:
+/// Σ over predicates of 2·T(p), with T(p) the `sensorlog check` tuple
+/// bound evaluated at the run's observed per-predicate event counts.
+/// `None` if any predicate is statically unbounded.
+pub fn static_bound_total(d: &Deployment) -> Option<u64> {
+    let params = sensorlog_logic::diag::BoundParams {
+        nodes: d.sim.topology().len() as u64,
+        default_events: 0,
+        events: d.injected_events().clone(),
+    };
+    sensorlog_logic::diag::memory_bounds(&d.prog.analysis)
+        .values()
+        .map(|b| b.eval(&params).map(|t| t.saturating_mul(2)))
+        .try_fold(0u64, |acc, t| t.map(|t| acc.saturating_add(t)))
 }
 
 /// Run `src` on `topo` with the given strategy/config and workload; check
@@ -73,6 +94,11 @@ pub fn run_case(
     d.schedule_all(events.clone());
     let final_time = d.run(horizon);
     let report = oracle::check(&d, &events, output);
+    // Every benchmark run must stay inside the static analyzer's memory
+    // and communication envelopes — the bench doubles as a continuous
+    // cross-validation of `sensorlog check` (paper Sec. V).
+    let bounds = sensorlog_core::invariants::check_static_bounds(&d);
+    assert!(bounds.ok(), "static bounds violated in bench run: {bounds}");
     let m = d.metrics();
     RunPoint {
         total_tx: m.total_tx(),
@@ -103,6 +129,7 @@ pub fn run_case(
         final_time,
         trace: trace.snapshot(),
         max_queue_depth: d.sim.max_queue_depth(),
+        static_bound_total: static_bound_total(&d),
         snapshot: d.telemetry_snapshot(),
     }
 }

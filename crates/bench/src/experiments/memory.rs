@@ -29,8 +29,10 @@ pub fn table1() -> Table {
             "peak replicas",
             "peak derivs",
             "peak total",
+            "static bound",
         ],
     );
+    let fmt_bound = |b: Option<u64>| b.map_or_else(|| "unbounded".into(), |v| v.to_string());
 
     // Two-stream join on 8x8.
     {
@@ -56,12 +58,14 @@ pub fn table1() -> Table {
             sym("q"),
             30_000_000,
         );
+        assert_dominates(&p, "join2");
         t.row(vec![
             "join2".into(),
             "8x8".into(),
             p.peak_replicas.to_string(),
             p.peak_derivations.to_string(),
             p.peak_node_memory.to_string(),
+            fmt_bound(p.static_bound_total),
         ]);
     }
 
@@ -93,12 +97,14 @@ pub fn table1() -> Table {
             sym("alert"),
             60_000_000,
         );
+        assert_dominates(&p, "uncov");
         t.row(vec![
             "uncov".into(),
             "8x8".into(),
             p.peak_replicas.to_string(),
             p.peak_derivations.to_string(),
             p.peak_node_memory.to_string(),
+            fmt_bound(p.static_bound_total),
         ]);
     }
 
@@ -119,13 +125,37 @@ pub fn table1() -> Table {
         let stats = d.node_stats();
         let max_rep = stats.iter().map(|s| s.peak_replicas).max().unwrap_or(0);
         let max_der = stats.iter().map(|s| s.peak_derivations).max().unwrap_or(0);
+        let report = sensorlog_core::invariants::check_static_bounds(&d);
+        assert!(report.ok(), "logicJ: static bounds violated: {report}");
+        let bound = crate::common::static_bound_total(&d);
+        if let Some(bound) = bound {
+            assert!(
+                d.peak_node_memory() as u64 <= bound,
+                "logicJ: peak {} exceeds static bound {bound}",
+                d.peak_node_memory()
+            );
+        }
         t.row(vec![
             "logicJ".into(),
             "4x4".into(),
             max_rep.to_string(),
             max_der.to_string(),
             d.peak_node_memory().to_string(),
+            fmt_bound(bound),
         ]);
     }
     t
+}
+
+/// The observed per-node peak must sit under the static ceiling whenever
+/// the analyzer derives a finite one — the bench's runtime half of the
+/// `sensorlog check` memory-bound cross-validation.
+fn assert_dominates(p: &crate::common::RunPoint, label: &str) {
+    if let Some(bound) = p.static_bound_total {
+        assert!(
+            p.peak_node_memory as u64 <= bound,
+            "{label}: observed peak {} exceeds static bound {bound}",
+            p.peak_node_memory
+        );
+    }
 }

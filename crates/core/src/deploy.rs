@@ -12,7 +12,7 @@ use sensorlog_logic::{Symbol, Tuple};
 use sensorlog_netsim::{Metrics, NodeId, SharedJournal, SimConfig, SimTime, Simulator, Topology};
 use sensorlog_netstack::ght;
 use sensorlog_telemetry::{MetricsRegistry, Scope, Snapshot, Telemetry};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// One workload event: a reading generated or retracted at a node.
@@ -90,6 +90,9 @@ pub struct Deployment {
     pub prog: Arc<DistProgram>,
     pub strategy: Strategy,
     schedule: Vec<WorkloadEvent>,
+    /// Insert events applied per base predicate — the observed `E(p)` the
+    /// static memory bounds are evaluated against at cross-validation time.
+    injected: BTreeMap<Symbol, u64>,
 }
 
 impl Deployment {
@@ -132,6 +135,7 @@ impl Deployment {
             prog,
             strategy: config.rt.strategy,
             schedule: Vec::new(),
+            injected: BTreeMap::new(),
         };
         d.inject_static_facts();
         Ok(d)
@@ -184,6 +188,9 @@ impl Deployment {
                 continue;
             }
             self.sim.run_until(ev.at);
+            if ev.kind == UpdateKind::Insert {
+                *self.injected.entry(ev.pred).or_insert(0) += 1;
+            }
             self.sim.invoke(ev.node, |node, ctx| match ev.kind {
                 UpdateKind::Insert => node.generate(ctx, ev.pred, ev.tuple.clone()),
                 UpdateKind::Delete => node.retract(ctx, ev.pred, ev.tuple.clone()),
@@ -233,6 +240,11 @@ impl Deployment {
         &self.sim.metrics
     }
 
+    /// Insert events applied so far, per base predicate (observed `E(p)`).
+    pub fn injected_events(&self) -> &BTreeMap<Symbol, u64> {
+        &self.injected
+    }
+
     /// Export the run's full telemetry as one [`Snapshot`]: the simulator's
     /// per-node / per-kind traffic registry, the deployment-level registry
     /// (per-predicate counters, byte/latency histograms), phase timings,
@@ -277,6 +289,9 @@ impl Deployment {
         rollup.bump(Scope::Global, "join.index.builds", idx.builds);
         rollup.bump(Scope::Global, "join.index.scans", idx.scans);
         for n in self.sim.nodes() {
+            for (&pred, &peak) in &n.peak_pred_stored {
+                rollup.gauge_max(Scope::Pred(pred.as_str()), "peak_stored", peak as u64);
+            }
             rollup.gauge_max(Scope::Global, "peak_replicas", n.stats.peak_replicas as u64);
             rollup.gauge_max(
                 Scope::Global,
@@ -291,6 +306,16 @@ impl Deployment {
             Scope::Global,
             "peak_node_memory",
             self.peak_node_memory() as u64,
+        );
+        // Static-bound cross-validation: how many observed peaks / message
+        // totals exceeded what `logic::diag` promised. Zero on any healthy
+        // run — asserted by the telemetry and distributed tests.
+        rollup.gauge_set(
+            Scope::Global,
+            "diag.bound.violations",
+            crate::invariants::check_static_bounds(self)
+                .violations
+                .len() as u64,
         );
         snap.absorb_registry(&rollup);
         snap

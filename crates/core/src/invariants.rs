@@ -25,7 +25,17 @@
 //!    net fact set, per [`crate::oracle`]. Under message loss this is
 //!    expected to fail for completeness; use the report's metrics
 //!    instead.
-//! 5. **Message conservation** — network-wide, per message kind, every
+//! 5. **Static memory/communication bounds** — the observed peak stored
+//!    tuples per predicate on every node never exceed the per-node
+//!    envelope derived by the static analyzer
+//!    (`sensorlog_logic::diag::memory_bounds`, paper Sec. V), evaluated
+//!    against the run's actual topology size and injected-event counts;
+//!    and when every predicate has a finite bound, total transmissions
+//!    stay under a generous per-update routing envelope. A violation
+//!    means either the analyzer's bound derivation or the runtime's
+//!    storage discipline is wrong — the two are developed independently,
+//!    which is what makes the cross-check meaningful.
+//! 6. **Message conservation** — network-wide, per message kind, every
 //!    transmission attempt is accounted for exactly once:
 //!    `tx == rx + lost`. Loss on air, ARQ retransmissions, and drops at
 //!    crashed nodes all book a `lost`; anything else delivered books an
@@ -157,7 +167,86 @@ pub fn check_structural(d: &Deployment) -> InvariantReport {
     report
 }
 
-/// Check invariant (5): per message kind, `tx == rx + lost` network-wide.
+/// Check invariant (5): observed state never exceeds the static model.
+///
+/// * **Memory**: each node's peak stored-tuple count for predicate `p`
+///   (fragment replicas + owned derived entries) must stay within
+///   `2 × T(p)`, where `T(p)` is the analyzer's whole-network
+///   distinct-tuple bound — a node can hold at most one replica and one
+///   owned entry per distinct tuple. Unbounded predicates are skipped.
+/// * **Communication**: when *every* predicate has a finite bound, the
+///   run's total transmissions must stay within a generous envelope of
+///   `8 × nodes` hops per tuple transition (covers storage walks, probe
+///   walks, result routing, and flood baselines with slack).
+///
+/// Unlike the quiescence invariants this holds mid-run too — peaks only
+/// grow, and the bound is an all-time ceiling.
+pub fn check_static_bounds(d: &Deployment) -> InvariantReport {
+    use sensorlog_logic::diag::{memory_bounds, BoundParams};
+    let mut report = InvariantReport::default();
+    let params = BoundParams {
+        nodes: d.sim.topology().len() as u64,
+        default_events: 0,
+        events: d.injected_events().clone(),
+    };
+    let bounds = memory_bounds(&d.prog.analysis);
+
+    for id in d.sim.topology().nodes() {
+        if d.sim.is_failed(id) {
+            continue;
+        }
+        let node = d.sim.node(id);
+        for (&pred, &peak) in &node.peak_pred_stored {
+            let Some(expr) = bounds.get(&pred) else {
+                continue; // predicate unknown to the analyzer (e.g. magic)
+            };
+            let Some(t) = expr.eval(&params) else {
+                continue; // statically unbounded: nothing to check
+            };
+            let cap = t.saturating_mul(2);
+            if peak as u64 > cap {
+                report.push(
+                    Some(id),
+                    "static-memory-bound",
+                    format!(
+                        "predicate `{pred}` peaked at {peak} stored tuples \
+                         but the static bound allows 2 × ({expr}) = {cap}"
+                    ),
+                );
+            }
+        }
+    }
+
+    let mut envelope: u64 = 0;
+    let mut all_finite = true;
+    for expr in bounds.values() {
+        match expr.eval(&params) {
+            Some(t) => envelope = envelope.saturating_add(t.saturating_mul(2)),
+            None => {
+                all_finite = false;
+                break;
+            }
+        }
+    }
+    if all_finite {
+        let per_update = 8u64.saturating_mul(d.sim.topology().len() as u64);
+        let cap = envelope.saturating_mul(per_update);
+        let tx = d.metrics().total_tx();
+        if tx > cap {
+            report.push(
+                None,
+                "static-comm-envelope",
+                format!(
+                    "{tx} total transmissions exceed the static envelope \
+                     {cap} (= {envelope} tuple transitions × {per_update} hops)"
+                ),
+            );
+        }
+    }
+    report
+}
+
+/// Check invariant (6): per message kind, `tx == rx + lost` network-wide.
 ///
 /// Only meaningful at quiescence (an in-flight message has been
 /// transmitted but not yet delivered or dropped), so a non-quiescent
@@ -212,6 +301,7 @@ pub fn check_against_oracle(
 /// program's declared output predicates.
 pub fn check_all(d: &Deployment, events: &[WorkloadEvent]) -> InvariantReport {
     let mut report = check_structural(d);
+    report.merge(check_static_bounds(d));
     report.merge(check_message_conservation(d));
     report.merge(check_against_oracle(d, events, &d.prog.outputs));
     report

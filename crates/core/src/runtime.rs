@@ -19,7 +19,7 @@ use sensorlog_logic::{Symbol, Tuple};
 use sensorlog_netsim::{App, Ctx, MsgMeta, NodeId, SimTime, Topology, TopologyKind};
 use sensorlog_netstack::ght;
 use sensorlog_telemetry::{Scope, Telemetry};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Shared routing context: the topology plus (off-grid) precomputed BFS
@@ -174,6 +174,13 @@ pub struct SensorlogNode {
     /// Centroid baseline: the central server's engine (center node only).
     pub center_engine: Option<IncrementalEngine>,
     pub stats: NodeStats,
+    /// Peak stored items per predicate (fragment replicas + owned derived
+    /// entries), cross-validated against the static memory bounds of
+    /// `logic::diag` by `crate::invariants::check_static_bounds`.
+    pub peak_pred_stored: BTreeMap<Symbol, usize>,
+    /// Live owned-entry count per predicate (`owned` is keyed by
+    /// (pred, tuple); this avoids a full scan on every delta).
+    owned_per_pred: HashMap<Symbol, usize>,
     /// Output-predicate transitions observed at this owner.
     pub output_log: Vec<(Symbol, Tuple, UpdateKind, SimTime)>,
     /// Telemetry handle shared across the deployment (disabled by default;
@@ -215,9 +222,18 @@ impl SensorlogNode {
             seq: 0,
             center_engine,
             stats: NodeStats::default(),
+            peak_pred_stored: BTreeMap::new(),
+            owned_per_pred: HashMap::new(),
             output_log: Vec::new(),
             tele,
         }
+    }
+
+    /// Record the current stored-item count for `pred` into its peak.
+    fn note_pred_stored(&mut self, pred: Symbol) {
+        let cur = self.frags.len_of(pred) + self.owned_per_pred.get(&pred).copied().unwrap_or(0);
+        let peak = self.peak_pred_stored.entry(pred).or_insert(0);
+        *peak = (*peak).max(cur);
     }
 
     // ------------------------------------------------------------------
@@ -249,12 +265,16 @@ impl SensorlogNode {
     /// empty-body rules, t = 0).
     pub fn inject_static(&mut self, ctx: &mut Ctx<Payload>, pred: Symbol, tuple: Tuple) {
         let id = self.fresh_id(ctx);
+        if !self.owned.contains_key(&(pred, tuple.clone())) {
+            *self.owned_per_pred.entry(pred).or_insert(0) += 1;
+        }
         let entry = self.owned.entry((pred, tuple.clone())).or_default();
         entry.id = Some(id);
         entry
             .counts
             .insert(DerivationKey::new(usize::MAX, Vec::new()), 1);
         entry.propagated_live = true;
+        self.note_pred_stored(pred);
         self.log_output(pred, &tuple, UpdateKind::Insert, ctx.local_time);
         let fact = FactRecord::insert(pred, tuple, id);
         self.initiate_update(ctx, fact);
@@ -480,6 +500,7 @@ impl SensorlogNode {
             },
         }
         self.stats.peak_replicas = self.stats.peak_replicas.max(self.frags.total_tuples());
+        self.note_pred_stored(fact.pred);
         // Retention timer for windowed streams (Sec. IV-B): the replica
         // must outlive every probe that may legally join with it —
         // (τs + τc) + τj + (τw + τc) past its generation timestamp.
@@ -702,6 +723,9 @@ impl SensorlogNode {
         // delta landing at the owner (storage + join + result routing).
         self.tele
             .record_sim("core.result.apply", ctx.local_time.saturating_sub(tau));
+        if !self.owned.contains_key(&(pred, tuple.clone())) {
+            *self.owned_per_pred.entry(pred).or_insert(0) += 1;
+        }
         let needs_holddown = {
             let entry = self.owned.entry((pred, tuple.clone())).or_default();
             *entry.counts.entry(key).or_insert(0) += sign as i64;
@@ -726,6 +750,7 @@ impl SensorlogNode {
         }
         let total: usize = self.owned.values().map(|o| o.counts.len()).sum();
         self.stats.peak_derivations = self.stats.peak_derivations.max(total);
+        self.note_pred_stored(pred);
     }
 
     /// Holddown expired: propagate the tuple's liveness if it still differs
@@ -929,8 +954,11 @@ impl App for SensorlogNode {
                     let stale = entry
                         .id
                         .is_none_or(|id| id.ts.saturating_add(w) < ctx.local_time);
-                    if stale && !entry.holddown_armed {
-                        self.owned.remove(&(pred, tuple));
+                    if stale && !entry.holddown_armed && self.owned.remove(&(pred, tuple)).is_some()
+                    {
+                        if let Some(c) = self.owned_per_pred.get_mut(&pred) {
+                            *c = c.saturating_sub(1);
+                        }
                     }
                 }
             }

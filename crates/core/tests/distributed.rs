@@ -375,6 +375,14 @@ fn pa_beats_centroid_total_cost_on_larger_grid() {
             report.spurious.len()
         );
         assert!(report.expected > 0, "workload must produce join results");
+        // Both placement strategies must respect the static analyzer's
+        // per-predicate storage and communication envelopes.
+        let bounds = sensorlog_core::invariants::check_static_bounds(&d);
+        assert!(
+            bounds.ok(),
+            "{}: static bounds violated: {bounds}",
+            strategy.name()
+        );
         loads.push((
             strategy.name(),
             d.metrics().max_node_load(),
@@ -478,6 +486,11 @@ fn logich_distributed_builds_bfs_tree() {
             "node {node} has stale deeper entries: {at_depth:?}"
         );
     }
+    // Cross-validate against the static analyzer: no node's per-predicate
+    // peak storage nor the network's message total may exceed the bounds
+    // `sensorlog check` derives for this program (paper Sec. V).
+    let bounds = sensorlog_core::invariants::check_static_bounds(&d);
+    assert!(bounds.ok(), "static bounds violated: {bounds}");
 }
 
 #[test]

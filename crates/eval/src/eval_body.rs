@@ -359,116 +359,12 @@ impl<'a> BodyEval<'a> {
 /// Evaluation order of body literals: the pinned literal (if any) first,
 /// then greedily — fully-bound checks and assignments as early as possible,
 /// positive subgoals preferring those with at least one bound argument.
-/// Mirrors the static boundness reasoning of the safety check, so safe rules
-/// always order successfully.
+///
+/// Thin wrapper over [`sensorlog_logic::boundness::order_literals`], the
+/// shared boundness analysis also consumed by the safety check and the
+/// `sensorlog check` lints.
 pub fn order_body(body: &[Literal], pinned: Option<usize>) -> Vec<usize> {
-    let n = body.len();
-    let mut order: Vec<usize> = Vec::with_capacity(n);
-    let mut used = vec![false; n];
-    let mut bound: Vec<Symbol> = Vec::new();
-
-    let bind_lit = |lit: &Literal, bound: &mut Vec<Symbol>| {
-        if let Literal::Pos(a) = lit {
-            a.collect_vars(bound);
-        }
-    };
-
-    if let Some(p) = pinned {
-        used[p] = true;
-        order.push(p);
-        // A pinned literal (positive or negated) binds its variables.
-        if let Some(a) = body[p].atom() {
-            a.collect_vars(&mut bound);
-        }
-    }
-
-    while order.len() < n {
-        let is_bound = |t: &Term, bound: &[Symbol]| t.vars().iter().all(|v| bound.contains(v));
-        let mut pick: Option<usize> = None;
-        // 1. fully bound non-positive literal (cheap filter)
-        for i in 0..n {
-            if used[i] {
-                continue;
-            }
-            match &body[i] {
-                Literal::Neg(a) | Literal::Builtin(a)
-                    if a.args.iter().all(|t| is_bound(t, &bound)) =>
-                {
-                    pick = Some(i);
-                    break;
-                }
-                Literal::Cmp(_, l, r) if is_bound(l, &bound) && is_bound(r, &bound) => {
-                    pick = Some(i);
-                    break;
-                }
-                _ => {}
-            }
-        }
-        // 2. assignment: Eq with exactly one side a bindable variable
-        if pick.is_none() {
-            for i in 0..n {
-                if used[i] {
-                    continue;
-                }
-                if let Literal::Cmp(CmpOp::Eq, l, r) = &body[i] {
-                    let lb = is_bound(l, &bound);
-                    let rb = is_bound(r, &bound);
-                    if (lb && matches!(r, Term::Var(_))) || (rb && matches!(l, Term::Var(_))) {
-                        pick = Some(i);
-                        break;
-                    }
-                }
-            }
-        }
-        // 3. positive subgoal sharing a bound variable
-        if pick.is_none() {
-            for i in 0..n {
-                if used[i] {
-                    continue;
-                }
-                if let Literal::Pos(a) = &body[i] {
-                    if a.vars().iter().any(|v| bound.contains(v)) {
-                        pick = Some(i);
-                        break;
-                    }
-                }
-            }
-        }
-        // 4. any positive subgoal
-        if pick.is_none() {
-            for i in 0..n {
-                if used[i] {
-                    continue;
-                }
-                if matches!(body[i], Literal::Pos(_)) {
-                    pick = Some(i);
-                    break;
-                }
-            }
-        }
-        // 5. anything left (unsafe rules only — evaluation will error)
-        if pick.is_none() {
-            pick = (0..n).find(|&i| !used[i]);
-        }
-        let i = pick.expect("order_body: no literal left");
-        used[i] = true;
-        order.push(i);
-        bind_lit(&body[i], &mut bound);
-        // Assignments bind their variable side.
-        if let Literal::Cmp(CmpOp::Eq, l, r) = &body[i] {
-            if let Term::Var(v) = l {
-                if !bound.contains(v) {
-                    bound.push(*v);
-                }
-            }
-            if let Term::Var(v) = r {
-                if !bound.contains(v) {
-                    bound.push(*v);
-                }
-            }
-        }
-    }
-    order
+    sensorlog_logic::boundness::order_literals(body, pinned)
 }
 
 /// Instantiate a (non-aggregate) rule head under a solution substitution,

@@ -19,64 +19,26 @@
 //! [`Relation::select`]: crate::relation::Relation::select
 
 use crate::eval_body::order_body;
-use sensorlog_logic::ast::{CmpOp, Literal, Rule};
+use sensorlog_logic::ast::{Literal, Rule};
+use sensorlog_logic::boundness;
 use sensorlog_logic::unify::Subst;
-use sensorlog_logic::{Symbol, Term};
+use sensorlog_logic::Symbol;
 use std::collections::{BTreeMap, BTreeSet};
-
-/// Argument positions of `args` whose variables are all in `bound`
-/// (constants qualify vacuously), sorted ascending.
-fn bound_cols(args: &[Term], bound: &[Symbol]) -> Vec<usize> {
-    args.iter()
-        .enumerate()
-        .filter(|(_, t)| t.vars().iter().all(|v| bound.contains(v)))
-        .map(|(i, _)| i)
-        .collect()
-}
 
 /// Per-literal probe signatures for one evaluation order. `plan[i]` is the
 /// sorted bound-column set literal `i` probes with; empty means full scan
 /// (or a literal that is never probed: pinned, negated, comparison,
 /// builtin).
+///
+/// Thin wrapper over [`boundness::probe_plan`], the shared analysis also
+/// consumed by the safety check and the `sensorlog check` lints.
 pub fn plan_probes(
     body: &[Literal],
     order: &[usize],
     pinned: Option<usize>,
     seed: &Subst,
 ) -> Vec<Vec<usize>> {
-    let mut bound: Vec<Symbol> = seed.iter().map(|(v, _)| *v).collect();
-    let mut plan: Vec<Vec<usize>> = vec![Vec::new(); body.len()];
-    for &idx in order {
-        let is_pinned = pinned == Some(idx);
-        match &body[idx] {
-            Literal::Pos(a) => {
-                if !is_pinned {
-                    plan[idx] = bound_cols(&a.args, &bound);
-                }
-                a.collect_vars(&mut bound);
-            }
-            Literal::Neg(a) => {
-                // Negated literals check one exact tuple (no index probe),
-                // but a *pinned* negated literal matches positively and
-                // binds its variables — mirror order_body.
-                if is_pinned {
-                    a.collect_vars(&mut bound);
-                }
-            }
-            Literal::Cmp(CmpOp::Eq, l, r) => {
-                // Assignments bind their variable side (order_body's rule).
-                for t in [l, r] {
-                    if let Term::Var(v) = t {
-                        if !bound.contains(v) {
-                            bound.push(*v);
-                        }
-                    }
-                }
-            }
-            Literal::Cmp(..) | Literal::Builtin(_) => {}
-        }
-    }
-    plan
+    boundness::probe_plan(body, order, pinned, seed)
 }
 
 /// Every probe signature the engines can hit for `rules`: for each rule,
@@ -132,6 +94,7 @@ where
 mod tests {
     use super::*;
     use sensorlog_logic::parser::parse_rule;
+    use sensorlog_logic::Term;
 
     #[test]
     fn join_plan_binds_second_literal() {

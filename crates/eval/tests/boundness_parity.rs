@@ -1,0 +1,108 @@
+//! Parity regression between the shared boundness analysis
+//! (`sensorlog_logic::boundness`) and the eval-side planner that consumes
+//! it. `order_body` / `plan_probes` are thin wrappers today, but any future
+//! divergence — a planner-local reordering tweak, a changed pin set —
+//! would silently desynchronize the static analyzer's lints from what the
+//! engines actually execute. These tests pin the contract: for every rule
+//! of the reference programs, the shared `rule_signatures` and the
+//! planner's order/plan agree for the unpinned order and every pinned
+//! variant, and `program_signatures` registers exactly the probe columns
+//! the shared analysis derives.
+
+use sensorlog_eval::eval_body::order_body;
+use sensorlog_eval::planner::{plan_probes, program_signatures};
+use sensorlog_logic::ast::Literal;
+use sensorlog_logic::boundness::rule_signatures;
+use sensorlog_logic::parser::parse_program;
+use sensorlog_logic::unify::Subst;
+use sensorlog_logic::Symbol;
+use std::collections::{BTreeMap, BTreeSet};
+
+const LOGIC_H: &str = r#"
+    .output h.
+    h(0, 0, 0).
+    h(0, X, 1) :- g(0, X).
+    hp(Y, D + 1) :- h(_, Y, D'), (D + 1) > D', h(_, X, D), g(X, Y).
+    h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).
+"#;
+
+const LOGIC_J: &str = r#"
+    .output j.
+    j(0, 0).
+    j(X, 1) :- g(0, X).
+    jp(Y, D + 1) :- j(Y, D'), (D + 1) > D', j(X, D), g(X, Y).
+    j(Y, D + 1) :- g(X, Y), j(X, D), not jp(Y, D + 1).
+"#;
+
+/// For every rule and every pin variant the engines evaluate, the planner
+/// reproduces exactly the order and probe plan of the shared analysis.
+#[test]
+fn planner_matches_shared_signatures() {
+    for (label, src) in [("logicH", LOGIC_H), ("logicJ", LOGIC_J)] {
+        let prog = parse_program(src).unwrap();
+        let seed = Subst::new();
+        for (ri, rule) in prog.rules.iter().enumerate() {
+            let sigs = rule_signatures(rule);
+            // The shared analysis enumerates the unpinned order plus one
+            // pin per relational literal — nothing more, nothing less.
+            let rel = rule
+                .body
+                .iter()
+                .filter(|l| matches!(l, Literal::Pos(_) | Literal::Neg(_)))
+                .count();
+            assert_eq!(
+                sigs.len(),
+                rel + 1,
+                "{label} rule #{ri}: wrong signature count"
+            );
+            assert_eq!(
+                sigs[0].pinned, None,
+                "{label} rule #{ri}: first is unpinned"
+            );
+            for sig in &sigs {
+                let order = order_body(&rule.body, sig.pinned);
+                assert_eq!(
+                    order, sig.order,
+                    "{label} rule #{ri} pin {:?}: order diverged",
+                    sig.pinned
+                );
+                let plan = plan_probes(&rule.body, &order, sig.pinned, &seed);
+                assert_eq!(
+                    plan, sig.plan,
+                    "{label} rule #{ri} pin {:?}: probe plan diverged",
+                    sig.pinned
+                );
+            }
+        }
+    }
+}
+
+/// `program_signatures` (what the engines register as indexes) is exactly
+/// the set of non-empty probe column sets of positive literals across the
+/// shared per-rule signatures.
+#[test]
+fn registered_indexes_match_shared_plans() {
+    for (label, src) in [("logicH", LOGIC_H), ("logicJ", LOGIC_J)] {
+        let prog = parse_program(src).unwrap();
+        let mut expected: BTreeMap<Symbol, BTreeSet<Vec<usize>>> = BTreeMap::new();
+        for rule in &prog.rules {
+            for sig in rule_signatures(rule) {
+                for (i, cols) in sig.plan.iter().enumerate() {
+                    if cols.is_empty() {
+                        continue;
+                    }
+                    if let Literal::Pos(a) = &rule.body[i] {
+                        expected.entry(a.pred).or_default().insert(cols.clone());
+                    }
+                }
+            }
+        }
+        let got = program_signatures(&prog.rules);
+        assert_eq!(got, expected, "{label}: registered index set diverged");
+        // Sanity: the reference programs do exercise indexed probes.
+        assert!(
+            expected.values().any(|s| !s.is_empty()),
+            "{label}: no indexed probes at all"
+        );
+    }
+}

@@ -8,6 +8,7 @@ use crate::ast::{Literal, Program};
 use crate::builtin::BuiltinRegistry;
 use crate::depgraph::DepGraph;
 use crate::safety::{self, SafetyError};
+use crate::span::Span;
 use crate::stratify::{self, Stratification, StratifyError};
 use crate::symbol::Symbol;
 use crate::xy::{self, XyError, XyInfo};
@@ -67,6 +68,7 @@ pub enum AnalyzeError {
     NegatedBuiltin {
         rule_id: usize,
         pred: Symbol,
+        span: Span,
     },
     /// The same predicate is used with two different arities.
     ArityMismatch {
@@ -74,6 +76,7 @@ pub enum AnalyzeError {
         first: usize,
         second: usize,
         rule_id: usize,
+        span: Span,
     },
 }
 
@@ -84,18 +87,23 @@ impl fmt::Display for AnalyzeError {
             AnalyzeError::NotXYStratifiable { stratify, xy } => {
                 write!(f, "{stratify}; and the XY-stratification check failed: {xy}")
             }
-            AnalyzeError::NegatedBuiltin { rule_id, pred } => write!(
+            AnalyzeError::NegatedBuiltin {
+                rule_id,
+                pred,
+                span,
+            } => write!(
                 f,
-                "rule #{rule_id}: negated builtin predicate `{pred}` is not supported"
+                "rule #{rule_id} at {span}: negated builtin predicate `{pred}` is not supported"
             ),
             AnalyzeError::ArityMismatch {
                 pred,
                 first,
                 second,
                 rule_id,
+                span,
             } => write!(
                 f,
-                "rule #{rule_id}: predicate `{pred}` used with arity {second} but previously with arity {first}"
+                "rule #{rule_id} at {span}: predicate `{pred}` used with arity {second} but previously with arity {first}"
             ),
         }
     }
@@ -119,12 +127,13 @@ pub fn analyze(prog: &Program, reg: &BuiltinRegistry) -> Result<Analysis, Analyz
         .map(|r| safety::resolve_builtins(r, reg))
         .collect();
     for r in &program.rules {
-        for lit in &r.body {
+        for (i, lit) in r.body.iter().enumerate() {
             if let Literal::Neg(a) = lit {
                 if reg.is_pred(a.pred) {
                     return Err(AnalyzeError::NegatedBuiltin {
                         rule_id: r.id,
                         pred: a.pred,
+                        span: r.spans.lit(i),
                     });
                 }
             }
@@ -135,26 +144,28 @@ pub fn analyze(prog: &Program, reg: &BuiltinRegistry) -> Result<Analysis, Analyz
     // everywhere (a mismatch silently joins nothing otherwise).
     {
         let mut arity: BTreeMap<Symbol, usize> = BTreeMap::new();
-        let mut check = |pred: Symbol, n: usize, rule_id: usize| -> Result<(), AnalyzeError> {
-            match arity.get(&pred) {
-                Some(&a) if a != n => Err(AnalyzeError::ArityMismatch {
-                    pred,
-                    first: a,
-                    second: n,
-                    rule_id,
-                }),
-                _ => {
-                    arity.insert(pred, n);
-                    Ok(())
+        let mut check =
+            |pred: Symbol, n: usize, rule_id: usize, span: Span| -> Result<(), AnalyzeError> {
+                match arity.get(&pred) {
+                    Some(&a) if a != n => Err(AnalyzeError::ArityMismatch {
+                        pred,
+                        first: a,
+                        second: n,
+                        rule_id,
+                        span,
+                    }),
+                    _ => {
+                        arity.insert(pred, n);
+                        Ok(())
+                    }
                 }
-            }
-        };
+            };
         for r in &program.rules {
             let head_arity = r.head.args.len() + usize::from(r.agg.is_some());
-            check(r.head.pred, head_arity, r.id)?;
-            for lit in &r.body {
+            check(r.head.pred, head_arity, r.id, r.spans.head)?;
+            for (i, lit) in r.body.iter().enumerate() {
                 if let Literal::Pos(a) | Literal::Neg(a) = lit {
-                    check(a.pred, a.args.len(), r.id)?;
+                    check(a.pred, a.args.len(), r.id, r.spans.lit(i))?;
                 }
             }
         }

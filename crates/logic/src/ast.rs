@@ -6,6 +6,7 @@
 //! argument (`min<D>` etc.), the restricted aggregation form the paper
 //! allows.
 
+use crate::span::RuleSpans;
 use crate::symbol::Symbol;
 use crate::term::Term;
 use std::collections::{BTreeMap, BTreeSet};
@@ -191,6 +192,9 @@ pub struct Rule {
     pub head: Atom,
     pub body: Vec<Literal>,
     pub agg: Option<AggSpec>,
+    /// Source spans (metadata only — never part of equality; see
+    /// [`crate::span`]). Default for synthetic rules.
+    pub spans: RuleSpans,
 }
 
 impl Rule {
@@ -378,6 +382,7 @@ mod tests {
                 ),
             ],
             agg: None,
+            spans: RuleSpans::default(),
         };
         let s = r.to_string();
         assert!(s.contains("cov(L, T) :- "));
@@ -398,6 +403,7 @@ mod tests {
                 pos: 1,
                 term: Term::var("D"),
             }),
+            spans: RuleSpans::default(),
         };
         assert_eq!(r.to_string(), "short(Y, min<D>) :- path(Y, D).");
     }
@@ -410,6 +416,7 @@ mod tests {
             head: atom("cov", vec![Term::var("L")]),
             body: vec![Literal::Pos(atom("veh", vec![Term::var("L")]))],
             agg: None,
+            spans: RuleSpans::default(),
         });
         assert!(p.idb_preds().contains(&Symbol::intern("cov")));
         assert!(p.edb_preds().contains(&Symbol::intern("veh")));
@@ -429,6 +436,7 @@ mod tests {
                 pos: 1,
                 term: Term::var("V"),
             }),
+            spans: RuleSpans::default(),
         };
         let vs = r.head_vars();
         assert!(vs.contains(&Symbol::intern("G")));

@@ -7,6 +7,7 @@
 //! the aggregate is taken).
 
 use crate::ast::{Literal, Program};
+use crate::span::Span;
 use crate::symbol::Symbol;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -24,6 +25,9 @@ pub struct DepGraph {
     /// head → [(body pred, polarity, rule id)]
     pub edges: BTreeMap<Symbol, Vec<(Symbol, Polarity, usize)>>,
     pub preds: BTreeSet<Symbol>,
+    /// Source span per rule id, so cycle/stratification errors can point at
+    /// the offending rule without holding the program.
+    pub rule_spans: BTreeMap<usize, Span>,
 }
 
 impl DepGraph {
@@ -35,6 +39,7 @@ impl DepGraph {
         };
         for rule in &prog.rules {
             let head = rule.head.pred;
+            g.rule_spans.insert(rule.id, rule.spans.rule);
             g.edges.entry(head).or_default();
             for lit in &rule.body {
                 let (pred, pol) = match lit {

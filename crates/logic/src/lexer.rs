@@ -68,11 +68,22 @@ impl fmt::Display for Token {
     }
 }
 
-/// A token plus its source line (1-based) for diagnostics.
+/// A token plus its source location for diagnostics: byte offsets
+/// `[start, end)` and the 1-based line/column of `start`.
 #[derive(Clone, Debug)]
 pub struct Spanned {
     pub tok: Token,
     pub line: u32,
+    pub col: u32,
+    pub start: u32,
+    pub end: u32,
+}
+
+impl Spanned {
+    /// The token's source span.
+    pub fn span(&self) -> crate::span::Span {
+        crate::span::Span::new(self.start, self.end, self.line, self.col)
+    }
 }
 
 /// Lexical error with line information.
@@ -90,26 +101,39 @@ impl fmt::Display for LexError {
 
 impl std::error::Error for LexError {}
 
-/// Tokenize `src` into a vector ending with `Eof`.
+/// Tokenize `src` into a vector ending with `Eof`. Every token carries its
+/// byte span and the 1-based line/column of its first character.
 pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
     let mut out = Vec::new();
     let bytes = src.as_bytes();
     let mut i = 0;
     let mut line: u32 = 1;
+    // Byte offset of the current line's first character, for columns.
+    let mut line_start: usize = 0;
     let n = bytes.len();
-
-    macro_rules! push {
-        ($t:expr) => {
-            out.push(Spanned { tok: $t, line })
-        };
-    }
 
     while i < n {
         let c = bytes[i] as char;
+        let tok_start = i;
+        let tok_line = line;
+        let tok_col = (i - line_start + 1) as u32;
+        // Emitted after each branch advances `i` past the token.
+        macro_rules! push {
+            ($t:expr) => {
+                out.push(Spanned {
+                    tok: $t,
+                    line: tok_line,
+                    col: tok_col,
+                    start: tok_start as u32,
+                    end: i as u32,
+                })
+            };
+        }
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             ' ' | '\t' | '\r' => i += 1,
             '%' => {
@@ -123,49 +147,49 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 }
             }
             '(' => {
-                push!(Token::LParen);
                 i += 1;
+                push!(Token::LParen);
             }
             ')' => {
-                push!(Token::RParen);
                 i += 1;
+                push!(Token::RParen);
             }
             '[' => {
-                push!(Token::LBracket);
                 i += 1;
+                push!(Token::LBracket);
             }
             ']' => {
-                push!(Token::RBracket);
                 i += 1;
+                push!(Token::RBracket);
             }
             ',' => {
-                push!(Token::Comma);
                 i += 1;
+                push!(Token::Comma);
             }
             '|' => {
-                push!(Token::Pipe);
                 i += 1;
+                push!(Token::Pipe);
             }
             '+' => {
-                push!(Token::Plus);
                 i += 1;
+                push!(Token::Plus);
             }
             '-' => {
-                push!(Token::Minus);
                 i += 1;
+                push!(Token::Minus);
             }
             '*' => {
-                push!(Token::Star);
                 i += 1;
+                push!(Token::Star);
             }
             '/' => {
-                push!(Token::Slash);
                 i += 1;
+                push!(Token::Slash);
             }
             ':' => {
                 if i + 1 < n && bytes[i + 1] == b'-' {
-                    push!(Token::ColonDash);
                     i += 2;
+                    push!(Token::ColonDash);
                 } else {
                     return Err(LexError {
                         line,
@@ -175,26 +199,26 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             '<' => {
                 if i + 1 < n && bytes[i + 1] == b'=' {
-                    push!(Token::Le);
                     i += 2;
+                    push!(Token::Le);
                 } else {
-                    push!(Token::Lt);
                     i += 1;
+                    push!(Token::Lt);
                 }
             }
             '>' => {
                 if i + 1 < n && bytes[i + 1] == b'=' {
-                    push!(Token::Ge);
                     i += 2;
+                    push!(Token::Ge);
                 } else {
-                    push!(Token::Gt);
                     i += 1;
+                    push!(Token::Gt);
                 }
             }
             '=' => {
                 if i + 1 < n && bytes[i + 1] == b'=' {
-                    push!(Token::EqEq);
                     i += 2;
+                    push!(Token::EqEq);
                 } else {
                     return Err(LexError {
                         line,
@@ -204,8 +228,8 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             '!' => {
                 if i + 1 < n && bytes[i + 1] == b'=' {
-                    push!(Token::Ne);
                     i += 2;
+                    push!(Token::Ne);
                 } else {
                     return Err(LexError {
                         line,
@@ -214,8 +238,8 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 }
             }
             '.' => {
-                push!(Token::Dot);
                 i += 1;
+                push!(Token::Dot);
             }
             '"' => {
                 let start_line = line;
@@ -264,7 +288,6 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 push!(Token::Str(s));
             }
             '0'..='9' => {
-                let start = i;
                 while i < n && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
@@ -278,7 +301,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         i += 1;
                     }
                 }
-                let text = &src[start..i];
+                let text = &src[tok_start..i];
                 if is_float {
                     let v: f64 = text.parse().map_err(|_| LexError {
                         line,
@@ -294,13 +317,12 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
-                let start = i;
                 while i < n
                     && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
                 {
                     i += 1;
                 }
-                let text = &src[start..i];
+                let text = &src[tok_start..i];
                 let first = text.chars().next().unwrap();
                 if first.is_ascii_uppercase() || first == '_' {
                     push!(Token::Var(text.to_owned()));
@@ -319,6 +341,9 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
     out.push(Spanned {
         tok: Token::Eof,
         line,
+        col: (n - line_start + 1) as u32,
+        start: n as u32,
+        end: n as u32,
     });
     Ok(out)
 }

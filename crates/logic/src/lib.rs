@@ -38,12 +38,15 @@
 
 pub mod analyze;
 pub mod ast;
+pub mod boundness;
 pub mod builtin;
 pub mod depgraph;
+pub mod diag;
 pub mod lexer;
 pub mod magic;
 pub mod parser;
 pub mod safety;
+pub mod span;
 pub mod stratify;
 pub mod symbol;
 pub mod term;
@@ -54,5 +57,6 @@ pub use analyze::{analyze, Analysis, AnalyzeError, ProgramClass};
 pub use ast::{AggFunc, AggSpec, Atom, CmpOp, Literal, Program, Rule};
 pub use builtin::{BuiltinError, BuiltinRegistry};
 pub use parser::{parse_fact, parse_facts, parse_program, parse_rule, parse_term, ParseError};
+pub use span::{RuleSpans, Span};
 pub use symbol::Symbol;
 pub use term::{Term, Tuple};

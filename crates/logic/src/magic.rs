@@ -10,6 +10,7 @@
 
 use crate::ast::{Atom, Literal, Program, Rule};
 use crate::depgraph::DepGraph;
+use crate::span::RuleSpans;
 use crate::symbol::Symbol;
 use crate::term::Term;
 use std::collections::{BTreeSet, VecDeque};
@@ -168,6 +169,7 @@ pub fn magic_transform(prog: &Program, query: &Query) -> MagicResult {
                                 },
                                 body: prefix.clone(),
                                 agg: None,
+                                spans: RuleSpans::default(),
                             });
                             next_id += 1;
                         }
@@ -205,6 +207,13 @@ pub fn magic_transform(prog: &Program, query: &Query) -> MagicResult {
                 },
                 body: new_body,
                 agg: None,
+                // Point back at the source rule; literal spans no longer
+                // line up after the rewrite, so only the rule span is kept.
+                spans: RuleSpans {
+                    rule: rule.spans.rule,
+                    head: rule.spans.head,
+                    lits: Vec::new(),
+                },
             });
             next_id += 1;
         }

@@ -18,6 +18,7 @@
 
 use crate::ast::{AggFunc, AggSpec, Atom, CmpOp, Literal, Program, Rule};
 use crate::lexer::{lex, LexError, Spanned, Token};
+use crate::span::{RuleSpans, Span};
 use crate::symbol::Symbol;
 use crate::term::Term;
 use std::fmt;
@@ -132,6 +133,16 @@ impl Parser {
         self.toks[self.pos].line
     }
 
+    /// Span of the token about to be consumed.
+    fn cur_span(&self) -> Span {
+        self.toks[self.pos].span()
+    }
+
+    /// Span of the most recently consumed token.
+    fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1)].span()
+    }
+
     fn bump(&mut self) -> Token {
         let t = self.toks[self.pos].tok.clone();
         if self.pos + 1 < self.toks.len() {
@@ -238,12 +249,17 @@ impl Parser {
 
     fn rule(&mut self, id: usize) -> Result<Rule, ParseError> {
         self.fresh = 0;
+        let start = self.cur_span();
         let (head, agg) = self.head()?;
+        let head_span = start.cover(self.prev_span());
         let mut body = Vec::new();
+        let mut lit_spans = Vec::new();
         if self.peek() == &Token::ColonDash {
             self.bump();
             loop {
+                let lit_start = self.cur_span();
                 body.push(self.literal()?);
+                lit_spans.push(lit_start.cover(self.prev_span()));
                 if self.peek() == &Token::Comma {
                     self.bump();
                 } else {
@@ -257,6 +273,11 @@ impl Parser {
             head,
             body,
             agg,
+            spans: RuleSpans {
+                rule: start.cover(self.prev_span()),
+                head: head_span,
+                lits: lit_spans,
+            },
         })
     }
 

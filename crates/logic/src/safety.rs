@@ -7,10 +7,10 @@
 //! variable of `expr` is already bound — this is how "the last subgoal is
 //! used to bound T" style constraints are expressed.
 
-use crate::ast::{CmpOp, Literal, Program, Rule};
+use crate::ast::{Literal, Program, Rule};
 use crate::builtin::BuiltinRegistry;
+use crate::span::Span;
 use crate::symbol::Symbol;
-use crate::term::Term;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -18,7 +18,8 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq)]
 pub struct SafetyError {
     pub rule_id: usize,
-    pub rule: String,
+    /// Source span of the offending rule (default for synthetic rules).
+    pub span: Span,
     pub unbound: Vec<Symbol>,
     pub context: &'static str,
 }
@@ -27,15 +28,15 @@ impl fmt::Display for SafetyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unsafe rule #{} ({}): variable(s) {} not bound by any positive relational subgoal in `{}`",
+            "unsafe rule #{} ({}) at {}: variable(s) {} not bound by any positive relational subgoal",
             self.rule_id,
             self.context,
+            self.span,
             self.unbound
                 .iter()
                 .map(|s| s.as_str())
                 .collect::<Vec<_>>()
                 .join(", "),
-            self.rule
         )
     }
 }
@@ -58,40 +59,10 @@ pub fn resolve_builtins(rule: &Rule, reg: &BuiltinRegistry) -> Rule {
 }
 
 /// Variables bound by the positive relational subgoals plus equality
-/// assignments, computed to fixpoint.
+/// assignments, computed to fixpoint. Thin wrapper over
+/// [`crate::boundness::rule_bound_vars`], the shared boundness analysis.
 pub fn bound_vars(rule: &Rule) -> BTreeSet<Symbol> {
-    let mut bound: BTreeSet<Symbol> = BTreeSet::new();
-    for atom in rule.positive_atoms() {
-        let mut vs = Vec::new();
-        atom.collect_vars(&mut vs);
-        bound.extend(vs);
-    }
-    // Equality assignments may cascade, so iterate to fixpoint.
-    loop {
-        let mut changed = false;
-        for lit in &rule.body {
-            if let Literal::Cmp(CmpOp::Eq, l, r) = lit {
-                let l_vars = l.vars();
-                let r_vars = r.vars();
-                let l_bound = l_vars.iter().all(|v| bound.contains(v));
-                let r_bound = r_vars.iter().all(|v| bound.contains(v));
-                if r_bound && !l_bound {
-                    if let Term::Var(v) = l {
-                        changed |= bound.insert(*v);
-                    }
-                }
-                if l_bound && !r_bound {
-                    if let Term::Var(v) = r {
-                        changed |= bound.insert(*v);
-                    }
-                }
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-    bound
+    crate::boundness::rule_bound_vars(rule)
 }
 
 /// Check safety of a single rule (builtins must already be resolved).
@@ -104,7 +75,7 @@ pub fn check_rule(rule: &Rule) -> Result<(), SafetyError> {
         } else {
             Err(SafetyError {
                 rule_id: rule.id,
-                rule: rule.to_string(),
+                span: rule.spans.rule,
                 unbound,
                 context,
             })

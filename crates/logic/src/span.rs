@@ -1,0 +1,153 @@
+//! Byte-offset source spans for diagnostics.
+//!
+//! Spans are *metadata*, not semantics: two rules that differ only in their
+//! spans are the same rule. [`Span`] therefore implements an always-true
+//! `PartialEq` and a no-op `Hash`, so threading spans through [`crate::ast`]
+//! does not disturb structural equality (display→reparse round-trips,
+//! memoization keys, test fixtures built without source text).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A half-open byte range `[start, end)` into the program source, plus the
+/// 1-based line/column of `start` so errors can print `line:col` without
+/// re-scanning the source. A default span (all zeros) means "no source
+/// location" — synthetic rules (magic rewrites, test fixtures) carry it.
+#[derive(Copy, Clone, Eq, Debug, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based source line of `start`; 0 = unknown.
+    pub line: u32,
+    /// 1-based source column of `start`; 0 = unknown.
+    pub col: u32,
+}
+
+impl Span {
+    pub fn new(start: u32, end: u32, line: u32, col: u32) -> Span {
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
+    }
+
+    /// True when this span carries a real source location.
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+
+    /// Smallest span covering both `self` and `other` (position metadata is
+    /// taken from the earlier span).
+    pub fn cover(self, other: Span) -> Span {
+        if !self.is_known() {
+            return other;
+        }
+        if !other.is_known() {
+            return self;
+        }
+        let (first, last) = if self.start <= other.start {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        Span {
+            start: first.start,
+            end: first.end.max(last.end),
+            line: first.line,
+            col: first.col,
+        }
+    }
+}
+
+// Spans never participate in structural equality (see module docs).
+impl PartialEq for Span {
+    fn eq(&self, _other: &Span) -> bool {
+        true
+    }
+}
+
+impl Hash for Span {
+    fn hash<H: Hasher>(&self, _state: &mut H) {}
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_known() {
+            write!(f, "{}:{}", self.line, self.col)
+        } else {
+            write!(f, "?:?")
+        }
+    }
+}
+
+/// Source spans of one rule: the whole rule, its head atom, and one span
+/// per body literal (parallel to `Rule::body`; may be empty for synthetic
+/// rules — consumers must index with `.get`).
+#[derive(Clone, Eq, Debug, Default)]
+pub struct RuleSpans {
+    pub rule: Span,
+    pub head: Span,
+    pub lits: Vec<Span>,
+}
+
+// Like `Span`: pure metadata, never part of structural equality (a parsed
+// rule must equal the same rule built programmatically without spans).
+impl PartialEq for RuleSpans {
+    fn eq(&self, _other: &RuleSpans) -> bool {
+        true
+    }
+}
+
+impl Hash for RuleSpans {
+    fn hash<H: Hasher>(&self, _state: &mut H) {}
+}
+
+impl RuleSpans {
+    /// Span of body literal `i`, falling back to the rule span.
+    pub fn lit(&self, i: usize) -> Span {
+        self.lits.get(i).copied().unwrap_or(self.rule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_are_always_equal() {
+        let a = Span::new(0, 5, 1, 1);
+        let b = Span::new(100, 200, 7, 3);
+        assert_eq!(a, b, "spans are metadata, never semantic");
+        assert_eq!(
+            RuleSpans::default(),
+            RuleSpans {
+                rule: a,
+                head: b,
+                lits: vec![a],
+            }
+        );
+    }
+
+    #[test]
+    fn cover_prefers_known_spans() {
+        let unknown = Span::default();
+        let known = Span::new(4, 9, 2, 1);
+        assert!(unknown.cover(known).is_known());
+        assert!(known.cover(unknown).is_known());
+        let later = Span::new(12, 20, 3, 1);
+        let c = known.cover(later);
+        assert_eq!((c.start, c.end, c.line, c.col), (4, 20, 2, 1));
+        let c2 = later.cover(known);
+        assert_eq!((c2.start, c2.end), (4, 20));
+    }
+
+    #[test]
+    fn display_line_col() {
+        assert_eq!(Span::new(3, 8, 2, 4).to_string(), "2:4");
+        assert_eq!(Span::default().to_string(), "?:?");
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::ast::Program;
 use crate::depgraph::{DepGraph, Polarity};
+use crate::span::Span;
 use crate::symbol::Symbol;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -38,16 +39,19 @@ pub struct StratifyError {
     /// A negative edge inside an SCC, as (head, body, rule id).
     pub cycle_edge: (Symbol, Symbol, usize),
     pub scc: Vec<Symbol>,
+    /// Source span of the rule carrying the negative edge.
+    pub span: Span,
 }
 
 impl fmt::Display for StratifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "program is not stratified: predicate {} depends negatively on {} (rule #{}) within the recursive component {{{}}}",
+            "program is not stratified: predicate {} depends negatively on {} (rule #{} at {}) within the recursive component {{{}}}",
             self.cycle_edge.0,
             self.cycle_edge.1,
             self.cycle_edge.2,
+            self.span,
             self.scc
                 .iter()
                 .map(|s| s.as_str())
@@ -75,6 +79,7 @@ pub fn stratify_graph(g: &DepGraph) -> Result<Stratification, StratifyError> {
             return Err(StratifyError {
                 cycle_edge: edge,
                 scc: scc.clone(),
+                span: g.rule_spans.get(&edge.2).copied().unwrap_or_default(),
             });
         }
     }

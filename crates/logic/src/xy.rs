@@ -26,6 +26,7 @@
 
 use crate::ast::{CmpOp, Literal, Program, Rule};
 use crate::depgraph::DepGraph;
+use crate::span::Span;
 use crate::symbol::Symbol;
 use crate::term::Term;
 use std::collections::{BTreeMap, BTreeSet};
@@ -81,7 +82,7 @@ pub struct XyInfo {
 #[derive(Clone, Debug, PartialEq)]
 pub enum XyError {
     /// Aggregates inside a recursive-with-negation SCC are unsupported.
-    AggregateInScc { rule_id: usize },
+    AggregateInScc { rule_id: usize, span: Span },
     /// No assignment of stage positions satisfies the discipline.
     NoStageAssignment { scc: Vec<Symbol>, detail: String },
     /// The candidate search space exceeded the brute-force cap and no
@@ -92,9 +93,9 @@ pub enum XyError {
 impl fmt::Display for XyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            XyError::AggregateInScc { rule_id } => write!(
+            XyError::AggregateInScc { rule_id, span } => write!(
                 f,
-                "rule #{rule_id}: aggregates are not allowed in a recursive component with negation"
+                "rule #{rule_id} at {span}: aggregates are not allowed in a recursive component with negation"
             ),
             XyError::NoStageAssignment { scc, detail } => write!(
                 f,
@@ -134,7 +135,10 @@ pub fn check_scc(prog: &Program, scc: &[Symbol]) -> Result<XyInfo, XyError> {
                 |l| matches!(l, Literal::Pos(a) | Literal::Neg(a) if scc_set.contains(&a.pred)),
             )
         {
-            return Err(XyError::AggregateInScc { rule_id: r.id });
+            return Err(XyError::AggregateInScc {
+                rule_id: r.id,
+                span: r.spans.rule,
+            });
         }
     }
 

@@ -1,0 +1,283 @@
+//! Golden tests for the static analyzer's machine-readable output
+//! (`sensorlog check --format=json`). Each case pins the exact JSON the
+//! analyzer emits for a program — spans, codes, bound formulas, and plane
+//! assignments — so any drift in the diagnostic surface is a deliberate,
+//! reviewed change rather than an accident. Sources must match the
+//! embedded strings byte-for-byte: the pinned `start`/`end` fields are
+//! byte offsets into them.
+
+use sensorlog_logic::diag::{check_source, BoundParams};
+use sensorlog_logic::BuiltinRegistry;
+
+fn check(src: &str) -> sensorlog_logic::diag::Report {
+    let params = BoundParams {
+        nodes: 100,
+        default_events: 500,
+        events: Default::default(),
+    };
+    check_source(src, &BuiltinRegistry::standard(), &params)
+}
+
+fn assert_golden(label: &str, src: &str, expected: &str) -> sensorlog_logic::diag::Report {
+    let rep = check(src);
+    let got = rep.to_json();
+    assert_eq!(
+        got, expected,
+        "{label}: JSON drifted\n--- got ---\n{got}\n--- want ---\n{expected}"
+    );
+    rep
+}
+
+// ---------------------------------------------------------------- logicH
+
+const LOGIC_H: &str = "\
+.base g.
+.window g 1000.
+.output h.
+h(a, a, 0).
+h(0, X, 1) :- g(0, X).
+hp(Y, D + 1) :- h(_, Y, D'), (D + 1) > D', h(_, X, D), g(X, Y).
+h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).
+";
+
+const LOGIC_H_JSON: &str = r#"{
+  "diagnostics": [
+    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "h", "line": 4, "col": 1, "start": 36, "end": 47, "message": "static tuple bound for `h`: S * (1 + E(g) + E(g)) = 101101"},
+    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "hp", "line": 6, "col": 1, "start": 71, "end": 134, "message": "static tuple bound for `hp`: S * E(g) = 50500"},
+    {"code": "plan.negation-multipass", "severity": "info", "rule": 3, "pred": "hp", "line": 7, "col": 40, "start": 174, "end": 190, "message": "rule #3: negated derived subgoal `hp` forces multi-pass (stratum-ordered) evaluation"},
+    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "h", "line": 4, "col": 1, "start": 36, "end": 47, "message": "predicate `h` evaluates on the neighbor-broadcast plane"},
+    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "hp", "line": 6, "col": 1, "start": 71, "end": 134, "message": "predicate `hp` evaluates on the neighbor-broadcast plane"}
+  ],
+  "bounds": {
+    "g": {"formula": "E(g)", "value": 500},
+    "h": {"formula": "S * (1 + E(g) + E(g))", "value": 101101},
+    "hp": {"formula": "S * E(g)", "value": 50500}
+  },
+  "planes": {
+    "g": "local",
+    "h": "neighbor-broadcast",
+    "hp": "neighbor-broadcast"
+  }
+}
+"#;
+
+#[test]
+fn logich_report_is_pinned() {
+    let rep = assert_golden("logicH", LOGIC_H, LOGIC_H_JSON);
+    assert!(!rep.has_errors() && !rep.has_warnings());
+}
+
+// ---------------------------------------------------------------- logicJ
+
+const LOGIC_J: &str = "\
+.base g.
+.window g 1000.
+.output j.
+j(0, 0).
+j(X, 1) :- g(0, X).
+jp(Y, D + 1) :- j(Y, D'), (D + 1) > D', j(X, D), g(X, Y).
+j(Y, D + 1) :- g(X, Y), j(X, D), not jp(Y, D + 1).
+";
+
+const LOGIC_J_JSON: &str = r#"{
+  "diagnostics": [
+    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "j", "line": 4, "col": 1, "start": 36, "end": 44, "message": "static tuple bound for `j`: S * (1 + E(g) + E(g)) = 101101"},
+    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "jp", "line": 6, "col": 1, "start": 65, "end": 122, "message": "static tuple bound for `jp`: S * E(g) = 50500"},
+    {"code": "plan.negation-multipass", "severity": "info", "rule": 3, "pred": "jp", "line": 7, "col": 34, "start": 156, "end": 172, "message": "rule #3: negated derived subgoal `jp` forces multi-pass (stratum-ordered) evaluation"},
+    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "j", "line": 4, "col": 1, "start": 36, "end": 44, "message": "predicate `j` evaluates on the neighbor-broadcast plane"},
+    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "jp", "line": 6, "col": 1, "start": 65, "end": 122, "message": "predicate `jp` evaluates on the neighbor-broadcast plane"}
+  ],
+  "bounds": {
+    "g": {"formula": "E(g)", "value": 500},
+    "j": {"formula": "S * (1 + E(g) + E(g))", "value": 101101},
+    "jp": {"formula": "S * E(g)", "value": 50500}
+  },
+  "planes": {
+    "g": "local",
+    "j": "neighbor-broadcast",
+    "jp": "neighbor-broadcast"
+  }
+}
+"#;
+
+#[test]
+fn logicj_report_is_pinned() {
+    let rep = assert_golden("logicJ", LOGIC_J, LOGIC_J_JSON);
+    assert!(!rep.has_errors() && !rep.has_warnings());
+}
+
+// ------------------------------------------------------ broken: unsafe rule
+
+const UNSAFE: &str = "\
+.output p.
+p(X, Y) :- q(X).
+";
+
+const UNSAFE_JSON: &str = r#"{
+  "diagnostics": [
+    {"code": "safety.unbound", "severity": "error", "rule": 0, "pred": null, "line": 2, "col": 1, "start": 11, "end": 27, "message": "unsafe rule #0 (head) at 2:1: variable(s) Y not bound by any positive relational subgoal"}
+  ],
+  "bounds": {},
+  "planes": {}
+}
+"#;
+
+#[test]
+fn unsafe_rule_report_is_pinned() {
+    let rep = assert_golden("unsafe", UNSAFE, UNSAFE_JSON);
+    assert!(rep.has_errors());
+}
+
+// -------------------------------------------------- broken: cartesian join
+
+const CARTESIAN: &str = "\
+.base r. .base s.
+.window r 10. .window s 10.
+.output q.
+q(X, Y) :- r(X), s(Y).
+";
+
+const CARTESIAN_JSON: &str = r#"{
+  "diagnostics": [
+    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "q", "line": 4, "col": 1, "start": 57, "end": 79, "message": "static tuple bound for `q`: E(r) * E(s) = 250000"},
+    {"code": "plan.cartesian-join", "severity": "warning", "rule": 0, "pred": "s", "line": 4, "col": 18, "start": 74, "end": 78, "message": "rule #0: subgoal `s` is probed with no bound column (cartesian join)"},
+    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "q", "line": 4, "col": 1, "start": 57, "end": 79, "message": "predicate `q` evaluates on the tree-routed plane"}
+  ],
+  "bounds": {
+    "q": {"formula": "E(r) * E(s)", "value": 250000},
+    "r": {"formula": "E(r)", "value": 500},
+    "s": {"formula": "E(s)", "value": 500}
+  },
+  "planes": {
+    "q": "tree-routed",
+    "r": "local",
+    "s": "local"
+  }
+}
+"#;
+
+#[test]
+fn cartesian_join_report_is_pinned() {
+    let rep = assert_golden("cartesian", CARTESIAN, CARTESIAN_JSON);
+    assert!(!rep.has_errors() && rep.has_warnings());
+}
+
+// ------------------------------------------------ broken: dead predicate
+
+const DEAD: &str = "\
+.base e.
+.window e 10.
+.output t.
+t(X, Y) :- e(X, Y).
+orphan(X) :- e(X, _).
+";
+
+const DEAD_JSON: &str = r#"{
+  "diagnostics": [
+    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "orphan", "line": 5, "col": 1, "start": 54, "end": 75, "message": "static tuple bound for `orphan`: E(e) = 500"},
+    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "t", "line": 4, "col": 1, "start": 34, "end": 53, "message": "static tuple bound for `t`: E(e) = 500"},
+    {"code": "plan.dead-pred", "severity": "warning", "rule": null, "pred": "orphan", "line": 5, "col": 1, "start": 54, "end": 75, "message": "predicate `orphan` is unreachable from any `.output` query"},
+    {"code": "plan.dead-rule", "severity": "warning", "rule": 1, "pred": "orphan", "line": 5, "col": 1, "start": 54, "end": 75, "message": "rule #1 derives dead predicate `orphan`"},
+    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "orphan", "line": 5, "col": 1, "start": 54, "end": 75, "message": "predicate `orphan` evaluates on the local plane"},
+    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "t", "line": 4, "col": 1, "start": 34, "end": 53, "message": "predicate `t` evaluates on the local plane"}
+  ],
+  "bounds": {
+    "e": {"formula": "E(e)", "value": 500},
+    "orphan": {"formula": "E(e)", "value": 500},
+    "t": {"formula": "E(e)", "value": 500}
+  },
+  "planes": {
+    "e": "local",
+    "orphan": "local",
+    "t": "local"
+  }
+}
+"#;
+
+#[test]
+fn dead_predicate_report_is_pinned() {
+    let rep = assert_golden("dead", DEAD, DEAD_JSON);
+    assert!(!rep.has_errors() && rep.has_warnings());
+}
+
+// ------------------------------------- broken: non-XY negation cycle
+
+const NON_XY: &str = "\
+.base move.
+.window move 10.
+.output win.
+win(X) :- move(X, Y), not win(Y).
+";
+
+const NON_XY_JSON: &str = "{
+  \"diagnostics\": [
+    {\"code\": \"stratify.negation-cycle\", \"severity\": \"error\", \"rule\": 0, \"pred\": \"win\", \"line\": 4, \"col\": 1, \"start\": 42, \"end\": 75, \"message\": \"program is not stratified: predicate win depends negatively on win (rule #0 at 4:1) within the recursive component {win}; and the XY-stratification check failed: component {win} is not XY-stratified: rule #0: stage of subgoal win is not provably \u{2264} the head stage\"}
+  ],
+  \"bounds\": {},
+  \"planes\": {}
+}
+";
+
+#[test]
+fn negation_cycle_report_is_pinned() {
+    let rep = assert_golden("non-xy", NON_XY, NON_XY_JSON);
+    assert!(rep.has_errors());
+}
+
+// ------------------------------------------- broken: unbounded window
+
+const UNWINDOWED: &str = "\
+.output t.
+t(X, Y) :- e(X, Y).
+";
+
+const UNWINDOWED_JSON: &str = r#"{
+  "diagnostics": [
+    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "t", "line": 2, "col": 1, "start": 11, "end": 30, "message": "static tuple bound for `t`: E(e) = 500"},
+    {"code": "mem.window.unbounded", "severity": "warning", "rule": null, "pred": "e", "line": 2, "col": 12, "start": 22, "end": 29, "message": "base stream `e` has no `.window` and is not declared `.base`: stored tuples grow without bound"},
+    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "t", "line": 2, "col": 1, "start": 11, "end": 30, "message": "predicate `t` evaluates on the local plane"}
+  ],
+  "bounds": {
+    "e": {"formula": "E(e)", "value": 500},
+    "t": {"formula": "E(e)", "value": 500}
+  },
+  "planes": {
+    "e": "local",
+    "t": "local"
+  }
+}
+"#;
+
+#[test]
+fn unbounded_window_report_is_pinned() {
+    let rep = assert_golden("unwindowed", UNWINDOWED, UNWINDOWED_JSON);
+    assert!(!rep.has_errors() && rep.has_warnings());
+}
+
+// -------------------------------------------------------------- invariants
+
+/// Every diagnostic in every golden program that is attached to source
+/// carries a resolvable line:col — the span plumbing must not regress to
+/// 0:0 for any pass.
+#[test]
+fn all_source_diags_carry_spans() {
+    for (label, src) in [
+        ("logicH", LOGIC_H),
+        ("logicJ", LOGIC_J),
+        ("unsafe", UNSAFE),
+        ("cartesian", CARTESIAN),
+        ("dead", DEAD),
+        ("non-xy", NON_XY),
+        ("unwindowed", UNWINDOWED),
+    ] {
+        let rep = check(src);
+        assert!(!rep.diags.is_empty(), "{label}: analyzer was silent");
+        for d in &rep.diags {
+            assert!(
+                d.span.is_known(),
+                "{label}: diagnostic {} has no span",
+                d.code
+            );
+        }
+    }
+}

@@ -148,6 +148,14 @@ impl Snapshot {
             .sum()
     }
 
+    /// Gauge value by rendered scope string (e.g. `"global"`); 0 if absent.
+    pub fn gauge(&self, scope: &str, name: &str) -> u64 {
+        self.gauges
+            .iter()
+            .find(|g| g.scope == scope && g.name == name)
+            .map_or(0, |g| g.value)
+    }
+
     pub fn phase(&self, name: &str) -> Option<&PhaseRow> {
         self.phases.iter().find(|p| p.name == name)
     }

@@ -4,6 +4,15 @@
 //! sensorlog analyze <program.dl>
 //!     Parse + classify: safety, stratification, XY components, windows.
 //!
+//! sensorlog check <program.dl> [--format text|json] [--deny-warnings]
+//!         [--nodes <n>] [--events <n>]
+//!     Static analysis: per-predicate memory bounds, plan lints
+//!     (cartesian joins, dead code, multi-pass negation) and
+//!     communication-plane classification, as span-carrying diagnostics.
+//!     --format json emits the machine-readable report; --deny-warnings
+//!     exits non-zero on warnings; --nodes/--events set the topology and
+//!     workload parameters the bound formulas are evaluated against.
+//!
 //! sensorlog run <program.dl> [--facts <facts.dl>] [--output <pred>]
 //!     Centralized bottom-up evaluation over a fact file.
 //!
@@ -27,10 +36,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("deploy") => cmd_deploy(&args[1..]),
         _ => {
-            eprintln!("usage: sensorlog <analyze|run|deploy> <program.dl> [options]");
+            eprintln!("usage: sensorlog <analyze|check|run|deploy> <program.dl> [options]");
             eprintln!("       (see `src/bin/sensorlog.rs` header for options)");
             return ExitCode::from(2);
         }
@@ -47,10 +57,16 @@ fn main() -> ExitCode {
 type AnyError = Box<dyn std::error::Error>;
 
 fn flag(args: &[String], name: &str) -> Option<String> {
+    // Accepts both `--flag value` and `--flag=value`.
+    let prefix = format!("{name}=");
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix(&prefix).map(str::to_string))
+        })
 }
 
 fn load_program(args: &[String]) -> Result<(String, sensorlog::logic::Program), AnyError> {
@@ -89,6 +105,51 @@ fn cmd_analyze(args: &[String]) -> Result<(), AnyError> {
         for (p, w) in &analysis.program.windows {
             println!("  {p}: {w} ms");
         }
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), AnyError> {
+    use sensorlog::logic::diag;
+    // Load the raw source ourselves: parse errors must become diagnostics
+    // in the report, not early CLI failures.
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("missing <program.dl> argument")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut params = diag::BoundParams::default();
+    if let Some(n) = flag(args, "--nodes") {
+        params.nodes = n.parse()?;
+    }
+    if let Some(e) = flag(args, "--events") {
+        params.default_events = e.parse()?;
+    }
+    let rep = diag::check_source(&src, &BuiltinRegistry::standard(), &params);
+    match flag(args, "--format").as_deref().unwrap_or("text") {
+        "json" => print!("{}", rep.to_json()),
+        "text" => {
+            print!("{}", rep.to_text());
+            let (e, w) = (
+                rep.diags
+                    .iter()
+                    .filter(|d| d.severity == diag::Severity::Error)
+                    .count(),
+                rep.diags
+                    .iter()
+                    .filter(|d| d.severity == diag::Severity::Warning)
+                    .count(),
+            );
+            eprintln!("-- {path}: {e} error(s), {w} warning(s)");
+        }
+        other => return Err(format!("unknown --format `{other}` (text|json)").into()),
+    }
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    if rep.has_errors() {
+        return Err(format!("{path}: check failed").into());
+    }
+    if deny_warnings && rep.has_warnings() {
+        return Err(format!("{path}: warnings denied by --deny-warnings").into());
     }
     Ok(())
 }

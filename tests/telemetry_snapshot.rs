@@ -70,6 +70,20 @@ fn assert_full_snapshot(snap: &Snapshot, label: &str, preds: &[&str]) {
     ] {
         assert!(jsonl.contains(needle), "{label}: JSONL lacks {needle}");
     }
+
+    // Static-bound cross-validation: observed per-predicate peaks were
+    // recorded, and none of them exceeded the analyzer's memory bounds.
+    assert!(
+        snap.gauges
+            .iter()
+            .any(|g| g.scope.starts_with("pred:") && g.name == "peak_stored" && g.value > 0),
+        "{label}: no per-predicate peak_stored gauges recorded"
+    );
+    assert_eq!(
+        snap.gauge("global", "diag.bound.violations"),
+        0,
+        "{label}: observed state exceeded the static analyzer's bounds"
+    );
 }
 
 #[test]
