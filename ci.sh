@@ -49,6 +49,18 @@ if [[ "$fast" -eq 0 ]]; then
     cargo run -q --release -p sensorlog-bench --bin sched -- --quick --out "$sched_out"
     python3 -m json.tool "$sched_out" > /dev/null
     rm -f "$sched_out"
+
+    # Region-sharded scheduler smoke: a 2-worker quick run whose journal
+    # must match the single-wheel oracle hash computed in the same process
+    # (the bin exits non-zero on any divergence), plus the pinned quick
+    # trace hash as a cross-process regression anchor.
+    echo "== shard scaling smoke (--quick, 2-worker journal pinned) =="
+    shard_out=$(mktemp /tmp/bench_shard.XXXXXX.json)
+    cargo run -q --release -p sensorlog-bench --bin shard -- --quick --out "$shard_out"
+    python3 -m json.tool "$shard_out" > /dev/null
+    grep -q '"hash": "454242ed8c28a208"' "$shard_out" || {
+        echo "shard smoke: quick trace hash drifted (journal no longer matches the pin)"; exit 1; }
+    rm -f "$shard_out"
 fi
 
 echo "CI OK"

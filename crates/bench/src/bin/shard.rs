@@ -1,0 +1,232 @@
+//! Region-sharded scheduler scaling curve, exported as `BENCH_shard.json`.
+//!
+//! ```text
+//! shard [--quick] [--out BENCH_shard.json]
+//! ```
+//!
+//! One deployment — logicH (the Example 3 shortest-path tree) on a
+//! 100k-node grid with the network's own links as the `g` workload — run
+//! under the single-wheel oracle and under `Sched::Shard` at 1/2/4/8
+//! workers. For every configuration the journal hash must match the
+//! oracle byte-for-byte (the determinism contract of
+//! `tests/trace_stability.rs`, enforced here too), so the curve compares
+//! *execution strategies*, never models.
+//!
+//! All edges inject simultaneously (spacing 0) so every region has work
+//! in every window — id-sequential injection would walk a wavefront
+//! through one region at a time and serialize the partition.
+//!
+//! Two speedup figures, both reported:
+//!
+//! * **model** — `shard_work_ns / shard_crit_ns`: summed per-region busy
+//!   time over the summed per-window critical path (the max busy region
+//!   of each window). This is what the 4 workers actually buy — the
+//!   parallel speedup a host with ≥ workers cores reaches — measured
+//!   from the real windowed execution with worker threads off so
+//!   thread-spawn noise never pollutes the busy-time clocks (on a
+//!   1-core CI host that is also the only honest configuration). The
+//!   acceptance gate (`speedup_at_4_workers ≥ 2`) reads this figure.
+//! * **wall** — measured wall-clock against the single-wheel oracle,
+//!   per run. The sharded backend wins even single-threaded (k small
+//!   wheels with shallow spill tiers beat one wheel holding the whole
+//!   network's pending set); on a multi-core host the model factor
+//!   stacks on top of it.
+//!
+//! `--quick` shrinks the grid so CI proves the harness end-to-end (runs,
+//! journals match, JSON parses) in seconds; the committed
+//! `BENCH_shard.json` comes from a full run.
+
+use sensorlog_core::deploy::{DeployConfig, Deployment};
+use sensorlog_core::workload::graph_edges;
+use sensorlog_core::{RtConfig, Strategy};
+use sensorlog_logic::builtin::BuiltinRegistry;
+use sensorlog_netsim::{Sched, SimConfig, Topology};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const LOGIC_H: &str = r#"
+    .output h.
+    h(0, 0, 0).
+    h(0, X, 1) :- g(0, X).
+    hp(Y, D + 1) :- h(_, Y, D'), (D + 1) > D', h(_, X, D), g(X, Y).
+    h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).
+"#;
+
+struct Run {
+    workers: u64,
+    wall_s: f64,
+    hash: u64,
+    records: usize,
+    windows: u64,
+    cross_msgs: u64,
+    serial_events: u64,
+    regions: u64,
+    work_ns: u64,
+    crit_ns: u64,
+}
+
+impl Run {
+    fn model_speedup(&self) -> f64 {
+        if self.crit_ns == 0 {
+            1.0
+        } else {
+            self.work_ns as f64 / self.crit_ns as f64
+        }
+    }
+}
+
+/// One full deployment under `sched`; threading off so the per-region
+/// busy-time clocks measure region work, not spawn overhead.
+fn run_case(cols: u32, rows: u32, horizon: u64, sched: Sched, label: &str) -> Run {
+    let topo = Topology::grid(cols, rows);
+    let cfg = DeployConfig {
+        rt: RtConfig {
+            strategy: Strategy::Perpendicular { band_width: 1.0 },
+            ..RtConfig::default()
+        },
+        sim: SimConfig {
+            loss_prob: 0.05,
+            seed: 17,
+            sched,
+            ..SimConfig::default()
+        },
+        ..DeployConfig::default()
+    };
+    let mut d = Deployment::new(LOGIC_H, BuiltinRegistry::standard(), topo.clone(), cfg)
+        .expect("bench program compiles");
+    d.set_shard_threading(false);
+    let journal = d.attach_journal();
+    d.schedule_all(graph_edges(&topo, 100, 0));
+    let t0 = Instant::now();
+    d.run(horizon);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let j = journal.take();
+    let s = d.sched_stats();
+    let workers = match sched {
+        Sched::Shard { workers } => workers as u64,
+        _ => 0,
+    };
+    eprintln!(
+        "{label}: wall {wall_s:.2}s, {} records, {} windows, model {:.2}x",
+        j.records.len(),
+        s.shard_windows,
+        if s.shard_crit_ns > 0 {
+            s.shard_work_ns as f64 / s.shard_crit_ns as f64
+        } else {
+            1.0
+        }
+    );
+    Run {
+        workers,
+        wall_s,
+        hash: j.content_hash(),
+        records: j.records.len(),
+        windows: s.shard_windows,
+        cross_msgs: s.shard_cross_msgs,
+        serial_events: s.shard_serial_events,
+        regions: s.shard_regions,
+        work_ns: s.shard_work_ns,
+        crit_ns: s.shard_crit_ns,
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_shard.json".into());
+
+    // 100_000 nodes full; a 30×20 grid quick. The horizon covers tree
+    // convergence after the simultaneous edge injection at t=100.
+    let (cols, rows, horizon): (u32, u32, u64) = if quick {
+        (30, 20, 400_000)
+    } else {
+        (400, 250, 4_000_000)
+    };
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let baseline = run_case(cols, rows, horizon, Sched::Wheel, "wheel");
+    let mut runs: Vec<Run> = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let label = format!("shard{workers}");
+        let r = run_case(cols, rows, horizon, Sched::Shard { workers }, &label);
+        if r.hash != baseline.hash || r.records != baseline.records {
+            eprintln!(
+                "shard: {label} journal diverged from the wheel oracle \
+                 ({} records, hash {:016x} vs {} / {:016x})",
+                r.records, r.hash, baseline.records, baseline.hash
+            );
+            return ExitCode::FAILURE;
+        }
+        runs.push(r);
+    }
+
+    let at4 = runs
+        .iter()
+        .find(|r| r.workers == 4)
+        .expect("4-worker run present");
+    let speedup_at_4 = at4.model_speedup();
+    let wall_at_4 = baseline.wall_s / at4.wall_s;
+
+    // Hand-rolled JSON — stable field order, no external deps.
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"bench\": \"shard\",\n  \"quick\": {quick},\n"));
+    s.push_str(&format!(
+        "  \"nodes\": {},\n  \"grid\": [{cols}, {rows}],\n  \"horizon_ms\": {horizon},\n",
+        cols as u64 * rows as u64
+    ));
+    s.push_str(&format!(
+        "  \"host_cores\": {host_cores},\n  \"oracle\": {{\"backend\": \"wheel\", \
+         \"wall_s\": {:.3}, \"records\": {}, \"hash\": \"{:016x}\"}},\n",
+        baseline.wall_s, baseline.records, baseline.hash
+    ));
+    s.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workers\": {}, \"regions\": {}, \"wall_s\": {:.3}, \
+             \"wall_speedup_vs_wheel\": {:.2}, \"model_speedup\": {:.2}, \
+             \"windows\": {}, \"cross_msgs\": {}, \"serial_events\": {}, \
+             \"work_ms\": {:.1}, \"crit_ms\": {:.1}, \"journal_matches_oracle\": true}}{}\n",
+            r.workers,
+            r.regions,
+            r.wall_s,
+            baseline.wall_s / r.wall_s,
+            r.model_speedup(),
+            r.windows,
+            r.cross_msgs,
+            r.serial_events,
+            r.work_ns as f64 / 1e6,
+            r.crit_ns as f64 / 1e6,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"speedup_at_4_workers\": {speedup_at_4:.2},\n  \
+         \"wall_speedup_at_4_workers\": {wall_at_4:.2}\n}}\n"
+    ));
+
+    if let Err(e) = std::fs::write(&out_path, &s) {
+        eprintln!("shard: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "shard OK: {} runs, model speedup at 4 workers {:.2}x (wall {:.2}x) -> {out_path}",
+        runs.len(),
+        speedup_at_4,
+        wall_at_4
+    );
+    if speedup_at_4 < 2.0 && !quick {
+        eprintln!("shard: model speedup at 4 workers below the 2x acceptance gate");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

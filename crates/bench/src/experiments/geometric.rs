@@ -73,7 +73,8 @@ pub fn fig16() -> Table {
             Strategy::Perpendicular { band_width: 1.7 },
             Strategy::Centroid,
         ] {
-            let topo = Topology::random_geometric(n, side, 1.7, 97);
+            let topo = Topology::random_geometric(n, side, 1.7, 97)
+                .expect("fig16 density is chosen to connect");
             let cfg = DeployConfig {
                 rt: RtConfig {
                     strategy,

@@ -60,7 +60,12 @@ pub fn table3() -> Table {
             .events(&topo);
             let sim = SimConfig {
                 loss_prob: loss,
-                retries: if loss > 0.0 { 2 } else { 0 },
+                // One retry, not two: with p=0.1 a message dies with
+                // probability 1e-2, so even the ~1k-send Centroid row
+                // expects ~11 exhausted drops and the drops>0 assertion
+                // below is statistically safe; at two retries (1e-3) the
+                // small rows turn it into a seed lottery.
+                retries: if loss > 0.0 { 1 } else { 0 },
                 ..SimConfig::default()
             };
             let p = run_case(

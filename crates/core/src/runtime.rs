@@ -18,7 +18,7 @@ use sensorlog_eval::{IncrementalEngine, Update, UpdateKind};
 use sensorlog_logic::{Symbol, Tuple};
 use sensorlog_netsim::{App, Ctx, MsgMeta, NodeId, SimTime, Topology, TopologyKind};
 use sensorlog_netstack::ght;
-use sensorlog_telemetry::{Scope, Telemetry};
+use sensorlog_telemetry::{Histogram, Scope, Telemetry, SIM_MS_BUCKETS};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
@@ -28,15 +28,31 @@ use std::sync::Arc;
 pub struct NetInfo {
     pub topo: Topology,
     next_hop_tbl: Option<Vec<Vec<u32>>>,
+    /// Network depth in hops: the longest route a message can take
+    /// (grid diameter, or BFS eccentricity of node 0 off-grid). Scales
+    /// per-hop latency estimates up to end-to-end bounds; always ≥ 1.
+    depth: SimTime,
 }
 
 impl NetInfo {
     pub fn new(topo: Topology) -> NetInfo {
-        let next_hop_tbl = match topo.kind {
-            TopologyKind::Grid { .. } => None,
-            _ => Some(build_next_hop(&topo)),
+        let (next_hop_tbl, depth) = match topo.kind {
+            TopologyKind::Grid { cols, rows } => (None, (cols + rows).saturating_sub(2) as SimTime),
+            _ => (
+                Some(build_next_hop(&topo)),
+                bfs_eccentricity(&topo, NodeId(0)),
+            ),
         };
-        NetInfo { topo, next_hop_tbl }
+        NetInfo {
+            topo,
+            next_hop_tbl,
+            depth: depth.max(1),
+        }
+    }
+
+    /// Network depth in hops (≥ 1).
+    pub fn depth(&self) -> SimTime {
+        self.depth
     }
 
     /// Next hop from `from` toward `dest` (`from != dest`). `None` when
@@ -81,6 +97,24 @@ fn build_next_hop(topo: &Topology) -> Vec<Vec<u32>> {
         }
     }
     out
+}
+
+/// Max BFS hop distance from `root` to any reachable node.
+fn bfs_eccentricity(topo: &Topology, root: NodeId) -> SimTime {
+    let mut dist = vec![u64::MAX; topo.len()];
+    dist[root.index()] = 0;
+    let mut ecc = 0;
+    let mut q = std::collections::VecDeque::from([root]);
+    while let Some(v) = q.pop_front() {
+        for &w in topo.neighbors(v) {
+            if dist[w.index()] == u64::MAX {
+                dist[w.index()] = dist[v.index()] + 1;
+                ecc = ecc.max(dist[w.index()]);
+                q.push_back(w);
+            }
+        }
+    }
+    ecc
 }
 
 /// Runtime timing/strategy configuration, shared by all nodes.
@@ -186,6 +220,12 @@ pub struct SensorlogNode {
     /// Telemetry handle shared across the deployment (disabled by default;
     /// a pure observer — it never touches timers, messages, or the RNG).
     tele: Telemetry,
+    /// Always-on per-hop result-lag histogram feeding the adaptive holddown
+    /// default. Deliberately NOT behind the telemetry handle: its samples
+    /// are pure simulated-time values (deterministic for a fixed seed), and
+    /// the derived holddown affects the schedule — keeping it always-on
+    /// preserves the "telemetry never perturbs the trace" invariant.
+    hop_lag: Histogram,
 }
 
 impl SensorlogNode {
@@ -226,6 +266,7 @@ impl SensorlogNode {
             owned_per_pred: HashMap::new(),
             output_log: Vec::new(),
             tele,
+            hop_lag: Histogram::new(SIM_MS_BUCKETS),
         }
     }
 
@@ -721,8 +762,12 @@ impl SensorlogNode {
         self.tele.bump(Scope::Pred(pred.as_str()), "deriv_deltas");
         // Sim-time lag between the originating update and its derivation
         // delta landing at the owner (storage + join + result routing).
-        self.tele
-            .record_sim("core.result.apply", ctx.local_time.saturating_sub(tau));
+        let lag = ctx.local_time.saturating_sub(tau);
+        self.tele.record_sim("core.result.apply", lag);
+        // Per-hop estimate: the end-to-end lag spread over the network
+        // depth. Feeds the adaptive holddown default for predicates with
+        // no declared `.holddown`.
+        self.hop_lag.observe(lag / self.net.depth());
         if !self.owned.contains_key(&(pred, tuple.clone())) {
             *self.owned_per_pred.entry(pred).or_insert(0) += 1;
         }
@@ -744,13 +789,34 @@ impl SensorlogNode {
             ctx.set_timer(w + self.cfg.tau_c + 1, tag);
         }
         if needs_holddown {
-            let holddown = self.prog.holddown.get(&pred).copied().unwrap_or(100);
+            let holddown = self
+                .prog
+                .holddown
+                .get(&pred)
+                .copied()
+                .unwrap_or_else(|| self.default_holddown());
             let tag = self.arm_timer(TimerAction::Holddown(pred, tuple));
             ctx.set_timer(holddown, tag);
         }
         let total: usize = self.owned.values().map(|o| o.counts.len()).sum();
         self.stats.peak_derivations = self.stats.peak_derivations.max(total);
         self.note_pred_stored(pred);
+    }
+
+    /// Holddown for predicates with no declared `.holddown`: p95 observed
+    /// per-hop result lag Ã network depth (the ROADMAP adaptive-holddown
+    /// item, minimal version) â long enough for a canceling delta to cross
+    /// the network, short enough to track the deployment's real latency
+    /// instead of a hard-coded constant. Clamped to `[10, Ïj]`; 100 until
+    /// the first observation. Declared `.holddown` values stay
+    /// authoritative (checked before this is consulted).
+    fn default_holddown(&self) -> SimTime {
+        match self.hop_lag.quantile_upper(0.95) {
+            Some(per_hop) => per_hop
+                .saturating_mul(self.net.depth())
+                .clamp(10, self.cfg.tau_j.max(10)),
+            None => 100,
+        }
     }
 
     /// Holddown expired: propagate the tuple's liveness if it still differs
@@ -985,7 +1051,7 @@ mod tests {
 
     #[test]
     fn netinfo_geometric_uses_bfs_tables() {
-        let topo = Topology::random_geometric(20, 4.0, 1.7, 5);
+        let topo = Topology::random_geometric(20, 4.0, 1.7, 5).unwrap();
         let net = NetInfo::new(topo.clone());
         // Hop chains always terminate at the destination.
         for (a, b) in [(0u32, 19u32), (5, 12)] {

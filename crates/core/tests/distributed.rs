@@ -10,7 +10,7 @@ use sensorlog_core::{PassMode, RtConfig, Strategy};
 use sensorlog_eval::UpdateKind;
 use sensorlog_logic::builtin::BuiltinRegistry;
 use sensorlog_logic::{parse_fact, Symbol, Term, Tuple};
-use sensorlog_netsim::{NodeId, Topology};
+use sensorlog_netsim::{NodeId, SimConfig, Topology};
 
 fn sym(s: &str) -> Symbol {
     Symbol::intern(s)
@@ -507,7 +507,7 @@ fn message_loss_degrades_completeness_not_soundness_much() {
     };
     let mut cfg = config_with(Strategy::Perpendicular { band_width: 1.0 });
     cfg.sim.loss_prob = 0.10;
-    cfg.sim.seed = 21;
+    cfg.sim.seed = 22;
     let topo2 = topo.clone();
     let mut d = Deployment::new(JOIN3, BuiltinRegistry::standard(), topo2, cfg).unwrap();
     let events = w.events(&topo);
@@ -586,7 +586,7 @@ fn telemetry_reports_sched_and_index_counters() {
 
 #[test]
 fn geometric_topology_banded_pa() {
-    let topo = Topology::random_geometric(25, 4.5, 1.8, 13);
+    let topo = Topology::random_geometric(25, 4.5, 1.8, 13).unwrap();
     let mut d = Deployment::new(
         JOIN2,
         BuiltinRegistry::standard(),
@@ -605,6 +605,67 @@ fn geometric_topology_banded_pa() {
     assert!(
         report.exact(),
         "missing {:?} spurious {:?}",
+        report.missing,
+        report.spurious
+    );
+}
+
+#[test]
+fn fig16_seed_geometric_completeness_is_exact() {
+    // Regression for the Fig. 16 completeness gap (0.95 at 50 nodes): a
+    // plain vertical band could miss a storage band entirely, so the pair
+    // never met. The detour rule in `netstack::regions::join_region` must
+    // close the gap — completeness exactly 1.0 on the shipped Fig. 16
+    // seed and workload, not merely "close".
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let n = 50usize;
+    let topo = Topology::random_geometric(n, 5.5, 1.7, 97).unwrap();
+    let cfg = DeployConfig {
+        rt: RtConfig {
+            strategy: Strategy::Perpendicular { band_width: 1.7 },
+            tau_s: 4_000,
+            tau_j: 8_000,
+            ..RtConfig::default()
+        },
+        sim: SimConfig {
+            seed: 13,
+            ..SimConfig::default()
+        },
+        ..DeployConfig::default()
+    };
+    let mut d = Deployment::new(JOIN3, BuiltinRegistry::standard(), topo.clone(), cfg).unwrap();
+    // The Fig. 16 workload: one reading per node per stream, selective keys.
+    let mut rng = StdRng::seed_from_u64(29 + n as u64);
+    let mut events = Vec::new();
+    let groups = (topo.len() as u32).max(2);
+    let mut value = 0i64;
+    for node in topo.nodes() {
+        for pred in ["r1", "r2"] {
+            value += 1;
+            events.push(WorkloadEvent {
+                at: 500 + rng.gen_range(0..10_000),
+                node,
+                pred: sym(pred),
+                tuple: Tuple::new(vec![
+                    Term::Int(node.0 as i64),
+                    Term::Int(value),
+                    Term::Int(rng.gen_range(0..groups) as i64),
+                ]),
+                kind: UpdateKind::Insert,
+            });
+        }
+    }
+    events.sort_by_key(|e| e.at);
+    d.schedule_all(events.clone());
+    d.run(60_000_000);
+    let report = oracle::check(&d, &events, sym("q"));
+    assert!(report.expected > 0, "workload must produce join results");
+    assert!(
+        report.exact(),
+        "completeness {} soundness {}: missing {:?} spurious {:?}",
+        report.completeness(),
+        report.soundness(),
         report.missing,
         report.spurious
     );

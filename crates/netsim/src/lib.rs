@@ -15,8 +15,17 @@
 //!
 //! Nodes implement [`sim::App`]; the harness injects sensor readings via
 //! [`sim::Simulator::invoke`].
+//!
+//! Three interchangeable scheduler backends ([`sim::Sched`]) pop events
+//! in the identical global `(at, key)` order: a retained binary heap
+//! (reference oracle), a hierarchical timer wheel (default), and a
+//! region-sharded conservative-PDES backend ([`shard`]) that advances
+//! per-region wheels on worker threads in lookahead-bounded lockstep
+//! windows — byte-identical journals, pinned in
+//! `tests/trace_stability.rs`.
 
 pub mod metrics;
+pub(crate) mod shard;
 pub mod sim;
 pub mod topology;
 pub mod trace;
@@ -24,7 +33,7 @@ pub mod wheel;
 
 pub use metrics::{EnergyModel, Metrics, NodeCounters};
 pub use sim::{App, Ctx, MsgMeta, Sched, SchedStats, SimConfig, SimTime, Simulator};
-pub use topology::{NodeId, Topology, TopologyKind};
+pub use topology::{ConnectivityError, NodeId, Topology, TopologyKind};
 pub use trace::{
     DropReason, Journal, ReplayChecker, SharedJournal, SharedSummary, TraceEvent, TraceRecord,
     TraceSink, TraceSummary,

@@ -97,6 +97,39 @@ impl Metrics {
         self.reg.bump(Scope::Kind(kind), "lost", 1);
     }
 
+    /// Batch-merge of `n` transmissions totalling `bytes` from `node` — the
+    /// shard workers' window-barrier flush path. Equivalent to `n` calls to
+    /// [`Metrics::record_tx`] minus the per-kind bump (see
+    /// [`Metrics::add_kind`]).
+    pub(crate) fn add_node_tx(&mut self, node: NodeId, n: u64, bytes: u64) {
+        let ids = self.per_node[node.index()];
+        self.reg.inc_by(ids.tx, n);
+        self.reg.inc_by(ids.tx_bytes, bytes);
+    }
+
+    /// Batch-merge of `n` receptions totalling `bytes` at `node`.
+    pub(crate) fn add_node_rx(&mut self, node: NodeId, n: u64, bytes: u64) {
+        let ids = self.per_node[node.index()];
+        self.reg.inc_by(ids.rx, n);
+        self.reg.inc_by(ids.rx_bytes, bytes);
+    }
+
+    /// Batch-merge of per-kind counters. Zero deltas are skipped so the set
+    /// of registry keys stays identical to what the serial per-call path
+    /// would have created (a kind only gets a "tx" counter if it ever
+    /// transmitted, etc.).
+    pub(crate) fn add_kind(&mut self, kind: &'static str, tx: u64, rx: u64, lost: u64) {
+        if tx > 0 {
+            self.reg.bump(Scope::Kind(kind), "tx", tx);
+        }
+        if rx > 0 {
+            self.reg.bump(Scope::Kind(kind), "rx", rx);
+        }
+        if lost > 0 {
+            self.reg.bump(Scope::Kind(kind), "lost", lost);
+        }
+    }
+
     pub fn node(&self, id: NodeId) -> NodeCounters {
         let ids = self.per_node[id.index()];
         NodeCounters {

@@ -22,6 +22,30 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// Sampling a connected random geometric graph failed: the requested
+/// density (`n` nodes, square side, radius) never produced a connected
+/// graph within the attempt budget.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConnectivityError {
+    pub n: usize,
+    pub side: f64,
+    pub radius: f64,
+    pub attempts: u32,
+}
+
+impl fmt::Display for ConnectivityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "could not sample a connected geometric graph in {} attempts \
+             (n={}, side={}, radius={}): raise the radius or density",
+            self.attempts, self.n, self.side, self.radius
+        )
+    }
+}
+
+impl std::error::Error for ConnectivityError {}
+
 /// Topology kinds (used by routing to pick strategies).
 #[derive(Clone, Debug, PartialEq)]
 pub enum TopologyKind {
@@ -87,11 +111,19 @@ impl Topology {
 
     /// Connected random geometric graph: `n` nodes uniform in a square of
     /// side `side`, connected iff within `radius`. Re-samples (up to 200
-    /// attempts) until connected; panics if the density is hopeless.
-    pub fn random_geometric(n: usize, side: f64, radius: f64, seed: u64) -> Topology {
+    /// attempts) until connected; returns [`ConnectivityError`] if the
+    /// density is hopeless, so callers can report a usable diagnosis
+    /// instead of crashing mid-experiment.
+    pub fn random_geometric(
+        n: usize,
+        side: f64,
+        radius: f64,
+        seed: u64,
+    ) -> Result<Topology, ConnectivityError> {
         assert!(n > 0);
+        const ATTEMPTS: u32 = 200;
         let mut rng = StdRng::seed_from_u64(seed);
-        for _attempt in 0..200 {
+        for _attempt in 0..ATTEMPTS {
             let positions: Vec<(f64, f64)> = (0..n)
                 .map(|_| (rng.gen::<f64>() * side, rng.gen::<f64>() * side))
                 .collect();
@@ -112,10 +144,15 @@ impl Topology {
                 adjacency,
             };
             if topo.is_connected() {
-                return topo;
+                return Ok(topo);
             }
         }
-        panic!("random_geometric: could not sample a connected graph (n={n}, side={side}, radius={radius})");
+        Err(ConnectivityError {
+            n,
+            side,
+            radius,
+            attempts: ATTEMPTS,
+        })
     }
 
     /// Geometric topology from explicit node positions with unit-disk
@@ -303,8 +340,8 @@ mod tests {
 
     #[test]
     fn random_geometric_connected_deterministic() {
-        let t1 = Topology::random_geometric(30, 5.0, 1.6, 42);
-        let t2 = Topology::random_geometric(30, 5.0, 1.6, 42);
+        let t1 = Topology::random_geometric(30, 5.0, 1.6, 42).unwrap();
+        let t2 = Topology::random_geometric(30, 5.0, 1.6, 42).unwrap();
         assert!(t1.is_connected());
         assert_eq!(t1.position(NodeId(7)), t2.position(NodeId(7)));
         // Unit-disk property.
@@ -313,6 +350,15 @@ mod tests {
                 assert!(t1.distance(id, n) <= 1.6 + 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn hopeless_density_is_an_error_not_a_panic() {
+        // 40 nodes in a 100×100 square with radius 0.5 can essentially
+        // never be connected: the sampler must report, not crash.
+        let err = Topology::random_geometric(40, 100.0, 0.5, 1).unwrap_err();
+        assert_eq!(err.attempts, 200);
+        assert!(err.to_string().contains("radius=0.5"));
     }
 
     #[test]

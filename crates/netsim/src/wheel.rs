@@ -11,16 +11,19 @@
 //!   ring when the window advances.
 //!
 //! Determinism argument (the tie-break contract shared with the
-//! `BinaryHeap` baseline): global pop order must be exactly `(at, seq)`.
-//! Each ring slot holds events of a *single* exact timestamp, appended in
-//! push order — and `seq` is assigned by a monotone counter at push time,
-//! so within a slot FIFO order *is* seq order. Across slots the cursor
-//! visits timestamps in increasing order, and every spill timestamp is
+//! `BinaryHeap` baseline): global pop order must be exactly `(at, tie)`,
+//! where `tie = origin_node << 32 | per-origin counter` is unique but NOT
+//! globally monotone across pushes — a later push by a lower-numbered
+//! origin carries a smaller tie. Each ring slot holds events of a *single*
+//! exact timestamp, kept sorted by tie via binary-search insertion, so the
+//! slot front is always the slot minimum. Across slots the cursor visits
+//! timestamps in increasing order, and every spill timestamp is
 //! `>= base + WHEEL_SLOTS`, i.e. strictly after everything in the ring.
-//! Spill vectors are themselves per-exact-timestamp and FIFO, and a spill
-//! bucket is migrated wholesale into an *empty* ring slot before any newer
-//! push can target it, so no sorting is ever needed anywhere. Hence the pop
-//! sequence is byte-identical to the heap's `(at, seq)` order.
+//! Spill buckets are per-exact-timestamp and tie-sorted the same way, and
+//! a bucket is migrated wholesale into an *empty* ring slot (order
+//! preserved). Hence the pop sequence is byte-identical to the heap's
+//! `(at, tie)` order — the property that lets the sharded backend's
+//! per-region wheels merge into the single-wheel oracle's exact journal.
 //!
 //! The simulator only ever pushes events at `at >= now`, which keeps the
 //! cursor monotone; `push` debug-asserts it.
@@ -51,10 +54,10 @@ pub struct WheelStats {
     pub window_advances: u64,
 }
 
-/// A deterministic two-tier calendar queue over `(at, seq, item)` entries.
+/// A deterministic two-tier calendar queue over `(at, tie, item)` entries.
 pub struct TimerWheel<T> {
     /// Ring slot `i` holds events with `at & SLOT_MASK == i` inside the
-    /// current window, each in seq (push/migration) order.
+    /// current window, sorted by tie (binary-search insertion).
     slots: Vec<VecDeque<(SimTime, u64, T)>>,
     /// Occupancy bitmap over `slots`.
     bitmap: [u64; WORDS],
@@ -71,7 +74,7 @@ pub struct TimerWheel<T> {
     /// timestamp by a scan (it *is* the minimum), lowered by any push below
     /// it — so it never skips a schedulable slot.
     hint: SimTime,
-    /// Far-future events: exact timestamp → FIFO bucket.
+    /// Far-future events: exact timestamp → tie-sorted bucket.
     spill: BTreeMap<SimTime, Vec<(SimTime, u64, T)>>,
     ring_len: usize,
     spill_len: usize,
@@ -118,26 +121,39 @@ impl<T> TimerWheel<T> {
         self.bitmap[slot / 64] &= !(1u64 << (slot % 64));
     }
 
-    /// Insert an event. `seq` must be strictly greater than every previously
-    /// pushed seq (the simulator's global counter guarantees this), and `at`
-    /// must not precede the last popped timestamp.
-    pub fn push(&mut self, at: SimTime, seq: u64, item: T) {
+    /// Insert an event. `tie` must be unique among pending events at the
+    /// same timestamp (the simulator's origin-keyed counters guarantee
+    /// this), and `at` must not precede the last popped timestamp. Ties are
+    /// not assumed monotone: the entry is binary-search inserted so each
+    /// slot/bucket stays sorted by tie.
+    pub fn push(&mut self, at: SimTime, tie: u64, item: T) {
         debug_assert!(at >= self.cursor, "event scheduled in the past");
         self.hint = self.hint.min(at);
         if at < self.base + WHEEL_SLOTS as SimTime {
             let slot = Self::slot_of(at);
+            let dq = &mut self.slots[slot];
             debug_assert!(
-                self.slots[slot]
-                    .back()
-                    .is_none_or(|(a, s, _)| { *a == at && *s < seq }),
+                dq.front().is_none_or(|(a, _, _)| *a == at),
                 "slot holds a foreign timestamp"
             );
-            self.slots[slot].push_back((at, seq, item));
+            // Fast path: ties usually arrive in increasing order.
+            if dq.back().is_none_or(|(_, t, _)| *t < tie) {
+                dq.push_back((at, tie, item));
+            } else {
+                let pos = dq.partition_point(|&(_, t, _)| t < tie);
+                dq.insert(pos, (at, tie, item));
+            }
             self.mark(slot);
             self.ring_len += 1;
             self.stats.ring_pushes += 1;
         } else {
-            self.spill.entry(at).or_default().push((at, seq, item));
+            let bucket = self.spill.entry(at).or_default();
+            if bucket.last().is_none_or(|(_, t, _)| *t < tie) {
+                bucket.push((at, tie, item));
+            } else {
+                let pos = bucket.partition_point(|&(_, t, _)| t < tie);
+                bucket.insert(pos, (at, tie, item));
+            }
             self.spill_len += 1;
             self.stats.spill_pushes += 1;
         }
@@ -157,6 +173,21 @@ impl<T> TimerWheel<T> {
         // Ring empty: every pending event is in spill, and spill keys all
         // exceed base + WHEEL_SLOTS, so the earliest key is the answer.
         self.spill.keys().next().copied()
+    }
+
+    /// Full `(at, tie)` key of the earliest pending event — the comparison
+    /// key the sharded scheduler uses to pick the globally-minimal region
+    /// head. Pure lookahead like [`TimerWheel::next_at`].
+    pub fn next_key(&mut self) -> Option<(SimTime, u64)> {
+        if self.ring_len > 0 {
+            let at = self.scan_ring().expect("ring_len > 0 ⇒ occupied slot");
+            let e = self.slots[Self::slot_of(at)]
+                .front()
+                .expect("scanned slot is occupied");
+            debug_assert_eq!(e.0, at);
+            return Some((e.0, e.1));
+        }
+        self.spill.iter().next().map(|(&at, b)| (at, b[0].1))
     }
 
     /// Remove and return the earliest event as `(at, seq, item)`. This is
@@ -223,7 +254,7 @@ impl<T> TimerWheel<T> {
         self.stats.window_advances += 1;
         let end = new_base + WHEEL_SLOTS as SimTime;
         // Migrate every spill bucket inside the new window. Buckets hold a
-        // single exact timestamp in FIFO seq order; the target slots are
+        // single exact timestamp sorted by tie; the target slots are
         // empty (ring was empty), so order is preserved wholesale.
         let keys: Vec<SimTime> = self.spill.range(..end).map(|(&k, _)| k).collect();
         for k in keys {
@@ -295,14 +326,49 @@ mod tests {
     #[test]
     fn push_into_current_tick_while_draining() {
         // A zero-delay timer set from inside an event handler lands in the
-        // slot currently being drained; its (larger) seq keeps FIFO = seq.
+        // slot currently being drained and is inserted in tie order.
         let mut w = TimerWheel::new();
         w.push(7, 0, "first");
-        w.push(7, 1, "second");
+        w.push(7, 5, "last");
         assert_eq!(w.pop(), Some((7, 0, "first")));
-        w.push(7, 2, "third");
-        assert_eq!(w.pop(), Some((7, 1, "second")));
-        assert_eq!(w.pop(), Some((7, 2, "third")));
+        w.push(7, 2, "middle"); // below the slot's back: keyed insertion
+        assert_eq!(w.pop(), Some((7, 2, "middle")));
+        assert_eq!(w.pop(), Some((7, 5, "last")));
+    }
+
+    #[test]
+    fn out_of_order_ties_sort_within_slot_and_spill() {
+        // Origin-keyed ties are not monotone across pushes: a later push by
+        // a lower-numbered origin carries a smaller tie and must still pop
+        // first.
+        let mut w = TimerWheel::new();
+        w.push(9, 40, "d");
+        w.push(9, 10, "a");
+        w.push(9, 30, "c");
+        w.push(9, 20, "b");
+        let far = WHEEL_SLOTS as u64 * 2 + 3;
+        w.push(far, 8, "y");
+        w.push(far, 2, "x");
+        assert_eq!(w.pop(), Some((9, 10, "a")));
+        assert_eq!(w.pop(), Some((9, 20, "b")));
+        assert_eq!(w.pop(), Some((9, 30, "c")));
+        assert_eq!(w.pop(), Some((9, 40, "d")));
+        assert_eq!(w.pop(), Some((far, 2, "x")));
+        assert_eq!(w.pop(), Some((far, 8, "y")));
+    }
+
+    #[test]
+    fn next_key_peeks_the_minimum_without_rebasing() {
+        let mut w = TimerWheel::new();
+        assert_eq!(w.next_key(), None);
+        let far = WHEEL_SLOTS as u64 * 4 + 1;
+        w.push(far, 7, 'y');
+        assert_eq!(w.next_key(), Some((far, 7)));
+        w.push(6, 9, 'a'); // peek must not have rebased past this
+        w.push(6, 3, 'b');
+        assert_eq!(w.next_key(), Some((6, 3)));
+        assert_eq!(w.pop(), Some((6, 3, 'b')));
+        assert_eq!(w.next_key(), Some((6, 9)));
     }
 
     #[test]
@@ -322,24 +388,31 @@ mod tests {
     }
 
     /// The load-bearing property: pop order is byte-identical to a binary
-    /// heap ordered on (at, seq), under a hold-model workload mixing short
-    /// hop delays, long timers, and same-tick ties.
+    /// heap ordered on (at, tie), under a hold-model workload mixing short
+    /// hop delays, long timers, and same-tick ties. Ties mimic the
+    /// simulator's origin-keyed scheme: unique, but with random high bits
+    /// so later pushes regularly carry smaller ties.
     #[test]
     fn matches_heap_order_randomized() {
         let mut rng = StdRng::seed_from_u64(0x5EED_CA1E);
         let mut wheel = TimerWheel::new();
         let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
         let mut seq = 0u64;
+        let next_tie = |seq: &mut u64, rng: &mut StdRng| {
+            let tie = (rng.gen::<u32>() as u64) << 32 | *seq;
+            *seq += 1;
+            tie
+        };
         for i in 0..200u32 {
             let at = rng.gen_range(0..50);
-            wheel.push(at, seq, i);
-            heap.push(Reverse((at, seq, i)));
-            seq += 1;
+            let tie = next_tie(&mut seq, &mut rng);
+            wheel.push(at, tie, i);
+            heap.push(Reverse((at, tie, i)));
         }
         let mut popped = 0usize;
-        while let Some(Reverse((hat, hseq, hitem))) = heap.pop() {
+        while let Some(Reverse((hat, htie, hitem))) = heap.pop() {
             let got = wheel.pop().expect("wheel has the same events");
-            assert_eq!(got, (hat, hseq, hitem), "divergence at pop {popped}");
+            assert_eq!(got, (hat, htie, hitem), "divergence at pop {popped}");
             popped += 1;
             // Hold model: re-push with mixed short/long delays until a cap.
             if seq < 5_000 {
@@ -350,9 +423,9 @@ mod tests {
                     _ => 10_000 + (seq % 20_000), // spill-tier retention
                 };
                 let at = hat + delay;
-                wheel.push(at, seq, popped as u32);
-                heap.push(Reverse((at, seq, popped as u32)));
-                seq += 1;
+                let tie = next_tie(&mut seq, &mut rng);
+                wheel.push(at, tie, popped as u32);
+                heap.push(Reverse((at, tie, popped as u32)));
             }
         }
         assert!(wheel.is_empty());

@@ -72,11 +72,73 @@ pub fn storage_region(topo: &Topology, node: NodeId, band_width: f64) -> Vec<Nod
 }
 
 /// Join-computation region for PA: column on grids, vertical band elsewhere.
+///
+/// On geometric topologies the plain vertical band can miss a storage band
+/// entirely — when no band member's y-coordinate falls within `width/2` of
+/// some node `a`'s, the crossing cell `J(b) ∩ H(a)` is empty and `a`'s
+/// tuples silently never meet the join (the Fig. 16 completeness gap, at
+/// 0.95–0.99 before this fix). The band is therefore augmented with the
+/// \[44\]-style detour rule (see [`augment_with_detours`]), which restores
+/// the GPA intersection invariant: every join region intersects every
+/// storage region.
 pub fn join_region(topo: &Topology, node: NodeId, band_width: f64) -> Vec<NodeId> {
     match topo.kind {
         TopologyKind::Grid { .. } => grid_col(topo, node),
-        TopologyKind::Geometric { .. } => vertical_band(topo, node, band_width),
+        TopologyKind::Geometric { .. } => {
+            let mut band = vertical_band(topo, node, band_width);
+            augment_with_detours(topo, node, band_width, &mut band);
+            band
+        }
     }
+}
+
+/// The detour rule: for every node `a` whose horizontal storage band the
+/// vertical band misses entirely (no member within `width/2` of `y(a)`),
+/// add the storage-band member closest in x to this join region's spine
+/// (ties to the smaller id). The walk detours through that member, so
+/// `J(b) ∩ H(a) ≠ ∅` holds for *every* `a`: the detour node lies in `H(a)`
+/// by construction and is appended to `J(b)`. Each added node also covers
+/// every other uncovered node within `width/2` of its own y, so the
+/// augmentation stays small (one detour per uncovered y-stratum).
+fn augment_with_detours(topo: &Topology, node: NodeId, width: f64, band: &mut Vec<NodeId>) {
+    let (x0, _) = topo.position(node);
+    let half = width / 2.0;
+    let mut extra: Vec<NodeId> = Vec::new();
+    for a in topo.nodes() {
+        let ya = topo.position(a).1;
+        let covered = band
+            .iter()
+            .chain(extra.iter())
+            .any(|&v| (topo.position(v).1 - ya).abs() <= half);
+        if covered {
+            continue;
+        }
+        let detour = horizontal_band(topo, a, width)
+            .into_iter()
+            .min_by(|&u, &v| {
+                let du = (topo.position(u).0 - x0).abs();
+                let dv = (topo.position(v).0 - x0).abs();
+                du.partial_cmp(&dv)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(u.cmp(&v))
+            })
+            .expect("a node is always in its own storage band");
+        extra.push(detour);
+    }
+    if extra.is_empty() {
+        return;
+    }
+    band.extend(extra);
+    // Restore walk order (bottom → top, ids breaking coordinate ties so
+    // duplicates are adjacent) and drop duplicates.
+    band.sort_by(|&a, &b| {
+        topo.position(a)
+            .1
+            .partial_cmp(&topo.position(b).1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    band.dedup();
 }
 
 /// Truncate a region to the nodes within Euclidean `radius` of `center`,
@@ -121,7 +183,7 @@ mod tests {
 
     #[test]
     fn bands_cover_and_intersect() {
-        let topo = Topology::random_geometric(50, 6.0, 1.8, 3);
+        let topo = Topology::random_geometric(50, 6.0, 1.8, 3).unwrap();
         let w = 1.8;
         for &a in &[NodeId(0), NodeId(10), NodeId(25)] {
             let h = horizontal_band(&topo, a, w);
@@ -141,8 +203,46 @@ mod tests {
     }
 
     #[test]
+    fn geometric_join_regions_meet_every_storage_band() {
+        // The Fig. 16 regression: on sparse geometric layouts the plain
+        // vertical band can miss a storage band entirely; the detour rule
+        // must guarantee a non-empty intersection for EVERY pair.
+        for seed in [3u64, 5, 7, 13, 97] {
+            let topo = Topology::random_geometric(50, 5.5, 1.7, seed).unwrap();
+            let w = 1.7;
+            for b in topo.nodes() {
+                let j = join_region(&topo, b, w);
+                assert!(j.contains(&b), "join region must contain its owner");
+                for a in topo.nodes() {
+                    let h = storage_region(&topo, a, w);
+                    assert!(
+                        j.iter().any(|m| h.contains(m)),
+                        "seed {seed}: empty intersection J({b}) ∩ H({a})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detour_augmented_band_stays_ordered_and_deduped() {
+        let topo = Topology::random_geometric(50, 5.5, 1.7, 97).unwrap();
+        for b in topo.nodes() {
+            let j = join_region(&topo, b, 1.7);
+            for w in j.windows(2) {
+                assert!(topo.position(w[0]).1 <= topo.position(w[1]).1);
+                assert_ne!(w[0], w[1]);
+            }
+            let mut ids: Vec<NodeId> = j.clone();
+            ids.sort();
+            ids.dedup();
+            assert_eq!(ids.len(), j.len(), "duplicates in join region");
+        }
+    }
+
+    #[test]
     fn band_ordering() {
-        let topo = Topology::random_geometric(30, 5.0, 1.6, 7);
+        let topo = Topology::random_geometric(30, 5.0, 1.6, 7).unwrap();
         let band = horizontal_band(&topo, NodeId(3), 2.0);
         for w in band.windows(2) {
             assert!(topo.position(w[0]).0 <= topo.position(w[1]).0);
@@ -167,7 +267,7 @@ mod tests {
         let grid = Topology::square_grid(4);
         assert_eq!(storage_region(&grid, NodeId(5), 1.0).len(), 4);
         assert_eq!(join_region(&grid, NodeId(5), 1.0).len(), 4);
-        let geo = Topology::random_geometric(20, 4.0, 1.6, 5);
+        let geo = Topology::random_geometric(20, 4.0, 1.6, 5).unwrap();
         assert!(!storage_region(&geo, NodeId(2), 1.6).is_empty());
         assert!(!join_region(&geo, NodeId(2), 1.6).is_empty());
     }

@@ -160,7 +160,7 @@ mod tests {
 
     #[test]
     fn geometric_routes_reach() {
-        let topo = Topology::random_geometric(40, 6.0, 1.7, 1);
+        let topo = Topology::random_geometric(40, 6.0, 1.7, 1).unwrap();
         let mut r = Router::new(&topo);
         for a in [0u32, 5, 17] {
             for b in [3u32, 22, 39] {

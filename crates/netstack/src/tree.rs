@@ -187,7 +187,7 @@ mod tests {
 
     #[test]
     fn distributed_on_geometric() {
-        let topo = Topology::random_geometric(30, 5.0, 1.7, 9);
+        let topo = Topology::random_geometric(30, 5.0, 1.7, 9).unwrap();
         let (tree, _) = build_distributed(&topo, NodeId(0), SimConfig::default());
         for id in topo.nodes() {
             assert!(tree.depth[id.index()] != u32::MAX, "{id} unreached");

@@ -6,11 +6,13 @@
 //! guards (the same `Option`-gated pattern as `netsim`'s `TraceSink`), and
 //! exporters (JSONL snapshot, Prometheus-style text, human-readable table).
 //!
-//! Everything here is single-threaded by design: the simulator is a
-//! discrete-event loop on one thread, so handles are `Rc<RefCell<…>>`
-//! clones, not atomics. Determinism is a hard invariant of the workspace —
-//! all iteration orders are `BTreeMap`-sorted and no wall-clock values leak
-//! into anything that feeds a trace hash.
+//! Handles are `Arc<Mutex<…>>` clones so the sharded simulator's region
+//! workers can record from their lockstep windows; the hot per-event paths
+//! stay lock-free (workers accumulate into thread-local scratch and merge
+//! at window barriers — only coarse-grained recording takes the lock).
+//! Determinism is a hard invariant of the workspace — all iteration orders
+//! are `BTreeMap`-sorted and no wall-clock values leak into anything that
+//! feeds a trace hash.
 //!
 //! ```
 //! use sensorlog_telemetry::{Scope, Telemetry, BYTES_BUCKETS};
@@ -36,8 +38,9 @@ pub use histogram::{Histogram, MergeError};
 pub use profiler::{PhaseStat, Profiler, Span};
 pub use registry::{CounterId, GaugeId, HistId, Key, MetricsRegistry, Scope};
 
-use std::cell::{Ref, RefCell, RefMut};
-use std::rc::Rc;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::sync::MutexGuard;
 
 /// Standard byte-size buckets (upper-inclusive bounds) for message-size
 /// histograms.
@@ -47,7 +50,7 @@ pub const BYTES_BUCKETS: &[u64] = &[8, 16, 32, 64, 128, 256, 512, 1024];
 pub const SIM_MS_BUCKETS: &[u64] = &[10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000];
 
 struct TelemetryInner {
-    registry: RefCell<MetricsRegistry>,
+    registry: Mutex<MetricsRegistry>,
     profiler: Profiler,
 }
 
@@ -56,7 +59,7 @@ struct TelemetryInner {
 /// in release hot paths.
 #[derive(Clone, Default)]
 pub struct Telemetry {
-    inner: Option<Rc<TelemetryInner>>,
+    inner: Option<Arc<TelemetryInner>>,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -73,8 +76,8 @@ impl Telemetry {
     /// An enabled handle backed by a fresh registry and profiler.
     pub fn enabled() -> Self {
         Telemetry {
-            inner: Some(Rc::new(TelemetryInner {
-                registry: RefCell::new(MetricsRegistry::new()),
+            inner: Some(Arc::new(TelemetryInner {
+                registry: Mutex::new(MetricsRegistry::new()),
                 profiler: Profiler::enabled(),
             })),
         }
@@ -100,7 +103,7 @@ impl Telemetry {
     #[inline]
     pub fn add(&self, scope: Scope, name: &'static str, n: u64) {
         if let Some(inner) = &self.inner {
-            inner.registry.borrow_mut().bump(scope, name, n);
+            inner.registry.lock().bump(scope, name, n);
         }
     }
 
@@ -108,7 +111,7 @@ impl Telemetry {
     #[inline]
     pub fn gauge_max(&self, scope: Scope, name: &'static str, v: u64) {
         if let Some(inner) = &self.inner {
-            inner.registry.borrow_mut().gauge_max(scope, name, v);
+            inner.registry.lock().gauge_max(scope, name, v);
         }
     }
 
@@ -116,7 +119,7 @@ impl Telemetry {
     #[inline]
     pub fn gauge_set(&self, scope: Scope, name: &'static str, v: u64) {
         if let Some(inner) = &self.inner {
-            inner.registry.borrow_mut().gauge_set(scope, name, v);
+            inner.registry.lock().gauge_set(scope, name, v);
         }
     }
 
@@ -124,7 +127,7 @@ impl Telemetry {
     #[inline]
     pub fn observe(&self, scope: Scope, name: &'static str, bounds: &'static [u64], v: u64) {
         if let Some(inner) = &self.inner {
-            inner.registry.borrow_mut().observe(scope, name, bounds, v);
+            inner.registry.lock().observe(scope, name, bounds, v);
         }
     }
 
@@ -154,14 +157,14 @@ impl Telemetry {
         }
     }
 
-    /// Shared read access to the registry; `None` when disabled.
-    pub fn registry(&self) -> Option<Ref<'_, MetricsRegistry>> {
-        self.inner.as_ref().map(|i| i.registry.borrow())
+    /// Locked access to the registry; `None` when disabled.
+    pub fn registry(&self) -> Option<MutexGuard<'_, MetricsRegistry>> {
+        self.inner.as_ref().map(|i| i.registry.lock())
     }
 
-    /// Shared write access to the registry; `None` when disabled.
-    pub fn registry_mut(&self) -> Option<RefMut<'_, MetricsRegistry>> {
-        self.inner.as_ref().map(|i| i.registry.borrow_mut())
+    /// Locked mutable access to the registry; `None` when disabled.
+    pub fn registry_mut(&self) -> Option<MutexGuard<'_, MetricsRegistry>> {
+        self.inner.as_ref().map(|i| i.registry.lock())
     }
 
     /// Export everything recorded so far. Disabled handles export an empty
@@ -169,7 +172,7 @@ impl Telemetry {
     pub fn snapshot(&self) -> Snapshot {
         let mut snap = Snapshot::default();
         if let Some(inner) = &self.inner {
-            snap.absorb_registry(&inner.registry.borrow());
+            snap.absorb_registry(&inner.registry.lock());
             snap.absorb_profiler(&inner.profiler);
         }
         snap

@@ -7,9 +7,9 @@
 //! simulator's clock, not ours). Wall times never feed anything
 //! determinism-sensitive — they are export-only.
 
-use std::cell::RefCell;
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Aggregate for one phase name.
@@ -23,7 +23,7 @@ pub struct PhaseStat {
     pub sim_ms: u64,
 }
 
-type Phases = Rc<RefCell<BTreeMap<&'static str, PhaseStat>>>;
+type Phases = Arc<Mutex<BTreeMap<&'static str, PhaseStat>>>;
 
 /// Cheap clone-handle; all clones share one phase table.
 #[derive(Clone, Default)]
@@ -44,7 +44,7 @@ impl std::fmt::Debug for Profiler {
 impl Profiler {
     pub fn enabled() -> Self {
         Profiler {
-            phases: Some(Rc::new(RefCell::new(BTreeMap::new()))),
+            phases: Some(Arc::new(Mutex::new(BTreeMap::new()))),
         }
     }
 
@@ -64,7 +64,7 @@ impl Profiler {
     pub fn span(&self, phase: &'static str) -> Span {
         match &self.phases {
             Some(p) => Span {
-                inner: Some((Rc::clone(p), phase, Instant::now())),
+                inner: Some((Arc::clone(p), phase, Instant::now())),
             },
             None => Span::inert(),
         }
@@ -74,7 +74,7 @@ impl Profiler {
     #[inline]
     pub fn record_sim(&self, phase: &'static str, dt: u64) {
         if let Some(p) = &self.phases {
-            let mut map = p.borrow_mut();
+            let mut map = p.lock();
             let stat = map.entry(phase).or_default();
             stat.count += 1;
             stat.sim_ms += dt;
@@ -84,7 +84,7 @@ impl Profiler {
     /// Add raw wall nanoseconds to `phase` (for pre-measured intervals).
     pub fn record_wall_ns(&self, phase: &'static str, ns: u64) {
         if let Some(p) = &self.phases {
-            let mut map = p.borrow_mut();
+            let mut map = p.lock();
             let stat = map.entry(phase).or_default();
             stat.count += 1;
             stat.wall_ns += ns;
@@ -94,7 +94,7 @@ impl Profiler {
     /// Snapshot of all phases, sorted by name.
     pub fn phases(&self) -> Vec<(&'static str, PhaseStat)> {
         match &self.phases {
-            Some(p) => p.borrow().iter().map(|(k, v)| (*k, *v)).collect(),
+            Some(p) => p.lock().iter().map(|(k, v)| (*k, *v)).collect(),
             None => Vec::new(),
         }
     }
@@ -116,7 +116,7 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some((phases, phase, start)) = self.inner.take() {
             let ns = start.elapsed().as_nanos() as u64;
-            let mut map = phases.borrow_mut();
+            let mut map = phases.lock();
             let stat = map.entry(phase).or_default();
             stat.count += 1;
             stat.wall_ns += ns;

@@ -106,7 +106,7 @@ fn sptree_snapshot_is_complete() {
 
 #[test]
 fn geometric_snapshot_is_complete() {
-    let topo = Topology::random_geometric(25, 4.0, 1.7, 97);
+    let topo = Topology::random_geometric(25, 4.0, 1.7, 97).unwrap();
     let cfg = DeployConfig {
         rt: RtConfig {
             strategy: Strategy::Perpendicular { band_width: 1.7 },

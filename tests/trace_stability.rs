@@ -4,11 +4,18 @@
 //! RNG, the event queue, or timers).
 //!
 //! The pinned values come from `examples/trace_hash.rs` run at the
-//! pre-telemetry baseline. If a change legitimately alters simulator
+//! origin-keyed-tie baseline. If a change legitimately alters simulator
 //! behavior (new message kind, different timer schedule), re-run the
 //! example and update the constants — but an unexplained diff here means
 //! determinism broke.
+//!
+//! The same pin also gates the scheduler backends: the retained binary
+//! heap, the hierarchical timer wheel, and the region-sharded lockstep
+//! scheduler must all produce this exact journal — the shard backend's
+//! window barriers and mailbox flushes are required to be observationally
+//! invisible.
 
+use proptest::prelude::*;
 use sensorlog::core::deploy::{DeployConfig, Deployment};
 use sensorlog::core::strategy::Strategy;
 use sensorlog::core::workload::graph_edges;
@@ -22,9 +29,9 @@ const LOGIC_H: &str = r#"
     h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).
 "#;
 
-const PINNED_HASH: u64 = 0x38152b0464c5999b;
-const PINNED_RECORDS: usize = 28603;
-const PINNED_TX: u64 = 13831;
+const PINNED_HASH: u64 = 0xf223a9e4a847cca2;
+const PINNED_RECORDS: usize = 29219;
+const PINNED_TX: u64 = 14138;
 
 fn run_probe(telemetry: Telemetry) -> (usize, u64, u64) {
     run_probe_sched(telemetry, Sched::Wheel)
@@ -47,6 +54,11 @@ fn run_probe_sched(telemetry: Telemetry, sched: Sched) -> (usize, u64, u64) {
         ..DeployConfig::default()
     };
     let mut d = Deployment::new(LOGIC_H, BuiltinRegistry::standard(), topo.clone(), cfg).unwrap();
+    // Force the shard backend into real lockstep windows: at 200 nodes its
+    // pending queue would often sit below the serial-fallback threshold,
+    // and this pin is meant to exercise barriers + mailbox flushes, not
+    // the fallback path. No effect on the other backends.
+    d.set_shard_threshold(0);
     let journal = d.attach_journal();
     d.schedule_all(graph_edges(&topo, 100, 200));
     d.run(2_000_000);
@@ -76,6 +88,26 @@ fn heap_backend_matches_the_same_pin() {
 }
 
 #[test]
+fn shard_backend_matches_the_same_pin() {
+    // The region-sharded lockstep scheduler — per-region wheels advanced
+    // in lookahead-bounded windows, cross-region mailboxes flushed at the
+    // barrier, trace merged by (at, key) — must hit the exact constants
+    // pinned for the single wheel. Byte-identity, not statistical
+    // similarity: conservative PDES is an execution strategy, not a model
+    // change.
+    let (records, hash, tx) = run_probe_sched(Telemetry::disabled(), Sched::Shard { workers: 2 });
+    assert_eq!(
+        records, PINNED_RECORDS,
+        "shard backend record count drifted"
+    );
+    assert_eq!(tx, PINNED_TX, "shard backend transmission count drifted");
+    assert_eq!(
+        hash, PINNED_HASH,
+        "sharded and single-wheel schedulers produced different journals"
+    );
+}
+
+#[test]
 fn telemetry_does_not_perturb_the_trace() {
     let (records, hash, tx) = run_probe(Telemetry::enabled());
     assert_eq!(records, PINNED_RECORDS);
@@ -84,4 +116,78 @@ fn telemetry_does_not_perturb_the_trace() {
         hash, PINNED_HASH,
         "an enabled telemetry handle changed simulator behavior"
     );
+}
+
+/// Shard-vs-wheel journals for a small lossy logicH run under arbitrary
+/// worker counts and seeds. Returns the two record vectors.
+fn shard_oracle_pair(
+    cols: usize,
+    rows: usize,
+    seed: u64,
+    loss: f64,
+    workers: usize,
+) -> (
+    Vec<sensorlog::netsim::TraceRecord>,
+    Vec<sensorlog::netsim::TraceRecord>,
+) {
+    let mut out = Vec::new();
+    for sched in [Sched::Wheel, Sched::Shard { workers }] {
+        let topo = Topology::grid(cols as u32, rows as u32);
+        let cfg = DeployConfig {
+            rt: RtConfig {
+                strategy: Strategy::Perpendicular { band_width: 1.0 },
+                ..RtConfig::default()
+            },
+            sim: SimConfig {
+                loss_prob: loss,
+                seed,
+                sched,
+                ..SimConfig::default()
+            },
+            ..DeployConfig::default()
+        };
+        let mut d =
+            Deployment::new(LOGIC_H, BuiltinRegistry::standard(), topo.clone(), cfg).unwrap();
+        d.set_shard_threshold(0);
+        let journal = d.attach_journal();
+        d.schedule_all(graph_edges(&topo, 40, 120));
+        d.run(400_000);
+        out.push(journal.take().records);
+    }
+    let shard = out.pop().unwrap();
+    let wheel = out.pop().unwrap();
+    (wheel, shard)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Window-barrier flushing never reorders deliveries: for random grid
+    /// shapes, seeds, loss rates, and worker counts, the sharded journal is
+    /// record-for-record identical to the single-wheel oracle, and its
+    /// timestamps are nondecreasing — same-tick records keep the oracle's
+    /// (at, seq) order across every barrier.
+    #[test]
+    fn window_barriers_never_reorder_same_tick_deliveries(
+        cols in 3usize..7,
+        rows in 2usize..5,
+        seed in 0u64..1_000,
+        loss in prop_oneof![Just(0.0), Just(0.15)],
+        workers in 1usize..5,
+    ) {
+        let (wheel, shard) = shard_oracle_pair(cols, rows, seed, loss, workers);
+        prop_assert_eq!(wheel.len(), shard.len());
+        for (w, s) in wheel.iter().zip(shard.iter()) {
+            prop_assert_eq!(w, s);
+        }
+        for pair in shard.windows(2) {
+            prop_assert!(
+                pair[0].at <= pair[1].at,
+                "merged journal time went backwards: {} then {}",
+                pair[0].at,
+                pair[1].at
+            );
+            prop_assert!(pair[0].seq < pair[1].seq, "seq not strictly increasing");
+        }
+    }
 }
