@@ -61,6 +61,20 @@ if [[ "$fast" -eq 0 ]]; then
     grep -q '"hash": "454242ed8c28a208"' "$shard_out" || {
         echo "shard smoke: quick trace hash drifted (journal no longer matches the pin)"; exit 1; }
     rm -f "$shard_out"
+
+    # Fault-plane chaos smoke: a scripted crash/partition scenario under
+    # heap, wheel, and 2-worker shard whose journals must agree in-process
+    # (the bin exits non-zero on divergence or on any convergence-to-oracle
+    # violation), plus the pinned cross-backend journal hash as the
+    # cross-process regression anchor. The same scenario produces the
+    # committed BENCH_chaos.json, which pins the identical hash.
+    echo "== chaos smoke (--quick, fault-plane journal pinned) =="
+    chaos_out=$(mktemp /tmp/bench_chaos.XXXXXX.json)
+    cargo run -q --release -p sensorlog-bench --bin chaos -- --quick --out "$chaos_out"
+    python3 -m json.tool "$chaos_out" > /dev/null
+    grep -q '"hash": "bc026db128c91410"' "$chaos_out" || {
+        echo "chaos smoke: quick journal hash drifted (fault-plane trace no longer matches the pin)"; exit 1; }
+    rm -f "$chaos_out"
 fi
 
 echo "CI OK"

@@ -1,0 +1,249 @@
+//! Chaos experiment: fault-plane cost and convergence, exported as
+//! `BENCH_chaos.json`.
+//!
+//! ```text
+//! chaos [--quick] [--out BENCH_chaos.json]
+//! ```
+//!
+//! Two experiments:
+//!
+//! 1. **Fault-rate sweep** — seeded random schedules with 0..=3 crash–
+//!    restart pairs (plus matching link flaps) on a 4×4 grid. For each
+//!    fault rate: transmissions relative to the fault-free baseline (the
+//!    price of heartbeats, refresh rounds, and re-driven walks), drop
+//!    counts by reason, convergence-to-oracle violations (must be 0), and
+//!    recovery latency (sim-time from the last fault healing to network
+//!    quiescence).
+//!
+//! 2. **Backend determinism** — one scripted crash/partition scenario run
+//!    under Heap, Wheel, and Shard{2}; the event-trace journals must be
+//!    byte-identical, and the shared hash is emitted as `"hash": ...`.
+//!    CI (`ci.sh`) greps the pinned value from a `--quick` run; the
+//!    scenario is identical in both modes so the committed artifact and
+//!    the smoke run pin the same constant.
+
+use sensorlog_core::deploy::{DeployConfig, Deployment};
+use sensorlog_core::invariants;
+use sensorlog_core::runtime::{FaultPlaneCfg, RtConfig};
+use sensorlog_core::workload::UniformStreams;
+use sensorlog_logic::builtin::BuiltinRegistry;
+use sensorlog_logic::Symbol;
+use sensorlog_netsim::{FaultSchedule, NodeId, RandomFaults, Sched, SimConfig, Topology};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+const JOIN2: &str = r#"
+    .output q.
+    q(X, Y) :- r1(N1, X, K), r2(N2, Y, K).
+"#;
+
+const HEAL_BY: u64 = 14_000;
+const ACTIVE_UNTIL: u64 = 26_000;
+
+fn sym(s: &str) -> Symbol {
+    Symbol::intern(s)
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn deployment(seed: u64, sched: Sched, faults_on: bool) -> Deployment {
+    let cfg = DeployConfig {
+        rt: RtConfig {
+            faults: faults_on.then_some(FaultPlaneCfg {
+                active_until: ACTIVE_UNTIL,
+                ..FaultPlaneCfg::default()
+            }),
+            ..RtConfig::default()
+        },
+        sim: SimConfig {
+            seed,
+            sched,
+            ..SimConfig::default()
+        },
+        ..DeployConfig::default()
+    };
+    Deployment::new(
+        JOIN2,
+        BuiltinRegistry::standard(),
+        Topology::square_grid(4),
+        cfg,
+    )
+    .unwrap()
+}
+
+fn churn(topo: &Topology, seed: u64) -> Vec<sensorlog_core::deploy::WorkloadEvent> {
+    UniformStreams {
+        preds: vec![sym("r1"), sym("r2")],
+        interval: 4_000,
+        duration: 12_000,
+        delete_fraction: 0.3,
+        delete_lag: 5_000,
+        groups: 6,
+        seed,
+    }
+    .events(topo)
+}
+
+struct SweepRow {
+    crashes: usize,
+    flaps: usize,
+    tx: u64,
+    tx_ratio: f64,
+    drops: [u64; 4],
+    violations: usize,
+    recovery_ms: u64,
+}
+
+/// One seeded chaos run; `crashes == 0` is the fault-plane-on baseline
+/// (heartbeats and refresh still run — the overhead ratio isolates what the
+/// *faults* cost on top of the plane itself).
+fn sweep_run(seed: u64, crashes: usize, flaps: usize, baseline_tx: Option<u64>) -> SweepRow {
+    let topo = Topology::square_grid(4);
+    let mut d = deployment(seed, Sched::Heap, true);
+    if crashes + flaps > 0 {
+        d.set_fault_schedule(FaultSchedule::random(
+            seed,
+            &topo,
+            RandomFaults {
+                crashes,
+                link_flaps: flaps,
+                start: 1_000,
+                heal_by: HEAL_BY,
+            },
+        ));
+    }
+    d.schedule_all(churn(&topo, seed));
+    d.run(240_000);
+    assert!(d.sim.is_quiescent(), "chaos sweep run must quiesce");
+    let conv = invariants::check_convergence(&d, &[sym("q")]);
+    let tx = d.metrics().total_tx();
+    // Recovery latency: healing completes at HEAL_BY; the plane idles once
+    // the last refresh round past `active_until` drains. Everything after
+    // the heal is repair + residual protocol traffic.
+    let recovery_ms = if crashes + flaps > 0 {
+        d.sim.now().saturating_sub(HEAL_BY)
+    } else {
+        0
+    };
+    SweepRow {
+        crashes,
+        flaps,
+        tx,
+        tx_ratio: baseline_tx.map_or(1.0, |b| tx as f64 / b as f64),
+        drops: d.metrics().lost_by_reason(),
+        violations: conv.violations.len(),
+        recovery_ms,
+    }
+}
+
+/// The scripted cross-backend scenario: crash + restart of one node and one
+/// link flap, timestamps chosen off the shard lookahead grid.
+fn backend_run(sched: Sched) -> (u64, usize, usize) {
+    let topo = Topology::square_grid(4);
+    let mut d = deployment(42, sched, true);
+    let journal = d.attach_journal();
+    d.set_fault_schedule(
+        FaultSchedule::new()
+            .crash(1_337, NodeId(5))
+            .restart(2_911, NodeId(5))
+            .link_down(703, NodeId(1), NodeId(2))
+            .link_up(4_441, NodeId(1), NodeId(2)),
+    );
+    d.schedule_all(churn(&topo, 42));
+    d.run(240_000);
+    assert!(d.sim.is_quiescent(), "backend scenario must quiesce");
+    let conv = invariants::check_convergence(&d, &[sym("q")]);
+    let j = journal.take();
+    (j.content_hash(), j.records.len(), conv.violations.len())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_chaos.json".into());
+
+    // Experiment 1: fault-rate sweep.
+    let rates: &[(usize, usize)] = if quick {
+        &[(0, 0), (2, 2)]
+    } else {
+        &[(0, 0), (1, 1), (2, 2), (3, 2)]
+    };
+    let mut rows: Vec<SweepRow> = Vec::new();
+    let mut baseline_tx = None;
+    for &(crashes, flaps) in rates {
+        let row = sweep_run(101, crashes, flaps, baseline_tx);
+        if crashes + flaps == 0 {
+            baseline_tx = Some(row.tx);
+        }
+        rows.push(row);
+    }
+    let worst_violations = rows.iter().map(|r| r.violations).max().unwrap_or(0);
+
+    // Experiment 2: backend determinism (same scenario in quick and full
+    // mode — the pinned hash below anchors both).
+    let (heap_hash, heap_records, heap_viol) = backend_run(Sched::Heap);
+    let (wheel_hash, _, _) = backend_run(Sched::Wheel);
+    let (shard_hash, _, _) = backend_run(Sched::Shard { workers: 2 });
+    if heap_hash != wheel_hash || heap_hash != shard_hash {
+        eprintln!(
+            "chaos: backend journals diverge (heap {heap_hash:016x}, wheel {wheel_hash:016x}, \
+             shard {shard_hash:016x})"
+        );
+        return ExitCode::FAILURE;
+    }
+    if worst_violations > 0 || heap_viol > 0 {
+        eprintln!("chaos: convergence violations survived healing");
+        return ExitCode::FAILURE;
+    }
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"chaos\",");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(
+        s,
+        "  \"grid\": 16, \"heal_by_ms\": {HEAL_BY}, \"active_until_ms\": {ACTIVE_UNTIL},"
+    );
+    s.push_str("  \"fault_sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"crashes\": {}, \"link_flaps\": {}, \"tx\": {}, \"tx_ratio\": {:.2}, \
+             \"drops_loss\": {}, \"drops_dead_node\": {}, \"drops_retries\": {}, \
+             \"drops_partition\": {}, \"convergence_violations\": {}, \"recovery_ms\": {}}}",
+            r.crashes,
+            r.flaps,
+            r.tx,
+            r.tx_ratio,
+            r.drops[0],
+            r.drops[1],
+            r.drops[2],
+            r.drops[3],
+            r.violations,
+            r.recovery_ms,
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"backend_determinism\": {{\"hash\": \"{heap_hash:016x}\", \"records\": {heap_records}, \
+         \"backends\": [\"heap\", \"wheel\", \"shard2\"]}}"
+    );
+    s.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &s) {
+        eprintln!("chaos: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "chaos OK: {} sweep rows, backend hash {heap_hash:016x} -> {out_path}",
+        rows.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -2,6 +2,7 @@
 //! [`SensorlogNode`]s, inject workload events, run to quiescence, and
 //! collect results + communication metrics.
 
+use crate::durable::DurableStore;
 use crate::partial::RuleShape;
 use crate::plan::{compile_source, DistProgram, PlanTiming};
 use crate::runtime::{NetInfo, NodeStats, RtConfig, SensorlogNode};
@@ -9,11 +10,13 @@ use crate::strategy::Strategy;
 use sensorlog_eval::UpdateKind;
 use sensorlog_logic::builtin::BuiltinRegistry;
 use sensorlog_logic::{Symbol, Tuple};
-use sensorlog_netsim::{Metrics, NodeId, SharedJournal, SimConfig, SimTime, Simulator, Topology};
+use sensorlog_netsim::{
+    FaultSchedule, Metrics, NodeId, SharedJournal, SimConfig, SimTime, Simulator, Topology,
+};
 use sensorlog_netstack::ght;
 use sensorlog_telemetry::{MetricsRegistry, Scope, Snapshot, Telemetry};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// One workload event: a reading generated or retracted at a node.
 #[derive(Clone, Debug)]
@@ -93,6 +96,15 @@ pub struct Deployment {
     /// Insert events applied per base predicate — the observed `E(p)` the
     /// static memory bounds are evaluated against at cross-validation time.
     injected: BTreeMap<Symbol, u64>,
+    /// Workload events that actually entered the network (the target node
+    /// was alive at injection time). The convergence checker's "surviving
+    /// EDB" is computed from these, not from the full schedule.
+    applied: Vec<WorkloadEvent>,
+    /// Per-node durable stores (fault plane only; empty otherwise). Held
+    /// here so they survive app rebuilds on restart.
+    durables: Vec<Arc<Mutex<DurableStore>>>,
+    /// Whether the runtime fault plane was configured on.
+    faults_cfg: bool,
 }
 
 impl Deployment {
@@ -119,15 +131,27 @@ impl Deployment {
         );
         let prog2 = Arc::clone(&prog);
         let tele = config.telemetry.clone();
+        let durables: Vec<Arc<Mutex<DurableStore>>> = match &cfg.faults {
+            Some(f) => (0..topo.len())
+                .map(|_| Arc::new(Mutex::new(DurableStore::new(f.checkpoint_every))))
+                .collect(),
+            None => Vec::new(),
+        };
+        let faults_cfg = cfg.faults.is_some();
+        let durables2 = durables.clone();
         let mut sim = Simulator::new(topo, config.sim, move |id, _| {
-            SensorlogNode::new(
+            let node = SensorlogNode::new(
                 id,
                 Arc::clone(&prog2),
                 Arc::clone(&cfg),
                 Arc::clone(&net),
                 Arc::clone(&shapes),
                 tele.clone(),
-            )
+            );
+            match durables2.get(id.index()) {
+                Some(d) => node.with_durable(Arc::clone(d)),
+                None => node,
+            }
         });
         sim.set_telemetry(config.telemetry.clone());
         let mut d = Deployment {
@@ -136,6 +160,9 @@ impl Deployment {
             strategy: config.rt.strategy,
             schedule: Vec::new(),
             injected: BTreeMap::new(),
+            applied: Vec::new(),
+            durables,
+            faults_cfg,
         };
         d.inject_static_facts();
         Ok(d)
@@ -209,6 +236,9 @@ impl Deployment {
                 continue;
             }
             self.sim.run_until(ev.at);
+            if self.sim.is_failed(ev.node) {
+                continue; // a dead sensor senses nothing
+            }
             if ev.kind == UpdateKind::Insert {
                 *self.injected.entry(ev.pred).or_insert(0) += 1;
             }
@@ -216,6 +246,7 @@ impl Deployment {
                 UpdateKind::Insert => node.generate(ctx, ev.pred, ev.tuple.clone()),
                 UpdateKind::Delete => node.retract(ctx, ev.pred, ev.tuple.clone()),
             });
+            self.applied.push(ev);
         }
         self.schedule = remaining;
         let t = self.sim.run_to_quiescence(horizon);
@@ -237,6 +268,32 @@ impl Deployment {
     /// become unreachable.
     pub fn fail_node(&mut self, id: NodeId) {
         self.sim.fail_node(id);
+    }
+
+    /// Attach a scripted fault schedule (crashes, restarts, partitions,
+    /// dup/reorder windows). Applied tick-exactly during `run` under every
+    /// scheduler backend.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.sim.set_fault_schedule(schedule);
+    }
+
+    /// True when faults can occur on this deployment: the runtime fault
+    /// plane was configured, a schedule was attached, or a node was ever
+    /// crashed manually. Gates the structural checks that only hold on
+    /// fault-free runs (e.g. derivation-count non-negativity).
+    pub fn faults_active(&self) -> bool {
+        self.faults_cfg || self.sim.faults_injected()
+    }
+
+    /// Workload events that actually entered the network (target alive at
+    /// injection time), in application order.
+    pub fn applied_events(&self) -> &[WorkloadEvent] {
+        &self.applied
+    }
+
+    /// The durable store of node `id` (fault plane only).
+    pub fn durable(&self, id: NodeId) -> Option<&Arc<Mutex<DurableStore>>> {
+        self.durables.get(id.index())
     }
 
     /// Gather the live result tuples of `pred` across all owner nodes (or

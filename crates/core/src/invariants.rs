@@ -47,10 +47,12 @@
 
 use crate::deploy::{Deployment, WorkloadEvent};
 use crate::oracle;
+use crate::strategy::Strategy;
 use crate::tupleid::TupleId;
 use sensorlog_logic::{Symbol, Tuple};
 use sensorlog_netsim::NodeId;
-use std::collections::HashMap;
+use sensorlog_netstack::ght;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// One invariant violation.
@@ -118,6 +120,10 @@ impl fmt::Display for InvariantReport {
 pub fn check_structural(d: &Deployment) -> InvariantReport {
     let mut report = InvariantReport::default();
     let quiescent = d.sim.is_quiescent();
+    // Count non-negativity only holds on fault-free runs: under the fault
+    // plane, repeated tombstone refreshes legitimately leave a clamped −1
+    // for derivations whose insert was lost to a crash.
+    let check_counts = quiescent && !d.faults_active();
     let mut id_map: HashMap<TupleId, (NodeId, Symbol, Tuple)> = HashMap::new();
 
     for id in d.sim.topology().nodes() {
@@ -126,7 +132,7 @@ pub fn check_structural(d: &Deployment) -> InvariantReport {
         }
         let node = d.sim.node(id);
 
-        if quiescent {
+        if check_counts {
             for (pred, tuple, count) in node.derivation_count_entries() {
                 if count < 0 {
                     report.push(
@@ -136,6 +142,8 @@ pub fn check_structural(d: &Deployment) -> InvariantReport {
                     );
                 }
             }
+        }
+        if quiescent {
             for (pred, tuple) in node.unsettled_owned() {
                 report.push(
                     Some(id),
@@ -291,6 +299,60 @@ pub fn check_against_oracle(
                 None,
                 "oracle-sound",
                 format!("{pred}{t:?} derived but not expected"),
+            );
+        }
+    }
+    report
+}
+
+/// Convergence-to-oracle after faults heal (the fault plane's end-to-end
+/// guarantee): once every crashed node has restarted (or stayed dead),
+/// every partition has healed, and the network has quiesced, the gathered
+/// results for each of `preds` must equal the centralized oracle's
+/// fixpoint over the **surviving EDB** — the workload events that actually
+/// entered the network and whose origin node is alive at the end —
+/// restricted to tuples whose owner node is alive (a dead owner's results
+/// are unreachable by definition, not a protocol failure).
+///
+/// * A tuple the oracle expects but the network lacks is a
+///   `convergence-complete` violation: recovery replay or refresh failed
+///   to rebuild state lost to a fault.
+/// * A tuple the network holds but the oracle rejects is a
+///   `convergence-sound` violation: liveness retraction failed to tear
+///   down derivations whose inputs died (Theorem 3's semantics under
+///   failure detection).
+pub fn check_convergence(d: &Deployment, preds: &[Symbol]) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    let surviving: Vec<WorkloadEvent> = d
+        .applied_events()
+        .iter()
+        .filter(|e| !d.sim.is_failed(e.node))
+        .cloned()
+        .collect();
+    for &pred in preds {
+        let expected: BTreeSet<Tuple> = oracle::expected_results(d, &surviving, pred)
+            .into_iter()
+            .filter(|t| {
+                let owner = match d.strategy {
+                    Strategy::Centroid => Strategy::center(d.sim.topology()),
+                    _ => ght::owner_of(d.sim.topology(), pred, t),
+                };
+                !d.sim.is_failed(owner)
+            })
+            .collect();
+        let found = d.results(pred);
+        for t in expected.difference(&found) {
+            report.push(
+                None,
+                "convergence-complete",
+                format!("{pred}{t:?} expected from surviving EDB but not derived"),
+            );
+        }
+        for t in found.difference(&expected) {
+            report.push(
+                None,
+                "convergence-sound",
+                format!("{pred}{t:?} still derived but unsupported by surviving EDB"),
             );
         }
     }

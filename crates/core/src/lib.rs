@@ -54,6 +54,7 @@
 
 pub mod agg;
 pub mod deploy;
+pub mod durable;
 pub mod invariants;
 pub mod msg;
 pub mod oracle;

@@ -77,6 +77,25 @@ pub enum Payload {
     },
     /// Centroid baseline: raw fact upload to the central server.
     ToCenter { fact: FactRecord },
+    /// Fault plane: 1-hop aliveness beacon. `version` is the sender's
+    /// local time at send, `boot_ts` the local time of its current
+    /// incarnation's boot (distinguishes a restarted node from the one
+    /// that crashed).
+    Heartbeat { version: SimTime, boot_ts: SimTime },
+    /// Fault plane: flooded liveness transition for `subject`. Higher
+    /// `version` wins; on a tie, dead wins.
+    Liveness {
+        subject: NodeId,
+        version: SimTime,
+        alive: bool,
+        boot_ts: SimTime,
+    },
+    /// Fault plane: 1-hop anti-entropy digest of non-default liveness
+    /// entries, exchanged on the refresh tick so a healed partition
+    /// relearns deaths/reboots it missed.
+    LivenessDigest {
+        entries: Vec<(NodeId, SimTime, bool, SimTime)>,
+    },
 }
 
 impl MsgMeta for Payload {
@@ -88,6 +107,9 @@ impl MsgMeta for Payload {
             Payload::Probe(p) => p.byte_size(),
             Payload::DerivDelta { tuple, key, .. } => tuple.byte_size() + key.byte_size() + 12,
             Payload::ToCenter { fact } => fact.byte_size(),
+            Payload::Heartbeat { .. } => 12,
+            Payload::Liveness { .. } => 18,
+            Payload::LivenessDigest { entries } => 4 + entries.len() * 18,
         }
     }
 
@@ -98,6 +120,8 @@ impl MsgMeta for Payload {
             Payload::Probe(_) => "probe",
             Payload::DerivDelta { .. } => "result",
             Payload::ToCenter { .. } => "centroid",
+            Payload::Heartbeat { .. } => "hb",
+            Payload::Liveness { .. } | Payload::LivenessDigest { .. } => "live",
         }
     }
 }
@@ -115,6 +139,9 @@ impl Payload {
             | Payload::ToCenter { fact } => fact.pred,
             Payload::Probe(p) => p.update.pred,
             Payload::DerivDelta { pred, .. } => *pred,
+            Payload::Heartbeat { .. }
+            | Payload::Liveness { .. }
+            | Payload::LivenessDigest { .. } => Symbol::intern("_sys"),
         }
     }
 }

@@ -144,6 +144,17 @@ pub struct LocalCtx<'a> {
     /// participates only when its ID is ≤ the update's — each same-instant
     /// pair is then derived by exactly one of the two probes.
     pub update_id: TupleId,
+    /// Generous positive matching for fault-plane delete probes. Under
+    /// crash/partition delays a tombstone can reach a replica node *after*
+    /// a newer insert's probe joined with the stale replica, so the
+    /// timestamp discipline alone under-retracts: the delete probe excludes
+    /// exactly the newer generations whose spurious derivations it must
+    /// kill. A generous delete probe extends through every stored fragment
+    /// regardless of visibility; over-emission is safe because deltas are
+    /// keyed by exact input ids (any key containing the deleted id must die,
+    /// and a `-1` for a never-derived key is absorbed by the owner's
+    /// clamped counts). Negation kills stay strict.
+    pub generous: bool,
 }
 
 impl<'a> LocalCtx<'a> {
@@ -181,7 +192,7 @@ impl<'a> LocalCtx<'a> {
         match self.db.relation(pred) {
             Some(r) => r
                 .tuples()
-                .filter(|t| self.participates(pred, t))
+                .filter(|t| self.generous || self.participates(pred, t))
                 .cloned()
                 .collect(),
             None => Vec::new(),
@@ -376,6 +387,7 @@ mod tests {
                 ts: u64::MAX,
                 seq: u32::MAX,
             },
+            generous: false,
         }
     }
 

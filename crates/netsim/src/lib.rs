@@ -24,6 +24,7 @@
 //! windows — byte-identical journals, pinned in
 //! `tests/trace_stability.rs`.
 
+pub mod faults;
 pub mod metrics;
 pub(crate) mod shard;
 pub mod sim;
@@ -31,6 +32,7 @@ pub mod topology;
 pub mod trace;
 pub mod wheel;
 
+pub use faults::{FaultEvent, FaultKind, FaultSchedule, LinkState, RandomFaults};
 pub use metrics::{EnergyModel, Metrics, NodeCounters};
 pub use sim::{App, Ctx, MsgMeta, Sched, SchedStats, SimConfig, SimTime, Simulator};
 pub use topology::{ConnectivityError, NodeId, Topology, TopologyKind};

@@ -11,8 +11,22 @@
 //! `max_node_load` against the mean.
 
 use crate::topology::NodeId;
+use crate::trace::DropReason;
 use sensorlog_telemetry::{CounterId, MetricsRegistry, Scope};
 use std::collections::BTreeMap;
+
+/// Registry counter name for one loss reason ("lost_air", "lost_dead", ...).
+/// The plain "lost" counter stays the all-reasons total so the conservation
+/// invariant (`tx == rx + lost`) and every pre-fault-plane accessor are
+/// unchanged.
+fn reason_counter(reason: DropReason) -> &'static str {
+    match reason {
+        DropReason::Loss => "lost_air",
+        DropReason::DeadNode => "lost_dead",
+        DropReason::Retries => "lost_retries",
+        DropReason::Partition => "lost_partition",
+    }
+}
 
 /// Radio energy model (defaults loosely follow mica2-class motes: sending
 /// is ~1.5× the cost of receiving, with a fixed per-packet overhead).
@@ -93,8 +107,9 @@ impl Metrics {
         self.reg.bump(Scope::Kind(kind), "rx", 1);
     }
 
-    pub fn record_loss(&mut self, kind: &'static str) {
+    pub fn record_loss(&mut self, kind: &'static str, reason: DropReason) {
         self.reg.bump(Scope::Kind(kind), "lost", 1);
+        self.reg.bump(Scope::Kind(kind), reason_counter(reason), 1);
     }
 
     /// Batch-merge of `n` transmissions totalling `bytes` from `node` — the
@@ -118,7 +133,14 @@ impl Metrics {
     /// of registry keys stays identical to what the serial per-call path
     /// would have created (a kind only gets a "tx" counter if it ever
     /// transmitted, etc.).
-    pub(crate) fn add_kind(&mut self, kind: &'static str, tx: u64, rx: u64, lost: u64) {
+    pub(crate) fn add_kind(
+        &mut self,
+        kind: &'static str,
+        tx: u64,
+        rx: u64,
+        lost: u64,
+        reasons: [u64; DropReason::COUNT],
+    ) {
         if tx > 0 {
             self.reg.bump(Scope::Kind(kind), "tx", tx);
         }
@@ -127,6 +149,17 @@ impl Metrics {
         }
         if lost > 0 {
             self.reg.bump(Scope::Kind(kind), "lost", lost);
+        }
+        for reason in [
+            DropReason::Loss,
+            DropReason::DeadNode,
+            DropReason::Retries,
+            DropReason::Partition,
+        ] {
+            let n = reasons[reason.index()];
+            if n > 0 {
+                self.reg.bump(Scope::Kind(kind), reason_counter(reason), n);
+            }
         }
     }
 
@@ -180,6 +213,21 @@ impl Metrics {
     /// Total messages lost on air (all kinds) — the old `lost` field.
     pub fn lost(&self) -> u64 {
         self.by_kind("lost").values().sum()
+    }
+
+    /// Losses broken down by [`DropReason`], summed over kinds. Indexed by
+    /// [`DropReason::index`]; entries always sum to [`Metrics::lost`].
+    pub fn lost_by_reason(&self) -> [u64; DropReason::COUNT] {
+        let mut out = [0u64; DropReason::COUNT];
+        for reason in [
+            DropReason::Loss,
+            DropReason::DeadNode,
+            DropReason::Retries,
+            DropReason::Partition,
+        ] {
+            out[reason.index()] = self.by_kind(reason_counter(reason)).values().sum();
+        }
+        out
     }
 
     /// Total messages delivered (all kinds) — the old `delivered` field.
@@ -289,7 +337,7 @@ mod tests {
         m.record_tx(NodeId(0), 100, "storage");
         m.record_tx(NodeId(0), 50, "join");
         m.record_rx(NodeId(1), 100, "storage");
-        m.record_loss("join");
+        m.record_loss("join", DropReason::Loss);
         assert_eq!(m.total_tx(), 2);
         assert_eq!(m.total_tx_bytes(), 150);
         assert_eq!(m.total_rx(), 1);
@@ -338,7 +386,7 @@ mod tests {
         let mut m = Metrics::new(2);
         for _ in 0..5 {
             m.record_tx(NodeId(0), 8, "x");
-            m.record_loss("x");
+            m.record_loss("x", DropReason::Loss);
         }
         assert_eq!(m.delivered(), 0);
         assert_eq!(m.lost(), 5);
@@ -383,11 +431,27 @@ mod tests {
         m.record_tx(NodeId(0), 8, "ping");
         m.record_rx(NodeId(1), 8, "ping");
         m.record_tx(NodeId(0), 8, "pong");
-        m.record_loss("pong");
+        m.record_loss("pong", DropReason::Retries);
         let rows = m.kind_balance();
         assert_eq!(rows, vec![("ping", 1, 1, 0), ("pong", 1, 0, 1)]);
         for (_, tx, rx, lost) in rows {
             assert_eq!(tx, rx + lost);
         }
+    }
+
+    #[test]
+    fn loss_reasons_partition_the_total() {
+        let mut m = Metrics::new(2);
+        m.record_loss("x", DropReason::Loss);
+        m.record_loss("x", DropReason::Loss);
+        m.record_loss("x", DropReason::DeadNode);
+        m.record_loss("y", DropReason::Partition);
+        m.record_loss("y", DropReason::Retries);
+        let by = m.lost_by_reason();
+        assert_eq!(by[DropReason::Loss.index()], 2);
+        assert_eq!(by[DropReason::DeadNode.index()], 1);
+        assert_eq!(by[DropReason::Retries.index()], 1);
+        assert_eq!(by[DropReason::Partition.index()], 1);
+        assert_eq!(by.iter().sum::<u64>(), m.lost());
     }
 }

@@ -34,11 +34,12 @@
 //! Telemetry remains observational: workers record into the thread-safe
 //! registry, but nothing on the event path reads it.
 
+use crate::faults::LinkState;
 use crate::metrics::Metrics;
 use crate::sim::{App, Event, EventQueue, Lane, LaneSink, NodeRng, SchedStats, SimConfig};
 use crate::sim::{SimTime, Simulator};
 use crate::topology::{NodeId, Topology};
-use crate::trace::{TraceEvent, TraceRecord};
+use crate::trace::{DropReason, TraceEvent, TraceRecord};
 use crate::wheel::TimerWheel;
 use sensorlog_telemetry::Telemetry;
 
@@ -106,8 +107,9 @@ pub(crate) struct LaneMetrics {
     /// Nodes with nonzero deltas since the last flush, in first-touch order.
     touched: Vec<u32>,
     dirty: Vec<bool>,
-    /// `(kind, [tx, rx, lost])` deltas since the last flush.
-    kinds: Vec<(&'static str, [u64; 3])>,
+    /// `(kind, [tx, rx, lost, lost-by-reason…])` deltas since the last
+    /// flush (the trailing [`DropReason::COUNT`] slots attribute losses).
+    kinds: Vec<(&'static str, [u64; 3 + DropReason::COUNT])>,
 }
 
 impl LaneMetrics {
@@ -134,11 +136,11 @@ impl LaneMetrics {
     }
 
     #[inline]
-    fn kind_slot(&mut self, kind: &'static str) -> &mut [u64; 3] {
+    fn kind_slot(&mut self, kind: &'static str) -> &mut [u64; 3 + DropReason::COUNT] {
         if let Some(pos) = self.kinds.iter().position(|(k, _)| *k == kind) {
             return &mut self.kinds[pos].1;
         }
-        self.kinds.push((kind, [0; 3]));
+        self.kinds.push((kind, [0; 3 + DropReason::COUNT]));
         &mut self.kinds.last_mut().expect("just pushed").1
     }
 
@@ -158,8 +160,10 @@ impl LaneMetrics {
         self.kind_slot(kind)[1] += 1;
     }
 
-    fn loss(&mut self, kind: &'static str) {
-        self.kind_slot(kind)[2] += 1;
+    fn loss(&mut self, kind: &'static str, reason: DropReason) {
+        let slot = self.kind_slot(kind);
+        slot[2] += 1;
+        slot[3 + reason.index()] += 1;
     }
 
     /// Merge accumulated deltas into `m` and reset to empty.
@@ -180,8 +184,11 @@ impl LaneMetrics {
             self.dirty[i] = false;
         }
         self.touched.clear();
-        for (kind, [tx, rx, lost]) in self.kinds.drain(..) {
-            m.add_kind(kind, tx, rx, lost);
+        for (kind, counts) in self.kinds.drain(..) {
+            let [tx, rx, lost] = [counts[0], counts[1], counts[2]];
+            let mut reasons = [0u64; DropReason::COUNT];
+            reasons.copy_from_slice(&counts[3..]);
+            m.add_kind(kind, tx, rx, lost, reasons);
         }
     }
 }
@@ -341,8 +348,8 @@ impl<M> LaneSink<M> for RegionSink<'_, M> {
         self.metrics.rx(node, bytes, kind);
     }
 
-    fn record_loss(&mut self, kind: &'static str) {
-        self.metrics.loss(kind);
+    fn record_loss(&mut self, kind: &'static str, reason: DropReason) {
+        self.metrics.loss(kind, reason);
     }
 }
 
@@ -353,6 +360,8 @@ struct Shared<'a> {
     telemetry: &'a Telemetry,
     skew: &'a [SimTime],
     failed: &'a [bool],
+    epochs: &'a [u32],
+    links: &'a LinkState,
     part: Partition,
     wend: SimTime,
     tracing: bool,
@@ -402,6 +411,8 @@ fn run_window<A: App>(task: RegionTask<'_, A>, shared: Shared<'_>) -> WindowResu
         telemetry: shared.telemetry,
         skew: shared.skew,
         failed: shared.failed,
+        epochs: shared.epochs,
+        links: shared.links,
         apps: task.apps,
         rngs: task.rngs,
         counters: task.counters,
@@ -451,17 +462,27 @@ where
     /// returning so callers observe registry totals identical to a serial
     /// run.
     pub(crate) fn drain_sharded(&mut self, limit: SimTime) {
-        while let Some(t) = self.queue.next_at() {
-            if t > limit {
-                break;
-            }
-            if self.queue.len() < self.shard_threshold {
-                if let EventQueue::Shard(sq) = &mut self.queue {
-                    sq.stats.serial_events += 1;
+        // Same fault interleave as the serial drain: a fault at time t
+        // strikes before any event at t (windows are clamped so none spans
+        // a fault tick — see run_shard_window), and pending faults apply
+        // even on an empty queue.
+        loop {
+            let next_fault = self.next_fault_at(limit);
+            let next_event = self.queue.next_at().filter(|&t| t <= limit);
+            match (next_fault, next_event) {
+                (Some(f), Some(t)) if f <= t => self.apply_faults_at(f),
+                (_, Some(t)) => {
+                    if self.queue.len() < self.shard_threshold {
+                        if let EventQueue::Shard(sq) = &mut self.queue {
+                            sq.stats.serial_events += 1;
+                        }
+                        self.step();
+                    } else {
+                        self.run_shard_window(t, limit);
+                    }
                 }
-                self.step();
-            } else {
-                self.run_shard_window(t, limit);
+                (Some(f), None) => self.apply_faults_at(f),
+                (None, None) => break,
             }
         }
         if let EventQueue::Shard(sq) = &mut self.queue {
@@ -475,7 +496,15 @@ where
     /// then run the barrier: flush mailboxes, merge journals, account stats.
     fn run_shard_window(&mut self, t: SimTime, limit: SimTime) {
         let lookahead = self.config.hop_delay.0.max(1);
-        let wend = t.saturating_add(lookahead).min(limit.saturating_add(1));
+        let mut wend = t.saturating_add(lookahead).min(limit.saturating_add(1));
+        // Never let a window span a scheduled fault: events at or past the
+        // fault tick wait until the fault has been applied on the main
+        // thread, so a mid-window crash takes effect at its exact event
+        // tick — identically to the serial backends.
+        if let Some(f) = self.next_fault_at(limit) {
+            debug_assert!(f > t, "drain loop applies due faults first");
+            wend = wend.min(f);
+        }
         let tracing = self.trace.is_some();
         let EventQueue::Shard(sq) = &mut self.queue else {
             unreachable!("run_shard_window on a non-shard queue")
@@ -488,6 +517,8 @@ where
             telemetry: &self.telemetry,
             skew: &self.skew,
             failed: &self.failed,
+            epochs: &self.epochs,
+            links: &self.links,
             part,
             wend,
             tracing,
@@ -646,8 +677,8 @@ mod tests {
         }
         direct.record_rx(NodeId(5), 7, "a");
         lm.rx(NodeId(5), 7, "a");
-        direct.record_loss("b");
-        lm.loss("b");
+        direct.record_loss("b", DropReason::Loss);
+        lm.loss("b", DropReason::Loss);
         lm.flush_into(&mut via);
         assert_eq!(direct.node(NodeId(2)), via.node(NodeId(2)));
         assert_eq!(direct.node(NodeId(5)), via.node(NodeId(5)));

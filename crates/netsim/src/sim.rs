@@ -12,6 +12,7 @@
 //! conservative-PDES backend (see [`crate::shard`]), whose workers replay
 //! disjoint projections of the same global `(at, tie)` order.
 
+use crate::faults::{FaultEvent, FaultKind, FaultSchedule, LinkState};
 use crate::metrics::Metrics;
 use crate::shard::ShardQueues;
 use crate::topology::{NodeId, Topology};
@@ -43,6 +44,13 @@ pub trait App: Sized {
 
     /// Called once at time 0.
     fn on_start(&mut self, _ctx: &mut Ctx<Self::Msg>) {}
+
+    /// Called on a *fresh* application instance when a crashed node is
+    /// restarted by the fault plane. Defaults to [`App::on_start`];
+    /// recovery-aware apps override this to replay durable state.
+    fn on_restart(&mut self, ctx: &mut Ctx<Self::Msg>) {
+        self.on_start(ctx);
+    }
 
     /// A message arrived from a neighbor.
     fn on_message(&mut self, ctx: &mut Ctx<Self::Msg>, from: NodeId, msg: Self::Msg);
@@ -121,6 +129,11 @@ pub(crate) enum Event<M> {
     Timer {
         node: NodeId,
         tag: u64,
+        /// Boot epoch of the incarnation that armed this timer. A timer
+        /// whose epoch is stale (the node crashed and restarted since it
+        /// was set) is consumed silently instead of firing on the new
+        /// incarnation.
+        epoch: u32,
     },
 }
 
@@ -381,7 +394,7 @@ pub(crate) trait LaneSink<M> {
         Self: Sized;
     fn record_tx(&mut self, node: NodeId, bytes: usize, kind: &'static str);
     fn record_rx(&mut self, node: NodeId, bytes: usize, kind: &'static str);
-    fn record_loss(&mut self, kind: &'static str);
+    fn record_loss(&mut self, kind: &'static str, reason: DropReason);
 }
 
 /// The event-processing core shared by the serial loop and region workers:
@@ -395,6 +408,11 @@ pub(crate) struct Lane<'a, A: App> {
     pub(crate) telemetry: &'a Telemetry,
     pub(crate) skew: &'a [SimTime],
     pub(crate) failed: &'a [bool],
+    /// Per-node boot epochs (bumped on restart); stamps timers.
+    pub(crate) epochs: &'a [u32],
+    /// Link-level fault condition (partitions, loss overrides, dup /
+    /// reorder windows). Mutated only at drain / window boundaries.
+    pub(crate) links: &'a LinkState,
     pub(crate) apps: &'a mut [A],
     pub(crate) rngs: &'a mut [NodeRng],
     pub(crate) counters: &'a mut [u32],
@@ -463,19 +481,35 @@ impl<'a, A: App> Lane<'a, A> {
         // between two mergeable sends does not break adjacency — exactly as
         // in the unbatched baseline.)
         let mut pending: Option<(NodeId, SimTime, u64, Vec<A::Msg>)> = None;
+        let mut dups: Vec<(NodeId, SimTime, A::Msg)> = Vec::new();
         for (to, msg) in sends {
             let bytes = msg.size_bytes();
             let kind = msg.kind();
             self.telemetry
                 .observe(Scope::Node(from.0), "tx_bytes", BYTES_BUCKETS, bytes as u64);
-            let p = self
-                .config
-                .link_loss
-                .get(&(from, to))
-                .copied()
-                .unwrap_or(self.config.loss_prob);
+            // A downed link is a loss probability of 1 — same RNG draw
+            // pattern as lossy air, so healing a link never shifts the
+            // sender's stream relative to a run where it stayed up.
+            let down = self.links.is_down(from, to);
+            let p = if down {
+                1.0
+            } else {
+                self.links.loss_override(from, to).unwrap_or_else(|| {
+                    self.config
+                        .link_loss
+                        .get(&(from, to))
+                        .copied()
+                        .unwrap_or(self.config.loss_prob)
+                })
+            };
+            let attempt_reason = if down {
+                DropReason::Partition
+            } else {
+                DropReason::Loss
+            };
             // Link-layer ARQ: attempt until delivered or retries exhausted;
             // every attempt is a transmission, failed attempts are losses.
+            // Retransmission backoff is exponential: 5, 10, 20, … ms.
             let mut delivered = false;
             let mut extra_delay: SimTime = 0;
             let rng_i = self.idx(from);
@@ -489,28 +523,42 @@ impl<'a, A: App> Lane<'a, A> {
                     attempt,
                 });
                 if p > 0.0 && self.rngs[rng_i].gen_f64() < p {
-                    sink.record_loss(kind);
-                    extra_delay += 5; // retransmission backoff
+                    sink.record_loss(kind, attempt_reason);
+                    extra_delay += 5u64 << attempt.min(5);
                     continue;
                 }
                 delivered = true;
                 break;
             }
             if !delivered {
+                let reason = if down {
+                    DropReason::Partition
+                } else if self.config.retries > 0 {
+                    DropReason::Retries
+                } else {
+                    DropReason::Loss
+                };
                 sink.emit(now, || TraceEvent::Drop {
                     from,
                     to,
                     kind,
-                    reason: DropReason::Loss,
+                    reason,
                 });
                 continue;
             }
             let (lo, hi) = self.config.hop_delay;
-            let delay = if hi > lo {
+            let mut delay = if hi > lo {
                 self.rngs[rng_i].gen_range(lo, hi)
             } else {
                 lo
             };
+            // Open reordering window: extra uniform jitter on top of the
+            // hop delay lets later sends overtake this one. The draw only
+            // happens while a window is open, so the fault-free stream is
+            // untouched.
+            if let Some(jitter) = self.links.reorder_jitter(now) {
+                delay += self.rngs[rng_i].gen_range(0, jitter);
+            }
             self.telemetry.observe(
                 Scope::Global,
                 "hop_delay_ms",
@@ -518,6 +566,27 @@ impl<'a, A: App> Lane<'a, A> {
                 delay + extra_delay,
             );
             let at = now + delay + extra_delay;
+            // Open duplication window: the radio transmits a copy with its
+            // own delay draw. The copy is a full transmission (tx recorded,
+            // journaled) so message-conservation accounting still balances.
+            if let Some(pdup) = self.links.dup_prob(now) {
+                if self.rngs[rng_i].gen_f64() < pdup {
+                    let ddelay = if hi > lo {
+                        self.rngs[rng_i].gen_range(lo, hi)
+                    } else {
+                        lo
+                    };
+                    sink.record_tx(from, bytes, kind);
+                    sink.emit(now, || TraceEvent::Send {
+                        from,
+                        to,
+                        kind,
+                        bytes,
+                        attempt: 0,
+                    });
+                    dups.push((to, now + ddelay + extra_delay, msg.clone()));
+                }
+            }
             match &mut pending {
                 Some((pto, pat, _ptie, msgs)) if *pto == to && *pat == at => {
                     msgs.push(msg);
@@ -555,9 +624,30 @@ impl<'a, A: App> Lane<'a, A> {
                 },
             );
         }
+        for (to, at, msg) in dups {
+            let tie = self.next_tie(from);
+            sink.push(
+                at,
+                tie,
+                Event::Deliver {
+                    to,
+                    from,
+                    msgs: vec![msg],
+                },
+            );
+        }
+        let epoch = self.epochs[from.index()];
         for (delay, tag) in timers {
             let tie = self.next_tie(from);
-            sink.push(now + delay, tie, Event::Timer { node: from, tag });
+            sink.push(
+                now + delay,
+                tie,
+                Event::Timer {
+                    node: from,
+                    tag,
+                    epoch,
+                },
+            );
         }
     }
 
@@ -586,7 +676,7 @@ impl<'a, A: App> Lane<'a, A> {
                 for msg in msgs {
                     *self.events_processed += 1;
                     if self.failed[to.index()] {
-                        sink.record_loss(msg.kind());
+                        sink.record_loss(msg.kind(), DropReason::DeadNode);
                         sink.emit(now, || TraceEvent::Drop {
                             from,
                             to,
@@ -606,8 +696,11 @@ impl<'a, A: App> Lane<'a, A> {
                     }
                 }
             }
-            Event::Timer { node, tag } => {
+            Event::Timer { node, tag, epoch } => {
                 *self.events_processed += 1;
+                if self.epochs[node.index()] != epoch {
+                    return; // armed by a previous incarnation: swallow
+                }
                 let _span = self.telemetry.span("sim.timer");
                 if !self.failed[node.index()] {
                     sink.emit(now, || TraceEvent::Timer { node, tag });
@@ -655,10 +748,13 @@ impl<M> LaneSink<M> for MainSink<'_, M> {
         self.metrics.record_rx(node, bytes, kind);
     }
 
-    fn record_loss(&mut self, kind: &'static str) {
-        self.metrics.record_loss(kind);
+    fn record_loss(&mut self, kind: &'static str, reason: DropReason) {
+        self.metrics.record_loss(kind, reason);
     }
 }
+
+/// Node-application factory: builds an app at boot and on restart.
+type MakeApp<A> = Box<dyn FnMut(NodeId, &Topology) -> A + Send>;
 
 /// The simulator: topology + per-node apps + event queue + metrics.
 pub struct Simulator<A: App> {
@@ -673,6 +769,17 @@ pub struct Simulator<A: App> {
     pub(crate) skew: Vec<SimTime>,
     /// Crashed nodes: deliver nothing, fire no timers, send nothing.
     pub(crate) failed: Vec<bool>,
+    /// Per-node boot epoch: bumped on restart so stale timers from a
+    /// previous incarnation are swallowed instead of firing.
+    pub(crate) epochs: Vec<u32>,
+    /// Link-level fault condition driven by the fault schedule.
+    pub(crate) links: LinkState,
+    /// Pending fault schedule (sorted) and application cursor.
+    pub(crate) faults: Vec<FaultEvent>,
+    pub(crate) fault_cursor: usize,
+    /// Rebuilds a node's application on restart (full volatile state
+    /// loss); also used during construction.
+    make_app: MakeApp<A>,
     /// Per-node RNG streams for the message path (loss + jitter draws).
     pub(crate) rngs: Vec<NodeRng>,
     pub config: SimConfig,
@@ -702,8 +809,9 @@ impl<A: App> Simulator<A> {
     pub fn new(
         topo: Topology,
         config: SimConfig,
-        mut make_app: impl FnMut(NodeId, &Topology) -> A,
+        make_app: impl FnMut(NodeId, &Topology) -> A + Send + 'static,
     ) -> Simulator<A> {
+        let mut make_app: MakeApp<A> = Box::new(make_app);
         if let Sched::Shard { workers } = config.sched {
             assert!(workers >= 1, "Sched::Shard requires at least one worker");
             assert!(
@@ -730,6 +838,7 @@ impl<A: App> Simulator<A> {
             .collect();
         let metrics = Metrics::new(topo.len());
         let failed = vec![false; apps.len()];
+        let epochs = vec![0u32; apps.len()];
         let counters = vec![0u32; apps.len()];
         let queue = EventQueue::new(config.sched, topo.len());
         let mut sim = Simulator {
@@ -742,6 +851,11 @@ impl<A: App> Simulator<A> {
             batched_msgs: 0,
             skew,
             failed,
+            epochs,
+            links: LinkState::default(),
+            faults: Vec::new(),
+            fault_cursor: 0,
+            make_app,
             rngs,
             config,
             metrics,
@@ -780,6 +894,8 @@ impl<A: App> Simulator<A> {
                 telemetry: &self.telemetry,
                 skew: &self.skew,
                 failed: &self.failed,
+                epochs: &self.epochs,
+                links: &self.links,
                 apps: &mut self.apps,
                 rngs: &mut self.rngs,
                 counters: &mut self.counters,
@@ -906,12 +1022,106 @@ impl<A: App> Simulator<A> {
     /// ("fault-tolerant … immune to certain topology changes", Sec. III-A:
     /// the replication of PA is exactly what failures test).
     pub fn fail_node(&mut self, id: NodeId) {
+        if self.failed[id.index()] {
+            return; // idempotent: a dead node stays dead
+        }
         self.failed[id.index()] = true;
         self.emit(|| TraceEvent::NodeFail { node: id });
     }
 
+    /// Restart a crashed node: a fresh application instance (volatile
+    /// state lost), a bumped boot epoch (stale timers swallowed), and an
+    /// immediate [`App::on_restart`] callback. RNG streams, tie counters,
+    /// and clock skew persist across incarnations — determinism depends
+    /// on it. No-op on live nodes.
+    pub fn restart_node(&mut self, id: NodeId) {
+        if !self.failed[id.index()] {
+            return;
+        }
+        self.failed[id.index()] = false;
+        self.epochs[id.index()] += 1;
+        self.apps[id.index()] = (self.make_app)(id, &self.topo);
+        self.emit(|| TraceEvent::NodeRestart { node: id });
+        let now = self.now;
+        let (mut lane, mut sink) = self.lane_parts();
+        lane.invoke(&mut sink, now, id, |app, ctx| app.on_restart(ctx));
+    }
+
     pub fn is_failed(&self, id: NodeId) -> bool {
         self.failed[id.index()]
+    }
+
+    /// Attach a fault schedule. Faults are applied at their exact tick,
+    /// interleaved with event processing under every backend: a fault at
+    /// time `t` strikes before any event scheduled at `t` runs.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.faults = schedule.sorted().events().to_vec();
+        self.fault_cursor = 0;
+    }
+
+    /// True when a fault schedule was attached or a node was ever failed
+    /// manually — the "fault plane active" flag checks key off.
+    pub fn faults_injected(&self) -> bool {
+        !self.faults.is_empty() || self.failed.iter().any(|&f| f)
+    }
+
+    /// Faults not yet applied (scheduled beyond the time drained so far).
+    pub fn pending_faults(&self) -> usize {
+        self.faults.len() - self.fault_cursor
+    }
+
+    /// Current link-level fault condition (read-only).
+    pub fn link_state(&self) -> &LinkState {
+        &self.links
+    }
+
+    /// Time of the next unapplied fault at or before `limit`.
+    pub(crate) fn next_fault_at(&self, limit: SimTime) -> Option<SimTime> {
+        self.faults
+            .get(self.fault_cursor)
+            .map(|f| f.at)
+            .filter(|&t| t <= limit)
+    }
+
+    /// Apply every fault scheduled at exactly `t`, advancing `now` to `t`.
+    pub(crate) fn apply_faults_at(&mut self, t: SimTime) {
+        debug_assert!(t >= self.now, "fault time went backwards");
+        self.now = self.now.max(t);
+        while let Some(f) = self.faults.get(self.fault_cursor) {
+            if f.at != t {
+                break;
+            }
+            let kind = f.kind.clone();
+            self.fault_cursor += 1;
+            self.apply_fault(kind);
+        }
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::Crash(n) => self.fail_node(n),
+            FaultKind::Restart(n) => self.restart_node(n),
+            FaultKind::LinkDown(a, b) => {
+                self.links.set_down(a, b, true);
+                self.emit(|| TraceEvent::LinkDown { a, b });
+            }
+            FaultKind::LinkUp(a, b) => {
+                self.links.set_down(a, b, false);
+                self.emit(|| TraceEvent::LinkUp { a, b });
+            }
+            FaultKind::SetLinkLoss(a, b, ppm) => {
+                self.links.set_loss(a, b, ppm);
+                self.emit(|| TraceEvent::LinkLoss { a, b, ppm });
+            }
+            FaultKind::DupWindow { until, ppm } => {
+                self.links.open_dup_window(until, ppm);
+                self.emit(|| TraceEvent::DupWindow { until, ppm });
+            }
+            FaultKind::ReorderWindow { until, jitter } => {
+                self.links.open_reorder_window(until, jitter);
+                self.emit(|| TraceEvent::ReorderWindow { until, jitter });
+            }
+        }
     }
 
     /// Run `f` on a node *now* (workload injection: "a sensor reading was
@@ -957,11 +1167,22 @@ where
             self.drain_sharded(limit);
             return;
         }
-        while let Some(at) = self.queue.next_at() {
-            if at > limit {
-                break;
+        // Interleave scheduled faults with event processing: a fault at
+        // time t strikes before any event at t (so a crash at an event's
+        // exact tick kills that event's handler), and pending faults are
+        // applied even when the queue is empty (a restart can revive a
+        // quiesced network).
+        loop {
+            let next_fault = self.next_fault_at(limit);
+            let next_event = self.queue.next_at().filter(|&at| at <= limit);
+            match (next_fault, next_event) {
+                (Some(f), Some(at)) if f <= at => self.apply_faults_at(f),
+                (_, Some(_)) => {
+                    self.step();
+                }
+                (Some(f), None) => self.apply_faults_at(f),
+                (None, None) => break,
             }
-            self.step();
         }
     }
 
@@ -1565,5 +1786,254 @@ mod failure_tests {
             ctx.broadcast(Beep);
         });
         assert_eq!(sim.node(NodeId(0)).heard, 0);
+    }
+}
+
+#[cfg(test)]
+mod fault_plane_tests {
+    use super::*;
+    use crate::faults::FaultSchedule;
+    use crate::trace::{DropReason, SharedJournal};
+
+    /// Periodic chatter: every node re-broadcasts on a timer until
+    /// `active_until`, so there is continuous traffic for faults to hit
+    /// and guaranteed quiescence afterwards.
+    struct Chatter {
+        heard: u32,
+        boots: u32,
+        period: SimTime,
+        active_until: SimTime,
+    }
+    #[derive(Clone)]
+    struct Tick;
+    impl MsgMeta for Tick {
+        fn size_bytes(&self) -> usize {
+            4
+        }
+        fn kind(&self) -> &'static str {
+            "ping"
+        }
+    }
+    impl App for Chatter {
+        type Msg = Tick;
+        fn on_start(&mut self, ctx: &mut Ctx<Tick>) {
+            self.boots += 1;
+            ctx.broadcast(Tick);
+            if ctx.now < self.active_until {
+                ctx.set_timer(self.period, 1);
+            }
+        }
+        fn on_message(&mut self, _: &mut Ctx<Tick>, _: NodeId, _: Tick) {
+            self.heard += 1;
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<Tick>, _: u64) {
+            ctx.broadcast(Tick);
+            if ctx.now < self.active_until {
+                ctx.set_timer(self.period, 1);
+            }
+        }
+    }
+
+    fn chatter_sim(topo: Topology, cfg: SimConfig, active_until: SimTime) -> Simulator<Chatter> {
+        Simulator::new(topo, cfg, move |_, _| Chatter {
+            heard: 0,
+            boots: 0,
+            period: 100,
+            active_until,
+        })
+    }
+
+    #[test]
+    fn crash_and_restart_loses_state_and_reboots() {
+        let mut sim = chatter_sim(Topology::grid(2, 1), SimConfig::default(), 2_000);
+        sim.set_fault_schedule(
+            FaultSchedule::new()
+                .crash(500, NodeId(1))
+                .restart(1_000, NodeId(1)),
+        );
+        sim.run_to_quiescence(100_000);
+        assert!(!sim.is_failed(NodeId(1)));
+        // The replacement instance rebooted (on_restart defaults to
+        // on_start) and heard only post-restart traffic.
+        assert_eq!(sim.node(NodeId(1)).boots, 1);
+        assert!(sim.node(NodeId(1)).heard > 0, "rejoined after restart");
+        assert!(
+            (sim.node(NodeId(1)).heard as u64) < sim.metrics.tx_of("ping"),
+            "state loss: pre-crash receptions are gone"
+        );
+        // Drops while dead are booked under the dead-node reason.
+        let by = sim.metrics.lost_by_reason();
+        assert!(by[DropReason::DeadNode.index()] > 0);
+    }
+
+    #[test]
+    fn restart_revives_a_quiesced_network() {
+        // All chatter stops by t=200; the scheduled restart at t=5000 hits
+        // an empty queue and must still fire, re-seeding traffic.
+        let mut sim = chatter_sim(Topology::grid(2, 1), SimConfig::default(), 200);
+        sim.set_fault_schedule(
+            FaultSchedule::new()
+                .crash(50, NodeId(1))
+                .restart(5_000, NodeId(1)),
+        );
+        sim.run_to_quiescence(100_000);
+        assert_eq!(sim.node(NodeId(1)).boots, 1);
+        // The revived node's boot broadcast reached node 0 after t=5000.
+        assert!(sim.now() >= 5_000, "restart advanced the clock");
+        assert!(sim.node(NodeId(0)).heard > 0);
+    }
+
+    #[test]
+    fn stale_timers_from_previous_incarnation_are_swallowed() {
+        struct OneShot {
+            fired: Vec<SimTime>,
+        }
+        #[derive(Clone)]
+        struct Nil;
+        impl MsgMeta for Nil {
+            fn size_bytes(&self) -> usize {
+                0
+            }
+        }
+        impl App for OneShot {
+            type Msg = Nil;
+            fn on_start(&mut self, ctx: &mut Ctx<Nil>) {
+                ctx.set_timer(1_000, 7);
+            }
+            fn on_message(&mut self, _: &mut Ctx<Nil>, _: NodeId, _: Nil) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<Nil>, _: u64) {
+                self.fired.push(ctx.now);
+            }
+        }
+        let mut sim = Simulator::new(Topology::grid(1, 1), SimConfig::default(), |_, _| OneShot {
+            fired: Vec::new(),
+        });
+        // Crash at 500 (before the boot timer lands at 1000), restart at
+        // 600. The incarnation-0 timer must be swallowed; only the
+        // incarnation-1 timer (armed at 600, fires at 1600) runs.
+        sim.set_fault_schedule(
+            FaultSchedule::new()
+                .crash(500, NodeId(0))
+                .restart(600, NodeId(0)),
+        );
+        sim.run_to_quiescence(100_000);
+        assert_eq!(sim.node(NodeId(0)).fired, vec![1_600]);
+    }
+
+    #[test]
+    fn link_down_partitions_and_link_up_heals() {
+        let mut sim = chatter_sim(Topology::grid(2, 1), SimConfig::default(), 4_000);
+        sim.set_fault_schedule(
+            FaultSchedule::new()
+                .link_down(1_000, NodeId(0), NodeId(1))
+                .link_up(2_000, NodeId(1), NodeId(0)),
+        );
+        let shared = SharedJournal::new(0);
+        sim.set_trace(Box::new(shared.clone()));
+        sim.run_to_quiescence(100_000);
+        let by = sim.metrics.lost_by_reason();
+        assert!(
+            by[DropReason::Partition.index()] > 0,
+            "sends during the partition drop with the partition reason"
+        );
+        assert_eq!(by[DropReason::Loss.index()], 0, "default loss is 0");
+        // Both nodes kept hearing each other after the heal: roughly one
+        // reception per period outside the partition window.
+        assert!(sim.node(NodeId(0)).heard > 20);
+        assert!(sim.node(NodeId(1)).heard > 20);
+        let s = shared.take().summary();
+        assert_eq!(s.link_faults, 2, "down + up journaled");
+        assert_eq!(s.drops_partition, by[DropReason::Partition.index()]);
+    }
+
+    #[test]
+    fn dup_window_duplicates_and_conserves() {
+        // Single broadcast under an always-duplicate window: the neighbor
+        // hears it twice and the duplicate books its own tx, keeping the
+        // per-kind conservation tx == rx + lost intact.
+        let mut sim = chatter_sim(Topology::grid(2, 1), SimConfig::default(), 0);
+        sim.set_fault_schedule(FaultSchedule::new().dup_window(0, 10_000, 1_000_000));
+        sim.run_to_quiescence(100_000);
+        assert_eq!(sim.node(NodeId(0)).heard, 2);
+        assert_eq!(sim.node(NodeId(1)).heard, 2);
+        for (kind, tx, rx, lost) in sim.metrics.kind_balance() {
+            assert_eq!(tx, rx + lost, "{kind} conservation broke under dup");
+        }
+        assert_eq!(sim.metrics.tx_of("ping"), 4);
+    }
+
+    #[test]
+    fn reorder_window_is_deterministic() {
+        let run = |jitter: SimTime| {
+            let shared = SharedJournal::new(9);
+            let mut sim = chatter_sim(
+                Topology::square_grid(3),
+                SimConfig {
+                    seed: 9,
+                    ..SimConfig::default()
+                },
+                1_000,
+            );
+            if jitter > 0 {
+                sim.set_fault_schedule(FaultSchedule::new().reorder_window(0, 2_000, jitter));
+            }
+            sim.set_trace(Box::new(shared.clone()));
+            sim.run_to_quiescence(100_000);
+            shared.take()
+        };
+        let a = run(40);
+        let b = run(40);
+        assert_eq!(a.content_hash(), b.content_hash(), "same script, same run");
+        let plain = run(0);
+        assert_ne!(
+            a.content_hash(),
+            plain.content_hash(),
+            "reorder jitter must actually perturb the delivery schedule"
+        );
+    }
+
+    /// Satellite regression: a crash scheduled at an arbitrary mid-window
+    /// tick takes effect at exactly that tick under `Sched::Shard` — the
+    /// lockstep window is clamped at the fault, so shard journals stay
+    /// byte-identical to the wheel oracle.
+    #[test]
+    fn shard_matches_wheel_under_exact_tick_crash_schedule() {
+        // 137/1201 are deliberately not multiples of the 30-tick lookahead
+        // (hop_delay.0) so an unclamped window would straddle the fault.
+        let schedule = FaultSchedule::new()
+            .crash(137, NodeId(4))
+            .restart(1_201, NodeId(4))
+            .link_down(433, NodeId(0), NodeId(1))
+            .link_up(977, NodeId(1), NodeId(0));
+        let run = |sched: Sched| {
+            let cfg = SimConfig {
+                sched,
+                loss_prob: 0.1,
+                seed: 21,
+                ..SimConfig::default()
+            };
+            let shared = SharedJournal::new(cfg.seed);
+            let mut sim = chatter_sim(Topology::square_grid(4), cfg, 3_000);
+            sim.set_shard_threshold(0); // force lockstep windows
+            sim.set_fault_schedule(schedule.clone());
+            sim.set_trace(Box::new(shared.clone()));
+            sim.run_to_quiescence(100_000);
+            shared.take()
+        };
+        let oracle = run(Sched::Wheel);
+        let heap = run(Sched::Heap);
+        assert_eq!(oracle.content_hash(), heap.content_hash());
+        for workers in [1usize, 2, 3, 4] {
+            let j = run(Sched::Shard { workers });
+            assert_eq!(
+                oracle.first_divergence(&j),
+                None,
+                "workers={workers} diverged: {:?} vs {:?}",
+                oracle.first_divergence(&j).map(|i| &oracle.records[i]),
+                oracle.first_divergence(&j).and_then(|i| j.records.get(i)),
+            );
+            assert_eq!(oracle.content_hash(), j.content_hash());
+        }
+        assert!(!oracle.records.is_empty());
     }
 }

@@ -26,10 +26,28 @@ use std::rc::Rc;
 /// Why a message did not reach its destination.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum DropReason {
-    /// Lost on the air (Bernoulli link loss), possibly after ARQ retries.
+    /// Lost on the air (Bernoulli link loss) with no retry budget.
     Loss,
     /// Destination node had crashed before delivery.
     DeadNode,
+    /// Every ARQ retry was lost (only reported when `retries > 0`).
+    Retries,
+    /// The link was administratively down (network partition).
+    Partition,
+}
+
+impl DropReason {
+    /// Dense index for per-reason counter arrays.
+    pub const COUNT: usize = 4;
+
+    pub fn index(self) -> usize {
+        match self {
+            DropReason::Loss => 0,
+            DropReason::DeadNode => 1,
+            DropReason::Retries => 2,
+            DropReason::Partition => 3,
+        }
+    }
 }
 
 impl fmt::Display for DropReason {
@@ -37,6 +55,8 @@ impl fmt::Display for DropReason {
         f.write_str(match self {
             DropReason::Loss => "loss",
             DropReason::DeadNode => "dead",
+            DropReason::Retries => "retries",
+            DropReason::Partition => "partition",
         })
     }
 }
@@ -75,8 +95,24 @@ pub enum TraceEvent {
     },
     /// A timer fired at `node`.
     Timer { node: NodeId, tag: u64 },
-    /// A node was crashed via `fail_node`.
+    /// A node was crashed via `fail_node` or a fault schedule.
     NodeFail { node: NodeId },
+    /// A crashed node was restarted with fresh application state.
+    NodeRestart { node: NodeId },
+    /// The bidirectional link `a<->b` went down (partition).
+    LinkDown { a: NodeId, b: NodeId },
+    /// The bidirectional link `a<->b` came back up.
+    LinkUp { a: NodeId, b: NodeId },
+    /// Per-link loss probability override, in parts-per-million
+    /// (`ppm == u32::MAX` clears the override). Integer so the journal
+    /// stays `Eq`/hashable.
+    LinkLoss { a: NodeId, b: NodeId, ppm: u32 },
+    /// Message-duplication window: until `until`, each delivery is
+    /// duplicated with probability `ppm / 1e6`.
+    DupWindow { until: SimTime, ppm: u32 },
+    /// Reordering window: until `until`, each delivery gets extra uniform
+    /// jitter in `[0, jitter)` on top of the hop delay.
+    ReorderWindow { until: SimTime, jitter: SimTime },
 }
 
 /// A journaled event: monotonic trace sequence number + simulated time +
@@ -117,6 +153,14 @@ impl fmt::Display for TraceRecord {
             } => write!(f, "drop {from}->{to} {kind} {reason}"),
             TraceEvent::Timer { node, tag } => write!(f, "timer {node} tag={tag}"),
             TraceEvent::NodeFail { node } => write!(f, "fail {node}"),
+            TraceEvent::NodeRestart { node } => write!(f, "restart {node}"),
+            TraceEvent::LinkDown { a, b } => write!(f, "link-down {a}<->{b}"),
+            TraceEvent::LinkUp { a, b } => write!(f, "link-up {a}<->{b}"),
+            TraceEvent::LinkLoss { a, b, ppm } => write!(f, "link-loss {a}<->{b} {ppm}ppm"),
+            TraceEvent::DupWindow { until, ppm } => write!(f, "dup-window until={until} {ppm}ppm"),
+            TraceEvent::ReorderWindow { until, jitter } => {
+                write!(f, "reorder-window until={until} jitter={jitter}")
+            }
         }
     }
 }
@@ -260,6 +304,28 @@ impl Journal {
                 TraceEvent::NodeFail { node } => {
                     let _ = write!(s, r#""ev":"fail","node":{}"#, node.0);
                 }
+                TraceEvent::NodeRestart { node } => {
+                    let _ = write!(s, r#""ev":"restart","node":{}"#, node.0);
+                }
+                TraceEvent::LinkDown { a, b } => {
+                    let _ = write!(s, r#""ev":"linkdown","a":{},"b":{}"#, a.0, b.0);
+                }
+                TraceEvent::LinkUp { a, b } => {
+                    let _ = write!(s, r#""ev":"linkup","a":{},"b":{}"#, a.0, b.0);
+                }
+                TraceEvent::LinkLoss { a, b, ppm } => {
+                    let _ = write!(
+                        s,
+                        r#""ev":"linkloss","a":{},"b":{},"ppm":{}"#,
+                        a.0, b.0, ppm
+                    );
+                }
+                TraceEvent::DupWindow { until, ppm } => {
+                    let _ = write!(s, r#""ev":"dupwin","until":{until},"ppm":{ppm}"#);
+                }
+                TraceEvent::ReorderWindow { until, jitter } => {
+                    let _ = write!(s, r#""ev":"reorderwin","until":{until},"jitter":{jitter}"#);
+                }
             }
             let _ = writeln!(s, "}}");
         }
@@ -329,6 +395,8 @@ impl Journal {
                     reason: match field_str(line, "reason").as_deref() {
                         Some("loss") => DropReason::Loss,
                         Some("dead") => DropReason::DeadNode,
+                        Some("retries") => DropReason::Retries,
+                        Some("partition") => DropReason::Partition,
                         _ => return Err(err(lineno, "bad drop reason")),
                     },
                 },
@@ -338,6 +406,31 @@ impl Journal {
                 },
                 "fail" => TraceEvent::NodeFail {
                     node: node_of("node")?,
+                },
+                "restart" => TraceEvent::NodeRestart {
+                    node: node_of("node")?,
+                },
+                "linkdown" => TraceEvent::LinkDown {
+                    a: node_of("a")?,
+                    b: node_of("b")?,
+                },
+                "linkup" => TraceEvent::LinkUp {
+                    a: node_of("a")?,
+                    b: node_of("b")?,
+                },
+                "linkloss" => TraceEvent::LinkLoss {
+                    a: node_of("a")?,
+                    b: node_of("b")?,
+                    ppm: field_u64(line, "ppm").ok_or_else(|| err(lineno, "missing ppm"))? as u32,
+                },
+                "dupwin" => TraceEvent::DupWindow {
+                    until: field_u64(line, "until").ok_or_else(|| err(lineno, "missing until"))?,
+                    ppm: field_u64(line, "ppm").ok_or_else(|| err(lineno, "missing ppm"))? as u32,
+                },
+                "reorderwin" => TraceEvent::ReorderWindow {
+                    until: field_u64(line, "until").ok_or_else(|| err(lineno, "missing until"))?,
+                    jitter: field_u64(line, "jitter")
+                        .ok_or_else(|| err(lineno, "missing jitter"))?,
                 },
                 other => return Err(err(lineno, &format!("unknown event {other:?}"))),
             };
@@ -388,7 +481,9 @@ impl std::error::Error for JournalParseError {}
 /// workspace's static literals; unseen ones are leaked once and reused
 /// (bounded by the number of *distinct* kinds, not records).
 fn intern_kind(s: &str) -> &'static str {
-    const KNOWN: &[&str] = &["store", "probe", "result", "centroid", "msg", "ping"];
+    const KNOWN: &[&str] = &[
+        "store", "probe", "result", "centroid", "msg", "ping", "hb", "live",
+    ];
     if let Some(&k) = KNOWN.iter().find(|&&k| k == s) {
         return k;
     }
@@ -481,8 +576,13 @@ pub struct TraceSummary {
     pub delivers: u64,
     pub drops_loss: u64,
     pub drops_dead: u64,
+    pub drops_retries: u64,
+    pub drops_partition: u64,
     pub timers: u64,
     pub node_failures: u64,
+    pub node_restarts: u64,
+    /// Link-level fault events (down/up/loss-override/dup/reorder).
+    pub link_faults: u64,
     pub sends_by_kind: BTreeMap<&'static str, u64>,
 }
 
@@ -499,9 +599,17 @@ impl TraceSummary {
             TraceEvent::Drop { reason, .. } => match reason {
                 DropReason::Loss => self.drops_loss += 1,
                 DropReason::DeadNode => self.drops_dead += 1,
+                DropReason::Retries => self.drops_retries += 1,
+                DropReason::Partition => self.drops_partition += 1,
             },
             TraceEvent::Timer { .. } => self.timers += 1,
             TraceEvent::NodeFail { .. } => self.node_failures += 1,
+            TraceEvent::NodeRestart { .. } => self.node_restarts += 1,
+            TraceEvent::LinkDown { .. }
+            | TraceEvent::LinkUp { .. }
+            | TraceEvent::LinkLoss { .. }
+            | TraceEvent::DupWindow { .. }
+            | TraceEvent::ReorderWindow { .. } => self.link_faults += 1,
         }
     }
 }

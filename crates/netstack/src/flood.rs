@@ -78,7 +78,7 @@ pub fn run_flood_with(
     tele: Telemetry,
 ) -> FloodResult {
     let _span = tele.span("flood.run");
-    let mut sim = Simulator::new(topo.clone(), config, |id, _| FloodNode {
+    let mut sim = Simulator::new(topo.clone(), config, move |id, _| FloodNode {
         id,
         root,
         dist: None,

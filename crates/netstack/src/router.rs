@@ -110,6 +110,36 @@ pub fn greedy_step(topo: &Topology, from: NodeId, dest: NodeId) -> Option<NodeId
     best.map(|(n, _)| n)
 }
 
+/// One greedy geographic step that detours around blocked nodes: the
+/// unblocked neighbor strictly closer to `dest`. Route repair for the
+/// fault plane — `blocked` is the caller's belief about which nodes are
+/// dead. `None` when every strictly-closer neighbor is blocked (the
+/// caller falls back to its primary hop and lets the refresh plane retry
+/// after the belief changes): strictly-closer is required so a repaired
+/// route can never loop.
+pub fn next_hop_avoiding(
+    topo: &Topology,
+    from: NodeId,
+    dest: NodeId,
+    blocked: &dyn Fn(NodeId) -> bool,
+) -> Option<NodeId> {
+    let d0 = topo.distance(from, dest);
+    let mut best: Option<(NodeId, f64)> = None;
+    for &n in topo.neighbors(from) {
+        if blocked(n) {
+            continue;
+        }
+        if n == dest {
+            return Some(dest);
+        }
+        let d = topo.distance(n, dest);
+        if d < d0 && best.is_none_or(|(_, bd)| d < bd) {
+            best = Some((n, d));
+        }
+    }
+    best.map(|(n, _)| n)
+}
+
 /// The full multi-hop path from `from` to `dest` (inclusive of both
 /// ends), or `None` when `dest` is unreachable from `from`.
 pub fn route_path(
@@ -183,6 +213,36 @@ mod tests {
         let topo = Topology::square_grid(4);
         let step = greedy_step(&topo, NodeId(0), NodeId(15)).unwrap();
         assert!(topo.distance(step, NodeId(15)) < topo.distance(NodeId(0), NodeId(15)));
+    }
+
+    #[test]
+    fn avoiding_detours_around_dead_nodes_without_looping() {
+        let topo = Topology::square_grid(4);
+        let from = topo.node_at(0, 0).unwrap();
+        let dest = topo.node_at(3, 3).unwrap();
+        // Greedy would step east to (1,0); with that node dead the repair
+        // steps north to (0,1) — still strictly closer to dest.
+        let dead = topo.node_at(1, 0).unwrap();
+        let step = next_hop_avoiding(&topo, from, dest, &|n| n == dead).unwrap();
+        assert_eq!(step, topo.node_at(0, 1).unwrap());
+        assert!(topo.distance(step, dest) < topo.distance(from, dest));
+        // A fully walled-off corner has no strictly-closer unblocked hop.
+        let wall = [topo.node_at(1, 0).unwrap(), topo.node_at(0, 1).unwrap()];
+        assert_eq!(
+            next_hop_avoiding(&topo, from, dest, &|n| wall.contains(&n)),
+            None
+        );
+        // Repaired routes terminate: walk hop by hop around the dead node.
+        let mut cur = from;
+        let mut hops = 0;
+        while cur != dest {
+            let next = next_hop_avoiding(&topo, cur, dest, &|n| n == dead)
+                .expect("grid interior always has a detour");
+            assert!(topo.are_neighbors(cur, next));
+            cur = next;
+            hops += 1;
+            assert!(hops <= topo.len(), "routing loop");
+        }
     }
 
     #[test]

@@ -136,14 +136,30 @@ pub fn run_epoch(
     config: SimConfig,
 ) -> (Partial, u64) {
     assert_eq!(readings.len(), topo.len());
-    let mut sim = Simulator::new(topo.clone(), config, |id, _| TagNode {
-        id,
-        parent: tree.parent[id.index()],
-        expected_children: tree.children(id).len(),
-        reading: readings[id.index()],
-        acc: None,
-        received: 0,
-        result: None,
+    // `make_app` is now `'static` (restartable nodes need the factory for
+    // the node's whole lifetime), so hand it owned per-node init data
+    // instead of borrowing `tree` and `readings`.
+    let init: Vec<(Option<NodeId>, usize, f64)> = topo
+        .nodes()
+        .map(|id| {
+            (
+                tree.parent[id.index()],
+                tree.children(id).len(),
+                readings[id.index()],
+            )
+        })
+        .collect();
+    let mut sim = Simulator::new(topo.clone(), config, move |id, _| {
+        let (parent, expected_children, reading) = init[id.index()];
+        TagNode {
+            id,
+            parent,
+            expected_children,
+            reading,
+            acc: None,
+            received: 0,
+            result: None,
+        }
     });
     sim.run_to_quiescence(10_000_000);
     let root_result = sim

@@ -122,7 +122,7 @@ pub fn build_distributed_with(
     tele: Telemetry,
 ) -> (GatherTree, u64) {
     let _span = tele.span("tree.build");
-    let mut sim = Simulator::new(topo.clone(), config, |id, _| TreeNode {
+    let mut sim = Simulator::new(topo.clone(), config, move |id, _| TreeNode {
         id,
         root,
         parent: None,
