@@ -75,6 +75,31 @@ if [[ "$fast" -eq 0 ]]; then
     grep -q '"hash": "bc026db128c91410"' "$chaos_out" || {
         echo "chaos smoke: quick journal hash drifted (fault-plane trace no longer matches the pin)"; exit 1; }
     rm -f "$chaos_out"
+
+    # Provenance overhead smoke: a 50-node logicH run, provenance off vs
+    # on. The bin exits non-zero unless the two journals are identical
+    # (pure-observer contract) and a sampled derived tuple proves
+    # end-to-end; the pinned hash anchors the disabled-provenance trace
+    # across processes.
+    echo "== provenance smoke (--quick, pure-observer journal pinned) =="
+    prov_out=$(mktemp /tmp/bench_prov.XXXXXX.json)
+    cargo run -q --release -p sensorlog-bench --bin prov -- --quick --out "$prov_out"
+    python3 -m json.tool "$prov_out" > /dev/null
+    grep -q '"hash": "3c1ec08c6289dba4"' "$prov_out" || {
+        echo "prov smoke: quick journal hash drifted (provenance plane perturbed the trace, or the sim changed)"; exit 1; }
+    rm -f "$prov_out"
+
+    # `sensorlog explain` end-to-end: a recursive 3-link chain whose proof
+    # tree must span the grid and name the EDB leaf, with the latency-
+    # critical chain attached.
+    echo "== sensorlog explain smoke (recursive cross-node proof) =="
+    explain_out=$(cargo run -q --release --bin sensorlog -- explain \
+        examples/explain/reach.dl --grid 4 \
+        --events examples/explain/chain_events.txt --why 'reach(1, 4)')
+    for needle in 'reach(1, 4)' 'edge(1, 2)' 'critical path' 'sim-ms'; do
+        grep -qF "$needle" <<<"$explain_out" || {
+            echo "explain smoke: missing \`$needle\` in output:"; echo "$explain_out"; exit 1; }
+    done
 fi
 
 echo "CI OK"

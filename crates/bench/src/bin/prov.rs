@@ -1,0 +1,229 @@
+//! Provenance-plane overhead sweep, exported as `BENCH_prov.json`.
+//!
+//! ```text
+//! prov [--quick] [--out BENCH_prov.json]
+//! ```
+//!
+//! One loss-free logicH deployment (the Example 3 shortest-path tree) run
+//! twice — provenance disabled, then enabled — on the same seed. The two
+//! journals must be byte-identical (the pure-observer contract of
+//! `tests/trace_stability.rs`, enforced here as a process exit code), so
+//! the delta between the runs is exactly what the recording plane costs:
+//!
+//! * **wall overhead** — enabled wall time over disabled wall time;
+//! * **record volume** — raw records captured, JSONL bytes, and both
+//!   normalized per derived result tuple;
+//! * **query cost** — materializing the [`ProvDag`] and answering one
+//!   `why` over the largest run, timed separately (paid only on query,
+//!   never during the run).
+//!
+//! The enabled run must also *prove* a sampled derived tuple end-to-end
+//! (DAG build → `why` → non-empty critical path), so the smoke doubles as
+//! an explain regression. `--quick` shrinks the grid to 50 nodes for CI;
+//! the committed `BENCH_prov.json` comes from the full 200-node run.
+
+use sensorlog_core::deploy::{DeployConfig, Deployment};
+use sensorlog_core::prov::{to_jsonl, Provenance};
+use sensorlog_core::workload::graph_edges;
+use sensorlog_core::{RtConfig, Strategy};
+use sensorlog_logic::builtin::BuiltinRegistry;
+use sensorlog_logic::Symbol;
+use sensorlog_netsim::{SimConfig, Topology};
+use sensorlog_provenance::{critical_path, ProvDag};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const LOGIC_H: &str = r#"
+    .output h.
+    h(0, 0, 0).
+    h(0, X, 1) :- g(0, X).
+    hp(Y, D + 1) :- h(_, Y, D'), (D + 1) > D', h(_, X, D), g(X, Y).
+    h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).
+"#;
+
+struct Run {
+    wall_s: f64,
+    hash: u64,
+    journal_records: usize,
+    results: usize,
+    prov_records: usize,
+    prov_bytes: usize,
+    records_log: Vec<sensorlog_core::ProvRecord>,
+}
+
+fn run_case(cols: u32, rows: u32, horizon: u64, enabled: bool) -> Run {
+    let topo = Topology::grid(cols, rows);
+    let provenance = if enabled {
+        Provenance::enabled()
+    } else {
+        Provenance::disabled()
+    };
+    // Loss-free: a lossy tree only partially converges, which would make
+    // the per-result normalization meaningless. The pure-observer journal
+    // identity below holds at any loss rate regardless.
+    let cfg = DeployConfig {
+        rt: RtConfig {
+            strategy: Strategy::Perpendicular { band_width: 1.0 },
+            ..RtConfig::default()
+        },
+        sim: SimConfig {
+            seed: 17,
+            ..SimConfig::default()
+        },
+        provenance,
+        ..DeployConfig::default()
+    };
+    let mut d = Deployment::new(LOGIC_H, BuiltinRegistry::standard(), topo.clone(), cfg)
+        .expect("bench program compiles");
+    let journal = d.attach_journal();
+    d.schedule_all(graph_edges(&topo, 100, 200));
+    let t0 = Instant::now();
+    d.run(horizon);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let j = journal.take();
+    let results = d.results(Symbol::intern("h")).len();
+    let records_log = d.provenance_records();
+    let prov_bytes = if records_log.is_empty() {
+        0
+    } else {
+        to_jsonl(&records_log).len()
+    };
+    Run {
+        wall_s,
+        hash: j.content_hash(),
+        journal_records: j.records.len(),
+        results,
+        prov_records: records_log.len(),
+        prov_bytes,
+        records_log,
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_prov.json".into());
+
+    // 50 nodes quick (the CI smoke), 98 nodes full (the committed
+    // artifact). Loss-free logicH convergence cost grows superlinearly
+    // with grid depth (hp churn at every tree level), so the full grid
+    // stays modest to keep the artifact reproducible in minutes.
+    let (cols, rows): (u32, u32) = if quick { (10, 5) } else { (14, 7) };
+    let horizon = 2_000_000u64;
+
+    let off = run_case(cols, rows, horizon, false);
+    eprintln!(
+        "prov off: wall {:.2}s, {} journal records, {} results",
+        off.wall_s, off.journal_records, off.results
+    );
+    let on = run_case(cols, rows, horizon, true);
+    eprintln!(
+        "prov on:  wall {:.2}s, {} prov records ({} bytes)",
+        on.wall_s, on.prov_records, on.prov_bytes
+    );
+
+    if on.hash != off.hash || on.journal_records != off.journal_records {
+        eprintln!(
+            "prov: enabled run perturbed the journal \
+             ({} records, hash {:016x} vs {} / {:016x}) — the plane is \
+             supposed to be a pure observer",
+            on.journal_records, on.hash, off.journal_records, off.hash
+        );
+        return ExitCode::FAILURE;
+    }
+    if off.prov_records != 0 {
+        eprintln!("prov: disabled plane captured {} records", off.prov_records);
+        return ExitCode::FAILURE;
+    }
+    if on.prov_records == 0 || on.results == 0 {
+        eprintln!("prov: enabled run captured nothing to measure");
+        return ExitCode::FAILURE;
+    }
+
+    // Query cost + explain regression: build the DAG, prove one derived
+    // tuple, and require a causally ordered critical path.
+    let t0 = Instant::now();
+    let dag = ProvDag::build(&on.records_log);
+    let build_s = t0.elapsed().as_secs_f64();
+    let h = Symbol::intern("h");
+    let tuples = dag.live_tuples(h);
+    let Some(sample) = tuples.last().map(|t| (*t).clone()) else {
+        eprintln!("prov: no live h tuple in the DAG");
+        return ExitCode::FAILURE;
+    };
+    let t0 = Instant::now();
+    let Some(proof) = dag.why(h, &sample) else {
+        eprintln!("prov: live tuple h{sample} has no proof");
+        return ExitCode::FAILURE;
+    };
+    let why_s = t0.elapsed().as_secs_f64();
+    let path = critical_path(&proof);
+    if path.is_empty() || path.windows(2).any(|w| w[0].finish_at > w[1].finish_at) {
+        eprintln!("prov: critical path of h{sample} is not causally ordered");
+        return ExitCode::FAILURE;
+    }
+
+    let overhead = if off.wall_s > 0.0 {
+        on.wall_s / off.wall_s
+    } else {
+        1.0
+    };
+    let per_result = on.prov_records as f64 / on.results as f64;
+    let bytes_per_result = on.prov_bytes as f64 / on.results as f64;
+
+    // Hand-rolled JSON — stable field order, no external deps.
+    let s = format!(
+        "{{\n  \"bench\": \"prov\",\n  \"quick\": {quick},\n  \
+         \"nodes\": {},\n  \"grid\": [{cols}, {rows}],\n  \"horizon_ms\": {horizon},\n  \
+         \"journal\": {{\"records\": {}, \"hash\": \"{:016x}\", \"identical_off_vs_on\": true}},\n  \
+         \"off\": {{\"wall_s\": {:.3}}},\n  \
+         \"on\": {{\"wall_s\": {:.3}, \"prov_records\": {}, \"prov_jsonl_bytes\": {}}},\n  \
+         \"results\": {},\n  \
+         \"records_per_result\": {per_result:.1},\n  \
+         \"bytes_per_result\": {bytes_per_result:.1},\n  \
+         \"wall_overhead\": {overhead:.3},\n  \
+         \"dag_build_s\": {build_s:.3},\n  \
+         \"why_s\": {why_s:.4},\n  \
+         \"sampled_proof\": {{\"tuple\": \"h{}\", \"depth\": {}, \"critical_steps\": {}}}\n}}\n",
+        cols as u64 * rows as u64,
+        off.journal_records,
+        off.hash,
+        off.wall_s,
+        on.wall_s,
+        on.prov_records,
+        on.prov_bytes,
+        on.results,
+        sample,
+        proof_depth(&proof),
+        path.len()
+    );
+    if let Err(e) = std::fs::write(&out_path, &s) {
+        eprintln!("prov: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "prov OK: {} records ({:.1}/result, {:.0} B/result), wall x{overhead:.2}, \
+         proof depth {} -> {out_path}",
+        on.prov_records,
+        per_result,
+        bytes_per_result,
+        proof_depth(&proof)
+    );
+    ExitCode::SUCCESS
+}
+
+fn proof_depth(p: &sensorlog_provenance::ProofNode) -> usize {
+    1 + p
+        .premises
+        .iter()
+        .map(|e| proof_depth(&e.premise))
+        .max()
+        .unwrap_or(0)
+}

@@ -5,6 +5,7 @@
 use crate::durable::DurableStore;
 use crate::partial::RuleShape;
 use crate::plan::{compile_source, DistProgram, PlanTiming};
+use crate::prov::{ProvRecord, Provenance};
 use crate::runtime::{NetInfo, NodeStats, RtConfig, SensorlogNode};
 use crate::strategy::Strategy;
 use sensorlog_eval::UpdateKind;
@@ -85,6 +86,11 @@ pub struct DeployConfig {
     /// Telemetry handle shared by the simulator and every node (disabled by
     /// default — a disabled handle costs one branch per recording site).
     pub telemetry: Telemetry,
+    /// Provenance recording handle shared by every node (disabled by
+    /// default). Enable with [`Provenance::enabled`] to capture the
+    /// cross-node lineage records `sensorlog-provenance` builds its causal
+    /// DAG from; a pure observer either way.
+    pub provenance: Provenance,
 }
 
 /// A running deployment.
@@ -100,6 +106,8 @@ pub struct Deployment {
     /// was alive at injection time). The convergence checker's "surviving
     /// EDB" is computed from these, not from the full schedule.
     applied: Vec<WorkloadEvent>,
+    /// The shared provenance handle (disabled unless configured).
+    prov: Provenance,
     /// Per-node durable stores (fault plane only; empty otherwise). Held
     /// here so they survive app rebuilds on restart.
     durables: Vec<Arc<Mutex<DurableStore>>>,
@@ -139,6 +147,8 @@ impl Deployment {
         };
         let faults_cfg = cfg.faults.is_some();
         let durables2 = durables.clone();
+        let prov = config.provenance.clone();
+        let prov2 = prov.clone();
         let mut sim = Simulator::new(topo, config.sim, move |id, _| {
             let node = SensorlogNode::new(
                 id,
@@ -147,7 +157,8 @@ impl Deployment {
                 Arc::clone(&net),
                 Arc::clone(&shapes),
                 tele.clone(),
-            );
+            )
+            .with_provenance(prov2.clone());
             match durables2.get(id.index()) {
                 Some(d) => node.with_durable(Arc::clone(d)),
                 None => node,
@@ -161,6 +172,7 @@ impl Deployment {
             schedule: Vec::new(),
             injected: BTreeMap::new(),
             applied: Vec::new(),
+            prov,
             durables,
             faults_cfg,
         };
@@ -294,6 +306,18 @@ impl Deployment {
     /// The durable store of node `id` (fault plane only).
     pub fn durable(&self, id: NodeId) -> Option<&Arc<Mutex<DurableStore>>> {
         self.durables.get(id.index())
+    }
+
+    /// The deployment's shared provenance handle (disabled unless
+    /// `DeployConfig::provenance` was enabled).
+    pub fn provenance(&self) -> &Provenance {
+        &self.prov
+    }
+
+    /// Copy of the provenance records captured so far (empty when the
+    /// plane is disabled).
+    pub fn provenance_records(&self) -> Vec<ProvRecord> {
+        self.prov.snapshot()
     }
 
     /// Gather the live result tuples of `pred` across all owner nodes (or
@@ -461,6 +485,67 @@ mod tests {
         assert!(WorkloadEvent::parse_line("+1 7 p(1).").is_err()); // no @
         assert!(WorkloadEvent::parse_line("+1 @7 p(X).").is_err()); // non-ground
         assert!(WorkloadEvent::parse_line("").is_err());
+    }
+
+    #[test]
+    fn provenance_capture_spans_all_record_kinds() {
+        let src = r#"
+            .output q.
+            q(X, Y) :- r1(X, T), r2(Y, T).
+        "#;
+        let topo = sensorlog_netsim::Topology::square_grid(4);
+        let config = DeployConfig {
+            provenance: Provenance::enabled(),
+            ..DeployConfig::default()
+        };
+        let mut d = Deployment::new(src, BuiltinRegistry::standard(), topo, config).unwrap();
+        let mk = |p: &str, a: i64, b: i64| {
+            (
+                Symbol::intern(p),
+                Tuple::new(vec![Term::Int(a), Term::Int(b)]),
+            )
+        };
+        let (p1, t1) = mk("r1", 1, 7);
+        let (p2, t2) = mk("r2", 2, 7);
+        d.schedule_all([
+            WorkloadEvent {
+                at: 10,
+                node: NodeId(1),
+                pred: p1,
+                tuple: t1,
+                kind: UpdateKind::Insert,
+            },
+            WorkloadEvent {
+                at: 20,
+                node: NodeId(14),
+                pred: p2,
+                tuple: t2,
+                kind: UpdateKind::Insert,
+            },
+        ]);
+        d.run(60_000);
+        assert_eq!(d.results(Symbol::intern("q")).len(), 1);
+        let recs = d.provenance_records();
+        let has = |f: fn(&ProvRecord) -> bool| recs.iter().any(f);
+        assert!(has(|r| matches!(r, ProvRecord::Edb { .. })), "no Edb leaf");
+        assert!(
+            has(|r| matches!(r, ProvRecord::Deriv { sign: 1, .. })),
+            "no Deriv delta"
+        );
+        assert!(
+            has(|r| matches!(
+                r,
+                ProvRecord::Mint {
+                    kind: UpdateKind::Insert,
+                    ..
+                }
+            )),
+            "no Mint"
+        );
+        assert!(has(|r| matches!(r, ProvRecord::Hop { .. })), "no Hop");
+        // The JSONL round-trip holds on real runtime output too.
+        let text = crate::prov::to_jsonl(&recs);
+        assert_eq!(crate::prov::from_jsonl(&text).unwrap(), recs);
     }
 
     #[test]

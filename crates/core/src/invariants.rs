@@ -85,7 +85,9 @@ impl InvariantReport {
         self.violations.is_empty()
     }
 
-    fn push(&mut self, node: Option<NodeId>, invariant: &'static str, detail: String) {
+    /// Record one violation (public so out-of-crate checkers — e.g. the
+    /// provenance plane's proof checker — report through the same type).
+    pub fn push(&mut self, node: Option<NodeId>, invariant: &'static str, detail: String) {
         self.violations.push(Violation {
             node,
             invariant,
@@ -461,6 +463,7 @@ mod tests {
                     key,
                     sign: -1,
                     tau: 1,
+                    origin: phantom,
                 },
             );
         });

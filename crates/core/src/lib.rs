@@ -60,6 +60,7 @@ pub mod msg;
 pub mod oracle;
 pub mod partial;
 pub mod plan;
+pub mod prov;
 pub mod runtime;
 pub mod strategy;
 pub mod tupleid;
@@ -68,6 +69,7 @@ pub mod workload;
 pub use deploy::{DeployConfig, Deployment, WorkloadEvent};
 pub use invariants::{InvariantReport, Violation};
 pub use plan::{compile_source, DistProgram, PlanTiming};
+pub use prov::{ProvRecord, Provenance};
 pub use runtime::{NetInfo, RtConfig, SensorlogNode};
 pub use strategy::{PassMode, Strategy};
 pub use tupleid::{DerivationKey, FactRecord, TupleId};

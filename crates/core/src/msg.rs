@@ -8,7 +8,7 @@
 //! baseline's upload traffic).
 
 use crate::partial::Partial;
-use crate::tupleid::{DerivationKey, FactRecord};
+use crate::tupleid::{DerivationKey, FactRecord, TupleId};
 use sensorlog_logic::{Symbol, Tuple};
 use sensorlog_netsim::{MsgMeta, NodeId, SimTime};
 use std::sync::Arc;
@@ -74,6 +74,11 @@ pub enum Payload {
         key: DerivationKey,
         sign: i8,
         tau: SimTime,
+        /// Id of the update whose probe emitted this delta — lets lineage
+        /// compose across nodes into the provenance plane's causal DAG.
+        /// Already determined by `key` + `tau` on the wire, so it is
+        /// modeled inside the fixed `size_bytes` header, not billed extra.
+        origin: TupleId,
     },
     /// Centroid baseline: raw fact upload to the central server.
     ToCenter { fact: FactRecord },
@@ -142,6 +147,24 @@ impl Payload {
             Payload::Heartbeat { .. }
             | Payload::Liveness { .. }
             | Payload::LivenessDigest { .. } => Symbol::intern("_sys"),
+        }
+    }
+
+    /// The originating tuple id this payload's traffic is causally charged
+    /// to (provenance hop attribution): the fact being stored/uploaded, the
+    /// update being probed, or a delta's origin. `None` for fault-plane
+    /// payloads, which have no single causal tuple.
+    pub fn origin_id(&self) -> Option<crate::tupleid::TupleId> {
+        match self {
+            Payload::Routed { inner, .. } => inner.origin_id(),
+            Payload::StoreWalk { fact, .. }
+            | Payload::FloodStore { fact }
+            | Payload::ToCenter { fact } => Some(fact.id),
+            Payload::Probe(p) => Some(p.update.id),
+            Payload::DerivDelta { origin, .. } => Some(*origin),
+            Payload::Heartbeat { .. }
+            | Payload::Liveness { .. }
+            | Payload::LivenessDigest { .. } => None,
         }
     }
 }
@@ -245,8 +268,15 @@ mod sizing_tests {
             key: DerivationKey::new(0, vec![(0, id), (1, id)]),
             sign: 1,
             tau: 5,
+            origin: id,
         };
         assert_eq!(d.kind(), "result");
         assert!(d.size_bytes() > 16);
+        assert_eq!(d.origin_id(), Some(id));
+        let hb = Payload::Heartbeat {
+            version: 1,
+            boot_ts: 0,
+        };
+        assert_eq!(hb.origin_id(), None);
     }
 }

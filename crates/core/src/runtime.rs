@@ -12,6 +12,7 @@ use crate::durable::DurableStore;
 use crate::msg::{Payload, ProbeMsg, RuleWork};
 use crate::partial::{process_partials, seed_partial, LocalCtx, Partial, RuleShape};
 use crate::plan::DistProgram;
+use crate::prov::{ProvRecord, Provenance};
 use crate::strategy::{PassMode, Strategy};
 use crate::tupleid::{DerivationKey, FactRecord, TupleId};
 use sensorlog_eval::relation::{Database, TupleMeta};
@@ -331,6 +332,18 @@ pub struct SensorlogNode {
     seq: u32,
     /// Centroid baseline: the central server's engine (center node only).
     pub center_engine: Option<IncrementalEngine>,
+    /// Provenance-plane bindings at a Centroid center: ground atom →
+    /// tuple id (fed EDB facts keep their source id; derived heads get a
+    /// center-minted id). Empty unless this node is the center and the
+    /// provenance plane is enabled.
+    center_ids: HashMap<(Symbol, Tuple), TupleId>,
+    /// Drain position in the center engine's lineage log.
+    center_lineage_cursor: usize,
+    /// Sequence counter for center-minted provenance ids. Deliberately
+    /// separate from `seq` (and offset into the top half of the range):
+    /// provenance is a pure observer, so minting ids for the DAG must not
+    /// advance — or collide with — the runtime's real tuple-id stream.
+    center_seq: u32,
     pub stats: NodeStats,
     /// Peak stored items per predicate (fragment replicas + owned derived
     /// entries), cross-validated against the static memory bounds of
@@ -350,6 +363,11 @@ pub struct SensorlogNode {
     /// the derived holddown affects the schedule — keeping it always-on
     /// preserves the "telemetry never perturbs the trace" invariant.
     hop_lag: Histogram,
+    /// Provenance recording handle shared across the deployment (disabled
+    /// by default; a pure observer like telemetry — recording never touches
+    /// timers, messages, or the RNG, so the netsim journal is byte-identical
+    /// with the plane on or off).
+    prov: Provenance,
     /// Flash log for this node's own facts (fault plane only). Shared with
     /// the deployment harness so it survives the app being rebuilt on
     /// restart — that is the whole point of a durable store.
@@ -418,12 +436,16 @@ impl SensorlogNode {
             next_tag: 0,
             seq: 0,
             center_engine,
+            center_ids: HashMap::new(),
+            center_lineage_cursor: 0,
+            center_seq: 0x8000_0000,
             stats: NodeStats::default(),
             peak_pred_stored: BTreeMap::new(),
             owned_per_pred: HashMap::new(),
             output_log: Vec::new(),
             tele,
             hop_lag: Histogram::new(SIM_MS_BUCKETS),
+            prov: Provenance::disabled(),
             durable: None,
             liveness: HashMap::new(),
             last_hb: HashMap::new(),
@@ -437,6 +459,21 @@ impl SensorlogNode {
     /// the other reference so the log outlives app restarts.
     pub fn with_durable(mut self, store: Arc<Mutex<DurableStore>>) -> SensorlogNode {
         self.durable = Some(store);
+        self
+    }
+
+    /// Attach the deployment-wide provenance recording handle. On a
+    /// Centroid center this also switches on the engine's per-firing
+    /// lineage capture, which `feed_center` drains into `Deriv`/`Mint`
+    /// records so centrally-derived tuples get proofs like GPA-derived
+    /// ones do.
+    pub fn with_provenance(mut self, prov: Provenance) -> SensorlogNode {
+        if prov.is_enabled() {
+            if let Some(engine) = self.center_engine.as_mut() {
+                engine.set_record_lineage(true);
+            }
+        }
+        self.prov = prov;
         self
     }
 
@@ -461,6 +498,14 @@ impl SensorlogNode {
             d.lock().unwrap().log_insert(pred, tuple.clone(), id);
         }
         let fact = FactRecord::insert(pred, tuple, id);
+        self.prov.record_with(|| ProvRecord::Edb {
+            node: self.id,
+            pred: fact.pred,
+            tuple: fact.tuple.clone(),
+            id: fact.id,
+            kind: fact.kind,
+            tau: fact.tau,
+        });
         self.initiate_update(ctx, fact);
     }
 
@@ -477,6 +522,14 @@ impl SensorlogNode {
                 .log_delete(pred, tuple.clone(), id, ctx.local_time);
         }
         let fact = FactRecord::delete(pred, tuple, id, ctx.local_time);
+        self.prov.record_with(|| ProvRecord::Edb {
+            node: self.id,
+            pred: fact.pred,
+            tuple: fact.tuple.clone(),
+            id: fact.id,
+            kind: fact.kind,
+            tau: fact.tau,
+        });
         self.initiate_update(ctx, fact);
     }
 
@@ -496,6 +549,16 @@ impl SensorlogNode {
         self.note_pred_stored(pred);
         self.log_output(pred, &tuple, UpdateKind::Insert, ctx.local_time);
         let fact = FactRecord::insert(pred, tuple, id);
+        // Static facts are proof leaves like base EDB facts — recorded as
+        // `Edb` at their owner.
+        self.prov.record_with(|| ProvRecord::Edb {
+            node: self.id,
+            pred: fact.pred,
+            tuple: fact.tuple.clone(),
+            id: fact.id,
+            kind: fact.kind,
+            tau: fact.tau,
+        });
         self.initiate_update(ctx, fact);
     }
 
@@ -640,7 +703,7 @@ impl SensorlogNode {
         if self.cfg.strategy == Strategy::Centroid {
             let center = Strategy::center(&self.net.topo);
             if center == self.id {
-                self.feed_center(&fact);
+                self.feed_center(ctx.local_time, &fact);
             } else {
                 self.route(ctx, center, Payload::ToCenter { fact });
             }
@@ -910,11 +973,12 @@ impl SensorlogNode {
             }
         }
 
+        let origin = probe.update.id;
         for (pred, tuple, key, sign) in emissions {
             self.stats.results_emitted += 1;
             self.tele
                 .bump(Scope::Pred(pred.as_str()), "results_emitted");
-            self.emit_deriv_delta(ctx, pred, tuple, key, sign, tau);
+            self.emit_deriv_delta(ctx, pred, tuple, key, sign, tau, origin);
         }
 
         // Forward.
@@ -935,6 +999,7 @@ impl SensorlogNode {
         // ("the partial results generated at the last node are discarded").
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn emit_deriv_delta(
         &mut self,
         ctx: &mut Ctx<Payload>,
@@ -943,10 +1008,11 @@ impl SensorlogNode {
         key: DerivationKey,
         sign: i8,
         tau: SimTime,
+        origin: TupleId,
     ) {
         let owner = ght::owner_of(&self.net.topo, pred, &tuple);
         if owner == self.id {
-            self.handle_deriv_delta(ctx, pred, tuple, key, sign, tau);
+            self.handle_deriv_delta(ctx, pred, tuple, key, sign, tau, origin);
         } else {
             let payload = Payload::DerivDelta {
                 pred,
@@ -954,12 +1020,14 @@ impl SensorlogNode {
                 key,
                 sign,
                 tau,
+                origin,
             };
             self.route(ctx, owner, payload);
         }
     }
 
     /// Owner-side derivation bookkeeping + holddown arming.
+    #[allow(clippy::too_many_arguments)]
     fn handle_deriv_delta(
         &mut self,
         ctx: &mut Ctx<Payload>,
@@ -968,9 +1036,20 @@ impl SensorlogNode {
         key: DerivationKey,
         sign: i8,
         tau: SimTime,
+        origin: TupleId,
     ) {
         let _span = self.tele.span("core.result.apply");
         self.tele.bump(Scope::Pred(pred.as_str()), "deriv_deltas");
+        self.prov.record_with(|| ProvRecord::Deriv {
+            owner: self.id,
+            pred,
+            tuple: tuple.clone(),
+            key: key.clone(),
+            sign,
+            tau,
+            origin,
+            at: ctx.local_time,
+        });
         // Sim-time lag between the originating update and its derivation
         // delta landing at the owner (storage + join + result routing).
         let lag = ctx.local_time.saturating_sub(tau);
@@ -1102,6 +1181,14 @@ impl SensorlogNode {
             };
             FactRecord::delete(pred, tuple.clone(), id, now)
         };
+        self.prov.record_with(|| ProvRecord::Mint {
+            owner: self.id,
+            pred,
+            tuple: fact.tuple.clone(),
+            id: fact.id,
+            kind: fact.kind,
+            at: now,
+        });
         self.log_output(pred, &tuple, fact.kind, now);
         self.initiate_update(ctx, fact);
     }
@@ -1112,7 +1199,7 @@ impl SensorlogNode {
         }
     }
 
-    fn feed_center(&mut self, fact: &FactRecord) {
+    fn feed_center(&mut self, now: SimTime, fact: &FactRecord) {
         let Some(engine) = self.center_engine.as_mut() else {
             // A ToCenter payload landed at a non-center node (misrouted
             // under churn): drop it rather than crash the node.
@@ -1126,6 +1213,85 @@ impl SensorlogNode {
             ts: fact.tau,
         };
         let _ = engine.apply(upd);
+        if self.prov.is_enabled() {
+            // The fed fact keeps its source-minted id (the source already
+            // emitted the `Edb` record); deletes reuse the generation id,
+            // so only inserts refresh the binding.
+            if fact.kind == UpdateKind::Insert {
+                self.center_ids
+                    .insert((fact.pred, fact.tuple.clone()), fact.id);
+            }
+            self.drain_center_lineage(now, fact.id);
+        }
+    }
+
+    /// Translate the center engine's per-firing lineage records (appended
+    /// since the last drain) into the cross-node provenance dialect: each
+    /// firing becomes a `Deriv` whose key maps premise atoms to their
+    /// bound tuple ids, and a newly-live head gets a center-minted `Mint`.
+    /// Cascade order guarantees a derived premise's own `+1` record (and
+    /// hence its mint) precedes any firing that consumes it.
+    fn drain_center_lineage(&mut self, now: SimTime, trigger: TupleId) {
+        use sensorlog_eval::EDB_RULE;
+        // (rule_id, sign, head atom, premise atoms, tau) per fresh firing.
+        type Firing = (usize, i8, (Symbol, Tuple), Vec<(Symbol, Tuple)>, u64);
+        let Some(log) = self.center_engine.as_ref().and_then(|e| e.lineage()) else {
+            return;
+        };
+        let fresh: Vec<Firing> = log.records[self.center_lineage_cursor..]
+            .iter()
+            .filter(|r| r.rule_id != EDB_RULE)
+            .map(|r| {
+                let head = log.resolve(r.head).expect("interned head").clone();
+                let prems = r
+                    .premises
+                    .iter()
+                    .map(|&a| log.resolve(a).expect("interned premise").clone())
+                    .collect();
+                (r.rule_id, r.sign, head, prems, r.tau)
+            })
+            .collect();
+        self.center_lineage_cursor = log.len();
+        for (rule_id, sign, (pred, tuple), prems, tau) in fresh {
+            let inputs: Option<Vec<(u16, TupleId)>> = prems
+                .iter()
+                .enumerate()
+                .map(|(i, atom)| self.center_ids.get(atom).map(|&id| (i as u16, id)))
+                .collect();
+            let Some(inputs) = inputs else {
+                // A premise with no binding means its own lineage was lost
+                // (engine predates the plane being enabled): skip rather
+                // than fabricate an unprovable key.
+                continue;
+            };
+            self.prov.record_with(|| ProvRecord::Deriv {
+                owner: self.id,
+                pred,
+                tuple: tuple.clone(),
+                key: DerivationKey::new(rule_id, inputs.clone()),
+                sign,
+                tau,
+                origin: trigger,
+                at: now,
+            });
+            if sign > 0 && !self.center_ids.contains_key(&(pred, tuple.clone())) {
+                let id = TupleId {
+                    node: self.id,
+                    ts: now,
+                    seq: self.center_seq,
+                };
+                self.center_seq += 1;
+                self.center_ids.insert((pred, tuple.clone()), id);
+                self.prov.record_with(|| ProvRecord::Mint {
+                    owner: self.id,
+                    pred,
+                    tuple: tuple.clone(),
+                    id,
+                    kind: UpdateKind::Insert,
+                    at: now,
+                });
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1419,6 +1585,19 @@ impl SensorlogNode {
                 hop = detour;
             }
         }
+        if self.prov.is_enabled() {
+            if let Some(origin) = payload.origin_id() {
+                let (kind, at) = (payload.kind(), ctx.local_time);
+                self.prov.record_with(|| ProvRecord::Hop {
+                    from: self.id,
+                    to: hop,
+                    dest,
+                    kind,
+                    origin,
+                    at,
+                });
+            }
+        }
         if hop == dest {
             ctx.send(dest, payload);
         } else {
@@ -1478,8 +1657,9 @@ impl SensorlogNode {
                 key,
                 sign,
                 tau,
-            } => self.handle_deriv_delta(ctx, pred, tuple, key, sign, tau),
-            Payload::ToCenter { fact } => self.feed_center(&fact),
+                origin,
+            } => self.handle_deriv_delta(ctx, pred, tuple, key, sign, tau, origin),
+            Payload::ToCenter { fact } => self.feed_center(ctx.local_time, &fact),
             // 1-hop heartbeats carry their sender in the radio header and
             // are intercepted in `on_message`; one arriving here (inside a
             // Routed envelope) is a protocol violation we simply drop.

@@ -25,6 +25,7 @@
 use crate::aggregate::aggregate_rule;
 use crate::error::EvalError;
 use crate::eval_body::{instantiate_head, BodyEval, TupleFilter};
+use crate::lineage::LineageLog;
 use crate::relation::{Database, TupleMeta};
 use crate::seminaive::effective_windows;
 use sensorlog_logic::analyze::Analysis;
@@ -132,6 +133,10 @@ pub struct IncrementalEngine {
     /// Probe via relation indexes (planner-registered, maintained through
     /// insert/delete). Disable for the scan A/B baseline.
     pub use_index: bool,
+    /// Opt-in per-firing lineage capture (the continuous-engine analogue of
+    /// [`crate::EvalConfig::record_lineage`]). `None` = disabled: one
+    /// branch per derivation transition, no allocation.
+    lineage: Option<LineageLog>,
 }
 
 impl IncrementalEngine {
@@ -182,7 +187,24 @@ impl IncrementalEngine {
             max_cascade: 1_000_000,
             check_local_recursion: false,
             use_index: true,
+            lineage: None,
         })
+    }
+
+    /// Enable/disable per-firing lineage capture. Enabling starts a fresh
+    /// log; every subsequent derivation-count transition (0 → live,
+    /// live → 0) and base-stream update is recorded with its rule id,
+    /// substitution witness, and premise atoms.
+    pub fn set_record_lineage(&mut self, on: bool) {
+        self.lineage = if on { Some(LineageLog::new()) } else { None };
+    }
+
+    pub fn lineage(&self) -> Option<&LineageLog> {
+        self.lineage.as_ref()
+    }
+
+    pub fn take_lineage(&mut self) -> Option<LineageLog> {
+        self.lineage.take()
     }
 
     pub fn from_source(src: &str, reg: BuiltinRegistry) -> Result<IncrementalEngine, EvalError> {
@@ -289,9 +311,18 @@ impl IncrementalEngine {
             }
         }
 
+        // Base-stream updates are the lineage leaves (derived updates get
+        // their own firing records at the transitions below).
+        if !self.idb.contains(&u.pred) {
+            if let Some(log) = self.lineage.as_mut() {
+                let sign = if u.kind == UpdateKind::Insert { 1 } else { -1 };
+                log.record_edb(u.pred, &u.tuple, sign, u.ts);
+            }
+        }
+
         // Delta computation per occurrence.
         let occs = self.occurrences.get(&u.pred).cloned().unwrap_or_default();
-        let mut deltas: Vec<(Symbol, Tuple, Derivation, i64)> = Vec::new();
+        let mut deltas: Vec<(Symbol, Tuple, Derivation, i64, Option<Subst>)> = Vec::new();
         let mut agg_dirty: Vec<(usize, Vec<Term>)> = Vec::new();
         for (ri, li, negated) in occs {
             let rule = &self.analysis.program.rules[ri];
@@ -357,7 +388,8 @@ impl IncrementalEngine {
                     rule_id: rule.id,
                     inputs: sol.inputs.clone(),
                 };
-                deltas.push((rule.head.pred, head, d, sign));
+                let witness = self.lineage.is_some().then(|| sol.subst.clone());
+                deltas.push((rule.head.pred, head, d, sign, witness));
             }
         }
 
@@ -376,7 +408,7 @@ impl IncrementalEngine {
         // Optional locally-non-recursive runtime check (Sec. IV-C): the
         // dependency graph over derived tuples must stay acyclic.
         if self.check_local_recursion {
-            for (pred, tuple, d, sign) in &deltas {
+            for (pred, tuple, d, sign, _) in &deltas {
                 if *sign > 0 && self.derivation_closes_cycle(*pred, tuple, d) {
                     return Err(EvalError::DerivationCycle { pred: *pred });
                 }
@@ -384,13 +416,34 @@ impl IncrementalEngine {
         }
 
         // Derivation bookkeeping with liveness transitions.
-        for (pred, tuple, d, sign) in deltas {
+        for (pred, tuple, d, sign, witness) in deltas {
             let key = (pred, tuple.clone());
             let map = self.derivs.entry(key).or_default();
             let was_live = map.values().any(|&c| c > 0);
+            let d_count = map.get(&d).copied().unwrap_or(0);
+            let lin_d = self.lineage.is_some().then(|| d.clone());
             *map.entry(d).or_insert(0) += sign;
             map.retain(|_, &mut c| c != 0);
             let now_live = map.values().any(|&c| c > 0);
+            // Lineage: per-derivation liveness transitions, not per-atom —
+            // a second derivation of an already-live atom is still a new
+            // proof alternative.
+            if let Some(dd) = lin_d {
+                let d_now = d_count + sign > 0;
+                if (d_count > 0) != d_now {
+                    if let Some(log) = self.lineage.as_mut() {
+                        log.record_firing(
+                            dd.rule_id,
+                            if d_now { 1 } else { -1 },
+                            pred,
+                            &tuple,
+                            &dd.inputs,
+                            witness.as_ref(),
+                            u.ts,
+                        );
+                    }
+                }
+            }
             if !was_live && now_live {
                 out.push(Update::insert(pred, tuple, u.ts));
             } else if was_live && !now_live {
@@ -840,5 +893,45 @@ mod tests {
         assert!(e.stats.updates_processed >= 1);
         assert!(e.stats.body_evals >= 1);
         assert!(e.stats.derived_emitted >= 1);
+    }
+
+    #[test]
+    fn lineage_tracks_derivation_transitions() {
+        use crate::lineage::EDB_RULE;
+        let src = r#"
+            q(X, Y) :- r1(X, K), r2(Y, K).
+        "#;
+        let mut e = engine(src);
+        e.set_record_lineage(true);
+        e.apply(ins("r1(1, 7)", 10)).unwrap();
+        e.apply(ins("r2(2, 7)", 20)).unwrap();
+        let log = e.lineage().unwrap();
+        // Two EDB leaves + one firing for q(1,2), with premises + witness.
+        assert_eq!(
+            log.records.iter().filter(|r| r.rule_id == EDB_RULE).count(),
+            2
+        );
+        let firing = log
+            .records
+            .iter()
+            .find(|r| r.rule_id != EDB_RULE)
+            .expect("join firing recorded");
+        assert_eq!(firing.sign, 1);
+        assert_eq!(firing.premises.len(), 2);
+        assert_eq!(firing.tau, 20);
+        assert!(!firing.subst.is_empty());
+        // Deleting a premise records the retraction of both the EDB leaf
+        // and the derivation.
+        e.apply(del("r1(1, 7)", 30)).unwrap();
+        let log = e.lineage().unwrap();
+        assert_eq!(log.records.iter().filter(|r| r.sign < 0).count(), 2);
+        assert!(log
+            .live_derivations()
+            .values()
+            .all(|ds| ds.iter().all(|(r, _)| *r == EDB_RULE || ds.is_empty())));
+        // Disabled engines record nothing.
+        let mut quiet = engine(src);
+        quiet.apply(ins("r1(1, 7)", 10)).unwrap();
+        assert!(quiet.lineage().is_none());
     }
 }

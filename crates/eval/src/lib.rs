@@ -14,6 +14,8 @@
 //! * [`incremental`] — continuous maintenance under inserts/deletes with the
 //!   paper's **set-of-derivations** approach (Sec. IV), plus the
 //!   [`counting`] and [`rederive`] alternatives it compares against;
+//! * [`lineage`] — opt-in per-firing lineage capture with compact interned
+//!   atoms (the provenance plane's local layer);
 //! * [`planner`] — static probe planning: the bound-position signatures
 //!   each body literal probes with, driving persistent index registration;
 //! * [`window`] — sliding-window expiry.
@@ -23,6 +25,7 @@ pub mod counting;
 pub mod error;
 pub mod eval_body;
 pub mod incremental;
+pub mod lineage;
 pub mod planner;
 pub mod rederive;
 pub mod relation;
@@ -32,6 +35,7 @@ pub mod window;
 pub use error::EvalError;
 pub use eval_body::{BodyEval, Solution, TupleFilter, Visibility};
 pub use incremental::{IncrementalEngine, Update, UpdateKind};
+pub use lineage::{AtomId, LineageLog, LineageRecord, EDB_RULE};
 pub use planner::{plan_probes, program_signatures};
 pub use relation::{Database, IndexStatsSnapshot, Relation, TupleMeta};
 pub use seminaive::{effective_windows, Engine, EvalConfig};

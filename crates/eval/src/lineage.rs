@@ -1,0 +1,293 @@
+//! Per-firing lineage capture for the centralized engines (the provenance
+//! plane's local layer).
+//!
+//! Every rule firing is the paper's Definition-2 derivation — a rule id plus
+//! the positive-subgoal matches that joined to yield the head. The
+//! [`LineageLog`] records exactly that, with a **compact interned encoding**:
+//! each distinct ground atom `(pred, tuple)` is interned once to a dense
+//! `u32` [`AtomId`], so a record is a handful of integers rather than cloned
+//! tuples. Records are deduplicated by `(rule, head, premises)` —
+//! set-of-derivations semantics, matching the distributed runtime's
+//! `DerivationKey` identity — and carry a sign so retraction paths
+//! (incremental deletes, DRed over-deletion) stay replayable.
+//!
+//! Recording is opt-in via [`crate::EvalConfig::record_lineage`] (batch
+//! engine) or the per-engine `set_record_lineage` switches; when off, the
+//! engines hold no log and pay a single branch per firing.
+
+use sensorlog_logic::unify::Subst;
+use sensorlog_logic::{Symbol, Term, Tuple};
+use std::collections::{HashMap, HashSet};
+
+/// Dense interned id of a ground atom `(pred, tuple)`.
+pub type AtomId = u32;
+
+/// Sentinel rule id marking an EDB (leaf) record — mirrors the distributed
+/// runtime's static-fact `DerivationKey` convention.
+pub const EDB_RULE: usize = usize::MAX;
+
+/// One lineage event: a derivation gained (`sign = +1`) or lost
+/// (`sign = -1`), or an EDB fact arriving/retracting (`rule_id ==`
+/// [`EDB_RULE`], no premises).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LineageRecord {
+    pub rule_id: usize,
+    /// `+1` derivation gained, `-1` derivation lost.
+    pub sign: i8,
+    /// Interned head atom.
+    pub head: AtomId,
+    /// Interned premise atoms in body-literal order (positive subgoals
+    /// only — Definition 2).
+    pub premises: Vec<AtomId>,
+    /// Substitution witness of the firing, sorted by variable name. Empty
+    /// for EDB records and for retractions replayed without a solution.
+    pub subst: Vec<(Symbol, Term)>,
+    /// Event timestamp: update `ts` for the incremental engines, `0` for
+    /// the (timeless) batch fixpoint.
+    pub tau: u64,
+}
+
+/// Append-only lineage log with an atom interner.
+#[derive(Clone, Debug, Default)]
+pub struct LineageLog {
+    atoms: Vec<(Symbol, Tuple)>,
+    index: HashMap<(Symbol, Tuple), AtomId>,
+    /// Live derivations: `(rule, head, premises)` currently recorded with
+    /// net positive sign. Gates duplicate `+1` records (semi-naive rounds
+    /// rediscover derivations) and makes `-1` records exact.
+    live: HashSet<(usize, AtomId, Vec<AtomId>)>,
+    pub records: Vec<LineageRecord>,
+}
+
+impl LineageLog {
+    pub fn new() -> LineageLog {
+        LineageLog::default()
+    }
+
+    /// Intern a ground atom, returning its dense id.
+    pub fn intern(&mut self, pred: Symbol, tuple: &Tuple) -> AtomId {
+        if let Some(&id) = self.index.get(&(pred, tuple.clone())) {
+            return id;
+        }
+        let id = self.atoms.len() as AtomId;
+        self.atoms.push((pred, tuple.clone()));
+        self.index.insert((pred, tuple.clone()), id);
+        id
+    }
+
+    /// Resolve an interned id back to its atom.
+    pub fn resolve(&self, id: AtomId) -> Option<&(Symbol, Tuple)> {
+        self.atoms.get(id as usize)
+    }
+
+    /// Look up an atom's id without interning.
+    pub fn lookup(&self, pred: Symbol, tuple: &Tuple) -> Option<AtomId> {
+        self.index.get(&(pred, tuple.clone())).copied()
+    }
+
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Approximate in-memory footprint of the log (the overhead model in
+    /// DESIGN.md "Provenance & explain"): interner payload + fixed-width
+    /// record fields.
+    pub fn approx_bytes(&self) -> usize {
+        let atoms: usize = self
+            .atoms
+            .iter()
+            .map(|(p, t)| p.as_str().len() + t.byte_size() + 8)
+            .sum();
+        let records: usize = self
+            .records
+            .iter()
+            .map(|r| 16 + 4 * r.premises.len() + 12 * r.subst.len())
+            .sum();
+        atoms + records
+    }
+
+    /// Record an EDB fact arriving (`sign = +1`) or retracting
+    /// (`sign = -1`). EDB records are the proof leaves.
+    pub fn record_edb(&mut self, pred: Symbol, tuple: &Tuple, sign: i8, tau: u64) {
+        let head = self.intern(pred, tuple);
+        let key = (EDB_RULE, head, Vec::new());
+        let changed = if sign > 0 {
+            self.live.insert(key)
+        } else {
+            self.live.remove(&key)
+        };
+        if changed {
+            self.records.push(LineageRecord {
+                rule_id: EDB_RULE,
+                sign,
+                head,
+                premises: Vec::new(),
+                subst: Vec::new(),
+                tau,
+            });
+        }
+    }
+
+    /// Record one rule firing. `premises` is the solution's positive-input
+    /// list `(literal idx, pred, tuple)`; the substitution witness is
+    /// optional (retractions replayed without re-evaluating pass `None`).
+    /// Deduplicates by `(rule, head, premises)`: a `+1` for a derivation
+    /// already live (or a `-1` for one not live) is dropped. Returns
+    /// whether a record was emitted.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_firing(
+        &mut self,
+        rule_id: usize,
+        sign: i8,
+        pred: Symbol,
+        tuple: &Tuple,
+        premises: &[(usize, Symbol, Tuple)],
+        subst: Option<&Subst>,
+        tau: u64,
+    ) -> bool {
+        let head = self.intern(pred, tuple);
+        let prem: Vec<AtomId> = premises
+            .iter()
+            .map(|(_, p, t)| self.intern(*p, t))
+            .collect();
+        let key = (rule_id, head, prem.clone());
+        let changed = if sign > 0 {
+            self.live.insert(key)
+        } else {
+            self.live.remove(&key)
+        };
+        if !changed {
+            return false;
+        }
+        let mut witness: Vec<(Symbol, Term)> = subst
+            .map(|s| s.iter().map(|(v, t)| (*v, t.clone())).collect())
+            .unwrap_or_default();
+        witness.sort_by_key(|(v, _)| *v);
+        self.records.push(LineageRecord {
+            rule_id,
+            sign,
+            head,
+            premises: prem,
+            subst: witness,
+            tau,
+        });
+        true
+    }
+
+    /// Retract *every* live derivation of an atom (DRed over-deletion kills
+    /// the tuple wholesale without enumerating its derivations). Emits one
+    /// `-1` record per live derivation.
+    pub fn retract_atom(&mut self, pred: Symbol, tuple: &Tuple, tau: u64) {
+        let head = match self.lookup(pred, tuple) {
+            Some(h) => h,
+            None => return,
+        };
+        let dead: Vec<(usize, AtomId, Vec<AtomId>)> = self
+            .live
+            .iter()
+            .filter(|(_, h, _)| *h == head)
+            .cloned()
+            .collect();
+        for key in dead {
+            self.live.remove(&key);
+            self.records.push(LineageRecord {
+                rule_id: key.0,
+                sign: -1,
+                head,
+                premises: key.2,
+                subst: Vec::new(),
+                tau,
+            });
+        }
+    }
+
+    /// Atoms whose derivation `(rule, premises)` sets are currently live,
+    /// with their live derivations — the materialized set-of-derivations
+    /// view consumers (the provenance DAG builder) fold over.
+    pub fn live_derivations(&self) -> HashMap<AtomId, Vec<(usize, Vec<AtomId>)>> {
+        let mut out: HashMap<AtomId, Vec<(usize, Vec<AtomId>)>> = HashMap::new();
+        for (rule, head, prem) in &self.live {
+            out.entry(*head).or_default().push((*rule, prem.clone()));
+        }
+        for v in out.values_mut() {
+            v.sort();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensorlog_logic::parser::parse_fact;
+
+    fn atom(src: &str) -> (Symbol, Tuple) {
+        let (p, args) = parse_fact(src).unwrap();
+        (p, Tuple::new(args))
+    }
+
+    #[test]
+    fn interning_is_dense_and_stable() {
+        let mut log = LineageLog::new();
+        let (p, t) = atom("e(1, 2)");
+        let a = log.intern(p, &t);
+        let b = log.intern(p, &t);
+        assert_eq!(a, b);
+        let (q, u) = atom("e(2, 3)");
+        assert_ne!(log.intern(q, &u), a);
+        assert_eq!(log.atom_count(), 2);
+        assert_eq!(log.resolve(a), Some(&(p, t)));
+    }
+
+    #[test]
+    fn duplicate_firings_are_deduplicated() {
+        let mut log = LineageLog::new();
+        let (hp, ht) = atom("t(1, 3)");
+        let (ep, e1) = atom("e(1, 2)");
+        let (_, e2) = atom("e(2, 3)");
+        let prem = vec![(0usize, ep, e1), (1usize, ep, e2)];
+        assert!(log.record_firing(2, 1, hp, &ht, &prem, None, 0));
+        assert!(!log.record_firing(2, 1, hp, &ht, &prem, None, 0));
+        assert_eq!(log.len(), 1);
+        // A retraction of the live derivation is recorded, then re-firing
+        // records again.
+        assert!(log.record_firing(2, -1, hp, &ht, &prem, None, 5));
+        assert!(!log.record_firing(2, -1, hp, &ht, &prem, None, 5));
+        assert!(log.record_firing(2, 1, hp, &ht, &prem, None, 9));
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn retract_atom_kills_all_derivations() {
+        let mut log = LineageLog::new();
+        let (hp, ht) = atom("q(7)");
+        let (ap, at) = atom("a(7)");
+        let (bp, bt) = atom("b(7)");
+        log.record_firing(0, 1, hp, &ht, &[(0, ap, at)], None, 0);
+        log.record_firing(1, 1, hp, &ht, &[(0, bp, bt)], None, 0);
+        log.retract_atom(hp, &ht, 10);
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.records.iter().filter(|r| r.sign < 0).count(), 2);
+        assert!(log.live_derivations().is_empty());
+    }
+
+    #[test]
+    fn edb_records_are_leaves() {
+        let mut log = LineageLog::new();
+        let (p, t) = atom("g(0, 1)");
+        log.record_edb(p, &t, 1, 3);
+        log.record_edb(p, &t, 1, 3); // dup suppressed
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.records[0].rule_id, EDB_RULE);
+        assert!(log.records[0].premises.is_empty());
+        assert!(log.approx_bytes() > 0);
+    }
+}

@@ -15,6 +15,7 @@
 
 use crate::error::EvalError;
 use crate::eval_body::{instantiate_head, BodyEval, TupleFilter};
+use crate::lineage::LineageLog;
 use crate::relation::{Database, TupleMeta};
 use sensorlog_logic::analyze::{Analysis, ProgramClass};
 use sensorlog_logic::ast::Literal;
@@ -38,6 +39,10 @@ pub struct RederiveEngine {
     pub max_cascade: usize,
     /// Probe via relation indexes; disable for the scan A/B baseline.
     pub use_index: bool,
+    /// Opt-in per-firing lineage capture. DRed tracks no derivations, so
+    /// over-deletion retracts an atom's entire recorded proof set and
+    /// rederivation re-records the surviving witness.
+    lineage: Option<LineageLog>,
 }
 
 impl RederiveEngine {
@@ -62,7 +67,21 @@ impl RederiveEngine {
             profiler: Profiler::disabled(),
             max_cascade: 1_000_000,
             use_index: true,
+            lineage: None,
         })
+    }
+
+    /// Enable/disable per-firing lineage capture (fresh log on enable).
+    pub fn set_record_lineage(&mut self, on: bool) {
+        self.lineage = if on { Some(LineageLog::new()) } else { None };
+    }
+
+    pub fn lineage(&self) -> Option<&LineageLog> {
+        self.lineage.as_ref()
+    }
+
+    pub fn take_lineage(&mut self) -> Option<LineageLog> {
+        self.lineage.take()
     }
 
     pub fn from_source(src: &str, reg: BuiltinRegistry) -> Result<RederiveEngine, EvalError> {
@@ -93,6 +112,11 @@ impl RederiveEngine {
             .insert(u.tuple.clone(), TupleMeta::at(u.ts))
         {
             return Ok(());
+        }
+        if self.lineage.is_some() && !self.analysis.program.idb_preds().contains(&u.pred) {
+            if let Some(log) = self.lineage.as_mut() {
+                log.record_edb(u.pred, &u.tuple, 1, u.ts);
+            }
         }
         let mut queue: VecDeque<(Symbol, Tuple)> = VecDeque::from([(u.pred, u.tuple.clone())]);
         let mut steps = 0;
@@ -139,9 +163,30 @@ impl RederiveEngine {
                         let sols = ev.solutions(&rule.body, Subst::new(), Some((li, &tuple)))?;
                         let mut fresh = Vec::new();
                         for s in &sols {
-                            fresh.push(instantiate_head(&rule, &s.subst, &self.reg)?);
+                            let t = instantiate_head(&rule, &s.subst, &self.reg)?;
+                            let witness = self
+                                .lineage
+                                .is_some()
+                                .then(|| (s.inputs.clone(), s.subst.clone()));
+                            fresh.push((t, witness));
                         }
-                        for t in fresh {
+                        for (t, witness) in fresh {
+                            // Record even when the head already exists — an
+                            // alternative derivation is still a proof (the
+                            // log deduplicates).
+                            if let (Some((inputs, subst)), Some(log)) =
+                                (&witness, self.lineage.as_mut())
+                            {
+                                log.record_firing(
+                                    rule.id,
+                                    1,
+                                    rule.head.pred,
+                                    &t,
+                                    inputs,
+                                    Some(subst),
+                                    u.ts,
+                                );
+                            }
                             if self
                                 .db
                                 .relation_mut(rule.head.pred)
@@ -215,6 +260,14 @@ impl RederiveEngine {
         for (p, t) in &overdeleted {
             self.db.remove(*p, t);
         }
+        // Lineage: over-deletion kills every recorded proof of each
+        // casualty (and the root); phase 2 re-records survivors' witnesses.
+        if let Some(log) = self.lineage.as_mut() {
+            log.retract_atom(u.pred, &u.tuple, u.ts);
+            for (p, t) in &overdeleted {
+                log.retract_atom(*p, t, u.ts);
+            }
+        }
 
         // Phase 2: rederive casualties in stratum order, iterating until no
         // change (recursive rederivations feed each other).
@@ -225,7 +278,7 @@ impl RederiveEngine {
             let mut changed = false;
             let mut still_out = Vec::new();
             for (p, t) in remaining {
-                if self.rederivable(p, &t)? {
+                if self.rederivable(p, &t, u.ts)? {
                     self.db
                         .relation_mut(p)
                         .insert(t.clone(), TupleMeta::at(u.ts));
@@ -272,7 +325,7 @@ impl RederiveEngine {
     }
 
     /// Can `tuple` of `pred` be derived from the current database?
-    fn rederivable(&mut self, pred: Symbol, tuple: &Tuple) -> Result<bool, EvalError> {
+    fn rederivable(&mut self, pred: Symbol, tuple: &Tuple, tau: u64) -> Result<bool, EvalError> {
         let _span = self.profiler.span("dred.rederive");
         for ri in 0..self.analysis.program.rules.len() {
             let rule = self.analysis.program.rules[ri].clone();
@@ -300,6 +353,10 @@ impl RederiveEngine {
             self.body_evals += 1;
             let sols = ev.solutions(&rule.body, seed, None)?;
             if !sols.is_empty() {
+                if let Some(log) = self.lineage.as_mut() {
+                    let s = &sols[0];
+                    log.record_firing(rule.id, 1, pred, tuple, &s.inputs, Some(&s.subst), tau);
+                }
                 return Ok(true);
             }
         }

@@ -17,7 +17,8 @@
 
 use crate::aggregate::aggregate_rule;
 use crate::error::EvalError;
-use crate::eval_body::{instantiate_head, BodyEval};
+use crate::eval_body::{instantiate_head, BodyEval, Solution};
+use crate::lineage::LineageLog;
 use crate::relation::{Database, TupleMeta};
 use sensorlog_logic::analyze::Analysis;
 use sensorlog_logic::ast::{Literal, Rule};
@@ -43,6 +44,11 @@ pub struct EvalConfig {
     /// indexes. `false` forces filtered scans — the A/B baseline the
     /// scheduler bench compares against.
     pub use_index: bool,
+    /// Record per-firing lineage (rule id, substitution, premise atoms →
+    /// derived atom) into a [`crate::lineage::LineageLog`]. Consumed via
+    /// [`Engine::run_with_lineage`]; plain [`Engine::run`] ignores it and
+    /// pays nothing.
+    pub record_lineage: bool,
 }
 
 impl Default for EvalConfig {
@@ -52,6 +58,7 @@ impl Default for EvalConfig {
             max_stages: 100_000,
             max_tuples: 10_000_000,
             use_index: true,
+            record_lineage: false,
         }
     }
 }
@@ -96,6 +103,34 @@ impl Engine {
     /// Evaluate the program over `edb`, returning the full database
     /// (EDB + all derived relations).
     pub fn run(&self, edb: &Database) -> Result<Database, EvalError> {
+        self.run_inner(edb, &mut None)
+    }
+
+    /// Evaluate with per-firing lineage capture: every Definition-2
+    /// derivation (rule id, substitution witness, premise atoms → head
+    /// atom) lands in the returned [`LineageLog`], with the input EDB
+    /// recorded as leaf records. Honors [`EvalConfig::record_lineage`] in
+    /// spirit — this is the entry point that actually collects; plain
+    /// [`run`](Engine::run) never pays for lineage.
+    pub fn run_with_lineage(&self, edb: &Database) -> Result<(Database, LineageLog), EvalError> {
+        let mut log = LineageLog::new();
+        for pred in edb.preds() {
+            if let Some(rel) = edb.relation(pred) {
+                for (t, _) in rel.iter() {
+                    log.record_edb(pred, t, 1, 0);
+                }
+            }
+        }
+        let mut lin = Some(log);
+        let db = self.run_inner(edb, &mut lin)?;
+        Ok((db, lin.expect("lineage log survives evaluation")))
+    }
+
+    fn run_inner(
+        &self,
+        edb: &Database,
+        lin: &mut Option<LineageLog>,
+    ) -> Result<Database, EvalError> {
         let mut db = edb.clone();
         if self.config.use_index {
             crate::planner::register_program_indexes(&mut db, &self.analysis.program.rules);
@@ -119,11 +154,11 @@ impl Engine {
                 .iter()
                 .find(|i| i.scc.iter().any(|p| scc_set.contains(p)))
             {
-                self.eval_xy(&mut db, &rules, info)?;
+                self.eval_xy(&mut db, &rules, info, lin)?;
             } else if is_recursive_unit(&rules, &scc_set) {
-                self.eval_seminaive(&mut db, &rules, &scc_set)?;
+                self.eval_seminaive(&mut db, &rules, &scc_set, lin)?;
             } else {
-                self.eval_once(&mut db, &rules)?;
+                self.eval_once(&mut db, &rules, lin)?;
             }
             if db.total_tuples() > self.config.max_tuples {
                 return Err(EvalError::LimitExceeded {
@@ -137,7 +172,12 @@ impl Engine {
 
     /// Single pass for a non-recursive SCC (negation/aggregates allowed —
     /// everything they reference is already complete).
-    fn eval_once(&self, db: &mut Database, rules: &[&Rule]) -> Result<(), EvalError> {
+    fn eval_once(
+        &self,
+        db: &mut Database,
+        rules: &[&Rule],
+        lin: &mut Option<LineageLog>,
+    ) -> Result<(), EvalError> {
         let _span = self.profiler.span("eval.once");
         // Two-phase: compute all head tuples against the pre-pass state,
         // then insert, so rules for the same head don't see each other's
@@ -149,15 +189,20 @@ impl Engine {
             ev.use_index = self.config.use_index;
             let sols = ev.solutions(&rule.body, Subst::new(), None)?;
             if rule.agg.is_some() {
-                for t in aggregate_rule(rule, &sols, &self.reg)? {
+                let outs = aggregate_rule(rule, &sols, &self.reg)?;
+                if let Some(log) = lin.as_mut() {
+                    note_aggregate(log, rule, &sols, &outs);
+                }
+                for t in outs {
                     pending.push((rule.head.pred, t));
                 }
             } else {
                 for sol in &sols {
-                    pending.push((
-                        rule.head.pred,
-                        instantiate_head(rule, &sol.subst, &self.reg)?,
-                    ));
+                    let t = instantiate_head(rule, &sol.subst, &self.reg)?;
+                    if let Some(log) = lin.as_mut() {
+                        note_firing(log, rule, sol, &t);
+                    }
+                    pending.push((rule.head.pred, t));
                 }
             }
         }
@@ -174,6 +219,7 @@ impl Engine {
         db: &mut Database,
         rules: &[&Rule],
         scc_set: &BTreeSet<Symbol>,
+        lin: &mut Option<LineageLog>,
     ) -> Result<(), EvalError> {
         // Round 0: full evaluation of every rule.
         let round0_span = self.profiler.span("eval.seminaive.round");
@@ -185,10 +231,11 @@ impl Engine {
             let sols = ev.solutions(&rule.body, Subst::new(), None)?;
             debug_assert!(rule.agg.is_none(), "aggregates cannot be recursive");
             for sol in &sols {
-                round0.push((
-                    rule.head.pred,
-                    instantiate_head(rule, &sol.subst, &self.reg)?,
-                ));
+                let t = instantiate_head(rule, &sol.subst, &self.reg)?;
+                if let Some(log) = lin.as_mut() {
+                    note_firing(log, rule, sol, &t);
+                }
+                round0.push((rule.head.pred, t));
             }
         }
         for (p, t) in round0 {
@@ -222,10 +269,11 @@ impl Engine {
                         ev.use_index = self.config.use_index;
                         let sols = ev.solutions(&rule.body, Subst::new(), Some((idx, dt)))?;
                         for sol in &sols {
-                            produced.push((
-                                rule.head.pred,
-                                instantiate_head(rule, &sol.subst, &self.reg)?,
-                            ));
+                            let t = instantiate_head(rule, &sol.subst, &self.reg)?;
+                            if let Some(log) = lin.as_mut() {
+                                note_firing(log, rule, sol, &t);
+                            }
+                            produced.push((rule.head.pred, t));
                         }
                     }
                 }
@@ -248,7 +296,13 @@ impl Engine {
     }
 
     /// Stage-by-stage evaluation of an XY-stratified component.
-    fn eval_xy(&self, db: &mut Database, rules: &[&Rule], info: &XyInfo) -> Result<(), EvalError> {
+    fn eval_xy(
+        &self,
+        db: &mut Database,
+        rules: &[&Rule],
+        info: &XyInfo,
+        lin: &mut Option<LineageLog>,
+    ) -> Result<(), EvalError> {
         let scc_set: BTreeSet<Symbol> = info.scc.iter().copied().collect();
         // Import rules (no SCC subgoal in the body) run once up front: they
         // bootstrap the staged tables (base cases like `h(a, a, 0).`).
@@ -263,6 +317,9 @@ impl Engine {
             let sols = ev.solutions(&rule.body, Subst::new(), None)?;
             for sol in &sols {
                 let t = instantiate_head(rule, &sol.subst, &self.reg)?;
+                if let Some(log) = lin.as_mut() {
+                    note_firing(log, rule, sol, &t);
+                }
                 db.relation_mut(rule.head.pred)
                     .insert(t, TupleMeta::default());
             }
@@ -310,7 +367,11 @@ impl Engine {
                     let sols = ev.solutions(&rule.body, seed, None)?;
                     let mut new_tuples = Vec::new();
                     for sol in &sols {
-                        new_tuples.push(instantiate_head(rule, &sol.subst, &self.reg)?);
+                        let t = instantiate_head(rule, &sol.subst, &self.reg)?;
+                        if let Some(log) = lin.as_mut() {
+                            note_firing(log, rule, sol, &t);
+                        }
+                        new_tuples.push(t);
                     }
                     for t in new_tuples {
                         if let Term::Int(s) = t.get(hpos) {
@@ -353,6 +414,33 @@ impl Engine {
             }
         }
         bounds
+    }
+}
+
+/// Record one non-aggregate firing into the lineage log (batch evaluation
+/// is timeless: `tau = 0`).
+fn note_firing(log: &mut LineageLog, rule: &Rule, sol: &Solution, head: &Tuple) {
+    log.record_firing(
+        rule.id,
+        1,
+        rule.head.pred,
+        head,
+        &sol.inputs,
+        Some(&sol.subst),
+        0,
+    );
+}
+
+/// Record an aggregate rule's group firings: each output tuple is supported
+/// by the union of the contributing solutions' inputs (there is no single
+/// substitution witness for a group).
+fn note_aggregate(log: &mut LineageLog, rule: &Rule, sols: &[Solution], outs: &[Tuple]) {
+    let mut prem: Vec<(usize, Symbol, Tuple)> =
+        sols.iter().flat_map(|s| s.inputs.iter().cloned()).collect();
+    prem.sort();
+    prem.dedup();
+    for t in outs {
+        log.record_firing(rule.id, 1, rule.head.pred, t, &prem, None, 0);
     }
 }
 
@@ -629,6 +717,55 @@ mod tests {
         );
         let w = effective_windows(&e.analysis);
         assert_eq!(w.get(&sym("q")), None);
+    }
+
+    #[test]
+    fn lineage_capture_is_well_founded() {
+        use crate::lineage::EDB_RULE;
+        let e = engine(
+            r#"
+            t(X, Y) :- e(X, Y).
+            t(X, Y) :- t(X, Z), e(Z, Y).
+            "#,
+        );
+        let (out, log) = e.run_with_lineage(&db(&["e(1, 2)", "e(2, 3)"])).unwrap();
+        assert_eq!(out.len_of(sym("t")), 3);
+        // EDB leaves are recorded.
+        assert!(log.records.iter().any(|r| r.rule_id == EDB_RULE));
+        // Every derived t-tuple has a live derivation with real premises,
+        // and t(1,3) is derived from t(1,2) + e(2,3).
+        let live = log.live_derivations();
+        let t13 = log.lookup(sym("t"), &tup("1, 3")).unwrap();
+        let ds = &live[&t13];
+        assert!(ds
+            .iter()
+            .any(|(rule, prem)| *rule != EDB_RULE && prem.len() == 2));
+        let (rule_id, prem) = ds.iter().find(|(r, _)| *r != EDB_RULE).unwrap();
+        assert!(*rule_id < e.analysis.program.rules.len());
+        let names: Vec<&str> = prem
+            .iter()
+            .map(|p| log.resolve(*p).unwrap().0.as_str())
+            .collect();
+        assert!(names.contains(&"t") && names.contains(&"e"));
+        // Firing records carry a substitution witness.
+        assert!(log
+            .records
+            .iter()
+            .any(|r| r.rule_id != EDB_RULE && !r.subst.is_empty()));
+        // Plain `run` pays nothing and the flag alone changes no results.
+        let cfg = EvalConfig {
+            record_lineage: true,
+            ..EvalConfig::default()
+        };
+        let e2 = engine(
+            r#"
+            t(X, Y) :- e(X, Y).
+            t(X, Y) :- t(X, Z), e(Z, Y).
+            "#,
+        )
+        .with_config(cfg);
+        let out2 = e2.run(&db(&["e(1, 2)", "e(2, 3)"])).unwrap();
+        assert_eq!(out2.sorted(sym("t")), out.sorted(sym("t")));
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! One-call explanation of a deployment's derived (or missing) tuples —
+//! the API behind `sensorlog explain`.
+
+use crate::dag::{
+    critical_path, render_dot, render_text, render_why_not, CriticalStep, ProofNode, ProvDag,
+    WhyNot,
+};
+use sensorlog_core::Deployment;
+use sensorlog_logic::builtin::BuiltinRegistry;
+use sensorlog_logic::{Program, Symbol, Tuple};
+use std::fmt::Write as _;
+
+/// The answer to "explain this tuple".
+#[derive(Clone, Debug)]
+pub enum Explanation {
+    /// The tuple is live: its derivation tree, latency-critical chain, and
+    /// ready-to-print renders.
+    Proof {
+        proof: ProofNode,
+        critical_path: Vec<CriticalStep>,
+        text: String,
+        dot: String,
+    },
+    /// The tuple is absent: the why-not verdict and its render.
+    Absent { why_not: WhyNot, text: String },
+}
+
+impl Explanation {
+    /// The human-readable render (tree + critical path, or the why-not
+    /// report).
+    pub fn text(&self) -> &str {
+        match self {
+            Explanation::Proof { text, .. } | Explanation::Absent { text, .. } => text,
+        }
+    }
+
+    /// The DOT render, if the tuple had a proof.
+    pub fn dot(&self) -> Option<&str> {
+        match self {
+            Explanation::Proof { dot, .. } => Some(dot),
+            Explanation::Absent { .. } => None,
+        }
+    }
+
+    pub fn is_proof(&self) -> bool {
+        matches!(self, Explanation::Proof { .. })
+    }
+}
+
+/// Explain one atom against a materialized DAG.
+pub fn explain_atom(
+    dag: &ProvDag,
+    program: &Program,
+    reg: &BuiltinRegistry,
+    pred: Symbol,
+    tuple: &Tuple,
+) -> Explanation {
+    match dag.why(pred, tuple) {
+        Some(proof) => {
+            let path = critical_path(&proof);
+            let mut text = render_text(&proof);
+            text.push_str("\ncritical path (leaf -> result):\n");
+            for step in &path {
+                let how = match step.rule_id {
+                    None => "edb".to_string(),
+                    Some(r) => format!("rule {r}"),
+                };
+                let wait = if step.wait > 0 {
+                    format!("  (+{} sim-ms)", step.wait)
+                } else {
+                    String::new()
+                };
+                let _ = writeln!(
+                    text,
+                    "  t={:<8} {}{}  [{}]{}",
+                    step.finish_at, step.pred, step.tuple, how, wait
+                );
+            }
+            let dot = render_dot(&proof);
+            Explanation::Proof {
+                proof,
+                critical_path: path,
+                text,
+                dot,
+            }
+        }
+        None => {
+            let why_not = dag.why_not(program, reg, pred, tuple);
+            let text = render_why_not(pred, tuple, &why_not);
+            Explanation::Absent { why_not, text }
+        }
+    }
+}
+
+/// Provenance queries on a finished deployment run.
+pub trait Explain {
+    /// Materialize the provenance DAG from the run's records.
+    fn prov_dag(&self) -> ProvDag;
+
+    /// Explain one atom: a derivation tree with latency attribution when it
+    /// is live, a why-not verdict when it is absent.
+    fn explain(&self, pred: Symbol, tuple: &Tuple) -> Explanation;
+}
+
+impl Explain for Deployment {
+    fn prov_dag(&self) -> ProvDag {
+        ProvDag::build(&self.provenance_records())
+    }
+
+    fn explain(&self, pred: Symbol, tuple: &Tuple) -> Explanation {
+        explain_atom(
+            &self.prov_dag(),
+            &self.prog.analysis.program,
+            &self.prog.reg,
+            pred,
+            tuple,
+        )
+    }
+}

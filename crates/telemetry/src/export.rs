@@ -269,7 +269,7 @@ impl Snapshot {
                 out,
                 "sensorlog_{}{{scope=\"{}\"}} {}",
                 prom_name(&c.name),
-                c.scope,
+                prom_label_escape(&c.scope),
                 c.value
             )
             .unwrap();
@@ -279,39 +279,34 @@ impl Snapshot {
                 out,
                 "sensorlog_{}{{scope=\"{}\"}} {}",
                 prom_name(&g.name),
-                g.scope,
+                prom_label_escape(&g.scope),
                 g.value
             )
             .unwrap();
         }
         for h in &self.hists {
             let name = prom_name(&h.name);
+            let scope = prom_label_escape(&h.scope);
             let mut cum = 0u64;
             for (b, c) in h.bounds.iter().zip(&h.counts) {
                 cum += c;
                 writeln!(
                     out,
-                    "sensorlog_{name}_bucket{{scope=\"{}\",le=\"{b}\"}} {cum}",
-                    h.scope
+                    "sensorlog_{name}_bucket{{scope=\"{scope}\",le=\"{b}\"}} {cum}"
                 )
                 .unwrap();
             }
             writeln!(
                 out,
-                "sensorlog_{name}_bucket{{scope=\"{}\",le=\"+Inf\"}} {}",
-                h.scope, h.count
+                "sensorlog_{name}_bucket{{scope=\"{scope}\",le=\"+Inf\"}} {}",
+                h.count
             )
             .unwrap();
+            writeln!(out, "sensorlog_{name}_sum{{scope=\"{scope}\"}} {}", h.sum).unwrap();
             writeln!(
                 out,
-                "sensorlog_{name}_sum{{scope=\"{}\"}} {}",
-                h.scope, h.sum
-            )
-            .unwrap();
-            writeln!(
-                out,
-                "sensorlog_{name}_count{{scope=\"{}\"}} {}",
-                h.scope, h.count
+                "sensorlog_{name}_count{{scope=\"{scope}\"}} {}",
+                h.count
             )
             .unwrap();
         }
@@ -422,6 +417,22 @@ fn prom_name(name: &str) -> String {
         .collect()
 }
 
+/// Escape a label *value* per the Prometheus exposition format: backslash,
+/// double quote, and newline must be escaped (`\\`, `\"`, `\n`) or the
+/// emitted line is unparseable / splits into two samples.
+fn prom_label_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -487,6 +498,55 @@ mod tests {
         assert!(p.contains(r#"sensorlog_sent_probe{scope="pred:path"} 7"#));
         assert!(p.contains(r#"le="+Inf""#));
         assert!(p.contains("sensorlog_phase_sim_ms"));
+    }
+
+    #[test]
+    fn prometheus_escapes_hostile_label_values() {
+        // A scope carrying backslash, quote, and newline (e.g. a predicate
+        // named from untrusted program source) must not break the
+        // exposition format or split a sample across lines.
+        let mut snap = Snapshot::default();
+        snap.counters.push(CounterRow {
+            scope: "pred:a\\b\"c\nd".into(),
+            name: "sent_probe".into(),
+            value: 1,
+        });
+        snap.hists.push(HistRow {
+            scope: "line1\nline2".into(),
+            name: "tx_bytes".into(),
+            bounds: vec![8],
+            counts: vec![1],
+            overflow: 0,
+            count: 1,
+            sum: 4,
+            min: 4,
+            max: 4,
+        });
+        let p = snap.to_prometheus();
+        assert!(
+            p.contains(r#"scope="pred:a\\b\"c\nd""#),
+            "counter label not escaped:\n{p}"
+        );
+        assert!(
+            p.contains(r#"scope="line1\nline2""#),
+            "histogram label not escaped:\n{p}"
+        );
+        // Every line must still be a well-formed `name{labels} value`
+        // sample: no raw newline may have leaked into a label value.
+        for line in p.lines() {
+            assert!(
+                line.is_empty() || line.ends_with(|c: char| c.is_ascii_digit()),
+                "split sample line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prom_label_escape_is_minimal() {
+        assert_eq!(prom_label_escape("plain"), "plain");
+        assert_eq!(prom_label_escape("a\\b"), "a\\\\b");
+        assert_eq!(prom_label_escape("a\"b"), "a\\\"b");
+        assert_eq!(prom_label_escape("a\nb"), "a\\nb");
     }
 
     #[test]

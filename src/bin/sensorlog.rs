@@ -27,6 +27,18 @@
 //!     `sensorlog_netsim::Journal::load` + `ReplayChecker`); --metrics
 //!     writes the telemetry snapshot (counters, histograms, phase timings)
 //!     as JSONL, or to stdout with `--metrics -`.
+//!
+//! sensorlog explain <program.dl> --grid <m> --why '<atom>'
+//!         [--events <events.txt>] [--strategy pa|centroid|broadcast|local]
+//!         [--loss <p>] [--seed <n>] [--horizon <ms>] [--dot <proof.dot>]
+//!     Deploy with the provenance plane enabled, then explain one tuple:
+//!     a live tuple gets its cross-node derivation tree (rule firings,
+//!     carrying messages, per-hop delivery, per-edge sim-latency) plus the
+//!     latency-critical chain; an absent tuple gets a why-not verdict (the
+//!     first missing or retracted premise per candidate rule). --dot writes
+//!     the proof DAG as GraphViz.
+//!
+//! Every subcommand also accepts --help.
 //! ```
 
 use sensorlog::prelude::*;
@@ -39,9 +51,10 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("deploy") => cmd_deploy(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
         _ => {
-            eprintln!("usage: sensorlog <analyze|check|run|deploy> <program.dl> [options]");
-            eprintln!("       (see `src/bin/sensorlog.rs` header for options)");
+            eprintln!("usage: sensorlog <analyze|check|run|deploy|explain> <program.dl> [options]");
+            eprintln!("       (run `sensorlog <subcommand> --help` for options)");
             return ExitCode::from(2);
         }
     };
@@ -55,6 +68,54 @@ fn main() -> ExitCode {
 }
 
 type AnyError = Box<dyn std::error::Error>;
+
+/// Handle `--help`/`-h` uniformly: print the subcommand's usage and report
+/// whether the caller should return early.
+fn wants_help(args: &[String], usage: &str) -> bool {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{usage}");
+        true
+    } else {
+        false
+    }
+}
+
+const ANALYZE_USAGE: &str = "usage: sensorlog analyze <program.dl>
+  Parse + classify: safety, stratification, XY components, windows.";
+
+const CHECK_USAGE: &str = "usage: sensorlog check <program.dl> [options]
+  --format text|json   report format (default text)
+  --deny-warnings      exit non-zero on warnings
+  --nodes <n>          topology size for the memory-bound formulas
+  --events <n>         per-predicate workload size for the bound formulas";
+
+const RUN_USAGE: &str = "usage: sensorlog run <program.dl> [options]
+  --facts <facts.dl>   load a fact file as the EDB
+  --output <pred>      print only this predicate (default: declared outputs)";
+
+const DEPLOY_USAGE: &str = "usage: sensorlog deploy <program.dl> --grid <m> [options]
+  --grid <m>           deploy on an m x m simulated grid (required)
+  --events <file>      workload script: `+<at_ms> @<node> fact(args).`
+  --strategy <s>       pa|centroid|broadcast|local (default pa)
+  --loss <p>           per-link loss probability
+  --seed <n>           simulator RNG seed
+  --horizon <ms>       sim-time horizon (default 600000000)
+  --trace <file>       persist the replayable event journal as JSONL
+  --metrics <file>     write the telemetry snapshot as JSONL (`-` = stdout)";
+
+const EXPLAIN_USAGE: &str =
+    "usage: sensorlog explain <program.dl> --grid <m> --why '<atom>' [options]
+  --why '<atom>'       the ground tuple to explain, e.g. --why 'q(1, 2)' (required)
+  --grid <m>           deploy on an m x m simulated grid (required)
+  --events <file>      workload script: `+<at_ms> @<node> fact(args).`
+  --strategy <s>       pa|centroid|broadcast|local (default pa)
+  --loss <p>           per-link loss probability
+  --seed <n>           simulator RNG seed
+  --horizon <ms>       sim-time horizon (default 600000000)
+  --dot <file>         write the proof DAG as GraphViz DOT (live tuples only)
+  Runs the deployment with the provenance plane enabled, then prints the
+  tuple's cross-node derivation tree with per-hop latency attribution, or a
+  why-not verdict (first missing/retracted premise) if it was not derived.";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     // Accepts both `--flag value` and `--flag=value`.
@@ -80,6 +141,9 @@ fn load_program(args: &[String]) -> Result<(String, sensorlog::logic::Program), 
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), AnyError> {
+    if wants_help(args, ANALYZE_USAGE) {
+        return Ok(());
+    }
     let (_, prog) = load_program(args)?;
     let analysis = analyze(&prog, &BuiltinRegistry::standard())?;
     println!("class: {:?}", analysis.class);
@@ -110,6 +174,9 @@ fn cmd_analyze(args: &[String]) -> Result<(), AnyError> {
 }
 
 fn cmd_check(args: &[String]) -> Result<(), AnyError> {
+    if wants_help(args, CHECK_USAGE) {
+        return Ok(());
+    }
     use sensorlog::logic::diag;
     // Load the raw source ourselves: parse errors must become diagnostics
     // in the report, not early CLI failures.
@@ -155,6 +222,9 @@ fn cmd_check(args: &[String]) -> Result<(), AnyError> {
 }
 
 fn cmd_run(args: &[String]) -> Result<(), AnyError> {
+    if wants_help(args, RUN_USAGE) {
+        return Ok(());
+    }
     let (src, prog) = load_program(args)?;
     let reg = BuiltinRegistry::standard();
     let analysis = analyze(&prog, &reg)?;
@@ -184,6 +254,9 @@ fn cmd_run(args: &[String]) -> Result<(), AnyError> {
 }
 
 fn cmd_deploy(args: &[String]) -> Result<(), AnyError> {
+    if wants_help(args, DEPLOY_USAGE) {
+        return Ok(());
+    }
     let (src, prog) = load_program(args)?;
     let m: u32 = flag(args, "--grid")
         .ok_or("deploy requires --grid <m>")?
@@ -291,6 +364,90 @@ fn cmd_deploy(args: &[String]) -> Result<(), AnyError> {
                 snap.hists.len(),
                 snap.phases.len()
             );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), AnyError> {
+    use sensorlog::provenance::{explain_atom, ProvDag};
+
+    if wants_help(args, EXPLAIN_USAGE) {
+        return Ok(());
+    }
+    let (src, _prog) = load_program(args)?;
+    let m: u32 = flag(args, "--grid")
+        .ok_or("explain requires --grid <m>")?
+        .parse()?;
+    let atom_src = flag(args, "--why").ok_or("explain requires --why '<atom>'")?;
+    let (pred, terms) = parse_fact(&atom_src).map_err(|e| format!("--why `{atom_src}`: {e}"))?;
+    let tuple = Tuple::new(terms);
+    let strategy = match flag(args, "--strategy").as_deref() {
+        None | Some("pa") => Strategy::Perpendicular { band_width: 1.0 },
+        Some("centroid") => Strategy::Centroid,
+        Some("broadcast") => Strategy::NaiveBroadcast,
+        Some("local") => Strategy::LocalStorage,
+        Some(other) => return Err(format!("unknown strategy `{other}`").into()),
+    };
+    let mut sim = SimConfig::default();
+    if let Some(p) = flag(args, "--loss") {
+        sim.loss_prob = p.parse()?;
+    }
+    if let Some(s) = flag(args, "--seed") {
+        sim.seed = s.parse()?;
+    }
+    let horizon: u64 = flag(args, "--horizon")
+        .map(|h| h.parse())
+        .transpose()?
+        .unwrap_or(600_000_000);
+
+    let topo = Topology::square_grid(m);
+    let n_nodes = topo.len();
+    let cfg = DeployConfig {
+        rt: RtConfig {
+            strategy,
+            ..RtConfig::default()
+        },
+        sim,
+        provenance: Provenance::enabled(),
+        ..DeployConfig::default()
+    };
+    let mut d =
+        Deployment::new(&src, BuiltinRegistry::standard(), topo, cfg).map_err(|e| e.to_string())?;
+    // Keep the journal: it enriches hop edges with delivery times, ARQ
+    // attempt counts, and loss flags.
+    let journal = d.attach_journal();
+
+    let mut events = Vec::new();
+    if let Some(path) = flag(args, "--events") {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        events = WorkloadEvent::parse_script(&text)?;
+        if let Some(bad) = events.iter().find(|ev| ev.node.index() >= n_nodes) {
+            return Err(format!("event node {} outside the {m}x{m} grid", bad.node).into());
+        }
+        eprintln!("scheduled {} events", events.len());
+    }
+    d.schedule_all(events);
+    let converged = d.run(horizon);
+
+    let records = d.provenance_records();
+    let j = journal.take();
+    let dag = ProvDag::build_with_journal(&records, &j);
+    eprintln!(
+        "-- {} nodes, converged at {:.1}s, {} provenance records",
+        n_nodes,
+        converged as f64 / 1000.0,
+        records.len()
+    );
+    let explanation = explain_atom(&dag, &d.prog.analysis.program, &d.prog.reg, pred, &tuple);
+    print!("{}", explanation.text());
+    if let Some(path) = flag(args, "--dot") {
+        match explanation.dot() {
+            Some(dot) => {
+                std::fs::write(&path, dot).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("-- proof DAG written to {path}");
+            }
+            None => eprintln!("-- no proof, no DOT output"),
         }
     }
     Ok(())

@@ -21,7 +21,10 @@
 //!   stream hashing, and distributed set-of-derivations maintenance;
 //! * [`telemetry`] — workspace-wide observability: deterministic metrics
 //!   registry, span-based phase profiler, and JSONL/Prometheus/table
-//!   exporters.
+//!   exporters;
+//! * [`provenance`] — the derivation provenance plane: the cross-node
+//!   causal DAG, `why` / `why-not` / critical-path queries, and the
+//!   proof-checking invariant behind `sensorlog explain`.
 //!
 //! ## Hello, sensor network
 //!
@@ -53,17 +56,19 @@ pub use sensorlog_eval as eval;
 pub use sensorlog_logic as logic;
 pub use sensorlog_netsim as netsim;
 pub use sensorlog_netstack as netstack;
+pub use sensorlog_provenance as provenance;
 pub use sensorlog_telemetry as telemetry;
 
 /// Everything a typical application needs.
 pub mod prelude {
     pub use sensorlog_core::deploy::{DeployConfig, Deployment, WorkloadEvent};
-    pub use sensorlog_core::{oracle, workload, PassMode, RtConfig, Strategy};
+    pub use sensorlog_core::{oracle, workload, PassMode, Provenance, RtConfig, Strategy};
     pub use sensorlog_eval::{Database, Engine, EvalConfig, IncrementalEngine, Update, UpdateKind};
     pub use sensorlog_logic::builtin::BuiltinRegistry;
     pub use sensorlog_logic::{
         analyze, parse_fact, parse_program, parse_rule, Analysis, ProgramClass, Symbol, Term, Tuple,
     };
     pub use sensorlog_netsim::{NodeId, Sched, SchedStats, SimConfig, Simulator, Topology};
+    pub use sensorlog_provenance::{check_provenance, explain_atom, Explain, Explanation, ProvDag};
     pub use sensorlog_telemetry::{Scope, Snapshot, Telemetry};
 }

@@ -46,6 +46,9 @@ fn chaos_deployment(seed: u64, sched: Sched, active_until: u64) -> Deployment {
             sched,
             ..SimConfig::default()
         },
+        // Pure observer: chaos runs double as the provenance plane's
+        // crash-coverage fixture (see `check_provenance` call sites).
+        provenance: Provenance::enabled(),
         ..DeployConfig::default()
     };
     Deployment::new(
@@ -95,6 +98,10 @@ proptest! {
         prop_assert!(structural.ok(), "seed {seed}: {structural}");
         let conservation = invariants::check_message_conservation(&d);
         prop_assert!(conservation.ok(), "seed {seed}: {conservation}");
+        // Every surviving derived tuple must carry a well-founded proof in
+        // the provenance DAG even after crashes, restarts, and link flaps.
+        let prov = check_provenance(&d, &[sym("q")]);
+        prop_assert!(prov.ok(), "seed {seed}: provenance violations {:?}", prov.violations);
     }
 }
 
@@ -176,6 +183,10 @@ fn dead_nodes_facts_are_retracted_by_liveness() {
     );
     let conv = invariants::check_convergence(&d, &[sym("q")]);
     assert!(conv.ok(), "{conv}");
+    // The retraction shows up in provenance too: no tuple the network no
+    // longer holds may be reported, and nothing held lacks a proof.
+    let prov = check_provenance(&d, &[sym("q")]);
+    assert!(prov.ok(), "provenance violations {:?}", prov.violations);
 }
 
 /// A healed partition reconverges: while the network is split the two

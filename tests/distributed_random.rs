@@ -33,6 +33,7 @@ fn run_one(src: &str, output: &str, strategy: Strategy, seed: u64, with_deletes:
             seed,
             ..SimConfig::default()
         },
+        provenance: Provenance::enabled(),
         ..DeployConfig::default()
     };
     let mut d = Deployment::new(src, BuiltinRegistry::standard(), topo.clone(), cfg).unwrap();
@@ -60,6 +61,16 @@ fn run_one(src: &str, output: &str, strategy: Strategy, seed: u64, with_deletes:
         strategy.name(),
         report.missing,
         report.spurious
+    );
+    // Every oracle-expected result must also carry a well-founded proof in
+    // the provenance DAG (leaves = live EDB facts), and nothing the
+    // network holds may be DAG-unsupported.
+    let prov = check_provenance(&d, &[sym(output)]);
+    assert!(
+        prov.ok(),
+        "{} seed {seed} deletes {with_deletes}: provenance violations {:?}",
+        strategy.name(),
+        prov.violations
     );
 }
 

@@ -34,10 +34,20 @@ const PINNED_RECORDS: usize = 29219;
 const PINNED_TX: u64 = 14138;
 
 fn run_probe(telemetry: Telemetry) -> (usize, u64, u64) {
-    run_probe_sched(telemetry, Sched::Wheel)
+    run_probe_full(telemetry, Sched::Wheel, Provenance::disabled()).0
 }
 
 fn run_probe_sched(telemetry: Telemetry, sched: Sched) -> (usize, u64, u64) {
+    run_probe_full(telemetry, sched, Provenance::disabled()).0
+}
+
+/// Returns the journal fingerprint triple plus the number of provenance
+/// records the run captured.
+fn run_probe_full(
+    telemetry: Telemetry,
+    sched: Sched,
+    provenance: Provenance,
+) -> ((usize, u64, u64), usize) {
     let topo = Topology::grid(20, 10); // 200 nodes
     let cfg = DeployConfig {
         rt: RtConfig {
@@ -51,6 +61,7 @@ fn run_probe_sched(telemetry: Telemetry, sched: Sched) -> (usize, u64, u64) {
             ..SimConfig::default()
         },
         telemetry,
+        provenance: provenance.clone(),
         ..DeployConfig::default()
     };
     let mut d = Deployment::new(LOGIC_H, BuiltinRegistry::standard(), topo.clone(), cfg).unwrap();
@@ -63,7 +74,10 @@ fn run_probe_sched(telemetry: Telemetry, sched: Sched) -> (usize, u64, u64) {
     d.schedule_all(graph_edges(&topo, 100, 200));
     d.run(2_000_000);
     let j = journal.take();
-    (j.records.len(), j.content_hash(), d.metrics().total_tx())
+    (
+        (j.records.len(), j.content_hash(), d.metrics().total_tx()),
+        provenance.len(),
+    )
 }
 
 #[test]
@@ -116,6 +130,49 @@ fn telemetry_does_not_perturb_the_trace() {
         hash, PINNED_HASH,
         "an enabled telemetry handle changed simulator behavior"
     );
+}
+
+#[test]
+fn provenance_does_not_perturb_the_trace() {
+    // The provenance plane is a pure observer, exactly like telemetry:
+    // with recording enabled the journal must stay byte-identical to the
+    // pin, while actually capturing a non-trivial record log. Disabled,
+    // it must capture nothing at all.
+    let ((records, hash, tx), n_prov) =
+        run_probe_full(Telemetry::disabled(), Sched::Wheel, Provenance::enabled());
+    assert_eq!(records, PINNED_RECORDS);
+    assert_eq!(tx, PINNED_TX);
+    assert_eq!(
+        hash, PINNED_HASH,
+        "an enabled provenance handle changed simulator behavior"
+    );
+    assert!(
+        n_prov > 1_000,
+        "a 200-node logicH run should capture thousands of provenance records, got {n_prov}"
+    );
+
+    let (_, n_disabled) =
+        run_probe_full(Telemetry::disabled(), Sched::Wheel, Provenance::disabled());
+    assert_eq!(n_disabled, 0, "disabled plane must record nothing");
+}
+
+#[test]
+fn provenance_pin_holds_on_the_shard_backend_too() {
+    // Under the region-sharded scheduler nodes run on worker threads, so
+    // provenance recording goes through the shared mutex concurrently —
+    // the journal must still match the pin byte-for-byte.
+    let ((records, hash, tx), n_prov) = run_probe_full(
+        Telemetry::disabled(),
+        Sched::Shard { workers: 2 },
+        Provenance::enabled(),
+    );
+    assert_eq!(records, PINNED_RECORDS);
+    assert_eq!(tx, PINNED_TX);
+    assert_eq!(
+        hash, PINNED_HASH,
+        "provenance under the shard backend changed the journal"
+    );
+    assert!(n_prov > 1_000);
 }
 
 /// Shard-vs-wheel journals for a small lossy logicH run under arbitrary
