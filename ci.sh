@@ -89,6 +89,24 @@ if [[ "$fast" -eq 0 ]]; then
         echo "prov smoke: quick journal hash drifted (provenance plane perturbed the trace, or the sim changed)"; exit 1; }
     rm -f "$prov_out"
 
+    # Intern smoke: the flat-tuple representation must be invisible in the
+    # trace (deployment journal matches the pre-refactor pin) and the
+    # fixpoint loop must run resolve-free — `intern.hot.resolves` counts
+    # any id -> Term materialization outside an `intern::boundary` scope,
+    # and the bin exits non-zero if either gate fails. The greps re-check
+    # the emitted JSON so a silent bin regression can't pass.
+    echo "== intern smoke (--quick, journal pinned + resolve gate) =="
+    intern_out=$(mktemp /tmp/bench_intern.XXXXXX.json)
+    cargo run -q --release -p sensorlog-bench --bin intern -- --quick --out "$intern_out"
+    python3 -m json.tool "$intern_out" > /dev/null
+    grep -q '"hash": "3c1ec08c6289dba4"' "$intern_out" || {
+        echo "intern smoke: journal hash drifted (flat representation is visible in the trace)"; exit 1; }
+    grep -q '"engine_hot": 0' "$intern_out" || {
+        echo "intern smoke: hot-path resolves in the engine fixpoint loop"; exit 1; }
+    grep -q '"deploy_hot": 0' "$intern_out" || {
+        echo "intern smoke: hot-path resolves in the deployment loop"; exit 1; }
+    rm -f "$intern_out"
+
     # `sensorlog explain` end-to-end: a recursive 3-link chain whose proof
     # tree must span the grid and name the EDB leaf, with the latency-
     # critical chain attached.

@@ -44,13 +44,14 @@ fn bench_relation_select(c: &mut Criterion) {
         );
     }
     let rel = db.relation(p).unwrap();
+    let key = sensorlog_logic::intern::intern_term(&Term::Int(7)).unwrap();
     // Warm the index.
     let mut out = Vec::new();
-    rel.select(&[0], &[Term::Int(7)], &mut out);
+    rel.select(&[0], &[key], &mut out);
     c.bench_function("relation select indexed (10k tuples)", |b| {
         b.iter(|| {
             let mut out = Vec::new();
-            rel.select(&[0], &[Term::Int(black_box(7))], &mut out);
+            rel.select(&[0], &[black_box(key)], &mut out);
             black_box(out.len())
         })
     });

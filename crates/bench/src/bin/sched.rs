@@ -28,6 +28,7 @@ use rand::{Rng, SeedableRng};
 use sensorlog_eval::relation::{Relation, TupleMeta};
 use sensorlog_eval::{Database, Engine, EvalConfig};
 use sensorlog_logic::builtin::BuiltinRegistry;
+use sensorlog_logic::intern;
 use sensorlog_logic::{Symbol, Term, Tuple};
 use sensorlog_netsim::{SimTime, TimerWheel, Topology};
 use std::collections::BinaryHeap;
@@ -153,12 +154,16 @@ fn bench_probe(tuples: usize, probes: usize) -> ProbeRow {
     let mut rng = StdRng::seed_from_u64(0x9806E);
     let mut out = Vec::new();
     // Warm: build the maintained index before timing.
-    indexed.select(&[0], &[Term::Int(0)], &mut out);
+    indexed.select(&[0], &[intern::intern_int(0)], &mut out);
 
     let t0 = Instant::now();
     for _ in 0..probes {
         out.clear();
-        indexed.select(&[0], &[Term::Int(rng.gen_range(0..keys))], &mut out);
+        indexed.select(
+            &[0],
+            &[intern::intern_int(rng.gen_range(0..keys))],
+            &mut out,
+        );
     }
     let idx_ops = probes as f64 / t0.elapsed().as_secs_f64();
 
@@ -168,8 +173,8 @@ fn bench_probe(tuples: usize, probes: usize) -> ProbeRow {
     let t0 = Instant::now();
     for _ in 0..scan_probes {
         out.clear();
-        let key = Term::Int(rng.gen_range(0..keys));
-        out.extend(scan.tuples().filter(|t| t.get(0) == &key).cloned());
+        let key = intern::intern_int(rng.gen_range(0..keys));
+        out.extend(scan.tuples().filter(|t| t.id(0) == key).cloned());
     }
     let scan_ops = scan_probes as f64 / t0.elapsed().as_secs_f64();
     ProbeRow {

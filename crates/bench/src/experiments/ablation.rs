@@ -162,7 +162,7 @@ pub fn fig12() -> Table {
         let answers = full
             .sorted(sym("t"))
             .into_iter()
-            .filter(|tp| tp.get(0) == &Term::atom("a"))
+            .filter(|tp| tp.get(0) == Term::atom("a"))
             .count();
 
         // Magic evaluation.
@@ -190,7 +190,7 @@ pub fn fig12() -> Table {
         let magic_answers = magical
             .sorted(magic.answer_pred)
             .into_iter()
-            .filter(|tp| tp.get(0) == &Term::atom("a"))
+            .filter(|tp| tp.get(0) == Term::atom("a"))
             .count();
         assert_eq!(magic_answers, answers, "magic must preserve the answers");
 

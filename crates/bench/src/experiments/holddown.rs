@@ -49,7 +49,7 @@ fn run_with(timing: PlanTiming, m: u32) -> (u64, bool, bool) {
         let want = (x + y) as i64;
         let depths: Vec<i64> = results
             .iter()
-            .filter(|t| t.get(0) == &Term::Int(node.0 as i64))
+            .filter(|t| t.get(0) == Term::Int(node.0 as i64))
             .map(|t| t.get(1).as_i64().unwrap())
             .collect();
         if depths.is_empty() || depths.iter().any(|&d| d != want) {

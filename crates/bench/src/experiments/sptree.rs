@@ -59,7 +59,7 @@ fn run_deductive(src: &str, out_pred: &str, m: u32) -> (u64, u64, bool) {
         let want = (x + y) as i64;
         let depths: Vec<i64> = results
             .iter()
-            .filter(|t| t.get(depth_pos.0) == &Term::Int(node.0 as i64))
+            .filter(|t| t.get(depth_pos.0) == Term::Int(node.0 as i64))
             .map(|t| t.get(depth_pos.1).as_i64().unwrap())
             .collect();
         if depths.is_empty() || depths.iter().any(|&d| d != want) {

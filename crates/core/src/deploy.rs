@@ -408,6 +408,14 @@ impl Deployment {
         rollup.bump(Scope::Global, "join.index.hits", idx.hits);
         rollup.bump(Scope::Global, "join.index.builds", idx.builds);
         rollup.bump(Scope::Global, "join.index.scans", idx.scans);
+        rollup.bump(Scope::Global, "join.index.rebuilds", idx.rebuilds);
+        // Boxed-term resolves at the intern boundary (display, lineage,
+        // aggregates, message encode). Hot-path resolves must stay zero —
+        // gated by the `intern` bench smoke in CI, surfaced here for
+        // operators.
+        let rc = sensorlog_logic::intern::resolve_counts();
+        rollup.gauge_set(Scope::Global, "intern.boundary.resolves", rc.boundary);
+        rollup.gauge_set(Scope::Global, "intern.hot.resolves", rc.hot);
         for n in self.sim.nodes() {
             for (&pred, &peak) in &n.peak_pred_stored {
                 rollup.gauge_max(Scope::Pred(pred.as_str()), "peak_stored", peak as u64);
@@ -473,7 +481,7 @@ mod tests {
         assert_eq!(ev.node, NodeId(7));
         assert_eq!(ev.kind, UpdateKind::Insert);
         assert_eq!(ev.pred, Symbol::intern("veh"));
-        assert_eq!(ev.tuple.get(1), &Term::Int(10));
+        assert_eq!(ev.tuple.get(1), Term::Int(10));
         let del = WorkloadEvent::parse_line("-99 @0 g(1, 2).").unwrap();
         assert_eq!(del.kind, UpdateKind::Delete);
     }

@@ -214,7 +214,7 @@ mod tests {
             .facts
             .iter()
             .map(|(_, t, _)| match t.get(0) {
-                Term::Int(v) => *v,
+                Term::Int(v) => v,
                 _ => unreachable!(),
             })
             .collect();

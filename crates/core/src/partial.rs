@@ -16,6 +16,7 @@ use crate::tupleid::TupleId;
 use sensorlog_eval::eval_body::sem_match_args;
 use sensorlog_eval::relation::Database;
 use sensorlog_logic::ast::{Literal, Rule};
+use sensorlog_logic::intern;
 use sensorlog_logic::unify::Subst;
 use sensorlog_logic::{Symbol, Term, Tuple};
 use sensorlog_netsim::SimTime;
@@ -115,7 +116,8 @@ pub fn seed_partial(
 ) -> Option<Partial> {
     let atom = rule.body[occ].atom().expect("relational occurrence");
     let mut s = Subst::new();
-    if !sem_match_args(&prog.reg, &atom.args, tuple.terms(), &mut s) {
+    let terms = intern::boundary(|| tuple.terms());
+    if !sem_match_args(&prog.reg, &atom.args, &terms, &mut s) {
         return None;
     }
     let mut p = Partial {
@@ -318,7 +320,8 @@ fn grow(
         if let Literal::Pos(atom) = &rule.body[i] {
             for t in ctx.visible_tuples(atom.pred) {
                 let mut s = p.subst();
-                if sem_match_args(&ctx.prog.reg, &atom.args, t.terms(), &mut s) {
+                let terms = intern::boundary(|| t.terms());
+                if sem_match_args(&ctx.prog.reg, &atom.args, &terms, &mut s) {
                     // A visible fragment without an id means its id record
                     // raced an expiry: skip the match rather than panic.
                     let Some(id) = (ctx.id_of)(atom.pred, &t) else {

@@ -463,7 +463,7 @@ fn logich_distributed_builds_bfs_tree() {
         let depth = (x + y) as i64;
         let at_depth: Vec<&Tuple> = results
             .iter()
-            .filter(|t| t.get(1) == &Term::Int(node.0 as i64))
+            .filter(|t| t.get(1) == Term::Int(node.0 as i64))
             .collect();
         assert!(
             !at_depth.is_empty(),
@@ -825,7 +825,7 @@ fn logich_repairs_tree_after_edge_deletion() {
     let depths_of = |v: i64| -> Vec<i64> {
         results
             .iter()
-            .filter(|t| t.get(1) == &Term::Int(v))
+            .filter(|t| t.get(1) == Term::Int(v))
             .map(|t| t.get(2).as_i64().unwrap())
             .collect()
     };
@@ -921,7 +921,7 @@ fn stage_hints_flow_to_distributed_compiler() {
         let want = (x + y) as i64;
         let got: Vec<i64> = results
             .iter()
-            .filter(|t| t.get(0) == &Term::Int(node.0 as i64))
+            .filter(|t| t.get(0) == Term::Int(node.0 as i64))
             .map(|t| t.get(1).as_i64().unwrap())
             .collect();
         assert!(got.iter().all(|&d| d == want) && !got.is_empty());

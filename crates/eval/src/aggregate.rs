@@ -9,6 +9,7 @@ use crate::error::EvalError;
 use crate::eval_body::Solution;
 use sensorlog_logic::ast::{AggFunc, Rule};
 use sensorlog_logic::builtin::BuiltinRegistry;
+use sensorlog_logic::intern;
 use sensorlog_logic::{Term, Tuple};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -26,12 +27,15 @@ pub fn aggregate_rule(
         .expect("aggregate_rule requires an aggregate head");
     let mut groups: BTreeMap<Vec<Term>, BTreeSet<Term>> = BTreeMap::new();
     for sol in solutions {
+        // Aggregate folds operate on boxed terms (off the fixpoint hot
+        // path): resolve the flat solution once per solution.
+        let subst = intern::boundary(|| sol.subst.to_subst());
         let key: Vec<Term> = rule
             .head
             .args
             .iter()
             .map(|a| {
-                let g = sol.subst.apply(a);
+                let g = subst.apply(a);
                 if g.is_ground() {
                     reg.eval_term(&g).map_err(EvalError::from)
                 } else {
@@ -43,7 +47,7 @@ pub fn aggregate_rule(
             })
             .collect::<Result<_, _>>()?;
         let value = {
-            let g = sol.subst.apply(&agg.term);
+            let g = subst.apply(&agg.term);
             if g.is_ground() {
                 reg.eval_term(&g)?
             } else {
@@ -137,7 +141,7 @@ mod tests {
     use crate::eval_body::BodyEval;
     use crate::relation::Database;
     use sensorlog_logic::parser::{parse_fact, parse_rule};
-    use sensorlog_logic::unify::Subst;
+    use sensorlog_logic::FlatSubst;
 
     fn run(rule_src: &str, facts: &[&str]) -> Vec<Tuple> {
         let rule = parse_rule(rule_src).unwrap();
@@ -148,7 +152,7 @@ mod tests {
         }
         let reg = BuiltinRegistry::standard();
         let ev = BodyEval::new(&db, &reg);
-        let sols = ev.solutions(&rule.body, Subst::new(), None).unwrap();
+        let sols = ev.solutions(&rule.body, FlatSubst::new(), None).unwrap();
         let mut out = aggregate_rule(&rule, &sols, &reg).unwrap();
         out.sort();
         out

@@ -14,7 +14,7 @@ use crate::relation::{Database, TupleMeta};
 use sensorlog_logic::analyze::{Analysis, ProgramClass};
 use sensorlog_logic::ast::Literal;
 use sensorlog_logic::builtin::BuiltinRegistry;
-use sensorlog_logic::unify::Subst;
+use sensorlog_logic::flat::FlatSubst;
 use sensorlog_logic::{Symbol, Tuple};
 use std::collections::{HashMap, VecDeque};
 
@@ -148,7 +148,7 @@ impl CountingEngine {
                 use_index: self.use_index,
             };
             self.body_evals += 1;
-            let sols = ev.solutions(&rule.body, Subst::new(), Some((li, &u.tuple)))?;
+            let sols = ev.solutions(&rule.body, FlatSubst::new(), Some((li, &u.tuple)))?;
             let sign = match (u.kind, negated) {
                 (UpdateKind::Insert, false) | (UpdateKind::Delete, true) => 1,
                 (UpdateKind::Insert, true) | (UpdateKind::Delete, false) => -1,

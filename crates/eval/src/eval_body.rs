@@ -16,6 +16,8 @@ use crate::error::EvalError;
 use crate::relation::Database;
 use sensorlog_logic::ast::{Atom, CmpOp, Literal, Rule};
 use sensorlog_logic::builtin::BuiltinRegistry;
+use sensorlog_logic::flat::{flat_compare, flat_eval, flat_is_ground, flat_match_args, FlatSubst};
+use sensorlog_logic::intern::{self, ConstId};
 use sensorlog_logic::unify::Subst;
 use sensorlog_logic::{Symbol, Term, Tuple};
 use std::collections::BTreeMap;
@@ -92,10 +94,12 @@ pub fn sem_match_args(reg: &BuiltinRegistry, pats: &[Term], vals: &[Term], s: &m
             .all(|(p, v)| sem_match(reg, p, v, s))
 }
 
-/// One satisfying assignment of a rule body.
+/// One satisfying assignment of a rule body. The substitution is flat
+/// (variables → interned constant ids); use [`FlatSubst::to_subst`] at
+/// boundaries that need boxed terms (lineage witnesses, aggregates).
 #[derive(Clone, Debug)]
 pub struct Solution {
-    pub subst: Subst,
+    pub subst: FlatSubst,
     /// `(literal index, predicate, tuple)` for each positive relational
     /// subgoal used — the derivation inputs.
     pub inputs: Vec<(usize, Symbol, Tuple)>,
@@ -130,7 +134,7 @@ impl<'a> BodyEval<'a> {
     pub fn solutions(
         &self,
         body: &[Literal],
-        seed: Subst,
+        seed: FlatSubst,
         pinned: Option<(usize, &Tuple)>,
     ) -> Result<Vec<Solution>, EvalError> {
         let order = order_body(body, pinned.map(|(i, _)| i));
@@ -146,7 +150,7 @@ impl<'a> BodyEval<'a> {
         body: &[Literal],
         order: &[usize],
         step: usize,
-        subst: Subst,
+        subst: FlatSubst,
         pinned: Option<(usize, &Tuple)>,
         inputs: &mut Vec<(usize, Symbol, Tuple)>,
         out: &mut Vec<Solution>,
@@ -166,7 +170,7 @@ impl<'a> BodyEval<'a> {
                 if let Some((pi, pt)) = pinned {
                     if pi == idx {
                         let mut s = subst;
-                        if sem_match_args(self.reg, &atom.args, pt.terms(), &mut s) {
+                        if flat_match_args(self.reg, &atom.args, pt.ids(), &mut s) {
                             inputs.push((idx, atom.pred, pt.clone()));
                             self.walk(body, order, step + 1, s, pinned, inputs, out)?;
                             inputs.pop();
@@ -177,7 +181,7 @@ impl<'a> BodyEval<'a> {
                 let candidates = self.candidates(atom, &subst, idx);
                 for t in candidates {
                     let mut s = subst.clone();
-                    if sem_match_args(self.reg, &atom.args, t.terms(), &mut s) {
+                    if flat_match_args(self.reg, &atom.args, t.ids(), &mut s) {
                         inputs.push((idx, atom.pred, t.clone()));
                         self.walk(body, order, step + 1, s, pinned, inputs, out)?;
                         inputs.pop();
@@ -191,7 +195,7 @@ impl<'a> BodyEval<'a> {
                         // Pinned negated literal: match positively, skip the
                         // negation check for this occurrence (Sec. IV-B).
                         let mut s = subst;
-                        if sem_match_args(self.reg, &atom.args, pt.terms(), &mut s) {
+                        if flat_match_args(self.reg, &atom.args, pt.ids(), &mut s) {
                             self.walk(body, order, step + 1, s, pinned, inputs, out)?;
                         }
                         return Ok(());
@@ -203,35 +207,39 @@ impl<'a> BodyEval<'a> {
                 Ok(())
             }
             Literal::Cmp(op, l, r) => {
-                let lg = subst.apply(l);
-                let rg = subst.apply(r);
-                match (lg.is_ground(), rg.is_ground()) {
+                match (flat_is_ground(l, &subst), flat_is_ground(r, &subst)) {
                     (true, true) => {
-                        if self.reg.compare(*op, &lg, &rg)? {
+                        if flat_compare(self.reg, *op, l, r, &subst)? {
                             self.walk(body, order, step + 1, subst, pinned, inputs, out)?;
                         }
                         Ok(())
                     }
                     (false, true) if *op == CmpOp::Eq => {
-                        // Assignment: bind the left variable.
-                        if let Term::Var(v) = lg {
+                        // Assignment: bind the left variable. (A non-ground
+                        // side that is a `Var` is necessarily unbound — flat
+                        // bindings are ground.)
+                        if let Term::Var(v) = l {
                             let mut s = subst;
-                            s.bind(v, self.reg.eval_term(&rg)?);
+                            let id = flat_eval(self.reg, r, &s)?;
+                            s.bind(*v, id);
                             self.walk(body, order, step + 1, s, pinned, inputs, out)?;
                             Ok(())
                         } else {
+                            let lg = intern::boundary(|| subst.to_subst().apply(l));
                             Err(EvalError::Internal(format!(
                                 "cannot assign to non-variable `{lg}`"
                             )))
                         }
                     }
                     (true, false) if *op == CmpOp::Eq => {
-                        if let Term::Var(v) = rg {
+                        if let Term::Var(v) = r {
                             let mut s = subst;
-                            s.bind(v, self.reg.eval_term(&lg)?);
+                            let id = flat_eval(self.reg, l, &s)?;
+                            s.bind(*v, id);
                             self.walk(body, order, step + 1, s, pinned, inputs, out)?;
                             Ok(())
                         } else {
+                            let rg = intern::boundary(|| subst.to_subst().apply(r));
                             Err(EvalError::Internal(format!(
                                 "cannot assign to non-variable `{rg}`"
                             )))
@@ -243,20 +251,19 @@ impl<'a> BodyEval<'a> {
                 }
             }
             Literal::Builtin(atom) => {
-                let args: Vec<Term> = atom
-                    .args
-                    .iter()
-                    .map(|a| {
-                        let g = subst.apply(a);
-                        if g.is_ground() {
-                            self.reg.eval_term(&g).map_err(EvalError::from)
-                        } else {
-                            Err(EvalError::Internal(format!(
-                                "builtin `{lit}` reached with unbound variables"
-                            )))
-                        }
-                    })
-                    .collect::<Result<_, _>>()?;
+                // Evaluate arguments flat, then cross the procedural-builtin
+                // boundary once with resolved terms.
+                let mut ids: Vec<ConstId> = Vec::with_capacity(atom.args.len());
+                for a in atom.args.iter() {
+                    if flat_is_ground(a, &subst) {
+                        ids.push(flat_eval(self.reg, a, &subst)?);
+                    } else {
+                        return Err(EvalError::Internal(format!(
+                            "builtin `{lit}` reached with unbound variables"
+                        )));
+                    }
+                }
+                let args: Vec<Term> = intern::boundary(|| intern::resolve_slice(&ids));
                 if self.reg.call_pred(atom.pred, &args)? {
                     self.walk(body, order, step + 1, subst, pinned, inputs, out)?;
                 }
@@ -267,19 +274,18 @@ impl<'a> BodyEval<'a> {
 
     /// Candidate tuples for a positive atom, honoring filter + visibility,
     /// using the relation index on the currently-ground positions.
-    fn candidates(&self, atom: &Atom, subst: &Subst, lit_idx: usize) -> Vec<Tuple> {
+    fn candidates(&self, atom: &Atom, subst: &FlatSubst, lit_idx: usize) -> Vec<Tuple> {
         let rel = match self.db.relation(atom.pred) {
             Some(r) => r,
             None => return Vec::new(),
         };
-        let grounded: Vec<Term> = atom.args.iter().map(|a| subst.apply(a)).collect();
         let mut cols: Vec<usize> = Vec::new();
-        let mut key: Vec<Term> = Vec::new();
-        for (i, g) in grounded.iter().enumerate() {
-            if g.is_ground() {
+        let mut key: Vec<ConstId> = Vec::new();
+        for (i, a) in atom.args.iter().enumerate() {
+            if flat_is_ground(a, subst) {
                 // Evaluate interpreted functions in the key so `d + 1`
                 // matches stored integers.
-                if let Ok(v) = self.reg.eval_term(g) {
+                if let Ok(v) = flat_eval(self.reg, a, subst) {
                     cols.push(i);
                     key.push(v);
                 }
@@ -297,7 +303,7 @@ impl<'a> BodyEval<'a> {
                 rel.tuples()
                     .filter(|t| {
                         cols.iter().all(|&c| c < t.arity())
-                            && cols.iter().zip(key.iter()).all(|(&c, k)| t.get(c) == k)
+                            && cols.iter().zip(key.iter()).all(|(&c, &k)| t.id(c) == k)
                     })
                     .cloned(),
             );
@@ -320,23 +326,19 @@ impl<'a> BodyEval<'a> {
     }
 
     /// `true` when no visible tuple matches the (fully ground) negated atom.
-    fn neg_holds(&self, atom: &Atom, subst: &Subst, lit_idx: usize) -> Result<bool, EvalError> {
-        let grounded: Vec<Term> = atom
-            .args
-            .iter()
-            .map(|a| {
-                let g = subst.apply(a);
-                if g.is_ground() {
-                    self.reg.eval_term(&g).map_err(EvalError::from)
-                } else {
-                    Err(EvalError::Internal(format!(
-                        "negated subgoal `{}` reached with unbound variables",
-                        atom
-                    )))
-                }
-            })
-            .collect::<Result<_, _>>()?;
-        let t = Tuple::new(grounded);
+    fn neg_holds(&self, atom: &Atom, subst: &FlatSubst, lit_idx: usize) -> Result<bool, EvalError> {
+        let mut ids: Vec<ConstId> = Vec::with_capacity(atom.args.len());
+        for a in atom.args.iter() {
+            if flat_is_ground(a, subst) {
+                ids.push(flat_eval(self.reg, a, subst)?);
+            } else {
+                return Err(EvalError::Internal(format!(
+                    "negated subgoal `{}` reached with unbound variables",
+                    atom
+                )));
+            }
+        }
+        let t = Tuple::from_ids(ids);
         let rel = match self.db.relation(atom.pred) {
             Some(r) => r,
             None => return Ok(true),
@@ -371,27 +373,22 @@ pub fn order_body(body: &[Literal], pinned: Option<usize>) -> Vec<usize> {
 /// evaluating interpreted functions.
 pub fn instantiate_head(
     rule: &Rule,
-    subst: &Subst,
+    subst: &FlatSubst,
     reg: &BuiltinRegistry,
 ) -> Result<Tuple, EvalError> {
     debug_assert!(rule.agg.is_none(), "aggregate heads use aggregate::finish");
-    let terms: Vec<Term> = rule
-        .head
-        .args
-        .iter()
-        .map(|a| {
-            let g = subst.apply(a);
-            if g.is_ground() {
-                reg.eval_term(&g).map_err(EvalError::from)
-            } else {
-                Err(EvalError::Internal(format!(
-                    "head argument `{a}` unbound in rule #{}",
-                    rule.id
-                )))
-            }
-        })
-        .collect::<Result<_, _>>()?;
-    Ok(Tuple::new(terms))
+    let mut ids: Vec<ConstId> = Vec::with_capacity(rule.head.args.len());
+    for a in rule.head.args.iter() {
+        if flat_is_ground(a, subst) {
+            ids.push(flat_eval(reg, a, subst)?);
+        } else {
+            return Err(EvalError::Internal(format!(
+                "head argument `{a}` unbound in rule #{}",
+                rule.id
+            )));
+        }
+    }
+    Ok(Tuple::from_ids(ids))
 }
 
 #[cfg(test)]
@@ -414,7 +411,7 @@ mod tests {
         let db = db_with(facts);
         let reg = BuiltinRegistry::standard();
         let ev = BodyEval::new(&db, &reg);
-        let sols = ev.solutions(&rule.body, Subst::new(), None).unwrap();
+        let sols = ev.solutions(&rule.body, FlatSubst::new(), None).unwrap();
         let mut out: Vec<Tuple> = sols
             .iter()
             .map(|s| instantiate_head(&rule, &s.subst, &reg).unwrap())
@@ -491,7 +488,7 @@ mod tests {
         // Pin the second literal to (2, 3): only X=1,Z=3 solution remains.
         let pin = tup("2, 3");
         let sols = ev
-            .solutions(&rule.body, Subst::new(), Some((1, &pin)))
+            .solutions(&rule.body, FlatSubst::new(), Some((1, &pin)))
             .unwrap();
         assert_eq!(sols.len(), 1);
         let head = instantiate_head(&rule, &sols[0].subst, &reg).unwrap();
@@ -510,7 +507,7 @@ mod tests {
         let ev = BodyEval::new(&db, &reg);
         let pin = tup("2");
         let sols = ev
-            .solutions(&rule.body, Subst::new(), Some((1, &pin)))
+            .solutions(&rule.body, FlatSubst::new(), Some((1, &pin)))
             .unwrap();
         assert_eq!(sols.len(), 1);
         let head = instantiate_head(&rule, &sols[0].subst, &reg).unwrap();
@@ -537,14 +534,14 @@ mod tests {
             use_index: true,
         };
         // e(1,1) join e(1,1) exists, but occurrence 1 excludes the tuple.
-        let sols = ev.solutions(&rule.body, Subst::new(), None).unwrap();
+        let sols = ev.solutions(&rule.body, FlatSubst::new(), None).unwrap();
         assert!(sols.is_empty());
         // A pin overrides the filter at its own occurrence: pinning
         // occurrence 1 to the filtered tuple still yields the solution
         // via occurrence 0 (where the filter does not apply).
         let pin = tup("1, 1");
         let sols = ev
-            .solutions(&rule.body, Subst::new(), Some((1, &pin)))
+            .solutions(&rule.body, FlatSubst::new(), Some((1, &pin)))
             .unwrap();
         assert_eq!(sols.len(), 1);
         // Filtering occurrence 0 instead kills it: the delta staircase
@@ -562,7 +559,7 @@ mod tests {
             use_index: true,
         };
         let sols = ev0
-            .solutions(&rule.body, Subst::new(), Some((1, &pin)))
+            .solutions(&rule.body, FlatSubst::new(), Some((1, &pin)))
             .unwrap();
         assert!(sols.is_empty());
     }
@@ -587,7 +584,7 @@ mod tests {
             }),
             use_index: true,
         };
-        let sols = ev.solutions(&rule.body, Subst::new(), None).unwrap();
+        let sols = ev.solutions(&rule.body, FlatSubst::new(), None).unwrap();
         // tau=350: p(1) gen 100 within window (100+300>350), p(2) in future.
         assert_eq!(sols.len(), 1);
         // tau=550: p(1) expired (100+300<=550), p(2) visible (gen 500).
@@ -601,7 +598,7 @@ mod tests {
             }),
             use_index: true,
         };
-        let sols = ev2.solutions(&rule.body, Subst::new(), None).unwrap();
+        let sols = ev2.solutions(&rule.body, FlatSubst::new(), None).unwrap();
         assert_eq!(sols.len(), 1);
         assert_eq!(sols[0].inputs[0].2, tup("2"));
     }
@@ -628,7 +625,7 @@ mod tests {
             use_index: true,
         };
         assert!(ev
-            .solutions(&rule.body, Subst::new(), None)
+            .solutions(&rule.body, FlatSubst::new(), None)
             .unwrap()
             .is_empty());
         // At tau=60 the s-tuple is deleted: q(1) holds.
@@ -643,7 +640,9 @@ mod tests {
             use_index: true,
         };
         assert_eq!(
-            ev.solutions(&rule.body, Subst::new(), None).unwrap().len(),
+            ev.solutions(&rule.body, FlatSubst::new(), None)
+                .unwrap()
+                .len(),
             1
         );
     }
@@ -676,7 +675,7 @@ mod tests {
         let rule = sensorlog_logic::safety::resolve_builtins(&rule, &reg);
         let db = db_with(&["p(1)", "p(2)", "p(3)", "p(4)"]);
         let ev = BodyEval::new(&db, &reg);
-        let sols = ev.solutions(&rule.body, Subst::new(), None).unwrap();
+        let sols = ev.solutions(&rule.body, FlatSubst::new(), None).unwrap();
         assert_eq!(sols.len(), 2);
     }
 }

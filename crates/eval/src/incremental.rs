@@ -31,6 +31,8 @@ use crate::seminaive::effective_windows;
 use sensorlog_logic::analyze::Analysis;
 use sensorlog_logic::ast::{Literal, Rule};
 use sensorlog_logic::builtin::BuiltinRegistry;
+use sensorlog_logic::flat::FlatSubst;
+use sensorlog_logic::intern;
 use sensorlog_logic::unify::{match_term, Subst};
 use sensorlog_logic::{Symbol, Term, Tuple};
 use sensorlog_telemetry::Profiler;
@@ -322,7 +324,7 @@ impl IncrementalEngine {
 
         // Delta computation per occurrence.
         let occs = self.occurrences.get(&u.pred).cloned().unwrap_or_default();
-        let mut deltas: Vec<(Symbol, Tuple, Derivation, i64, Option<Subst>)> = Vec::new();
+        let mut deltas: Vec<(Symbol, Tuple, Derivation, i64, Option<FlatSubst>)> = Vec::new();
         let mut agg_dirty: Vec<(usize, Vec<Term>)> = Vec::new();
         for (ri, li, negated) in occs {
             let rule = &self.analysis.program.rules[ri];
@@ -353,7 +355,7 @@ impl IncrementalEngine {
                 use_index: self.use_index,
             };
             self.stats.body_evals += 1;
-            let sols = ev.solutions(&rule.body, Subst::new(), Some((li, &u.tuple)))?;
+            let sols = ev.solutions(&rule.body, FlatSubst::new(), Some((li, &u.tuple)))?;
             if rule.agg.is_some() {
                 // Record affected groups; recomputed below against the
                 // post-update state.
@@ -432,13 +434,14 @@ impl IncrementalEngine {
                 let d_now = d_count + sign > 0;
                 if (d_count > 0) != d_now {
                     if let Some(log) = self.lineage.as_mut() {
+                        let boxed = witness.as_ref().map(|w| intern::boundary(|| w.to_subst()));
                         log.record_firing(
                             dd.rule_id,
                             if d_now { 1 } else { -1 },
                             pred,
                             &tuple,
                             &dd.inputs,
-                            witness.as_ref(),
+                            boxed.as_ref(),
                             u.ts,
                         );
                     }
@@ -488,7 +491,10 @@ impl IncrementalEngine {
         false
     }
 
-    fn group_key(&self, rule: &Rule, subst: &Subst) -> Result<Vec<Term>, EvalError> {
+    fn group_key(&self, rule: &Rule, subst: &FlatSubst) -> Result<Vec<Term>, EvalError> {
+        // Group keys are boxed terms (aggregate machinery is off the hot
+        // path); resolve the flat bindings once.
+        let subst = intern::boundary(|| subst.to_subst());
         rule.head
             .args
             .iter()
@@ -516,12 +522,13 @@ impl IncrementalEngine {
     ) -> Result<Vec<Update>, EvalError> {
         let _span = self.profiler.span("inc.agg_group");
         // Seed the body with the group key by matching head args.
-        let mut seed = Subst::new();
+        let mut boxed_seed = Subst::new();
         for (pat, val) in rule.head.args.iter().zip(key.iter()) {
-            if !match_term(pat, val, &mut seed) {
+            if !match_term(pat, val, &mut boxed_seed) {
                 return Ok(Vec::new()); // key shape impossible (stale)
             }
         }
+        let seed = FlatSubst::from_subst(&boxed_seed).expect("group-key bindings are ground");
         let mut ev = BodyEval::new(&self.db, &self.reg);
         ev.use_index = self.use_index;
         self.stats.body_evals += 1;

@@ -20,6 +20,8 @@ use crate::relation::{Database, TupleMeta};
 use sensorlog_logic::analyze::{Analysis, ProgramClass};
 use sensorlog_logic::ast::Literal;
 use sensorlog_logic::builtin::BuiltinRegistry;
+use sensorlog_logic::flat::FlatSubst;
+use sensorlog_logic::intern;
 use sensorlog_logic::unify::{match_args, Subst};
 use sensorlog_logic::{Symbol, Tuple};
 use sensorlog_telemetry::Profiler;
@@ -142,7 +144,8 @@ impl RederiveEngine {
                         let mut ev = BodyEval::new(&self.db, &self.reg);
                         ev.use_index = self.use_index;
                         self.body_evals += 1;
-                        let sols = ev.solutions(&rule.body, Subst::new(), Some((li, &tuple)))?;
+                        let sols =
+                            ev.solutions(&rule.body, FlatSubst::new(), Some((li, &tuple)))?;
                         let mut victims = Vec::new();
                         for s in &sols {
                             victims.push((
@@ -160,7 +163,8 @@ impl RederiveEngine {
                         let mut ev = BodyEval::new(&self.db, &self.reg);
                         ev.use_index = self.use_index;
                         self.body_evals += 1;
-                        let sols = ev.solutions(&rule.body, Subst::new(), Some((li, &tuple)))?;
+                        let sols =
+                            ev.solutions(&rule.body, FlatSubst::new(), Some((li, &tuple)))?;
                         let mut fresh = Vec::new();
                         for s in &sols {
                             let t = instantiate_head(&rule, &s.subst, &self.reg)?;
@@ -177,13 +181,14 @@ impl RederiveEngine {
                             if let (Some((inputs, subst)), Some(log)) =
                                 (&witness, self.lineage.as_mut())
                             {
+                                let boxed = intern::boundary(|| subst.to_subst());
                                 log.record_firing(
                                     rule.id,
                                     1,
                                     rule.head.pred,
                                     &t,
                                     inputs,
-                                    Some(subst),
+                                    Some(&boxed),
                                     u.ts,
                                 );
                             }
@@ -238,7 +243,7 @@ impl RederiveEngine {
                     let mut ev = BodyEval::new(&self.db, &self.reg);
                     ev.use_index = self.use_index;
                     self.body_evals += 1;
-                    let sols = ev.solutions(&rule.body, Subst::new(), Some((li, &tuple)))?;
+                    let sols = ev.solutions(&rule.body, FlatSubst::new(), Some((li, &tuple)))?;
                     let mut heads = Vec::new();
                     for s in &sols {
                         heads.push(instantiate_head(&rule, &s.subst, &self.reg)?);
@@ -308,7 +313,7 @@ impl RederiveEngine {
                     let mut ev = BodyEval::new(&self.db, &self.reg);
                     ev.use_index = self.use_index;
                     self.body_evals += 1;
-                    let sols = ev.solutions(&rule.body, Subst::new(), Some((li, &tuple)))?;
+                    let sols = ev.solutions(&rule.body, FlatSubst::new(), Some((li, &tuple)))?;
                     let mut fresh = Vec::new();
                     for s in &sols {
                         fresh.push(instantiate_head(&rule, &s.subst, &self.reg)?);
@@ -332,10 +337,18 @@ impl RederiveEngine {
             if rule.head.pred != pred {
                 continue;
             }
-            let mut seed = Subst::new();
-            if !match_args(&rule.head.args, tuple.terms(), &mut seed) {
-                continue;
-            }
+            // Seed by syntactic match against the (resolved) casualty — a
+            // boundary op; the resulting ground bindings re-intern for the
+            // flat body walk.
+            let boxed_seed = intern::boundary(|| {
+                let terms = tuple.terms();
+                let mut s = Subst::new();
+                match_args(&rule.head.args, &terms, &mut s).then_some(s)
+            });
+            let seed = match boxed_seed.and_then(|s| FlatSubst::from_subst(&s)) {
+                Some(s) => s,
+                None => continue,
+            };
             // The casualty itself must not self-justify: exclude it from
             // every positive occurrence of its own predicate.
             let filter = TupleFilter {
@@ -355,7 +368,8 @@ impl RederiveEngine {
             if !sols.is_empty() {
                 if let Some(log) = self.lineage.as_mut() {
                     let s = &sols[0];
-                    log.record_firing(rule.id, 1, pred, tuple, &s.inputs, Some(&s.subst), tau);
+                    let boxed = intern::boundary(|| s.subst.to_subst());
+                    log.record_firing(rule.id, 1, pred, tuple, &s.inputs, Some(&boxed), tau);
                 }
                 return Ok(true);
             }

@@ -2,11 +2,14 @@
 //!
 //! A [`Relation`] is a set of ground tuples with per-tuple metadata
 //! (generation timestamp, optional deletion timestamp — Definition 2 / the
-//! tombstone discipline of Sec. IV-B). Relations maintain lazy hash indexes
-//! keyed by bound-column subsets so body evaluation avoids full scans.
+//! tombstone discipline of Sec. IV-B). Hot relations are additionally backed
+//! by byte-trie indexes over column-permuted sort keys of the interned
+//! constant ids, so one persistent structure answers every bound-column
+//! prefix signature (see DESIGN.md, "Tuple representation & trie indexes").
 
 use parking_lot::RwLock;
-use sensorlog_logic::{Symbol, Term, Tuple};
+use sensorlog_logic::intern::{self, ConstId};
+use sensorlog_logic::{Symbol, Tuple};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -48,39 +51,436 @@ impl TupleMeta {
     }
 }
 
-type Index = HashMap<Vec<Term>, Vec<Tuple>>;
-
 /// An unregistered signature is probed by scanning this many times before
 /// it is promoted to a persistent index — a safety net for probe paths the
 /// static planner doesn't enumerate (seeded XY stages, ad-hoc queries).
 const PROMOTE_AFTER: u32 = 4;
 
-/// Index machinery behind one lock: built indexes, the registered
-/// (persistent) signatures, and scan counts driving auto-promotion.
+/// A compressed (path-merged) byte-trie node. Keys are concatenated
+/// order-preserving sort keys of the tuple's interned constants in the
+/// trie's column permutation; sort keys are prefix-free, so concatenation
+/// is injective and memcmp order on keys equals the permuted column-
+/// lexicographic tuple order.
+#[derive(Clone, Debug, Default)]
+struct TrieNode {
+    /// Path bytes below the incoming edge byte (path compression).
+    prefix: Vec<u8>,
+    /// Tuple whose full key ends exactly here.
+    leaf: Option<Tuple>,
+    /// Edge bytes, ascending. Parallel to `child_nodes`: searching a dense
+    /// byte array touches a couple of cache lines even at full fan-out,
+    /// where a `Vec<(u8, TrieNode)>` would stride ~100 bytes per element.
+    child_bytes: Vec<u8>,
+    /// Child nodes, parallel to `child_bytes` — ascending-byte traversal
+    /// yields canonical order.
+    child_nodes: Vec<TrieNode>,
+}
+
+impl TrieNode {
+    fn insert(&mut self, key: &[u8], t: Tuple) {
+        let common = self
+            .prefix
+            .iter()
+            .zip(key.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        if common < self.prefix.len() {
+            // Split this node at the divergence point.
+            let split_byte = self.prefix[common];
+            let child = TrieNode {
+                prefix: self.prefix[common + 1..].to_vec(),
+                leaf: self.leaf.take(),
+                child_bytes: std::mem::take(&mut self.child_bytes),
+                child_nodes: std::mem::take(&mut self.child_nodes),
+            };
+            self.prefix.truncate(common);
+            self.child_bytes.push(split_byte);
+            self.child_nodes.push(child);
+        }
+        // Here self.prefix.len() == common (either it always was, or the
+        // split above truncated it).
+        if key.len() == common {
+            self.leaf = Some(t);
+            return;
+        }
+        let rest = &key[common..];
+        match self.child_bytes.binary_search(&rest[0]) {
+            Ok(i) => self.child_nodes[i].insert(&rest[1..], t),
+            Err(i) => {
+                self.child_bytes.insert(i, rest[0]);
+                self.child_nodes.insert(
+                    i,
+                    TrieNode {
+                        prefix: rest[1..].to_vec(),
+                        leaf: Some(t),
+                        child_bytes: Vec::new(),
+                        child_nodes: Vec::new(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Remove `key`; returns true if a leaf was removed. Empty children are
+    /// pruned (paths are not re-merged — harmless for correctness).
+    fn remove(&mut self, key: &[u8]) -> bool {
+        if key.len() < self.prefix.len() || key[..self.prefix.len()] != self.prefix[..] {
+            return false;
+        }
+        let rest = &key[self.prefix.len()..];
+        if rest.is_empty() {
+            return self.leaf.take().is_some();
+        }
+        if let Ok(i) = self.child_bytes.binary_search(&rest[0]) {
+            let removed = self.child_nodes[i].remove(&rest[1..]);
+            if removed
+                && self.child_nodes[i].leaf.is_none()
+                && self.child_nodes[i].child_bytes.is_empty()
+            {
+                self.child_bytes.remove(i);
+                self.child_nodes.remove(i);
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// Append every tuple whose key starts with `probe` (a whole-column
+    /// boundary in the key encoding), in key order — which is canonical
+    /// tuple order among the matches. Iterative: the descent is the probe
+    /// hot path and a call frame per byte is measurable.
+    fn collect_prefix(&self, mut probe: &[u8], out: &mut Vec<Tuple>) {
+        let mut node = self;
+        loop {
+            let n = node.prefix.len().min(probe.len());
+            if node.prefix[..n] != probe[..n] {
+                return;
+            }
+            if probe.len() <= node.prefix.len() {
+                node.collect_all(out);
+                return;
+            }
+            probe = &probe[node.prefix.len()..];
+            match node.child_bytes.binary_search(&probe[0]) {
+                Ok(i) => {
+                    node = &node.child_nodes[i];
+                    probe = &probe[1..];
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn collect_all(&self, out: &mut Vec<Tuple>) {
+        // Leaf before children: a full key that ends here is a strict
+        // prefix of every key below, i.e. the shorter tuple sorts first.
+        if let Some(t) = &self.leaf {
+            out.push(t.clone());
+        }
+        for c in &self.child_nodes {
+            c.collect_all(out);
+        }
+    }
+}
+
+/// Cap on memoized probe entries per trie; past this the memo is cleared
+/// wholesale (simple, bounded, and a full repopulation is just trie walks).
+const MEMO_CAP: usize = 1 << 16;
+
+/// FNV-1a for the probe memo: keys are a handful of sort-key bytes, where
+/// SipHash's setup cost dominates the actual mixing. Never iterated, so the
+/// weaker hash cannot affect any observable order.
+struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for Fnv {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Longest probe (bound-column count) the memo serves; wider probes walk
+/// the trie every time. Join plans bind a handful of columns.
+const MEMO_KEY_MAX: usize = 4;
+
+/// Memo key: the probe's interned key ids in bound-column (ascending)
+/// order, zero-padded. Unambiguous per trie: the signatures a canonical
+/// spec serves have pairwise-distinct lengths — ascending-run sigs
+/// `[0..k]` all share the identity trie, and any other sorted sig is its
+/// own canon (stripping only fires on full `{0..max}` runs) — so
+/// `(len, ids)` identifies the probe. Keying on ids keeps the memo hit
+/// path entirely free of pool-entry derefs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct MemoKey {
+    len: u8,
+    ids: [ConstId; MEMO_KEY_MAX],
+}
+
+impl MemoKey {
+    fn new(ids: &[ConstId]) -> Option<MemoKey> {
+        if ids.len() > MEMO_KEY_MAX {
+            return None;
+        }
+        let mut k = MemoKey {
+            len: ids.len() as u8,
+            ids: [0; MEMO_KEY_MAX],
+        };
+        k.ids[..ids.len()].copy_from_slice(ids);
+        Some(k)
+    }
+}
+
+type MemoMap = HashMap<MemoKey, Memoized, std::hash::BuildHasherDefault<Fnv>>;
+
+/// Memoized probe results. Most probes return zero or one tuple (keyed
+/// relations); storing those inline skips the postings-vector indirection
+/// on the hit path.
+#[derive(Clone, Debug)]
+enum Memoized {
+    Zero,
+    One(Tuple),
+    Many(Vec<Tuple>),
+}
+
+impl Memoized {
+    fn of(results: &[Tuple]) -> Memoized {
+        match results {
+            [] => Memoized::Zero,
+            [t] => Memoized::One(t.clone()),
+            _ => Memoized::Many(results.to_vec()),
+        }
+    }
+
+    fn extend_into(&self, out: &mut Vec<Tuple>) {
+        match self {
+            Memoized::Zero => {}
+            Memoized::One(t) => out.push(t.clone()),
+            Memoized::Many(v) => out.extend(v.iter().cloned()),
+        }
+    }
+}
+
+/// One built trie: tuples keyed on the column permutation
+/// `spec ++ ascending(complement)`. Tuples missing a spec column (arity too
+/// small) are not stored; probes exclude them by key-length anyway.
+#[derive(Clone, Debug)]
+struct Trie {
+    spec: Spec,
+    root: TrieNode,
+    /// Materialized probe results, keyed by probe bytes. A radix descent
+    /// into a large cold trie is a chain of dependent cache misses; the
+    /// fixpoint loop re-probes the same keys across rules and iterations,
+    /// so repeated probes are served at hash-lookup speed from here while
+    /// the trie itself remains the source of canonical order. Entries are
+    /// invalidated on insert/remove at every whole-column prefix of the
+    /// mutated tuple's key (probes are column-aligned by construction).
+    memo: MemoMap,
+}
+
+impl Trie {
+    fn new(spec: Spec) -> Trie {
+        Trie {
+            spec,
+            root: TrieNode::default(),
+            memo: MemoMap::default(),
+        }
+    }
+
+    /// Full key of `t` under this trie's permutation; `None` if the tuple
+    /// lacks a spec column.
+    fn key_bytes(&self, t: &Tuple) -> Option<Vec<u8>> {
+        let a = t.arity();
+        if self.spec.iter().any(|c| c >= a) {
+            return None;
+        }
+        let mut out = Vec::with_capacity(a * 10);
+        for c in self.spec.iter() {
+            out.extend_from_slice(&intern::entry(t.id(c)).sort_key);
+        }
+        for c in 0..a {
+            if !self.spec.contains(c) {
+                out.extend_from_slice(&intern::entry(t.id(c)).sort_key);
+            }
+        }
+        Some(out)
+    }
+
+    /// Drop memo entries whose probe `t` answers (or could start
+    /// answering). The identity trie serves the ascending-run signatures
+    /// `[0..k]`, so every id prefix of `t` is a candidate key; any other
+    /// spec serves exactly its own signature.
+    fn invalidate_memo(&mut self, t: &Tuple) {
+        if self.memo.is_empty() {
+            return;
+        }
+        let a = t.arity();
+        if self.spec.len == 0 {
+            for k in 1..=a.min(MEMO_KEY_MAX) {
+                if let Some(mk) = MemoKey::new(&t.ids()[..k]) {
+                    self.memo.remove(&mk);
+                }
+            }
+        } else {
+            let mut ids = [0; MEMO_KEY_MAX];
+            let n = self.spec.len as usize;
+            if n <= MEMO_KEY_MAX && self.spec.iter().all(|c| c < a) {
+                for (i, c) in self.spec.iter().enumerate() {
+                    ids[i] = t.id(c);
+                }
+                self.memo.remove(&MemoKey { len: n as u8, ids });
+            }
+        }
+    }
+
+    fn insert(&mut self, t: &Tuple) {
+        if let Some(k) = self.key_bytes(t) {
+            self.invalidate_memo(t);
+            self.root.insert(&k, t.clone());
+        }
+    }
+
+    fn remove(&mut self, t: &Tuple) {
+        if let Some(k) = self.key_bytes(t) {
+            self.invalidate_memo(t);
+            self.root.remove(&k);
+        }
+    }
+}
+
+/// An inline bound-column signature: up to [`Spec::MAX`] column positions,
+/// each `< 256`. Copyable and comparable as two machine words, so the probe
+/// hot path never allocates or hashes a `Vec<usize>`. Signatures that don't
+/// fit (absurdly wide probes) fall back to the filtered scan in
+/// [`Relation::select`], which is always correct.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+struct Spec {
+    len: u8,
+    cols: [u8; Spec::MAX],
+}
+
+impl Spec {
+    const MAX: usize = 15;
+
+    fn from_cols(cols: &[usize]) -> Option<Spec> {
+        if cols.len() > Spec::MAX || cols.iter().any(|&c| c > u8::MAX as usize) {
+            return None;
+        }
+        let mut s = Spec {
+            len: cols.len() as u8,
+            cols: [0; Spec::MAX],
+        };
+        for (i, &c) in cols.iter().enumerate() {
+            s.cols[i] = c as u8;
+        }
+        Some(s)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.cols[..self.len as usize].iter().map(|&c| c as usize)
+    }
+
+    fn contains(&self, c: usize) -> bool {
+        self.cols[..self.len as usize].contains(&(c as u8))
+    }
+
+    fn to_vec(self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+/// Canonical trie spec serving a probe on bound columns `cols` (ascending):
+/// strip trailing columns that the default ascending completion would place
+/// next anyway. `canon([0]) == canon([0, 1]) == []` — the identity-order
+/// trie serves every ascending-prefix signature — while `canon([1]) == [1]`
+/// and `canon([0, 2]) == [0, 2]` get their own permutations. A probe on
+/// `cols` is answerable by trie `S` iff `cols` equals the first
+/// `cols.len()` columns of `S`'s permutation; this canon is the unique
+/// such suffix-stripped spec, so equal-prefix probes share one structure.
+fn canon_spec(spec: Spec) -> Spec {
+    let mut spec = spec;
+    while spec.len > 0 {
+        let last = spec.cols[spec.len as usize - 1];
+        // mex of the (ascending) prefix = first gap.
+        let mut mex = 0;
+        for &c in &spec.cols[..spec.len as usize - 1] {
+            if c == mex {
+                mex += 1;
+            } else {
+                break;
+            }
+        }
+        if last == mex {
+            spec.len -= 1;
+            spec.cols[spec.len as usize] = 0;
+        } else {
+            break;
+        }
+    }
+    spec
+}
+
+/// Index machinery behind one lock: built tries (keyed by canonical spec),
+/// the registered (persistent) probe signatures, and scan counts driving
+/// auto-promotion.
 #[derive(Debug, Default)]
-struct IndexStore {
-    /// Built indexes: column positions → (key values → sorted tuples).
-    /// Kept consistent on insert/remove; postings stay in canonical tuple
-    /// order so probe results are independent of build/maintenance history.
-    built: HashMap<Vec<usize>, Index>,
-    /// Persistent signatures — the bound-position sets the planner probes
-    /// (`crate::planner`). Registration survives [`Relation::clone`]; the
-    /// index itself is rebuilt on first probe and maintained from then on.
-    registered: BTreeSet<Vec<usize>>,
+struct TrieStore {
+    /// Built tries, canonical spec → trie, few enough that a linear scan
+    /// over inline [`Spec`] keys beats hashing. Maintained on
+    /// insert/remove; one trie serves every probe signature with the same
+    /// canonical spec.
+    built: Vec<(Spec, Trie)>,
+    /// Persistent probe signatures — the bound-position sets the planner
+    /// probes (`crate::planner`). Registration survives
+    /// [`Relation::clone`]; the trie itself is rebuilt on first probe and
+    /// maintained from then on.
+    registered: BTreeSet<Spec>,
     /// Probe counts for unregistered signatures (promotion heuristic).
-    scan_counts: HashMap<Vec<usize>, u32>,
+    scan_counts: HashMap<Spec, u32>,
+    /// Canonical specs whose built tries a clone dropped — the next build
+    /// of one of these counts as a rebuild (`join.index.rebuilds`).
+    dropped_by_clone: BTreeSet<Spec>,
+}
+
+impl TrieStore {
+    fn built_get(&self, spec: Spec) -> Option<&Trie> {
+        self.built.iter().find(|(s, _)| *s == spec).map(|(_, t)| t)
+    }
+
+    fn built_get_mut(&mut self, spec: Spec) -> Option<&mut Trie> {
+        self.built
+            .iter_mut()
+            .find(|(s, _)| *s == spec)
+            .map(|(_, t)| t)
+    }
 }
 
 /// Probe counters for `join.index.*` telemetry. Relaxed atomics: probes
 /// take `&self`, and the counts are only read for snapshots.
 #[derive(Debug, Default)]
 pub struct IndexStats {
-    /// Probes served by a maintained index.
+    /// Probes served by a maintained trie.
     pub hits: AtomicU64,
-    /// Index builds (first probe of a registered/promoted signature).
+    /// Trie builds (first probe of a registered/promoted signature).
     pub builds: AtomicU64,
     /// Probes served by a filtered scan (unregistered signature).
     pub scans: AtomicU64,
+    /// Builds that re-created a trie dropped by [`Relation::clone`] — the
+    /// silent cost of the clone-drops-cache policy, made visible.
+    pub rebuilds: AtomicU64,
 }
 
 /// Owned snapshot of [`IndexStats`].
@@ -89,6 +489,7 @@ pub struct IndexStatsSnapshot {
     pub hits: u64,
     pub builds: u64,
     pub scans: u64,
+    pub rebuilds: u64,
 }
 
 impl IndexStatsSnapshot {
@@ -96,38 +497,46 @@ impl IndexStatsSnapshot {
         self.hits += other.hits;
         self.builds += other.builds;
         self.scans += other.scans;
+        self.rebuilds += other.rebuilds;
     }
 }
 
-/// A set of ground tuples with metadata and persistent column indexes.
+/// A set of ground tuples with metadata and persistent trie indexes.
 ///
 /// Tuples are kept in a `BTreeMap` so iteration order is the canonical tuple
 /// order, identical across processes. This matters in the distributed
 /// runtime: iteration order here feeds join-probe solution order and hence
 /// message emission order; with a hash map the order would vary with the
 /// per-process hasher seed and replays would diverge under message loss.
-/// Index postings are kept sorted for the same reason: probe results are in
-/// canonical order no matter when the index was built.
+/// Trie enumeration preserves the same canonical order: keys are
+/// order-preserving sort keys, and equal-prefix matches differ only in the
+/// ascending remaining columns.
 #[derive(Debug, Default)]
 pub struct Relation {
     tuples: BTreeMap<Tuple, TupleMeta>,
-    /// See [`IndexStore`]. `RwLock` because index building and promotion
+    /// See [`TrieStore`]. `RwLock` because trie building and promotion
     /// happen during `&self` lookups.
-    indexes: RwLock<IndexStore>,
+    indexes: RwLock<TrieStore>,
     stats: IndexStats,
 }
 
 impl Clone for Relation {
     fn clone(&self) -> Relation {
-        // Built indexes are a cache: don't copy them. Registrations are
+        // Built tries are a cache: don't copy them. Registrations are
         // *policy* and survive the clone — the planner's signatures keep
         // paying off after the semi-naive engine clones its working EDB.
+        // Dropped specs are remembered so the rebuild cost shows up in
+        // `join.index.rebuilds` instead of vanishing silently.
+        let src = self.indexes.read();
+        let mut dropped = src.dropped_by_clone.clone();
+        dropped.extend(src.built.iter().map(|(s, _)| *s));
         Relation {
             tuples: self.tuples.clone(),
-            indexes: RwLock::new(IndexStore {
-                built: HashMap::new(),
-                registered: self.indexes.read().registered.clone(),
+            indexes: RwLock::new(TrieStore {
+                built: Vec::new(),
+                registered: src.registered.clone(),
                 scan_counts: HashMap::new(),
+                dropped_by_clone: dropped,
             }),
             stats: IndexStats::default(),
         }
@@ -176,12 +585,8 @@ impl Relation {
             std::collections::btree_map::Entry::Vacant(e) => {
                 e.insert(meta);
                 let mut idx = self.indexes.write();
-                for (cols, map) in idx.built.iter_mut() {
-                    let key = key_of(&t, cols);
-                    let v = map.entry(key).or_default();
-                    // Sorted insertion keeps postings canonical.
-                    let pos = v.partition_point(|x| x < &t);
-                    v.insert(pos, t.clone());
+                for (_, trie) in idx.built.iter_mut() {
+                    trie.insert(&t);
                 }
                 true
             }
@@ -192,14 +597,8 @@ impl Relation {
     pub fn remove(&mut self, t: &Tuple) -> bool {
         if self.tuples.remove(t).is_some() {
             let mut idx = self.indexes.write();
-            for (cols, map) in idx.built.iter_mut() {
-                let key = key_of(t, cols);
-                if let Some(v) = map.get_mut(&key) {
-                    v.retain(|x| x != t);
-                    if v.is_empty() {
-                        map.remove(&key);
-                    }
-                }
+            for (_, trie) in idx.built.iter_mut() {
+                trie.remove(t);
             }
             true
         } else {
@@ -220,18 +619,38 @@ impl Relation {
         }
     }
 
-    /// Register `cols` as a persistent index signature: the index is built
-    /// on the first probe and maintained through insert/delete from then
-    /// on, and the registration survives [`Clone`]. `cols` must be sorted
-    /// and non-empty.
+    /// Register `cols` as a persistent index signature: the serving trie is
+    /// built on the first probe and maintained through insert/delete from
+    /// then on, and the registration survives [`Clone`]. `cols` must be
+    /// sorted and non-empty.
     pub fn register_index(&mut self, cols: &[usize]) {
         debug_assert!(!cols.is_empty() && cols.windows(2).all(|w| w[0] < w[1]));
-        self.indexes.write().registered.insert(cols.to_vec());
+        if let Some(spec) = Spec::from_cols(cols) {
+            self.indexes.write().registered.insert(spec);
+        }
     }
 
     /// Registered index signatures, sorted.
     pub fn registered_indexes(&self) -> Vec<Vec<usize>> {
-        self.indexes.read().registered.iter().cloned().collect()
+        self.indexes
+            .read()
+            .registered
+            .iter()
+            .map(|s| s.to_vec())
+            .collect()
+    }
+
+    /// Canonical specs of currently built tries, sorted.
+    pub fn built_tries(&self) -> Vec<Vec<usize>> {
+        let mut v: Vec<Vec<usize>> = self
+            .indexes
+            .read()
+            .built
+            .iter()
+            .map(|(s, _)| s.to_vec())
+            .collect();
+        v.sort();
+        v
     }
 
     /// Probe counters (see [`IndexStats`]).
@@ -240,76 +659,119 @@ impl Relation {
             hits: self.stats.hits.load(Ordering::Relaxed),
             builds: self.stats.builds.load(Ordering::Relaxed),
             scans: self.stats.scans.load(Ordering::Relaxed),
+            rebuilds: self.stats.rebuilds.load(Ordering::Relaxed),
         }
     }
 
-    /// Contents of the built index on `cols`, sorted by key — diagnostics
-    /// and the index-maintenance property test. `None` if not built.
-    pub fn index_contents(&self, cols: &[usize]) -> Option<Vec<(Vec<Term>, Vec<Tuple>)>> {
+    /// Full enumeration of the trie serving probe signature `cols`, in trie
+    /// (key) order — diagnostics and the index-maintenance property test.
+    /// `None` if no trie is built for the signature's canonical spec.
+    pub fn index_contents(&self, cols: &[usize]) -> Option<Vec<Tuple>> {
+        let spec = canon_spec(Spec::from_cols(cols)?);
         let idx = self.indexes.read();
-        let map = idx.built.get(cols)?;
-        let mut v: Vec<(Vec<Term>, Vec<Tuple>)> =
-            map.iter().map(|(k, ts)| (k.clone(), ts.clone())).collect();
-        v.sort();
-        Some(v)
+        let trie = idx.built_get(spec)?;
+        let mut out = Vec::new();
+        trie.root.collect_all(&mut out);
+        Some(out)
     }
 
-    /// Tuples whose argument values at `cols` equal `key`, in canonical
-    /// tuple order. `cols` must be sorted and non-empty.
+    /// Tuples whose argument values at `cols` equal the interned `key`, in
+    /// canonical tuple order. `cols` must be sorted and non-empty.
     ///
-    /// Probe policy: a built index answers directly; a registered (or
-    /// promoted) signature builds its index on first probe and keeps it
-    /// maintained; anything else is a filtered scan — cheap for one-shot
-    /// probes, counted toward promotion so a hot unregistered signature
-    /// stops rescanning after [`PROMOTE_AFTER`] probes.
-    pub fn select(&self, cols: &[usize], key: &[Term], out: &mut Vec<Tuple>) {
+    /// Probe policy: a built trie whose column permutation starts with
+    /// `cols` answers directly (one trie per *canonical spec* serves every
+    /// signature sharing that prefix — `[0]`, `[0,1]`, … all hit the
+    /// identity trie); a registered (or promoted) signature builds its trie
+    /// on first probe and keeps it maintained; anything else is a filtered
+    /// scan — cheap for one-shot probes, counted toward promotion so a hot
+    /// unregistered signature stops rescanning after [`PROMOTE_AFTER`]
+    /// probes.
+    pub fn select(&self, cols: &[usize], key: &[ConstId], out: &mut Vec<Tuple>) {
         debug_assert!(!cols.is_empty());
+        let Some(sig) = Spec::from_cols(cols) else {
+            // A signature too wide for the inline spec: filtered scan.
+            self.stats.scans.fetch_add(1, Ordering::Relaxed);
+            self.scan_into(cols, key, out);
+            return;
+        };
+        let spec = canon_spec(sig);
         {
             let idx = self.indexes.read();
-            if let Some(map) = idx.built.get(cols) {
+            if let Some(trie) = idx.built_get(spec) {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                if let Some(v) = map.get(key) {
-                    out.extend(v.iter().cloned());
+                let memo_key = MemoKey::new(key);
+                if let Some(mk) = &memo_key {
+                    if let Some(v) = trie.memo.get(mk) {
+                        v.extend_into(out);
+                        return;
+                    }
+                }
+                let start = out.len();
+                PROBE_BUF.with(|buf| {
+                    let mut probe = buf.borrow_mut();
+                    probe_bytes(trie, cols, key, &mut probe);
+                    trie.root.collect_prefix(&probe, out);
+                });
+                let Some(mk) = memo_key else {
+                    return;
+                };
+                // Memoize the cold walk. Mutation needs `&mut Relation`, so
+                // nothing can invalidate between the walk above and this
+                // write — concurrent selects at worst store the same entry.
+                let results = Memoized::of(&out[start..]);
+                drop(idx);
+                let mut idx = self.indexes.write();
+                if let Some(trie) = idx.built_get_mut(spec) {
+                    if trie.memo.len() >= MEMO_CAP {
+                        trie.memo.clear();
+                    }
+                    trie.memo.insert(mk, results);
                 }
                 return;
             }
         }
         let mut idx = self.indexes.write();
-        let promote = idx.registered.contains(cols) || {
-            let c = idx.scan_counts.entry(cols.to_vec()).or_insert(0);
+        let promote = idx.registered.contains(&sig) || {
+            let c = idx.scan_counts.entry(sig).or_insert(0);
             *c += 1;
             *c >= PROMOTE_AFTER
         };
         if !promote {
             drop(idx);
             self.stats.scans.fetch_add(1, Ordering::Relaxed);
-            // BTreeMap iteration: results are already in canonical order.
-            out.extend(
-                self.tuples
-                    .keys()
-                    .filter(|t| {
-                        cols.iter().all(|&c| c < t.arity())
-                            && cols.iter().zip(key.iter()).all(|(&c, k)| t.get(c) == k)
-                    })
-                    .cloned(),
-            );
+            self.scan_into(cols, key, out);
             return;
         }
-        // Build the index (and keep it: insert/remove maintain it).
+        // Build the trie (and keep it: insert/remove maintain it).
         self.stats.builds.fetch_add(1, Ordering::Relaxed);
-        let mut map: Index = HashMap::new();
+        if idx.dropped_by_clone.remove(&spec) {
+            self.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut trie = Trie::new(spec);
         for t in self.tuples.keys() {
-            if cols.iter().all(|&c| c < t.arity()) {
-                // Sorted iteration ⇒ postings born sorted.
-                map.entry(key_of(t, cols)).or_default().push(t.clone());
-            }
+            trie.insert(t);
         }
-        if let Some(v) = map.get(key) {
-            out.extend(v.iter().cloned());
-        }
-        idx.scan_counts.remove(cols);
-        idx.registered.insert(cols.to_vec());
-        idx.built.insert(cols.to_vec(), map);
+        PROBE_BUF.with(|buf| {
+            let mut probe = buf.borrow_mut();
+            probe_bytes(&trie, cols, key, &mut probe);
+            trie.root.collect_prefix(&probe, out);
+        });
+        idx.scan_counts.remove(&sig);
+        idx.registered.insert(sig);
+        idx.built.push((spec, trie));
+    }
+
+    /// Filtered scan over the canonical `BTreeMap` order.
+    fn scan_into(&self, cols: &[usize], key: &[ConstId], out: &mut Vec<Tuple>) {
+        out.extend(
+            self.tuples
+                .keys()
+                .filter(|t| {
+                    cols.iter().all(|&c| c < t.arity())
+                        && cols.iter().zip(key.iter()).all(|(&c, &k)| t.id(c) == k)
+                })
+                .cloned(),
+        );
     }
 
     /// Drop expired tuples: `gen_ts + window ≤ now`. Returns the expired
@@ -329,8 +791,29 @@ impl Relation {
     }
 }
 
-fn key_of(t: &Tuple, cols: &[usize]) -> Vec<Term> {
-    cols.iter().map(|&c| t.get(c).clone()).collect()
+thread_local! {
+    /// Reusable probe-key buffer: probes are frequent and keys are tiny, so
+    /// the hot path must not allocate per call.
+    static PROBE_BUF: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Probe key bytes for `trie` into `out`: the bound values' sort keys in
+/// the trie's column permutation order (spec columns first, remaining bound
+/// columns ascending). By construction of [`canon_spec`] the bound set is
+/// exactly the first `cols.len()` columns of the permutation, so this is a
+/// whole-column-aligned key prefix.
+fn probe_bytes(trie: &Trie, cols: &[usize], key: &[ConstId], out: &mut Vec<u8>) {
+    debug_assert_eq!(cols.len(), key.len());
+    out.clear();
+    let id_at = |c: usize| key[cols.binary_search(&c).expect("probe col missing")];
+    for c in trie.spec.iter() {
+        out.extend_from_slice(&intern::entry(id_at(c)).sort_key);
+    }
+    for &c in cols {
+        if !trie.spec.contains(c) {
+            out.extend_from_slice(&intern::entry(id_at(c)).sort_key);
+        }
+    }
 }
 
 /// A named collection of relations.
@@ -432,6 +915,10 @@ mod tests {
         Symbol::intern(s)
     }
 
+    fn id(n: i64) -> ConstId {
+        intern::intern_int(n)
+    }
+
     #[test]
     fn insert_remove_contains() {
         let mut r = Relation::new();
@@ -470,17 +957,17 @@ mod tests {
             r.insert(tup(vec![i % 3, i]), TupleMeta::default());
         }
         let mut out = Vec::new();
-        r.select(&[0], &[Term::Int(1)], &mut out);
+        r.select(&[0], &[id(1)], &mut out);
         let expect = (0..10).filter(|i| i % 3 == 1).count();
         assert_eq!(out.len(), expect);
-        // Mutations keep the built index consistent.
+        // Mutations keep the built trie consistent.
         r.insert(tup(vec![1, 100]), TupleMeta::default());
         r.remove(&tup(vec![1, 1]));
         out.clear();
-        r.select(&[0], &[Term::Int(1)], &mut out);
+        r.select(&[0], &[id(1)], &mut out);
         assert_eq!(out.len(), expect); // +1 insert, -1 remove
         for t in &out {
-            assert_eq!(t.get(0), &Term::Int(1));
+            assert_eq!(t.get(0), Term::Int(1));
         }
     }
 
@@ -491,8 +978,70 @@ mod tests {
         r.insert(tup(vec![1, 2, 4]), TupleMeta::default());
         r.insert(tup(vec![1, 5, 3]), TupleMeta::default());
         let mut out = Vec::new();
-        r.select(&[0, 1], &[Term::Int(1), Term::Int(2)], &mut out);
+        r.select(&[0, 1], &[id(1), id(2)], &mut out);
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn one_trie_serves_prefix_compatible_signatures() {
+        let mut r = Relation::new();
+        r.register_index(&[0]);
+        r.register_index(&[0, 1]);
+        for i in 0..6 {
+            r.insert(tup(vec![i % 2, i % 3, i]), TupleMeta::default());
+        }
+        let mut out = Vec::new();
+        r.select(&[0], &[id(1)], &mut out);
+        assert_eq!(r.index_stats().builds, 1);
+        out.clear();
+        // Same canonical spec ([]) — no second build, straight hit.
+        r.select(&[0, 1], &[id(1), id(2)], &mut out);
+        let s = r.index_stats();
+        assert_eq!((s.builds, s.hits), (1, 1));
+        assert_eq!(out, vec![tup(vec![1, 2, 5])]);
+        assert_eq!(r.built_tries(), vec![Vec::<usize>::new()]);
+        // A non-prefix signature gets its own permutation.
+        out.clear();
+        r.register_index(&[2]);
+        r.select(&[2], &[id(4)], &mut out);
+        assert_eq!(out, vec![tup(vec![0, 1, 4])]);
+        assert_eq!(r.built_tries(), vec![vec![], vec![2]]);
+    }
+
+    #[test]
+    fn trie_results_in_canonical_order() {
+        let mut r = Relation::new();
+        r.register_index(&[1]);
+        let rows = [
+            vec![3, 7, 1],
+            vec![1, 7, 2],
+            vec![1, 7, 1],
+            vec![2, 5, 0],
+            vec![1, 7],
+        ];
+        for v in rows {
+            r.insert(tup(v), TupleMeta::default());
+        }
+        let mut out = Vec::new();
+        r.select(&[1], &[id(7)], &mut out);
+        let mut expect: Vec<Tuple> = [vec![3, 7, 1], vec![1, 7, 2], vec![1, 7, 1], vec![1, 7]]
+            .into_iter()
+            .map(tup)
+            .collect();
+        expect.sort();
+        assert_eq!(out, expect, "trie enumeration is canonical tuple order");
+    }
+
+    #[test]
+    fn mixed_arity_probe_excludes_short_tuples() {
+        let mut r = Relation::new();
+        r.register_index(&[0, 1]);
+        r.insert(tup(vec![1]), TupleMeta::default());
+        r.insert(tup(vec![1, 2]), TupleMeta::default());
+        r.insert(tup(vec![1, 2, 3]), TupleMeta::default());
+        let mut out = Vec::new();
+        r.select(&[0, 1], &[id(1), id(2)], &mut out);
+        assert_eq!(out, vec![tup(vec![1, 2]), tup(vec![1, 2, 3])]);
     }
 
     #[test]
@@ -547,13 +1096,13 @@ mod tests {
         let mut out = Vec::new();
         for _ in 0..PROMOTE_AFTER {
             out.clear();
-            r.select(&[1], &[Term::Int(20)], &mut out);
+            r.select(&[1], &[id(20)], &mut out);
         }
         let s = r.index_stats();
         assert_eq!(s.scans, (PROMOTE_AFTER - 1) as u64);
-        assert_eq!(s.builds, 1, "the PROMOTE_AFTER-th probe builds the index");
+        assert_eq!(s.builds, 1, "the PROMOTE_AFTER-th probe builds the trie");
         out.clear();
-        r.select(&[1], &[Term::Int(20)], &mut out);
+        r.select(&[1], &[id(20)], &mut out);
         assert_eq!(r.index_stats().hits, 1);
         assert_eq!(out, vec![tup(vec![2, 20])]);
     }
@@ -564,19 +1113,26 @@ mod tests {
         r.register_index(&[0]);
         r.insert(tup(vec![1, 2]), TupleMeta::default());
         let mut out = Vec::new();
-        r.select(&[0], &[Term::Int(1)], &mut out);
+        r.select(&[0], &[id(1)], &mut out);
         assert_eq!(r.index_stats().builds, 1);
+        assert_eq!(r.index_stats().rebuilds, 0);
         let c = r.clone();
         assert_eq!(c.registered_indexes(), vec![vec![0]]);
         assert_eq!(c.index_stats().builds, 0, "stats reset on clone");
         out.clear();
-        c.select(&[0], &[Term::Int(1)], &mut out);
+        c.select(&[0], &[id(1)], &mut out);
+        let s = c.index_stats();
+        assert_eq!(s.builds, 1, "first probe after clone rebuilds");
         assert_eq!(
-            c.index_stats().builds,
-            1,
-            "first probe after clone rebuilds"
+            s.rebuilds, 1,
+            "rebuild of a clone-dropped trie is counted separately"
         );
         assert_eq!(out.len(), 1);
+        // A second clone before any probe chains the dropped set through.
+        let c2 = c.clone().clone();
+        out.clear();
+        c2.select(&[0], &[id(1)], &mut out);
+        assert_eq!(c2.index_stats().rebuilds, 1);
     }
 
     #[test]
@@ -584,11 +1140,36 @@ mod tests {
         let mut r = Relation::new();
         r.insert(tup(vec![1, 2]), TupleMeta::default());
         let mut out = Vec::new();
-        r.select(&[0], &[Term::Int(1)], &mut out);
+        r.select(&[0], &[id(1)], &mut out);
         let c = r.clone();
         assert_eq!(c.len(), 1);
         let mut out2 = Vec::new();
-        c.select(&[0], &[Term::Int(1)], &mut out2);
+        c.select(&[0], &[id(1)], &mut out2);
         assert_eq!(out2.len(), 1);
+    }
+
+    #[test]
+    fn trie_probe_matches_fresh_scan_on_strings_and_apps() {
+        let mut r = Relation::new();
+        r.register_index(&[0]);
+        let rows: Vec<Vec<Term>> = vec![
+            vec![Term::atom("a"), Term::Int(1)],
+            vec![Term::atom("a"), Term::float(1.5)],
+            vec![Term::atom("ab"), Term::Int(2)],
+            vec![Term::str("a"), Term::Int(3)],
+            vec![
+                Term::app("loc", vec![Term::Int(1), Term::Int(2)]),
+                Term::Int(4),
+            ],
+        ];
+        for v in &rows {
+            r.insert(Tuple::new(v.clone()), TupleMeta::default());
+        }
+        let probe = intern::intern_term(&Term::atom("a")).unwrap();
+        let mut out = Vec::new();
+        r.select(&[0], &[probe], &mut out);
+        let expect: Vec<Tuple> = r.tuples().filter(|t| t.id(0) == probe).cloned().collect();
+        assert_eq!(out, expect);
+        assert_eq!(out.len(), 2);
     }
 }

@@ -24,9 +24,10 @@ use sensorlog_logic::analyze::Analysis;
 use sensorlog_logic::ast::{Literal, Rule};
 use sensorlog_logic::builtin::BuiltinRegistry;
 use sensorlog_logic::depgraph::DepGraph;
-use sensorlog_logic::unify::Subst;
+use sensorlog_logic::flat::FlatSubst;
+use sensorlog_logic::intern::{self, Val};
 use sensorlog_logic::xy::{stage_expr, StageExpr, XyInfo};
-use sensorlog_logic::{analyze, Symbol, Term, Tuple};
+use sensorlog_logic::{analyze, Symbol, Tuple};
 use sensorlog_telemetry::Profiler;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -187,7 +188,7 @@ impl Engine {
         for rule in rules {
             let mut ev = BodyEval::new(db, &self.reg);
             ev.use_index = self.config.use_index;
-            let sols = ev.solutions(&rule.body, Subst::new(), None)?;
+            let sols = ev.solutions(&rule.body, FlatSubst::new(), None)?;
             if rule.agg.is_some() {
                 let outs = aggregate_rule(rule, &sols, &self.reg)?;
                 if let Some(log) = lin.as_mut() {
@@ -228,7 +229,7 @@ impl Engine {
         for rule in rules {
             let mut ev = BodyEval::new(db, &self.reg);
             ev.use_index = self.config.use_index;
-            let sols = ev.solutions(&rule.body, Subst::new(), None)?;
+            let sols = ev.solutions(&rule.body, FlatSubst::new(), None)?;
             debug_assert!(rule.agg.is_none(), "aggregates cannot be recursive");
             for sol in &sols {
                 let t = instantiate_head(rule, &sol.subst, &self.reg)?;
@@ -267,7 +268,7 @@ impl Engine {
                     for dt in dts {
                         let mut ev = BodyEval::new(db, &self.reg);
                         ev.use_index = self.config.use_index;
-                        let sols = ev.solutions(&rule.body, Subst::new(), Some((idx, dt)))?;
+                        let sols = ev.solutions(&rule.body, FlatSubst::new(), Some((idx, dt)))?;
                         for sol in &sols {
                             let t = instantiate_head(rule, &sol.subst, &self.reg)?;
                             if let Some(log) = lin.as_mut() {
@@ -314,7 +315,7 @@ impl Engine {
         for rule in &import {
             let mut ev = BodyEval::new(db, &self.reg);
             ev.use_index = self.config.use_index;
-            let sols = ev.solutions(&rule.body, Subst::new(), None)?;
+            let sols = ev.solutions(&rule.body, FlatSubst::new(), None)?;
             for sol in &sols {
                 let t = instantiate_head(rule, &sol.subst, &self.reg)?;
                 if let Some(log) = lin.as_mut() {
@@ -351,7 +352,7 @@ impl Engine {
                     let hexpr = stage_expr(&rule.head.args[hpos]).ok_or_else(|| {
                         EvalError::Internal(format!("rule #{} lost its stage shape", rule.id))
                     })?;
-                    let mut seed = Subst::new();
+                    let mut seed = FlatSubst::new();
                     match hexpr {
                         StageExpr::Const(c) => {
                             if c != stage {
@@ -359,7 +360,7 @@ impl Engine {
                             }
                         }
                         StageExpr::Linear(v, off) => {
-                            seed.bind(v, Term::Int(stage - off));
+                            seed.bind(v, intern::intern_int(stage - off));
                         }
                     }
                     let mut ev = BodyEval::new(db, &self.reg);
@@ -374,8 +375,7 @@ impl Engine {
                         new_tuples.push(t);
                     }
                     for t in new_tuples {
-                        if let Term::Int(s) = t.get(hpos) {
-                            let s = *s;
+                        if let Val::Int(s) = intern::entry(t.id(hpos)).val {
                             if db.relation_mut(pred).insert(t, TupleMeta::default()) {
                                 hi = hi.max(s);
                             }
@@ -404,10 +404,10 @@ impl Engine {
         for (&pred, &pos) in &info.stage_pos {
             if let Some(rel) = db.relation(pred) {
                 for t in rel.tuples() {
-                    if let Term::Int(s) = t.get(pos) {
+                    if let Val::Int(s) = intern::entry(t.id(pos)).val {
                         bounds = Some(match bounds {
-                            None => (*s, *s),
-                            Some((lo, hi)) => (lo.min(*s), hi.max(*s)),
+                            None => (s, s),
+                            Some((lo, hi)) => (lo.min(s), hi.max(s)),
                         });
                     }
                 }
@@ -420,13 +420,15 @@ impl Engine {
 /// Record one non-aggregate firing into the lineage log (batch evaluation
 /// is timeless: `tau = 0`).
 fn note_firing(log: &mut LineageLog, rule: &Rule, sol: &Solution, head: &Tuple) {
+    // Lineage witnesses are boxed (display/export boundary).
+    let witness = intern::boundary(|| sol.subst.to_subst());
     log.record_firing(
         rule.id,
         1,
         rule.head.pred,
         head,
         &sol.inputs,
-        Some(&sol.subst),
+        Some(&witness),
         0,
     );
 }
@@ -494,6 +496,7 @@ pub fn effective_windows(analysis: &Analysis) -> BTreeMap<Symbol, u64> {
 mod tests {
     use super::*;
     use sensorlog_logic::parser::parse_fact;
+    use sensorlog_logic::Term;
 
     fn engine(src: &str) -> Engine {
         Engine::from_source(src, BuiltinRegistry::standard()).unwrap()
@@ -617,15 +620,15 @@ mod tests {
         // hp blocks re-adding vertex 2 at depth 2 (via 1).
         assert!(!h
             .iter()
-            .any(|t| t.get(1) == &Term::Int(2) && t.get(2) == &Term::Int(2)));
+            .any(|t| t.get(1) == Term::Int(2) && t.get(2) == Term::Int(2)));
         // And vertex 1 at depth 2 (via 2).
         assert!(!h
             .iter()
-            .any(|t| t.get(1) == &Term::Int(1) && t.get(2) == &Term::Int(2)));
+            .any(|t| t.get(1) == Term::Int(1) && t.get(2) == Term::Int(2)));
         // Every reachable vertex appears exactly at its BFS depth.
         let depth_of = |v: i64| {
             h.iter()
-                .filter(|t| t.get(1) == &Term::Int(v))
+                .filter(|t| t.get(1) == Term::Int(v))
                 .map(|t| t.get(2).as_i64().unwrap())
                 .min()
                 .unwrap()

@@ -1,19 +1,30 @@
-//! Property test: incremental index maintenance is equivalent to rebuild.
+//! Property tests: trie index maintenance is equivalent to rebuild, and
+//! probes equal fresh scans under interleaved insert/delete.
 //!
 //! After every random batch of inserts and deletes, the contents of a
-//! maintained index (built once, updated through `insert`/`remove`) must
-//! equal an index built from scratch on a fresh clone of the same tuples —
-//! same keys, same postings, same (canonical) posting order. This is the
-//! invariant that lets `Relation::select` serve probes from a long-lived
-//! index without ever re-scanning.
+//! maintained trie (built once, updated through `insert`/`remove`) must
+//! equal a trie built from scratch on a fresh clone of the same tuples —
+//! same tuples, same canonical order. This is the invariant that lets
+//! `Relation::select` serve probes from a long-lived index without ever
+//! re-scanning, and the oracle that justifies deleting the per-signature
+//! hash-index store.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 use sensorlog_eval::relation::{Relation, TupleMeta};
-use sensorlog_logic::{Term, Tuple};
+use sensorlog_logic::intern::{self, ConstId};
+use sensorlog_logic::{Symbol, Term, Tuple};
 
 fn tup(a: i64, b: i64, c: i64) -> Tuple {
-    Tuple::new(vec![Term::Int(a), Term::Int(b), Term::Int(c)])
+    Tuple::from_ids(vec![
+        intern::intern_int(a),
+        intern::intern_int(b),
+        intern::intern_int(c),
+    ])
+}
+
+fn id(n: i64) -> ConstId {
+    intern::intern_int(n)
 }
 
 /// One random mutation: insert (true) or delete (false) of a small tuple.
@@ -21,14 +32,15 @@ fn op() -> impl Strategy<Value = (bool, i64, i64, i64)> {
     (any::<bool>(), 0i64..6, 0i64..6, 0i64..6)
 }
 
-/// Rebuild-from-scratch reference: clone drops built indexes but keeps the
+/// Rebuild-from-scratch reference: clone drops built tries but keeps the
 /// registration, so the first probe rebuilds from current tuples only.
-fn fresh_contents(r: &Relation, cols: &[usize]) -> Vec<(Vec<Term>, Vec<Tuple>)> {
+fn fresh_contents(r: &Relation, cols: &[usize]) -> Vec<Tuple> {
     let f = r.clone();
     let mut sink = Vec::new();
     // Probe with a key that may or may not exist — the probe forces the
     // build; contents are read back independently of the key.
-    f.select(cols, &[Term::Int(0)], &mut sink);
+    let key: Vec<ConstId> = cols.iter().map(|_| id(0)).collect();
+    f.select(cols, &key, &mut sink);
     f.index_contents(cols)
         .expect("registered index builds on first probe")
 }
@@ -37,14 +49,14 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
-    fn maintained_index_equals_fresh_rebuild(batches in vec(vec(op(), 1..20), 1..8)) {
+    fn maintained_trie_equals_fresh_rebuild(batches in vec(vec(op(), 1..20), 1..8)) {
         let mut r = Relation::new();
         r.register_index(&[0]);
         r.register_index(&[1, 2]);
-        // Force both indexes to exist before any mutation.
+        // Force both tries to exist before any mutation.
         let mut sink = Vec::new();
-        r.select(&[0], &[Term::Int(0)], &mut sink);
-        r.select(&[1, 2], &[Term::Int(0), Term::Int(0)], &mut sink);
+        r.select(&[0], &[id(0)], &mut sink);
+        r.select(&[1, 2], &[id(0), id(0)], &mut sink);
 
         for batch in &batches {
             for &(ins, a, b, c) in batch {
@@ -56,9 +68,18 @@ proptest! {
             }
             for cols in [&[0usize][..], &[1usize, 2][..]] {
                 let maintained = r.index_contents(cols)
-                    .expect("maintained index stays built across mutations");
+                    .expect("maintained trie stays built across mutations");
                 let rebuilt = fresh_contents(&r, cols);
-                prop_assert_eq!(maintained, rebuilt);
+                prop_assert_eq!(&maintained, &rebuilt);
+            }
+            // Canonical order: within any probe (permuted columns fixed),
+            // results come back in Tuple order.
+            for key in 0i64..6 {
+                let mut probed = Vec::new();
+                r.select(&[1, 2], &[id(key), id(key)], &mut probed);
+                let mut sorted = probed.clone();
+                sorted.sort();
+                prop_assert_eq!(probed, sorted);
             }
         }
     }
@@ -75,12 +96,49 @@ proptest! {
             }
         }
         let mut probed = Vec::new();
-        r.select(&[1], &[Term::Int(key)], &mut probed);
+        r.select(&[1], &[id(key)], &mut probed);
         let scanned: Vec<Tuple> = r
             .tuples()
-            .filter(|t| t.get(1) == &Term::Int(key))
+            .filter(|t| t.id(1) == id(key))
             .cloned()
             .collect();
-        prop_assert_eq!(probed, scanned, "index probe must equal filtered scan");
+        prop_assert_eq!(probed, scanned, "trie probe must equal filtered scan");
+    }
+
+    /// Mixed value sorts (ints, strings, compound terms) and mixed arities
+    /// share one trie: probes must still equal fresh scans.
+    #[test]
+    fn mixed_sort_probe_matches_scan(
+        ops in vec((any::<bool>(), 0u8..3, 0i64..4), 0..50),
+        kind in 0u8..3,
+        key in 0i64..4,
+    ) {
+        let mk = |kind: u8, v: i64| -> Term {
+            match kind {
+                0 => Term::Int(v),
+                1 => Term::Str(Symbol::intern(&format!("s{v}"))),
+                _ => Term::App(Symbol::intern("p"), vec![Term::Int(v)].into()),
+            }
+        };
+        let mut r = Relation::new();
+        r.register_index(&[0]);
+        for &(ins, k, v) in &ops {
+            let t = Tuple::new(vec![mk(k, v), Term::Int(v)]);
+            if ins {
+                r.insert(t, TupleMeta::default());
+            } else {
+                r.remove(&t);
+            }
+        }
+        let kt = mk(kind, key);
+        let kid = intern::intern_term(&kt).expect("ground key interns");
+        let mut probed = Vec::new();
+        r.select(&[0], &[kid], &mut probed);
+        let scanned: Vec<Tuple> = r
+            .tuples()
+            .filter(|t| t.id(0) == kid)
+            .cloned()
+            .collect();
+        prop_assert_eq!(probed, scanned);
     }
 }

@@ -206,6 +206,13 @@ impl BuiltinRegistry {
         self.preds.contains_key(&s)
     }
 
+    /// Call a registered interpreted function directly on evaluated ground
+    /// arguments; `None` if `s` is not a registered function. Used by the
+    /// flat evaluator's boxed fallback (see [`crate::flat`]).
+    pub fn call_func(&self, s: Symbol, args: &[Term]) -> Option<Result<Term, BuiltinError>> {
+        self.funcs.get(&s).map(|f| f(args))
+    }
+
     /// Evaluate a registered predicate on ground arguments.
     pub fn call_pred(&self, s: Symbol, args: &[Term]) -> Result<bool, BuiltinError> {
         match self.preds.get(&s) {

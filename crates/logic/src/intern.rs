@@ -1,0 +1,538 @@
+//! Global constant pool: hash-consed ground values behind dense `u32` ids.
+//!
+//! Every ground constant the engines touch — integers, floats, strings,
+//! atoms, and ground applications — is interned exactly once into a
+//! process-wide [`ConstPool`] and referred to by a [`ConstId`] everywhere on
+//! the evaluation hot path. Id equality is structural equality, so join
+//! probes, substitution bindings and tuple comparisons reduce to `u32`
+//! operations; the boxed [`Term`] representation survives only at the
+//! parser / builtin / display boundary behind explicit [`resolve`] calls.
+//!
+//! **Determinism.** Id assignment is first-touch order, which is
+//! deterministic for a deterministic workload — but nothing observable
+//! depends on it: every ordered structure (relation iteration, journal
+//! content) orders by each entry's [`Entry::sort_key`], a byte encoding of
+//! the *value* that reproduces the boxed `Term` ordering exactly. Two runs
+//! that intern the same values in different orders therefore produce
+//! byte-identical traces.
+//!
+//! **Sort keys.** `sort_key(a) < sort_key(b)` (memcmp) iff
+//! `resolve(a) < resolve(b)` under `Term`'s derived `Ord` (variant order
+//! `Int < Float < Str < Atom < App`, symbols by string content). Keys are
+//! also what the relation byte-tries are built from, so one trie per column
+//! priority serves every bound-column prefix signature while enumerating in
+//! canonical tuple order. The encoding:
+//!
+//! * `Int`  — tag `1`, then an order-preserving varint: a length byte with
+//!   the sign folded in (`0x80 + k` for non-negative values spanning `k`
+//!   minimal big-endian bytes, `0x7F - k` for negatives spanning `k`
+//!   minimal two's-complement bytes), then the `k` payload bytes. Small
+//!   magnitudes take 2–3 bytes total, which keeps relation tries shallow;
+//! * `Float`— tag `2`, then the total-order bits of [`F64`] big-endian;
+//! * `Str`  — tag `3`, then the bytes with `0x00` escaped to `0x00 0xFF`,
+//!   then an unescaped `0x00` terminator;
+//! * `Atom` — tag `4`, same string encoding;
+//! * `App`  — tag `6`, the escaped function name + `0x00`, the children's
+//!   keys concatenated, and a final `0x00`.
+//!
+//! Continuation bytes after a terminator are always tags `1..=6`, i.e.
+//! strictly between `0x00` and `0xFF`, which makes the concatenation
+//! order-correct and injective (see DESIGN.md "Tuple representation & trie
+//! indexes" for the argument).
+//!
+//! **Resolve accounting.** Each id → `Term` materialization is counted,
+//! split into *boundary* resolves (inside a [`boundary`] scope: parse,
+//! display, wire encoding, lineage export, procedural builtins) and *hot*
+//! resolves (everything else). A clean fixpoint loop performs **zero** hot
+//! resolves; `ci.sh` enforces this with the `intern.boundary.resolves`
+//! gauge.
+
+use crate::symbol::Symbol;
+use crate::term::{Term, F64};
+use parking_lot::RwLock;
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::OnceLock;
+
+/// Dense handle of an interned ground value.
+pub type ConstId = u32;
+
+/// An interned ground value. `App` children are themselves interned.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Val {
+    Int(i64),
+    Float(F64),
+    Str(Symbol),
+    Atom(Symbol),
+    App(Symbol, Box<[ConstId]>),
+}
+
+impl Val {
+    /// Numeric view, mirroring [`Term::as_f64`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Val::Int(i) => Some(*i as f64),
+            Val::Float(f) => Some(f.get()),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Val::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+/// Pool entry: the value plus cached flat metadata so the hot path never
+/// rebuilds a `Term` to answer size or ordering questions.
+#[derive(Debug)]
+pub struct Entry {
+    pub val: Val,
+    /// Serialized size in bytes, identical to [`Term::byte_size`] of the
+    /// resolved term (message-cost accounting must not change).
+    pub byte_size: u32,
+    /// Order-preserving byte encoding (see module docs).
+    pub sort_key: Box<[u8]>,
+}
+
+struct Pool {
+    map: HashMap<Val, ConstId>,
+    len: u32,
+}
+
+// Entry pointers live in a lock-free two-level page table so the hot path
+// ([`entry`], and through it every trie probe and id comparison) never
+// touches the pool lock. Pages are allocated under the pool write lock and
+// published with release stores; ids are handed out only after their slot
+// is written.
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+const PAGES: usize = 16_384; // 2^26 interned constants max
+
+struct Page([AtomicPtr<Entry>; PAGE_SIZE]);
+
+fn page_table() -> &'static [AtomicPtr<Page>; PAGES] {
+    static TABLE: OnceLock<Box<[AtomicPtr<Page>; PAGES]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        // Safety: AtomicPtr is repr(transparent) over *mut and zero-init
+        // is the null pointer.
+        unsafe {
+            Box::from_raw(Box::into_raw(vec![0usize; PAGES].into_boxed_slice())
+                as *mut [AtomicPtr<Page>; PAGES])
+        }
+    })
+}
+
+/// Store `e` at slot `id`, allocating the page if needed. Caller holds the
+/// pool write lock (or is the pool initializer), so slot writes never race.
+fn publish_entry(id: ConstId, e: &'static Entry) {
+    let table = page_table();
+    let pi = (id >> PAGE_BITS) as usize;
+    assert!(pi < PAGES, "const pool exceeds supported size");
+    let mut page = table[pi].load(AtomicOrdering::Acquire);
+    if page.is_null() {
+        let fresh: Box<Page> = unsafe {
+            Box::from_raw(Box::into_raw(vec![0usize; PAGE_SIZE].into_boxed_slice()) as *mut Page)
+        };
+        page = Box::into_raw(fresh);
+        table[pi].store(page, AtomicOrdering::Release);
+    }
+    unsafe { &(*page).0[id as usize & (PAGE_SIZE - 1)] }
+        .store(e as *const Entry as *mut Entry, AtomicOrdering::Release);
+}
+
+/// Small non-negative integers are pre-seeded at pool init so stage
+/// arithmetic interns without taking the lock: `intern_int(n) == n` for
+/// `0 <= n < SMALL_INTS`.
+const SMALL_INTS: i64 = 4096;
+
+fn pool() -> &'static RwLock<Pool> {
+    static POOL: OnceLock<RwLock<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let mut p = Pool {
+            map: HashMap::new(),
+            len: 0,
+        };
+        for n in 0..SMALL_INTS {
+            let val = Val::Int(n);
+            let entry: &'static Entry = Box::leak(Box::new(Entry {
+                byte_size: 8,
+                sort_key: int_sort_key(n),
+                val: val.clone(),
+            }));
+            publish_entry(p.len, entry);
+            p.map.insert(val, p.len);
+            p.len += 1;
+        }
+        RwLock::new(p)
+    })
+}
+
+fn int_sort_key(n: i64) -> Box<[u8]> {
+    // Order-preserving varint (see module docs): the length byte carries
+    // the sign, payload is minimal big-endian. memcmp order == i64 order:
+    // negatives (< 0x80) sort below non-negatives (>= 0x80); within each
+    // sign, longer encodings are further from zero and equal lengths
+    // compare by payload (two's-complement bytes for negatives).
+    let (len_byte, k) = if n >= 0 {
+        let k = (8 - (n.leading_zeros() / 8) as usize).min(8);
+        (0x80 + k as u8, k)
+    } else {
+        let bits = 65 - (!n).leading_zeros() as usize; // sign bit included
+        let k = bits.div_ceil(8);
+        (0x7F - k as u8, k)
+    };
+    let mut out = Vec::with_capacity(2 + k);
+    out.push(1u8);
+    out.push(len_byte);
+    out.extend_from_slice(&(n as u64).to_be_bytes()[8 - k..]);
+    out.into_boxed_slice()
+}
+
+fn float_sort_key(f: F64) -> Box<[u8]> {
+    let mut k = Vec::with_capacity(9);
+    k.push(2u8);
+    k.extend_from_slice(&f.sort_bits().to_be_bytes());
+    k.into_boxed_slice()
+}
+
+/// Append `s` with `0x00` escaped to `0x00 0xFF`, then a `0x00` terminator.
+fn push_escaped(out: &mut Vec<u8>, s: &str) {
+    for &b in s.as_bytes() {
+        out.push(b);
+        if b == 0 {
+            out.push(0xFF);
+        }
+    }
+    out.push(0);
+}
+
+/// Build the entry (byte size + sort key) for `val`, reading child entries
+/// from the pool. Children must already be interned; no locks are held by
+/// the caller.
+fn build_entry(val: Val) -> Entry {
+    let (byte_size, sort_key) = match &val {
+        Val::Int(n) => (8, int_sort_key(*n)),
+        Val::Float(f) => (8, float_sort_key(*f)),
+        Val::Str(s) => {
+            let mut k = Vec::with_capacity(2 + s.as_str().len());
+            k.push(3u8);
+            push_escaped(&mut k, s.as_str());
+            (2 + s.as_str().len() as u32, k.into_boxed_slice())
+        }
+        Val::Atom(s) => {
+            let mut k = Vec::with_capacity(2 + s.as_str().len());
+            k.push(4u8);
+            push_escaped(&mut k, s.as_str());
+            (2 + s.as_str().len() as u32, k.into_boxed_slice())
+        }
+        Val::App(f, kids) => {
+            let mut size = 2 + f.as_str().len() as u32;
+            let mut k = Vec::with_capacity(3 + f.as_str().len());
+            k.push(6u8);
+            push_escaped(&mut k, f.as_str());
+            for &kid in kids.iter() {
+                let e = entry(kid);
+                size += e.byte_size;
+                k.extend_from_slice(&e.sort_key);
+            }
+            k.push(0);
+            (size, k.into_boxed_slice())
+        }
+    };
+    Entry {
+        val,
+        byte_size,
+        sort_key,
+    }
+}
+
+/// Intern a ground value (children of `App` must already be interned).
+pub fn intern_val(val: Val) -> ConstId {
+    {
+        let guard = pool().read();
+        if let Some(&id) = guard.map.get(&val) {
+            return id;
+        }
+    }
+    // Build the entry outside the write lock: it reads child entries.
+    let entry = build_entry(val.clone());
+    let mut guard = pool().write();
+    if let Some(&id) = guard.map.get(&val) {
+        return id;
+    }
+    let leaked: &'static Entry = Box::leak(Box::new(entry));
+    let id = guard.len;
+    publish_entry(id, leaked);
+    guard.map.insert(val, id);
+    guard.len += 1;
+    id
+}
+
+/// Intern an integer. Lock-free for small non-negative values.
+#[inline]
+pub fn intern_int(n: i64) -> ConstId {
+    if (0..SMALL_INTS).contains(&n) {
+        return n as ConstId;
+    }
+    intern_val(Val::Int(n))
+}
+
+pub fn intern_float(f: F64) -> ConstId {
+    intern_val(Val::Float(f))
+}
+
+pub fn intern_atom(s: Symbol) -> ConstId {
+    intern_val(Val::Atom(s))
+}
+
+pub fn intern_str(s: Symbol) -> ConstId {
+    intern_val(Val::Str(s))
+}
+
+pub fn intern_app(f: Symbol, kids: Vec<ConstId>) -> ConstId {
+    intern_val(Val::App(f, kids.into_boxed_slice()))
+}
+
+/// Intern a ground term. Returns `None` if the term contains a variable.
+pub fn intern_term(t: &Term) -> Option<ConstId> {
+    Some(match t {
+        Term::Int(n) => intern_int(*n),
+        Term::Float(f) => intern_float(*f),
+        Term::Str(s) => intern_str(*s),
+        Term::Atom(s) => intern_atom(*s),
+        Term::Var(_) => return None,
+        Term::App(f, args) => {
+            let mut kids = Vec::with_capacity(args.len());
+            for a in args.iter() {
+                kids.push(intern_term(a)?);
+            }
+            intern_app(*f, kids)
+        }
+    })
+}
+
+/// Flat access to an interned entry. Does **not** count as a resolve: the
+/// hot path inspects entries (tags, ints, sort keys) without rebuilding
+/// terms. Lock-free: two acquire loads through the page table.
+#[inline]
+pub fn entry(id: ConstId) -> &'static Entry {
+    // Small ids can come straight off the `intern_int` fast path without
+    // the pool (and its pre-seeded pages) ever being initialized.
+    let _ = pool();
+    let page = page_table()[(id >> PAGE_BITS) as usize].load(AtomicOrdering::Acquire);
+    debug_assert!(!page.is_null(), "entry({id}) before interning");
+    let e = unsafe { &(*page).0[id as usize & (PAGE_SIZE - 1)] }.load(AtomicOrdering::Acquire);
+    debug_assert!(!e.is_null(), "entry({id}) before interning");
+    unsafe { &*e }
+}
+
+/// Order two ids by value — exactly `resolve(a).cmp(&resolve(b))`.
+#[inline]
+pub fn cmp_ids(a: ConstId, b: ConstId) -> Ordering {
+    if a == b {
+        Ordering::Equal
+    } else {
+        entry(a).sort_key.cmp(&entry(b).sort_key)
+    }
+}
+
+/// Number of interned constants (diagnostics).
+pub fn pool_len() -> usize {
+    pool().read().len as usize
+}
+
+// ---------------------------------------------------------------------------
+// Resolve accounting
+// ---------------------------------------------------------------------------
+
+static HOT_RESOLVES: AtomicU64 = AtomicU64::new(0);
+static BOUNDARY_RESOLVES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static BOUNDARY_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Run `f` inside a boundary scope: resolves performed within count as
+/// boundary ops (parser echo, display, wire encoding, lineage export,
+/// procedural builtins), not hot-path leaks. Nestable.
+pub fn boundary<T>(f: impl FnOnce() -> T) -> T {
+    BOUNDARY_DEPTH.with(|d| d.set(d.get() + 1));
+    let out = f();
+    BOUNDARY_DEPTH.with(|d| d.set(d.get() - 1));
+    out
+}
+
+fn note_resolve() {
+    let in_boundary = BOUNDARY_DEPTH.with(|d| d.get() > 0);
+    if in_boundary {
+        BOUNDARY_RESOLVES.fetch_add(1, AtomicOrdering::Relaxed);
+    } else {
+        HOT_RESOLVES.fetch_add(1, AtomicOrdering::Relaxed);
+    }
+}
+
+/// Cumulative resolve counters (process-wide), split by scope.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResolveCounts {
+    /// Resolves outside any [`boundary`] scope — a clean fixpoint does none.
+    pub hot: u64,
+    /// Resolves inside declared boundary scopes.
+    pub boundary: u64,
+}
+
+pub fn resolve_counts() -> ResolveCounts {
+    ResolveCounts {
+        hot: HOT_RESOLVES.load(AtomicOrdering::Relaxed),
+        boundary: BOUNDARY_RESOLVES.load(AtomicOrdering::Relaxed),
+    }
+}
+
+fn resolve_inner(id: ConstId) -> Term {
+    match &entry(id).val {
+        Val::Int(n) => Term::Int(*n),
+        Val::Float(f) => Term::Float(*f),
+        Val::Str(s) => Term::Str(*s),
+        Val::Atom(s) => Term::Atom(*s),
+        Val::App(f, kids) => Term::App(
+            *f,
+            kids.iter()
+                .map(|&k| resolve_inner(k))
+                .collect::<Vec<_>>()
+                .into(),
+        ),
+    }
+}
+
+/// Materialize the boxed [`Term`] for an id. Counted (once per call) toward
+/// the resolve gauges — wrap boundary-side callers in [`boundary`].
+pub fn resolve(id: ConstId) -> Term {
+    note_resolve();
+    resolve_inner(id)
+}
+
+/// Materialize several ids at once (one counted resolve op).
+pub fn resolve_slice(ids: &[ConstId]) -> Vec<Term> {
+    note_resolve();
+    ids.iter().map(|&i| resolve_inner(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_structural() {
+        let a = intern_term(&Term::app("loc", vec![Term::Int(1), Term::Int(2)])).unwrap();
+        let b = intern_term(&Term::app("loc", vec![Term::Int(1), Term::Int(2)])).unwrap();
+        assert_eq!(a, b);
+        let c = intern_term(&Term::app("loc", vec![Term::Int(1), Term::Int(3)])).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn small_ints_are_identity() {
+        assert_eq!(intern_int(0), 0);
+        assert_eq!(intern_int(17), 17);
+        assert_eq!(entry(17).val, Val::Int(17));
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let terms = vec![
+            Term::Int(-5),
+            Term::float(2.5),
+            Term::str("enemy"),
+            Term::atom("cov"),
+            Term::list(vec![Term::Int(1), Term::Int(2)], None),
+            Term::app(
+                "f",
+                vec![Term::app("g", vec![Term::Int(9)]), Term::atom("x")],
+            ),
+        ];
+        for t in terms {
+            let id = intern_term(&t).unwrap();
+            assert_eq!(resolve(id), t);
+            assert_eq!(entry(id).byte_size as usize, t.byte_size());
+        }
+    }
+
+    #[test]
+    fn non_ground_terms_do_not_intern() {
+        assert!(intern_term(&Term::var("X")).is_none());
+        assert!(intern_term(&Term::app("f", vec![Term::var("X")])).is_none());
+    }
+
+    #[test]
+    fn float_edge_cases_collapse() {
+        let z = intern_term(&Term::float(0.0)).unwrap();
+        let nz = intern_term(&Term::float(-0.0)).unwrap();
+        assert_eq!(z, nz);
+        let n1 = intern_term(&Term::float(f64::NAN)).unwrap();
+        let n2 = intern_term(&Term::Float(F64::new(f64::from_bits(
+            0x7ff8_0000_0000_0001,
+        ))))
+        .unwrap();
+        assert_eq!(n1, n2, "all NaNs are one pool entry");
+    }
+
+    #[test]
+    fn sort_keys_reproduce_term_order() {
+        let samples = vec![
+            Term::Int(i64::MIN),
+            Term::Int(-1),
+            Term::Int(0),
+            Term::Int(1),
+            Term::Int(i64::MAX),
+            Term::float(-1.5),
+            Term::float(0.0),
+            Term::float(2.25),
+            Term::float(f64::NAN),
+            Term::str(""),
+            Term::str("a"),
+            Term::str("a\u{0}b"),
+            Term::str("ab"),
+            Term::atom("a"),
+            Term::atom("ab"),
+            Term::atom("b"),
+            Term::nil(),
+            Term::list(vec![Term::Int(1)], None),
+            Term::list(vec![Term::Int(1), Term::Int(2)], None),
+            Term::app("f", vec![]),
+            Term::app("f", vec![Term::Int(1)]),
+            Term::app("f", vec![Term::Int(1), Term::Int(1)]),
+            Term::app("f", vec![Term::Int(2)]),
+            Term::app("g", vec![Term::Int(0)]),
+        ];
+        for a in &samples {
+            for b in &samples {
+                let (ia, ib) = (intern_term(a).unwrap(), intern_term(b).unwrap());
+                assert_eq!(
+                    cmp_ids(ia, ib),
+                    a.cmp(b),
+                    "sort_key order diverges for {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_scope_classifies_resolves() {
+        // Counters are process-global and other tests run concurrently, so
+        // only lower bounds are exact here.
+        let id = intern_term(&Term::Int(123456789)).unwrap();
+        let before = resolve_counts();
+        let _ = resolve(id);
+        let mid = resolve_counts();
+        assert!(mid.hot > before.hot);
+        boundary(|| {
+            let _ = resolve(id);
+        });
+        let after = resolve_counts();
+        assert!(after.boundary > mid.boundary);
+    }
+}

@@ -42,6 +42,8 @@ pub mod boundness;
 pub mod builtin;
 pub mod depgraph;
 pub mod diag;
+pub mod flat;
+pub mod intern;
 pub mod lexer;
 pub mod magic;
 pub mod parser;
@@ -56,6 +58,8 @@ pub mod xy;
 pub use analyze::{analyze, Analysis, AnalyzeError, ProgramClass};
 pub use ast::{AggFunc, AggSpec, Atom, CmpOp, Literal, Program, Rule};
 pub use builtin::{BuiltinError, BuiltinRegistry};
+pub use flat::FlatSubst;
+pub use intern::ConstId;
 pub use parser::{parse_fact, parse_facts, parse_program, parse_rule, parse_term, ParseError};
 pub use span::{RuleSpans, Span};
 pub use symbol::Symbol;

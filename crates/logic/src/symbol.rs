@@ -36,6 +36,13 @@ fn interner() -> &'static RwLock<Interner> {
 }
 
 impl Symbol {
+    /// Crate-internal raw handle — used only as inline-array filler in
+    /// [`crate::flat::FlatSubst`]; slots past the logical length are never
+    /// observed through the public API.
+    pub(crate) const fn from_raw(id: u32) -> Symbol {
+        Symbol(id)
+    }
+
     /// Intern `s`, returning its unique handle.
     pub fn intern(s: &str) -> Symbol {
         {

@@ -4,10 +4,11 @@
 //! a term is a constant, a variable, or `f(t1, …, tn)`. Lists are sugar over
 //! the function symbols `$cons`/`$nil` (the parser accepts `[a, b | T]`).
 
+use crate::intern::{self, ConstId};
 use crate::symbol::Symbol;
 use std::cmp::Ordering;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A 64-bit float with total ordering and stable hashing.
 ///
@@ -39,6 +40,11 @@ impl F64 {
             }
         }
     }
+    /// Total-order bits: `sort_bits(a) < sort_bits(b)` iff `a < b`. Used by
+    /// the constant pool's order-preserving sort keys.
+    pub fn sort_bits(self) -> u64 {
+        self.key()
+    }
 }
 
 impl PartialEq for F64 {
@@ -63,13 +69,16 @@ impl std::hash::Hash for F64 {
     }
 }
 
-/// Function symbol used by the list sugar for cons cells.
+/// Function symbol used by the list sugar for cons cells. Cached: the list
+/// helpers call this per cons cell, so it must not re-intern every time.
 pub fn cons_sym() -> Symbol {
-    Symbol::intern("$cons")
+    static CONS: OnceLock<Symbol> = OnceLock::new();
+    *CONS.get_or_init(|| Symbol::intern("$cons"))
 }
-/// Function symbol used by the list sugar for the empty list.
+/// Function symbol used by the list sugar for the empty list (cached).
 pub fn nil_sym() -> Symbol {
-    Symbol::intern("$nil")
+    static NIL: OnceLock<Symbol> = OnceLock::new();
+    *NIL.get_or_init(|| Symbol::intern("$nil"))
 }
 
 /// A first-order term.
@@ -109,9 +118,12 @@ impl Term {
         Term::App(Symbol::intern(f), args.into())
     }
 
-    /// The empty list `[]`.
+    /// The empty list `[]`. Returns a clone of a cached static — the old
+    /// implementation allocated a fresh `Arc<[Term]>` on every call.
     pub fn nil() -> Term {
-        Term::App(nil_sym(), Arc::from(Vec::new()))
+        static NIL: OnceLock<Term> = OnceLock::new();
+        NIL.get_or_init(|| Term::App(nil_sym(), Arc::from(Vec::new())))
+            .clone()
     }
 
     /// A cons cell `[head | tail]`.
@@ -256,47 +268,159 @@ impl fmt::Display for Term {
     }
 }
 
-/// A ground tuple: the arguments of a fact. Cheap to clone (shared storage),
-/// ordered and hashable so relations can be kept as sets.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Tuple(Arc<[Term]>);
+/// Arguments stored inline before spilling to a shared heap allocation.
+/// Seven ids keep the inline variant at 32 bytes; the paper's programs top
+/// out at arity 4.
+const TUPLE_INLINE: usize = 7;
+
+#[derive(Clone)]
+enum TupleRepr {
+    Inline {
+        len: u8,
+        ids: [ConstId; TUPLE_INLINE],
+    },
+    Heap(Arc<[ConstId]>),
+}
+
+/// A ground tuple: the arguments of a fact, stored as a fixed-width array of
+/// interned constant ids (flat representation). Cheap to clone, compare and
+/// hash — id operations only; the boxed [`Term`] view is materialized on
+/// demand via [`Tuple::terms`]/[`Tuple::get`] at the resolve boundary.
+///
+/// Ordering is by *value* (each column's pool sort key), reproducing the
+/// old `Arc<[Term]>` derived order exactly, so canonical iteration order —
+/// and with it every pinned trace journal — is unchanged.
+pub struct Tuple(TupleRepr);
+
+impl Clone for Tuple {
+    fn clone(&self) -> Tuple {
+        Tuple(self.0.clone())
+    }
+}
 
 impl Tuple {
-    /// Construct from ground terms. Panics (debug builds) if any term is
-    /// non-ground: facts are ground by construction everywhere upstream.
+    /// Construct from ground terms, interning each into the constant pool.
+    /// Panics if any term is non-ground: facts are ground by construction
+    /// everywhere upstream.
     pub fn new(terms: Vec<Term>) -> Tuple {
         debug_assert!(terms.iter().all(Term::is_ground), "non-ground fact");
-        Tuple(terms.into())
+        let mut ids = [0 as ConstId; TUPLE_INLINE];
+        if terms.len() <= TUPLE_INLINE {
+            for (slot, t) in ids.iter_mut().zip(terms.iter()) {
+                *slot = intern::intern_term(t).expect("non-ground fact");
+            }
+            Tuple(TupleRepr::Inline {
+                len: terms.len() as u8,
+                ids,
+            })
+        } else {
+            let v: Vec<ConstId> = terms
+                .iter()
+                .map(|t| intern::intern_term(t).expect("non-ground fact"))
+                .collect();
+            Tuple(TupleRepr::Heap(v.into()))
+        }
+    }
+
+    /// Construct directly from interned ids (the flat evaluation path).
+    pub fn from_ids(ids_vec: Vec<ConstId>) -> Tuple {
+        if ids_vec.len() <= TUPLE_INLINE {
+            let mut ids = [0 as ConstId; TUPLE_INLINE];
+            ids[..ids_vec.len()].copy_from_slice(&ids_vec);
+            Tuple(TupleRepr::Inline {
+                len: ids_vec.len() as u8,
+                ids,
+            })
+        } else {
+            Tuple(TupleRepr::Heap(ids_vec.into()))
+        }
     }
 
     pub fn arity(&self) -> usize {
-        self.0.len()
+        self.ids().len()
     }
 
-    pub fn terms(&self) -> &[Term] {
-        &self.0
+    /// The interned argument ids — the flat hot-path view.
+    #[inline]
+    pub fn ids(&self) -> &[ConstId] {
+        match &self.0 {
+            TupleRepr::Inline { len, ids } => &ids[..*len as usize],
+            TupleRepr::Heap(v) => v,
+        }
     }
 
-    pub fn get(&self, i: usize) -> &Term {
-        &self.0[i]
+    /// Interned id of argument `i`.
+    #[inline]
+    pub fn id(&self, i: usize) -> ConstId {
+        self.ids()[i]
     }
 
-    /// Sum of the argument byte sizes (message-cost accounting).
+    /// Materialize all arguments as boxed terms. Counted as one resolve op —
+    /// boundary callers (display, wire encoding, lineage export) should wrap
+    /// in [`intern::boundary`].
+    pub fn terms(&self) -> Vec<Term> {
+        intern::resolve_slice(self.ids())
+    }
+
+    /// Materialize argument `i` as a boxed term (counted resolve).
+    pub fn get(&self, i: usize) -> Term {
+        intern::resolve(self.id(i))
+    }
+
+    /// Sum of the argument byte sizes (message-cost accounting). Reads the
+    /// pool's cached sizes; byte-identical to the old boxed computation.
     pub fn byte_size(&self) -> usize {
-        self.0.iter().map(Term::byte_size).sum()
+        self.ids()
+            .iter()
+            .map(|&id| intern::entry(id).byte_size as usize)
+            .sum()
+    }
+}
+
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Tuple) -> bool {
+        self.ids() == other.ids()
+    }
+}
+impl Eq for Tuple {}
+
+impl std::hash::Hash for Tuple {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.ids().hash(state);
+    }
+}
+
+impl PartialOrd for Tuple {
+    fn partial_cmp(&self, other: &Tuple) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tuple {
+    fn cmp(&self, other: &Tuple) -> Ordering {
+        let (a, b) = (self.ids(), other.ids());
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            match intern::cmp_ids(x, y) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        a.len().cmp(&b.len())
     }
 }
 
 impl fmt::Display for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "(")?;
-        for (i, t) in self.0.iter().enumerate() {
-            if i > 0 {
-                write!(f, ", ")?;
+        intern::boundary(|| {
+            write!(f, "(")?;
+            for (i, t) in self.terms().iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
             }
-            write!(f, "{t}")?;
-        }
-        write!(f, ")")
+            write!(f, ")")
+        })
     }
 }
 

@@ -34,7 +34,8 @@ fn encode(pred: Symbol, terms: &[Term]) -> String {
 
 /// Hash a (predicate, tuple) pair to a stable 64-bit key.
 pub fn hash_fact(pred: Symbol, tuple: &Tuple) -> u64 {
-    fnv1a(encode(pred, tuple.terms()).as_bytes())
+    let terms = sensorlog_logic::intern::boundary(|| tuple.terms());
+    fnv1a(encode(pred, &terms).as_bytes())
 }
 
 /// The owner node of a fact: hash → point in the bounding box → closest

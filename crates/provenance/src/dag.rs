@@ -17,6 +17,7 @@ use sensorlog_eval::eval_body::sem_match_args;
 use sensorlog_eval::UpdateKind;
 use sensorlog_logic::boundness::order_literals;
 use sensorlog_logic::builtin::BuiltinRegistry;
+use sensorlog_logic::intern;
 use sensorlog_logic::unify::Subst;
 use sensorlog_logic::{Atom, CmpOp, Literal, Program, Rule, Symbol, Term, Tuple};
 use sensorlog_netsim::{Journal, NodeId, SimTime, TraceEvent};
@@ -489,7 +490,12 @@ impl ProvDag {
         let mut any_head = false;
         for rule in rules {
             let mut s0 = Subst::new();
-            if !sem_match_args(reg, &rule.head.args, tuple.terms(), &mut s0) {
+            if !sem_match_args(
+                reg,
+                &rule.head.args,
+                &intern::boundary(|| tuple.terms()),
+                &mut s0,
+            ) {
                 continue;
             }
             any_head = true;
@@ -521,7 +527,12 @@ impl ProvDag {
                     'outer: for s in &beam {
                         for t in self.live_tuples(a.pred) {
                             let mut s2 = s.clone();
-                            if sem_match_args(reg, &a.args, t.terms(), &mut s2) {
+                            if sem_match_args(
+                                reg,
+                                &a.args,
+                                &intern::boundary(|| t.terms()),
+                                &mut s2,
+                            ) {
                                 next.push(s2);
                                 if next.len() >= BEAM {
                                     break 'outer;
@@ -533,7 +544,12 @@ impl ProvDag {
                         let retracted = beam.iter().any(|s| {
                             self.retracted_tuples(a.pred).into_iter().any(|t| {
                                 let mut s2 = s.clone();
-                                sem_match_args(reg, &a.args, t.terms(), &mut s2)
+                                sem_match_args(
+                                    reg,
+                                    &a.args,
+                                    &intern::boundary(|| t.terms()),
+                                    &mut s2,
+                                )
                             })
                         });
                         return Err(self.fail(rule, li, lit, false, retracted, &beam[0]));
@@ -543,7 +559,7 @@ impl ProvDag {
                     for s in &beam {
                         let blocked = self.live_tuples(a.pred).into_iter().any(|t| {
                             let mut s2 = s.clone();
-                            sem_match_args(reg, &a.args, t.terms(), &mut s2)
+                            sem_match_args(reg, &a.args, &intern::boundary(|| t.terms()), &mut s2)
                         });
                         if !blocked {
                             next.push(s.clone());

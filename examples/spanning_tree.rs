@@ -54,7 +54,7 @@ fn run(name: &str, src: &str, out_pred: &str, depth_col: (usize, usize)) -> u64 
         let want = (x + y) as i64;
         let got: Vec<i64> = results
             .iter()
-            .filter(|t| t.get(depth_col.0) == &Term::Int(node.0 as i64))
+            .filter(|t| t.get(depth_col.0) == Term::Int(node.0 as i64))
             .map(|t| t.get(depth_col.1).as_i64().unwrap())
             .collect();
         assert!(

@@ -346,7 +346,7 @@ proptest! {
             reference.into_iter().collect();
         expect.sort();
         let got: Vec<(i64, TupleId)> = r.facts.iter().map(|(_, t, id)| {
-            match t.get(0) { Term::Int(v) => (*v, *id), _ => unreachable!() }
+            match t.get(0) { Term::Int(v) => (v, *id), _ => unreachable!() }
         }).collect();
         prop_assert_eq!(got, expect, "recovered live set diverged");
         prop_assert!(r.next_seq >= seq, "seq high-water must cover all minted ids");

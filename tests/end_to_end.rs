@@ -98,7 +98,7 @@ fn example3_logich_in_network_equals_flood_tree_depths() {
         let flood_depth = flood.tree[node.index()].1.unwrap() as i64;
         let deductive: Vec<i64> = h
             .iter()
-            .filter(|t| t.get(1) == &Term::Int(node.0 as i64))
+            .filter(|t| t.get(1) == Term::Int(node.0 as i64))
             .map(|t| t.get(2).as_i64().unwrap())
             .collect();
         assert!(
@@ -165,7 +165,7 @@ fn centralized_engines_agree_on_mixed_updates() {
         inc.db
             .sorted(sym("alert"))
             .iter()
-            .filter(|t| t.get(1) == &Term::Int(0))
+            .filter(|t| t.get(1) == Term::Int(0))
             .count(),
         10
     );
@@ -216,7 +216,7 @@ fn magic_and_full_evaluation_agree_end_to_end() {
     let answers: Vec<Tuple> = full
         .sorted(sym("t"))
         .into_iter()
-        .filter(|t| t.get(0) == &Term::Int(1))
+        .filter(|t| t.get(0) == Term::Int(1))
         .collect();
     assert_eq!(answers.len(), 3);
 
@@ -234,12 +234,12 @@ fn magic_and_full_evaluation_agree_end_to_end() {
     let magic_answers: Vec<Tuple> = magical
         .sorted(magic.answer_pred)
         .into_iter()
-        .filter(|t| t.get(0) == &Term::Int(1))
+        .filter(|t| t.get(0) == Term::Int(1))
         .collect();
     assert_eq!(magic_answers, answers);
     // And magic never touched the unreachable component.
     assert!(!magical
         .sorted(magic.answer_pred)
         .iter()
-        .any(|t| t.get(0) == &Term::Int(10)));
+        .any(|t| t.get(0) == Term::Int(10)));
 }

@@ -210,10 +210,10 @@ proptest! {
             // Interleave lookups so the index is built mid-sequence.
             let rel = db.relation(p).unwrap();
             let mut via_index = Vec::new();
-            rel.select(&[0], &[Term::Int(probe)], &mut via_index);
+            rel.select(&[0], &[sensorlog::logic::intern::intern_int(probe)], &mut via_index);
             let mut via_scan: Vec<Tuple> = rel
                 .tuples()
-                .filter(|t| t.get(0) == &Term::Int(probe))
+                .filter(|t| t.get(0) == Term::Int(probe))
                 .cloned()
                 .collect();
             via_index.sort();
