@@ -30,11 +30,40 @@ if [[ "$fast" -eq 0 ]]; then
 
     # Static analyzer gate: every example program must pass `sensorlog
     # check` with zero errors and zero warnings (bounds derivable, no
-    # cartesian joins, no dead rules, windows declared).
-    echo "== sensorlog check (examples, deny warnings) =="
+    # cartesian joins, no dead rules, windows declared) — including the
+    # cost lints (`comm.widen`, `cost.holddown-implicit`) introduced by
+    # the frontier-width pass.
+    echo "== sensorlog check (examples, deny warnings incl. cost lints) =="
     for f in examples/programs/*.dl; do
         cargo run -q --release --bin sensorlog -- check "$f" --deny-warnings
     done
+
+    # Rewrite gate: `sensorlog fix --dry-run` must find nothing left to
+    # apply on any committed example — machine-applicable suggestions are
+    # either already folded into the sources or the lint above would have
+    # fired. Exit code 2 means pending fixes; 1 means non-convergence.
+    echo "== sensorlog fix --dry-run (examples, must be clean) =="
+    for f in examples/programs/*.dl; do
+        cargo run -q --release --bin sensorlog -- fix "$f" --dry-run
+    done
+
+    # Frontier-bound tightness smoke: the 5x5 sweep must keep every
+    # finite bound sound (>= live tuples, >= per-node peak), no looser
+    # than the legacy S·Σ bound, and within 10x of the live count (the
+    # bin exits non-zero on any gate breach). The pinned worst-case
+    # tightness ratios anchor the quick artifact across processes; the
+    # committed BENCH_diag.json is the full-budget run.
+    echo "== diag smoke (--quick, tightness ratios pinned) =="
+    diag_out=$(mktemp /tmp/bench_diag.XXXXXX.json)
+    cargo run -q --release -p sensorlog-bench --bin diag -- --quick --out "$diag_out"
+    python3 -m json.tool "$diag_out" > /dev/null
+    grep -q '"pred": "h", "legacy": 4186, "frontier": 161, "live": 41, "peak_node": 21, "tightness": 3' "$diag_out" || {
+        echo "diag smoke: logicH-5x5 h tightness drifted from the pin"; exit 1; }
+    grep -q '"pred": "hp", "legacy": 2080, "frontier": 240, "live": 24, "peak_node": 10, "tightness": 10' "$diag_out" || {
+        echo "diag smoke: logicH-5x5 hp tightness drifted from the pin"; exit 1; }
+    grep -q '"mirror": {"legacy": "unbounded", "frontier": 4800}' "$diag_out" || {
+        echo "diag smoke: windowed mirror recursion no longer gets its finite frontier bound"; exit 1; }
+    rm -f "$diag_out"
 
     # Telemetry pipeline end-to-end + snapshot-schema golden check; writes
     # BENCH_smoke.json (gitignored) as the inspectable artifact.

@@ -55,7 +55,8 @@ pub fn static_bound_total(d: &Deployment) -> Option<u64> {
         default_events: 0,
         events: d.injected_events().clone(),
     };
-    sensorlog_logic::diag::memory_bounds(&d.prog.analysis)
+    sensorlog_logic::absint::frontier(&d.prog.analysis)
+        .bounds
         .values()
         .map(|b| b.eval(&params).map(|t| t.saturating_mul(2)))
         .try_fold(0u64, |acc, t| t.map(|t| acc.saturating_add(t)))
@@ -99,6 +100,21 @@ pub fn run_case(
     // cross-validation of `sensorlog check` (paper Sec. V).
     let bounds = sensorlog_core::invariants::check_static_bounds(&d);
     assert!(bounds.ok(), "static bounds violated in bench run: {bounds}");
+    let snapshot = d.telemetry_snapshot();
+    // Slack soundness: `diag.bound.slack` is the enforced per-node
+    // ceiling 2·T(p) ÷ observed peak per predicate — a value of 0 means
+    // some node stored more than the frontier pass promised, i.e. the
+    // bound is unsound.
+    for g in &snapshot.gauges {
+        if g.name == "diag.bound.slack" {
+            assert!(
+                g.value >= 1,
+                "{}: bound slack {} < 1 — static bound unsound",
+                g.scope,
+                g.value
+            );
+        }
+    }
     let m = d.metrics();
     RunPoint {
         total_tx: m.total_tx(),
@@ -130,7 +146,7 @@ pub fn run_case(
         trace: trace.snapshot(),
         max_queue_depth: d.sim.max_queue_depth(),
         static_bound_total: static_bound_total(&d),
-        snapshot: d.telemetry_snapshot(),
+        snapshot,
     }
 }
 

@@ -445,6 +445,37 @@ impl Deployment {
                 .violations
                 .len() as u64,
         );
+        // Bound tightness: the enforced per-node ceiling 2·T(p) (one
+        // replica + one owned copy per distinct tuple, exactly what
+        // `check_static_bounds` asserts) ÷ the network-wide per-node peak,
+        // per predicate. A value of 0 therefore always means a bound
+        // violation; the frontier pass targets single-digit slack on the
+        // grid examples (the legacy S·Σ bounds sat near 100).
+        let fr = sensorlog_logic::absint::frontier(&self.prog.analysis);
+        let params = sensorlog_logic::diag::BoundParams {
+            nodes: self.sim.topology().len() as u64,
+            default_events: 0,
+            events: self.injected_events().clone(),
+        };
+        let mut peaks: BTreeMap<Symbol, u64> = BTreeMap::new();
+        for n in self.sim.nodes() {
+            for (&pred, &peak) in &n.peak_pred_stored {
+                let e = peaks.entry(pred).or_insert(0);
+                *e = (*e).max(peak as u64);
+            }
+        }
+        for (pred, peak) in peaks {
+            if peak == 0 {
+                continue;
+            }
+            if let Some(t) = fr.bounds.get(&pred).and_then(|b| b.eval(&params)) {
+                rollup.gauge_set(
+                    Scope::Pred(pred.as_str()),
+                    "diag.bound.slack",
+                    t.saturating_mul(2) / peak,
+                );
+            }
+        }
         snap.absorb_registry(&rollup);
         snap
     }

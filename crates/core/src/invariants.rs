@@ -27,11 +27,12 @@
 //!    instead.
 //! 5. **Static memory/communication bounds** — the observed peak stored
 //!    tuples per predicate on every node never exceed the per-node
-//!    envelope derived by the static analyzer
-//!    (`sensorlog_logic::diag::memory_bounds`, paper Sec. V), evaluated
+//!    envelope derived by the frontier-width abstract interpreter
+//!    (`sensorlog_logic::absint::frontier`, paper Sec. V), evaluated
 //!    against the run's actual topology size and injected-event counts;
 //!    and when every predicate has a finite bound, total transmissions
-//!    stay under a generous per-update routing envelope. A violation
+//!    stay under a generous per-update routing envelope and each message
+//!    kind stays under its per-kind estimate. A violation
 //!    means either the analyzer's bound derivation or the runtime's
 //!    storage discipline is wrong — the two are developed independently,
 //!    which is what makes the cross-check meaningful.
@@ -181,9 +182,10 @@ pub fn check_structural(d: &Deployment) -> InvariantReport {
 ///
 /// * **Memory**: each node's peak stored-tuple count for predicate `p`
 ///   (fragment replicas + owned derived entries) must stay within
-///   `2 × T(p)`, where `T(p)` is the analyzer's whole-network
-///   distinct-tuple bound — a node can hold at most one replica and one
-///   owned entry per distinct tuple. Unbounded predicates are skipped.
+///   `2 × T(p)`, where `T(p)` is the frontier-width interpreter's
+///   whole-network distinct-tuple bound — a node can hold at most one
+///   replica and one owned entry per distinct tuple. Unbounded predicates
+///   are skipped.
 /// * **Communication**: when *every* predicate has a finite bound, the
 ///   run's total transmissions must stay within a generous envelope of
 ///   `8 × nodes` hops per tuple transition (covers storage walks, probe
@@ -192,14 +194,16 @@ pub fn check_structural(d: &Deployment) -> InvariantReport {
 /// Unlike the quiescence invariants this holds mid-run too — peaks only
 /// grow, and the bound is an all-time ceiling.
 pub fn check_static_bounds(d: &Deployment) -> InvariantReport {
-    use sensorlog_logic::diag::{memory_bounds, BoundParams};
+    use sensorlog_logic::absint;
+    use sensorlog_logic::diag::BoundParams;
     let mut report = InvariantReport::default();
     let params = BoundParams {
         nodes: d.sim.topology().len() as u64,
         default_events: 0,
         events: d.injected_events().clone(),
     };
-    let bounds = memory_bounds(&d.prog.analysis);
+    let fr = absint::frontier(&d.prog.analysis);
+    let bounds = &fr.bounds;
 
     for id in d.sim.topology().nodes() {
         if d.sim.is_failed(id) {
@@ -251,6 +255,39 @@ pub fn check_static_bounds(d: &Deployment) -> InvariantReport {
                      {cap} (= {envelope} tuple transitions × {per_update} hops)"
                 ),
             );
+        }
+    }
+
+    // Per-kind envelopes from the same frontier pass: `store`, `probe`,
+    // `result`, and `centroid` traffic each stays under its analyzer
+    // estimate. Heartbeat/liveness ("hb"/"live") traffic is control-plane
+    // and not modeled; the fault plane's recovery replay and tombstone
+    // refresh aren't either, so skip the kind checks when it is active.
+    // Each link-layer ARQ retry books another tx, so scale by attempts.
+    if all_finite && !d.faults_active() {
+        let env = absint::comm_envelopes(&d.prog.analysis, bounds);
+        let attempts = 1 + d.sim.config.retries as u64;
+        for (kind, expr) in [
+            ("store", &env.store),
+            ("probe", &env.probe),
+            ("result", &env.result),
+            ("centroid", &env.centroid),
+        ] {
+            let Some(t) = expr.eval(&params) else {
+                continue;
+            };
+            let cap = t.saturating_mul(attempts);
+            let tx = d.metrics().tx_of(kind);
+            if tx > cap {
+                report.push(
+                    None,
+                    "static-comm-kind",
+                    format!(
+                        "kind `{kind}`: {tx} transmissions exceed the static \
+                         envelope ({expr}) × {attempts} attempt(s) = {cap}"
+                    ),
+                );
+            }
         }
     }
     report

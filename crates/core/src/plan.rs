@@ -158,6 +158,12 @@ pub fn compile(
             holddown.insert(p, timing.holddown_base + i as u64 * timing.xy_stagger);
         }
     }
+    // `.holddown` declarations override the computed defaults.
+    for (&p, &ms) in &analysis.program.holddowns {
+        if idb.contains(&p) {
+            holddown.insert(p, ms);
+        }
+    }
 
     Ok(DistProgram {
         analysis,
@@ -226,6 +232,29 @@ mod tests {
         // Static fact h(0,0,0) extracted.
         assert_eq!(p.static_facts.len(), 1);
         assert_eq!(p.static_facts[0].0, sym("h"));
+    }
+
+    #[test]
+    fn declared_holddown_overrides_default() {
+        let src = r#"
+            .holddown h 2100.
+            h(0, 0, 0).
+            h(0, X, 1) :- g(0, X).
+            hp(Y, D + 1) :- h(_, Y, D'), (D + 1) > D', h(_, X, D), g(X, Y).
+            h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).
+        "#;
+        let p = compile_source(src, BuiltinRegistry::standard(), PlanTiming::default()).unwrap();
+        // Declared value wins for h; hp keeps its computed stagger.
+        assert_eq!(p.holddown[&sym("h")], 2_100);
+        assert_eq!(p.holddown[&sym("hp")], 100);
+        // A declaration matching the defaults is behavior-neutral.
+        let undeclared = compile_source(
+            &src.replace(".holddown h 2100.\n", ""),
+            BuiltinRegistry::standard(),
+            PlanTiming::default(),
+        )
+        .unwrap();
+        assert_eq!(p.holddown, undeclared.holddown);
     }
 
     #[test]

@@ -11,8 +11,9 @@
 
 use sensorlog_eval::eval_body::order_body;
 use sensorlog_eval::planner::{plan_probes, program_signatures};
+use sensorlog_logic::absint::anchor_vars;
 use sensorlog_logic::ast::Literal;
-use sensorlog_logic::boundness::rule_signatures;
+use sensorlog_logic::boundness::{rule_bound_vars, rule_signatures};
 use sensorlog_logic::parser::parse_program;
 use sensorlog_logic::unify::Subst;
 use sensorlog_logic::Symbol;
@@ -73,6 +74,36 @@ fn planner_matches_shared_signatures() {
                     sig.pinned
                 );
             }
+        }
+    }
+}
+
+/// The frontier-width abstract interpreter counts recursive derivations
+/// per valuation of a rule's *anchor* variables — the variables bound
+/// outside the rule's own SCC. For that count to describe anything the
+/// engines actually enumerate, every anchor variable must be one the
+/// evaluator's boundness pass proves bound. A divergence here would mean
+/// the static bound is built over variables the planner never grounds.
+#[test]
+fn frontier_anchors_are_planner_bound() {
+    for (label, src) in [("logicH", LOGIC_H), ("logicJ", LOGIC_J)] {
+        let prog = parse_program(src).unwrap();
+        // Recursive SCCs: a pred is in its own recursive component when
+        // some rule for it mentions another pred of the component (here,
+        // both reference programs have one SCC: the two derived preds).
+        let idb = prog.idb_preds();
+        for (ri, rule) in prog.rules.iter().enumerate() {
+            if rule.body.is_empty() {
+                continue;
+            }
+            let anchors = anchor_vars(rule, &idb);
+            let bound = rule_bound_vars(rule);
+            assert!(
+                anchors.is_subset(&bound),
+                "{label} rule #{ri}: anchor vars {:?} not all planner-bound ({:?})",
+                anchors,
+                bound
+            );
         }
     }
 }

@@ -281,6 +281,9 @@ pub struct Program {
     /// Optional hint for the XY stage argument (`.stage pred N.`,
     /// zero-indexed). Auto-detection searches all positions otherwise.
     pub stage_hints: BTreeMap<Symbol, usize>,
+    /// Declared retraction hold-down per derived predicate in simulated
+    /// milliseconds (`.holddown pred N.`); overrides the planner default.
+    pub holddowns: BTreeMap<Symbol, u64>,
 }
 
 impl Program {
@@ -349,6 +352,9 @@ impl fmt::Display for Program {
         }
         for (p, i) in &self.stage_hints {
             writeln!(f, ".stage {p} {i}.")?;
+        }
+        for (p, h) in &self.holddowns {
+            writeln!(f, ".holddown {p} {h}.")?;
         }
         for r in &self.rules {
             writeln!(f, "{r}")?;

@@ -53,6 +53,21 @@ impl Severity {
     }
 }
 
+/// A concrete, span-anchored rewrite that resolves its diagnostic
+/// (rustc-style). Suggestions marked `machine_applicable` are applied
+/// verbatim by `sensorlog fix`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Suggestion {
+    /// Byte range of source to replace; zero-width ⇒ insertion.
+    pub span: Span,
+    /// Replacement source text.
+    pub replacement: String,
+    /// Human-readable rationale, shown as a `help:` line.
+    pub note: String,
+    /// Safe to apply without review (`sensorlog fix` only applies these).
+    pub machine_applicable: bool,
+}
+
 /// One structured diagnostic with a stable rule-id code and source span.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Diagnostic {
@@ -66,6 +81,8 @@ pub struct Diagnostic {
     /// Source span (default = no source location).
     pub span: Span,
     pub message: String,
+    /// Concrete rewrites that would resolve the diagnostic.
+    pub suggestions: Vec<Suggestion>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -94,6 +111,9 @@ pub enum BoundExpr {
     /// `S`: the XY stage count; bounded by `nodes + 1` for the paper's
     /// distance-staged programs (a shortest path visits each node once).
     Stages,
+    /// `N`: the network size, used by communication-cost estimates (a
+    /// routed hop count never exceeds the node count).
+    Nodes,
     Sum(Vec<BoundExpr>),
     Prod(Vec<BoundExpr>),
     Pow(Box<BoundExpr>, u32),
@@ -114,6 +134,7 @@ impl BoundExpr {
                     .unwrap_or(params.default_events),
             ),
             BoundExpr::Stages => Some(params.nodes.saturating_add(1)),
+            BoundExpr::Nodes => Some(params.nodes.max(1)),
             BoundExpr::Sum(xs) => xs
                 .iter()
                 .map(|x| x.eval(params))
@@ -141,6 +162,7 @@ impl fmt::Display for BoundExpr {
             BoundExpr::Const(c) => write!(f, "{c}"),
             BoundExpr::Events(p) => write!(f, "E({p})"),
             BoundExpr::Stages => write!(f, "S"),
+            BoundExpr::Nodes => write!(f, "N"),
             BoundExpr::Sum(xs) => {
                 write!(f, "(")?;
                 for (i, x) in xs.iter().enumerate() {
@@ -243,6 +265,20 @@ impl Report {
         span: Span,
         message: String,
     ) {
+        self.push_sugg(code, severity, rule_id, pred, span, message, Vec::new());
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_sugg(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        rule_id: Option<usize>,
+        pred: Option<Symbol>,
+        span: Span,
+        message: String,
+        suggestions: Vec<Suggestion>,
+    ) {
         self.diags.push(Diagnostic {
             code,
             severity,
@@ -250,6 +286,7 @@ impl Report {
             pred,
             span,
             message,
+            suggestions,
         });
     }
 
@@ -280,7 +317,22 @@ impl Report {
                 d.span.line, d.span.col, d.span.start, d.span.end
             ));
             s.push_str(&format!(", \"message\": {}", json_str(&d.message)));
-            s.push('}');
+            s.push_str(", \"suggestions\": [");
+            for (j, sg) in d.suggestions.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!(
+                    "{{\"start\": {}, \"end\": {}, \"replacement\": {}, \"note\": {}, \
+                     \"machine_applicable\": {}}}",
+                    sg.span.start,
+                    sg.span.end,
+                    json_str(&sg.replacement),
+                    json_str(&sg.note),
+                    sg.machine_applicable
+                ));
+            }
+            s.push_str("]}");
         }
         if !self.diags.is_empty() {
             s.push_str("\n  ");
@@ -321,12 +373,27 @@ impl Report {
         s
     }
 
-    /// Human-readable rendering, one diagnostic per line.
+    /// Human-readable rendering: one diagnostic per line, followed by its
+    /// suggestions as indented `help:` lines with the proposed rewrite.
     pub fn to_text(&self) -> String {
         let mut s = String::new();
         for d in &self.diags {
             s.push_str(&d.to_string());
             s.push('\n');
+            for sg in &d.suggestions {
+                s.push_str(&format!(
+                    "    help{}: {}\n",
+                    if sg.machine_applicable {
+                        " [machine-applicable]"
+                    } else {
+                        ""
+                    },
+                    sg.note
+                ));
+                for line in sg.replacement.lines() {
+                    s.push_str(&format!("        {line}\n"));
+                }
+            }
         }
         s
     }
@@ -368,6 +435,90 @@ pub fn check_source(src: &str, reg: &BuiltinRegistry, params: &BoundParams) -> R
             );
             rep
         }
+    }
+}
+
+/// Outcome of [`fix_source`]: the rewritten program plus an audit trail of
+/// every rewrite applied.
+#[derive(Clone, Debug)]
+pub struct FixOutcome {
+    /// Source after applying machine-applicable suggestions to a fixpoint.
+    pub fixed: String,
+    /// One human-readable line per applied rewrite, in application order.
+    pub applied: Vec<String>,
+    /// Analysis rounds spent reaching the fixpoint.
+    pub rounds: usize,
+    /// Machine-applicable suggestions still pending after the last round
+    /// (0 at a true fixpoint; non-zero only if the round cap was hit).
+    pub remaining: usize,
+}
+
+/// Maximum check→rewrite rounds in [`fix_source`]. Each round applies a
+/// non-overlapping batch, so this caps pathological suggestion cascades.
+const FIX_MAX_ROUNDS: usize = 8;
+
+/// Apply every machine-applicable suggestion the analyzer emits for `src`,
+/// re-checking after each batch until no suggestion remains (or the round
+/// cap is hit). Within a round, suggestions are applied back-to-front by
+/// byte offset; a suggestion overlapping an already-applied rewrite is
+/// deferred to the next round, where the analyzer re-derives it against the
+/// updated source.
+pub fn fix_source(src: &str, reg: &BuiltinRegistry, params: &BoundParams) -> FixOutcome {
+    let mut cur = src.to_string();
+    let mut applied = Vec::new();
+    let mut rounds = 0;
+    let mut remaining = 0;
+    while rounds < FIX_MAX_ROUNDS {
+        rounds += 1;
+        let rep = check_source(&cur, reg, params);
+        // (start, end, replacement, audit line), machine-applicable only.
+        let mut pending: Vec<(usize, usize, &str, String)> = Vec::new();
+        for d in &rep.diags {
+            for s in &d.suggestions {
+                if !s.machine_applicable {
+                    continue;
+                }
+                let who = d.pred.map(|p| format!(" `{p}`")).unwrap_or_default();
+                pending.push((
+                    s.span.start as usize,
+                    s.span.end as usize,
+                    &s.replacement,
+                    format!("{}{}: {}", d.code, who, s.note),
+                ));
+            }
+        }
+        remaining = pending.len();
+        if pending.is_empty() {
+            break;
+        }
+        // Back-to-front so earlier offsets stay valid as we splice.
+        pending.sort_by_key(|s| std::cmp::Reverse((s.0, s.1)));
+        // Lowest start already rewritten this round; a later (i.e. earlier
+        // in the file) suggestion reaching past it would overlap.
+        let mut lo = usize::MAX;
+        let mut batch = 0;
+        for (start, end, replacement, line) in pending {
+            if end > cur.len() || start > end {
+                continue; // stale span — re-derive next round
+            }
+            if end > lo {
+                continue; // overlaps a rewrite from this round
+            }
+            cur.replace_range(start..end, replacement);
+            lo = start;
+            applied.push(line);
+            batch += 1;
+            remaining -= 1;
+        }
+        if batch == 0 {
+            break; // every pending suggestion overlapped — give up cleanly
+        }
+    }
+    FixOutcome {
+        fixed: cur,
+        applied,
+        rounds,
+        remaining,
     }
 }
 
@@ -428,9 +579,11 @@ pub fn check_analysis(analysis: &Analysis, params: &BoundParams) -> Report {
     let prog = &analysis.program;
     let g = DepGraph::build(prog);
 
-    // Pass 1: memory bounds.
-    let bounds = memory_bounds(analysis);
-    for (p, expr) in &bounds {
+    // Pass 1: memory bounds (frontier-width pass; falls back to the legacy
+    // S·Σ contribution wherever a rule is not provably tighter).
+    let fr = crate::absint::frontier(analysis);
+    let bounds = &fr.bounds;
+    for (p, expr) in bounds {
         let value = expr.eval(params);
         if *expr == BoundExpr::Unbounded && prog.idb_preds().contains(p) {
             let span = prog
@@ -491,7 +644,7 @@ pub fn check_analysis(analysis: &Analysis, params: &BoundParams) -> Report {
                     })
                 })
                 .unwrap_or_default();
-            rep.push(
+            rep.push_sugg(
                 "mem.window.unbounded",
                 Severity::Warning,
                 None,
@@ -501,6 +654,12 @@ pub fn check_analysis(analysis: &Analysis, params: &BoundParams) -> Report {
                     "base stream `{p}` has no `.window` and is not declared `.base`: \
                      stored tuples grow without bound"
                 ),
+                vec![Suggestion {
+                    span: Span::new(0, 0, 1, 1),
+                    replacement: format!(".window {p} 60000.\n"),
+                    note: format!("declare a sliding window so `{p}` tuples expire"),
+                    machine_applicable: true,
+                }],
             );
         }
     }
@@ -633,7 +792,17 @@ pub fn check_analysis(analysis: &Analysis, params: &BoundParams) -> Report {
             for (i, lit) in rule.body.iter().enumerate() {
                 if let Literal::Pos(a) = lit {
                     if idb.contains(&a.pred) && planes.get(&a.pred) == Some(&Plane::TreeRouted) {
-                        rep.push(
+                        let suggestions = split_suggestion(prog, rule, i)
+                            .into_iter()
+                            .collect::<Vec<_>>();
+                        let detail = match suggestions.first() {
+                            Some(s) => {
+                                let aux = s.replacement.lines().next().unwrap_or("").to_string();
+                                format!(" — split the join at `{}` via `{aux}`", a.pred)
+                            }
+                            None => " (consider staging or localizing)".to_string(),
+                        };
+                        rep.push_sugg(
                             "comm.widen",
                             Severity::Warning,
                             Some(rule.id),
@@ -641,17 +810,138 @@ pub fn check_analysis(analysis: &Analysis, params: &BoundParams) -> Report {
                             rule.spans.lit(i),
                             format!(
                                 "rule #{}: tree-routed join consumes already tree-routed `{}` — \
-                                 communication plane widens (consider staging or localizing)",
+                                 communication plane widens{detail}",
                                 rule.id, a.pred
                             ),
+                            suggestions,
                         );
                     }
                 }
             }
         }
     }
+
+    // Pass 4: communication-cost lints from the frontier pass.
+    for (p, cost) in &fr.comm {
+        if !idb.contains(p) {
+            continue;
+        }
+        let value = cost.msgs.eval(params);
+        rep.push(
+            "cost.comm-estimate",
+            Severity::Info,
+            None,
+            Some(*p),
+            prog.rules_for(*p)
+                .next()
+                .map(|r| r.spans.rule)
+                .unwrap_or_default(),
+            format!(
+                "estimated messages attributable to `{p}` ({} plane): {} = {}",
+                cost.plane.as_str(),
+                cost.msgs,
+                match value {
+                    Some(v) => v.to_string(),
+                    None => "unbounded".into(),
+                }
+            ),
+        );
+    }
+    // XY-staged predicates retract and re-derive across stages; an
+    // undeclared hold-down means the planner default applies silently.
+    // Suggest declaring the default explicitly (behavior-neutral).
+    for info in &analysis.xy {
+        for (i, &p) in info.stage_order.iter().enumerate() {
+            if prog.holddowns.contains_key(&p) || !idb.contains(&p) {
+                continue;
+            }
+            let default_ms = 100 + (i as u64) * 2_000;
+            rep.push_sugg(
+                "cost.holddown-implicit",
+                Severity::Info,
+                None,
+                Some(p),
+                prog.rules_for(p)
+                    .next()
+                    .map(|r| r.spans.rule)
+                    .unwrap_or_default(),
+                format!(
+                    "XY-staged predicate `{p}` has no `.holddown` declaration; \
+                     the planner default ({default_ms} ms) applies silently"
+                ),
+                vec![Suggestion {
+                    span: Span::new(0, 0, 1, 1),
+                    replacement: format!(".holddown {p} {default_ms}.\n"),
+                    note: format!("declare the retraction hold-down for `{p}` explicitly"),
+                    machine_applicable: true,
+                }],
+            );
+        }
+    }
     rep.planes = planes;
     rep
+}
+
+/// Build the machine-applicable rewrite for a widening join: hoist body
+/// literal `i` of `rule` into a fresh single-subgoal (local-plane) helper
+/// rule, projecting only the columns the rest of the rule consumes, and
+/// replace the subgoal with the helper. Returns `None` when the rule
+/// aggregates or the subgoal shares no variables with the rest of the rule
+/// (splitting would not help).
+fn split_suggestion(prog: &Program, rule: &Rule, i: usize) -> Option<Suggestion> {
+    use crate::ast::Atom;
+    if rule.agg.is_some() || !rule.spans.rule.is_known() {
+        return None;
+    }
+    let Literal::Pos(a) = &rule.body[i] else {
+        return None;
+    };
+    // Fresh helper name.
+    let all = prog.all_preds();
+    let mut name = format!("{}_local", a.pred);
+    let mut n = 1;
+    while all.contains(&Symbol::intern(&name)) {
+        n += 1;
+        name = format!("{}_local{n}", a.pred);
+    }
+    // Keep the subgoal columns the rest of the rule (head or other
+    // literals) actually consumes, in first-occurrence order.
+    let mut outside: BTreeSet<Symbol> = rule.head.vars().into_iter().collect();
+    for (j, l) in rule.body.iter().enumerate() {
+        if j != i {
+            let mut vs = Vec::new();
+            l.collect_vars(&mut vs);
+            outside.extend(vs);
+        }
+    }
+    let mut keep: Vec<Symbol> = Vec::new();
+    for v in a.vars() {
+        if outside.contains(&v) && !keep.contains(&v) {
+            keep.push(v);
+        }
+    }
+    if keep.is_empty() {
+        return None;
+    }
+    let aux_atom = Atom::new(&name, keep.iter().map(|v| Term::Var(*v)).collect());
+    let aux_rule = Rule {
+        id: 0,
+        head: aux_atom.clone(),
+        body: vec![Literal::Pos(a.clone())],
+        agg: None,
+        spans: Default::default(),
+    };
+    let mut rewritten = rule.clone();
+    rewritten.body[i] = Literal::Pos(aux_atom);
+    Some(Suggestion {
+        span: rule.spans.rule,
+        replacement: format!("{aux_rule}\n{rewritten}"),
+        note: format!(
+            "hoist `{}` into local-plane helper `{name}` so the join consumes it locally",
+            a.pred
+        ),
+        machine_applicable: true,
+    })
 }
 
 /// Static plane of one rule: XY-staged heads flood one hop per stage;

@@ -36,6 +36,7 @@
 //! assert_eq!(analysis.class, ProgramClass::NonRecursive);
 //! ```
 
+pub mod absint;
 pub mod analyze;
 pub mod ast;
 pub mod boundness;

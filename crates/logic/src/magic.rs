@@ -110,6 +110,7 @@ pub fn magic_transform(prog: &Program, query: &Query) -> MagicResult {
         outputs: vec![adorned_name(query.atom.pred, &q_adorn)],
         declared_base: prog.declared_base.clone(),
         stage_hints: prog.stage_hints.clone(),
+        holddowns: prog.holddowns.clone(),
     };
 
     let mut queue: VecDeque<(Symbol, Adornment)> = VecDeque::new();

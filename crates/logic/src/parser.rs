@@ -228,6 +228,14 @@ impl Parser {
                 }
                 prog.stage_hints.insert(pred, n as usize);
             }
+            "holddown" => {
+                let pred = self.pred_name()?;
+                let n = self.int_lit()?;
+                if n < 0 {
+                    return self.err("holddown must be non-negative");
+                }
+                prog.holddowns.insert(pred, n as u64);
+            }
             other => return self.err(format!("unknown directive '.{other}'")),
         }
         self.eat(&Token::Dot)

@@ -66,6 +66,64 @@ pub enum StageRel {
     Same,
 }
 
+/// Like [`StageRel`], but distinguishing *how* a lower stage was proved —
+/// the distinction the frontier-width analysis (`crate::absint`) rests on.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum StageRelDetail {
+    /// Body stage equals head stage.
+    Same,
+    /// Body stage is syntactically `head − k` (k > 0): the rule reads
+    /// exactly one fixed earlier sub-table per head stage.
+    LowerOffset(i64),
+    /// Body stage is only *constrained* below the head stage by a
+    /// comparison (`(D+1) > D'`): the body ranges over **all** earlier
+    /// stages — a cumulative read, as in logicH's `hp` marker.
+    LowerCmp,
+}
+
+impl StageRelDetail {
+    pub fn coarse(self) -> StageRel {
+        match self {
+            StageRelDetail::Same => StageRel::Same,
+            _ => StageRel::Lower,
+        }
+    }
+}
+
+/// Relation of a body stage expression to the head stage expression under
+/// `rule`'s comparison constraints. `None` = indeterminate.
+pub fn relate_detail(head: StageExpr, body: StageExpr, rule: &Rule) -> Option<StageRelDetail> {
+    match (head, body) {
+        (StageExpr::Linear(hv, ho), StageExpr::Linear(bv, bo)) if hv == bv => match ho - bo {
+            d if d > 0 => Some(StageRelDetail::LowerOffset(d)),
+            0 => Some(StageRelDetail::Same),
+            _ => None,
+        },
+        (StageExpr::Const(hc), StageExpr::Const(bc)) => match hc - bc {
+            d if d > 0 => Some(StageRelDetail::LowerOffset(d)),
+            0 => Some(StageRelDetail::Same),
+            _ => None,
+        },
+        _ => {
+            // Look for a comparison proving body < head, e.g. `(D+1) > D'`.
+            for lit in &rule.body {
+                if let Literal::Cmp(op, l, r) = lit {
+                    let (le, re) = (stage_expr(l), stage_expr(r));
+                    let proves = match op {
+                        CmpOp::Gt => le == Some(head) && re == Some(body),
+                        CmpOp::Lt => le == Some(body) && re == Some(head),
+                        _ => false,
+                    };
+                    if proves {
+                        return Some(StageRelDetail::LowerCmp);
+                    }
+                }
+            }
+            None
+        }
+    }
+}
+
 /// Certified XY-stratification of one SCC.
 #[derive(Clone, Debug)]
 pub struct XyInfo {
@@ -229,36 +287,8 @@ fn relate(
     rule: &Rule,
     pos: &BTreeMap<Symbol, usize>,
 ) -> Option<StageRel> {
-    match (head, body) {
-        (StageExpr::Linear(hv, ho), StageExpr::Linear(bv, bo)) if hv == bv => match ho - bo {
-            d if d > 0 => Some(StageRel::Lower),
-            0 => Some(StageRel::Same),
-            _ => None,
-        },
-        (StageExpr::Const(hc), StageExpr::Const(bc)) => match hc - bc {
-            d if d > 0 => Some(StageRel::Lower),
-            0 => Some(StageRel::Same),
-            _ => None,
-        },
-        _ => {
-            // Look for a comparison proving body < head, e.g. `(D+1) > D'`.
-            let _ = pos;
-            for lit in &rule.body {
-                if let Literal::Cmp(op, l, r) = lit {
-                    let (le, re) = (stage_expr(l), stage_expr(r));
-                    let proves = match op {
-                        CmpOp::Gt => le == Some(head) && re == Some(body),
-                        CmpOp::Lt => le == Some(body) && re == Some(head),
-                        _ => false,
-                    };
-                    if proves {
-                        return Some(StageRel::Lower);
-                    }
-                }
-            }
-            None
-        }
-    }
+    let _ = pos;
+    relate_detail(head, body, rule).map(StageRelDetail::coarse)
 }
 
 fn head_stage(rule: &Rule, pos: &BTreeMap<Symbol, usize>) -> Result<StageExpr, String> {

@@ -42,16 +42,20 @@ h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).
 
 const LOGIC_H_JSON: &str = r#"{
   "diagnostics": [
-    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "h", "line": 4, "col": 1, "start": 36, "end": 47, "message": "static tuple bound for `h`: S * (1 + E(g) + E(g)) = 101101"},
-    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "hp", "line": 6, "col": 1, "start": 71, "end": 134, "message": "static tuple bound for `hp`: S * E(g) = 50500"},
-    {"code": "plan.negation-multipass", "severity": "info", "rule": 3, "pred": "hp", "line": 7, "col": 40, "start": 174, "end": 190, "message": "rule #3: negated derived subgoal `hp` forces multi-pass (stratum-ordered) evaluation"},
-    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "h", "line": 4, "col": 1, "start": 36, "end": 47, "message": "predicate `h` evaluates on the neighbor-broadcast plane"},
-    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "hp", "line": 6, "col": 1, "start": 71, "end": 134, "message": "predicate `hp` evaluates on the neighbor-broadcast plane"}
+    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "h", "line": 4, "col": 1, "start": 36, "end": 47, "message": "static tuple bound for `h`: (1 + E(g) + E(g)) = 1001", "suggestions": []},
+    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "hp", "line": 6, "col": 1, "start": 71, "end": 134, "message": "static tuple bound for `hp`: 3 * E(g) = 1500", "suggestions": []},
+    {"code": "plan.negation-multipass", "severity": "info", "rule": 3, "pred": "hp", "line": 7, "col": 40, "start": 174, "end": 190, "message": "rule #3: negated derived subgoal `hp` forces multi-pass (stratum-ordered) evaluation", "suggestions": []},
+    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "h", "line": 4, "col": 1, "start": 36, "end": 47, "message": "predicate `h` evaluates on the neighbor-broadcast plane", "suggestions": []},
+    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "hp", "line": 6, "col": 1, "start": 71, "end": 134, "message": "predicate `hp` evaluates on the neighbor-broadcast plane", "suggestions": []},
+    {"code": "cost.comm-estimate", "severity": "info", "rule": null, "pred": "h", "line": 4, "col": 1, "start": 36, "end": 47, "message": "estimated messages attributable to `h` (neighbor-broadcast plane): 20 * (1 + E(g) + E(g)) * N = 2002000", "suggestions": []},
+    {"code": "cost.comm-estimate", "severity": "info", "rule": null, "pred": "hp", "line": 6, "col": 1, "start": 71, "end": 134, "message": "estimated messages attributable to `hp` (neighbor-broadcast plane): 8 * 3 * E(g) * N = 1200000", "suggestions": []},
+    {"code": "cost.holddown-implicit", "severity": "info", "rule": null, "pred": "hp", "line": 6, "col": 1, "start": 71, "end": 134, "message": "XY-staged predicate `hp` has no `.holddown` declaration; the planner default (100 ms) applies silently", "suggestions": [{"start": 0, "end": 0, "replacement": ".holddown hp 100.\n", "note": "declare the retraction hold-down for `hp` explicitly", "machine_applicable": true}]},
+    {"code": "cost.holddown-implicit", "severity": "info", "rule": null, "pred": "h", "line": 4, "col": 1, "start": 36, "end": 47, "message": "XY-staged predicate `h` has no `.holddown` declaration; the planner default (2100 ms) applies silently", "suggestions": [{"start": 0, "end": 0, "replacement": ".holddown h 2100.\n", "note": "declare the retraction hold-down for `h` explicitly", "machine_applicable": true}]}
   ],
   "bounds": {
     "g": {"formula": "E(g)", "value": 500},
-    "h": {"formula": "S * (1 + E(g) + E(g))", "value": 101101},
-    "hp": {"formula": "S * E(g)", "value": 50500}
+    "h": {"formula": "(1 + E(g) + E(g))", "value": 1001},
+    "hp": {"formula": "3 * E(g)", "value": 1500}
   },
   "planes": {
     "g": "local",
@@ -81,16 +85,20 @@ j(Y, D + 1) :- g(X, Y), j(X, D), not jp(Y, D + 1).
 
 const LOGIC_J_JSON: &str = r#"{
   "diagnostics": [
-    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "j", "line": 4, "col": 1, "start": 36, "end": 44, "message": "static tuple bound for `j`: S * (1 + E(g) + E(g)) = 101101"},
-    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "jp", "line": 6, "col": 1, "start": 65, "end": 122, "message": "static tuple bound for `jp`: S * E(g) = 50500"},
-    {"code": "plan.negation-multipass", "severity": "info", "rule": 3, "pred": "jp", "line": 7, "col": 34, "start": 156, "end": 172, "message": "rule #3: negated derived subgoal `jp` forces multi-pass (stratum-ordered) evaluation"},
-    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "j", "line": 4, "col": 1, "start": 36, "end": 44, "message": "predicate `j` evaluates on the neighbor-broadcast plane"},
-    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "jp", "line": 6, "col": 1, "start": 65, "end": 122, "message": "predicate `jp` evaluates on the neighbor-broadcast plane"}
+    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "j", "line": 4, "col": 1, "start": 36, "end": 44, "message": "static tuple bound for `j`: (1 + E(g) + E(g)) = 1001", "suggestions": []},
+    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "jp", "line": 6, "col": 1, "start": 65, "end": 122, "message": "static tuple bound for `jp`: 3 * E(g) = 1500", "suggestions": []},
+    {"code": "plan.negation-multipass", "severity": "info", "rule": 3, "pred": "jp", "line": 7, "col": 34, "start": 156, "end": 172, "message": "rule #3: negated derived subgoal `jp` forces multi-pass (stratum-ordered) evaluation", "suggestions": []},
+    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "j", "line": 4, "col": 1, "start": 36, "end": 44, "message": "predicate `j` evaluates on the neighbor-broadcast plane", "suggestions": []},
+    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "jp", "line": 6, "col": 1, "start": 65, "end": 122, "message": "predicate `jp` evaluates on the neighbor-broadcast plane", "suggestions": []},
+    {"code": "cost.comm-estimate", "severity": "info", "rule": null, "pred": "j", "line": 4, "col": 1, "start": 36, "end": 44, "message": "estimated messages attributable to `j` (neighbor-broadcast plane): 20 * (1 + E(g) + E(g)) * N = 2002000", "suggestions": []},
+    {"code": "cost.comm-estimate", "severity": "info", "rule": null, "pred": "jp", "line": 6, "col": 1, "start": 65, "end": 122, "message": "estimated messages attributable to `jp` (neighbor-broadcast plane): 8 * 3 * E(g) * N = 1200000", "suggestions": []},
+    {"code": "cost.holddown-implicit", "severity": "info", "rule": null, "pred": "jp", "line": 6, "col": 1, "start": 65, "end": 122, "message": "XY-staged predicate `jp` has no `.holddown` declaration; the planner default (100 ms) applies silently", "suggestions": [{"start": 0, "end": 0, "replacement": ".holddown jp 100.\n", "note": "declare the retraction hold-down for `jp` explicitly", "machine_applicable": true}]},
+    {"code": "cost.holddown-implicit", "severity": "info", "rule": null, "pred": "j", "line": 4, "col": 1, "start": 36, "end": 44, "message": "XY-staged predicate `j` has no `.holddown` declaration; the planner default (2100 ms) applies silently", "suggestions": [{"start": 0, "end": 0, "replacement": ".holddown j 2100.\n", "note": "declare the retraction hold-down for `j` explicitly", "machine_applicable": true}]}
   ],
   "bounds": {
     "g": {"formula": "E(g)", "value": 500},
-    "j": {"formula": "S * (1 + E(g) + E(g))", "value": 101101},
-    "jp": {"formula": "S * E(g)", "value": 50500}
+    "j": {"formula": "(1 + E(g) + E(g))", "value": 1001},
+    "jp": {"formula": "3 * E(g)", "value": 1500}
   },
   "planes": {
     "g": "local",
@@ -115,7 +123,7 @@ p(X, Y) :- q(X).
 
 const UNSAFE_JSON: &str = r#"{
   "diagnostics": [
-    {"code": "safety.unbound", "severity": "error", "rule": 0, "pred": null, "line": 2, "col": 1, "start": 11, "end": 27, "message": "unsafe rule #0 (head) at 2:1: variable(s) Y not bound by any positive relational subgoal"}
+    {"code": "safety.unbound", "severity": "error", "rule": 0, "pred": null, "line": 2, "col": 1, "start": 11, "end": 27, "message": "unsafe rule #0 (head) at 2:1: variable(s) Y not bound by any positive relational subgoal", "suggestions": []}
   ],
   "bounds": {},
   "planes": {}
@@ -139,9 +147,10 @@ q(X, Y) :- r(X), s(Y).
 
 const CARTESIAN_JSON: &str = r#"{
   "diagnostics": [
-    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "q", "line": 4, "col": 1, "start": 57, "end": 79, "message": "static tuple bound for `q`: E(r) * E(s) = 250000"},
-    {"code": "plan.cartesian-join", "severity": "warning", "rule": 0, "pred": "s", "line": 4, "col": 18, "start": 74, "end": 78, "message": "rule #0: subgoal `s` is probed with no bound column (cartesian join)"},
-    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "q", "line": 4, "col": 1, "start": 57, "end": 79, "message": "predicate `q` evaluates on the tree-routed plane"}
+    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "q", "line": 4, "col": 1, "start": 57, "end": 79, "message": "static tuple bound for `q`: E(r) * E(s) = 250000", "suggestions": []},
+    {"code": "plan.cartesian-join", "severity": "warning", "rule": 0, "pred": "s", "line": 4, "col": 18, "start": 74, "end": 78, "message": "rule #0: subgoal `s` is probed with no bound column (cartesian join)", "suggestions": []},
+    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "q", "line": 4, "col": 1, "start": 57, "end": 79, "message": "predicate `q` evaluates on the tree-routed plane", "suggestions": []},
+    {"code": "cost.comm-estimate", "severity": "info", "rule": null, "pred": "q", "line": 4, "col": 1, "start": 57, "end": 79, "message": "estimated messages attributable to `q` (tree-routed plane): 16 * E(r) * E(s) * N = 400000000", "suggestions": []}
   ],
   "bounds": {
     "q": {"formula": "E(r) * E(s)", "value": 250000},
@@ -174,12 +183,14 @@ orphan(X) :- e(X, _).
 
 const DEAD_JSON: &str = r#"{
   "diagnostics": [
-    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "orphan", "line": 5, "col": 1, "start": 54, "end": 75, "message": "static tuple bound for `orphan`: E(e) = 500"},
-    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "t", "line": 4, "col": 1, "start": 34, "end": 53, "message": "static tuple bound for `t`: E(e) = 500"},
-    {"code": "plan.dead-pred", "severity": "warning", "rule": null, "pred": "orphan", "line": 5, "col": 1, "start": 54, "end": 75, "message": "predicate `orphan` is unreachable from any `.output` query"},
-    {"code": "plan.dead-rule", "severity": "warning", "rule": 1, "pred": "orphan", "line": 5, "col": 1, "start": 54, "end": 75, "message": "rule #1 derives dead predicate `orphan`"},
-    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "orphan", "line": 5, "col": 1, "start": 54, "end": 75, "message": "predicate `orphan` evaluates on the local plane"},
-    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "t", "line": 4, "col": 1, "start": 34, "end": 53, "message": "predicate `t` evaluates on the local plane"}
+    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "orphan", "line": 5, "col": 1, "start": 54, "end": 75, "message": "static tuple bound for `orphan`: E(e) = 500", "suggestions": []},
+    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "t", "line": 4, "col": 1, "start": 34, "end": 53, "message": "static tuple bound for `t`: E(e) = 500", "suggestions": []},
+    {"code": "plan.dead-pred", "severity": "warning", "rule": null, "pred": "orphan", "line": 5, "col": 1, "start": 54, "end": 75, "message": "predicate `orphan` is unreachable from any `.output` query", "suggestions": []},
+    {"code": "plan.dead-rule", "severity": "warning", "rule": 1, "pred": "orphan", "line": 5, "col": 1, "start": 54, "end": 75, "message": "rule #1 derives dead predicate `orphan`", "suggestions": []},
+    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "orphan", "line": 5, "col": 1, "start": 54, "end": 75, "message": "predicate `orphan` evaluates on the local plane", "suggestions": []},
+    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "t", "line": 4, "col": 1, "start": 34, "end": 53, "message": "predicate `t` evaluates on the local plane", "suggestions": []},
+    {"code": "cost.comm-estimate", "severity": "info", "rule": null, "pred": "orphan", "line": 5, "col": 1, "start": 54, "end": 75, "message": "estimated messages attributable to `orphan` (local plane): 4 * E(e) * N = 200000", "suggestions": []},
+    {"code": "cost.comm-estimate", "severity": "info", "rule": null, "pred": "t", "line": 4, "col": 1, "start": 34, "end": 53, "message": "estimated messages attributable to `t` (local plane): 4 * E(e) * N = 200000", "suggestions": []}
   ],
   "bounds": {
     "e": {"formula": "E(e)", "value": 500},
@@ -209,14 +220,14 @@ const NON_XY: &str = "\
 win(X) :- move(X, Y), not win(Y).
 ";
 
-const NON_XY_JSON: &str = "{
-  \"diagnostics\": [
-    {\"code\": \"stratify.negation-cycle\", \"severity\": \"error\", \"rule\": 0, \"pred\": \"win\", \"line\": 4, \"col\": 1, \"start\": 42, \"end\": 75, \"message\": \"program is not stratified: predicate win depends negatively on win (rule #0 at 4:1) within the recursive component {win}; and the XY-stratification check failed: component {win} is not XY-stratified: rule #0: stage of subgoal win is not provably \u{2264} the head stage\"}
+const NON_XY_JSON: &str = r#"{
+  "diagnostics": [
+    {"code": "stratify.negation-cycle", "severity": "error", "rule": 0, "pred": "win", "line": 4, "col": 1, "start": 42, "end": 75, "message": "program is not stratified: predicate win depends negatively on win (rule #0 at 4:1) within the recursive component {win}; and the XY-stratification check failed: component {win} is not XY-stratified: rule #0: stage of subgoal win is not provably ≤ the head stage", "suggestions": []}
   ],
-  \"bounds\": {},
-  \"planes\": {}
+  "bounds": {},
+  "planes": {}
 }
-";
+"#;
 
 #[test]
 fn negation_cycle_report_is_pinned() {
@@ -233,9 +244,10 @@ t(X, Y) :- e(X, Y).
 
 const UNWINDOWED_JSON: &str = r#"{
   "diagnostics": [
-    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "t", "line": 2, "col": 1, "start": 11, "end": 30, "message": "static tuple bound for `t`: E(e) = 500"},
-    {"code": "mem.window.unbounded", "severity": "warning", "rule": null, "pred": "e", "line": 2, "col": 12, "start": 22, "end": 29, "message": "base stream `e` has no `.window` and is not declared `.base`: stored tuples grow without bound"},
-    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "t", "line": 2, "col": 1, "start": 11, "end": 30, "message": "predicate `t` evaluates on the local plane"}
+    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "t", "line": 2, "col": 1, "start": 11, "end": 30, "message": "static tuple bound for `t`: E(e) = 500", "suggestions": []},
+    {"code": "mem.window.unbounded", "severity": "warning", "rule": null, "pred": "e", "line": 2, "col": 12, "start": 22, "end": 29, "message": "base stream `e` has no `.window` and is not declared `.base`: stored tuples grow without bound", "suggestions": [{"start": 0, "end": 0, "replacement": ".window e 60000.\n", "note": "declare a sliding window so `e` tuples expire", "machine_applicable": true}]},
+    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "t", "line": 2, "col": 1, "start": 11, "end": 30, "message": "predicate `t` evaluates on the local plane", "suggestions": []},
+    {"code": "cost.comm-estimate", "severity": "info", "rule": null, "pred": "t", "line": 2, "col": 1, "start": 11, "end": 30, "message": "estimated messages attributable to `t` (local plane): 4 * E(e) * N = 200000", "suggestions": []}
   ],
   "bounds": {
     "e": {"formula": "E(e)", "value": 500},
@@ -254,6 +266,56 @@ fn unbounded_window_report_is_pinned() {
     assert!(!rep.has_errors() && rep.has_warnings());
 }
 
+// ----------------------------------------------------------------- widen
+
+const WIDEN: &str = "\
+.base a. .base b. .base c.
+.window a 10. .window b 10. .window c 10.
+.output big.
+mid(X, Y) :- a(X, K), b(K, Y).
+big(X, Z) :- mid(X, Y), c(Y, Z).
+";
+
+const WIDEN_JSON: &str = r#"{
+  "diagnostics": [
+    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "big", "line": 5, "col": 1, "start": 113, "end": 145, "message": "static tuple bound for `big`: E(a) * E(b) * E(c) = 125000000", "suggestions": []},
+    {"code": "mem.bound", "severity": "info", "rule": null, "pred": "mid", "line": 4, "col": 1, "start": 82, "end": 112, "message": "static tuple bound for `mid`: E(a) * E(b) = 250000", "suggestions": []},
+    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "big", "line": 5, "col": 1, "start": 113, "end": 145, "message": "predicate `big` evaluates on the tree-routed plane", "suggestions": []},
+    {"code": "comm.plane", "severity": "info", "rule": null, "pred": "mid", "line": 4, "col": 1, "start": 82, "end": 112, "message": "predicate `mid` evaluates on the tree-routed plane", "suggestions": []},
+    {"code": "comm.widen", "severity": "warning", "rule": 1, "pred": "mid", "line": 5, "col": 14, "start": 126, "end": 135, "message": "rule #1: tree-routed join consumes already tree-routed `mid` — communication plane widens — split the join at `mid` via `mid_local(X, Y) :- mid(X, Y).`", "suggestions": [{"start": 113, "end": 145, "replacement": "mid_local(X, Y) :- mid(X, Y).\nbig(X, Z) :- mid_local(X, Y), c(Y, Z).", "note": "hoist `mid` into local-plane helper `mid_local` so the join consumes it locally", "machine_applicable": true}]},
+    {"code": "cost.comm-estimate", "severity": "info", "rule": null, "pred": "big", "line": 5, "col": 1, "start": 113, "end": 145, "message": "estimated messages attributable to `big` (tree-routed plane): 16 * E(a) * E(b) * E(c) * N = 200000000000", "suggestions": []},
+    {"code": "cost.comm-estimate", "severity": "info", "rule": null, "pred": "mid", "line": 4, "col": 1, "start": 82, "end": 112, "message": "estimated messages attributable to `mid` (tree-routed plane): 20 * E(a) * E(b) * N = 500000000", "suggestions": []}
+  ],
+  "bounds": {
+    "a": {"formula": "E(a)", "value": 500},
+    "b": {"formula": "E(b)", "value": 500},
+    "big": {"formula": "E(a) * E(b) * E(c)", "value": 125000000},
+    "c": {"formula": "E(c)", "value": 500},
+    "mid": {"formula": "E(a) * E(b)", "value": 250000}
+  },
+  "planes": {
+    "a": "local",
+    "b": "local",
+    "big": "tree-routed",
+    "c": "local",
+    "mid": "tree-routed"
+  }
+}
+"#;
+
+#[test]
+fn comm_widen_split_suggestion_is_pinned() {
+    let rep = assert_golden("widen", WIDEN, WIDEN_JSON);
+    assert!(!rep.has_errors() && rep.has_warnings());
+    // The concrete split must surface in the rendered text too, as a
+    // machine-applicable help with the rewritten rules inline.
+    let text = rep.to_text();
+    assert!(text.contains("split the join at `mid` via `mid_local(X, Y) :- mid(X, Y).`"));
+    assert!(text.contains("help [machine-applicable]:"));
+    assert!(text.contains("mid_local(X, Y) :- mid(X, Y)."));
+    assert!(text.contains("big(X, Z) :- mid_local(X, Y), c(Y, Z)."));
+}
+
 // -------------------------------------------------------------- invariants
 
 /// Every diagnostic in every golden program that is attached to source
@@ -269,6 +331,7 @@ fn all_source_diags_carry_spans() {
         ("dead", DEAD),
         ("non-xy", NON_XY),
         ("unwindowed", UNWINDOWED),
+        ("widen", WIDEN),
     ] {
         let rep = check(src);
         assert!(!rep.diags.is_empty(), "{label}: analyzer was silent");

@@ -13,6 +13,12 @@
 //!     exits non-zero on warnings; --nodes/--events set the topology and
 //!     workload parameters the bound formulas are evaluated against.
 //!
+//! sensorlog fix <program.dl> [--dry-run] [--nodes <n>] [--events <n>]
+//!     Apply every machine-applicable suggestion from `check` (missing
+//!     `.window`/`.holddown` declarations, widening-join splits) to the
+//!     program in place, re-checking until a fixpoint. --dry-run reports
+//!     pending fixes without touching the file and exits 2 if any remain.
+//!
 //! sensorlog run <program.dl> [--facts <facts.dl>] [--output <pred>]
 //!     Centralized bottom-up evaluation over a fact file.
 //!
@@ -49,11 +55,14 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("fix") => return cmd_fix(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("deploy") => cmd_deploy(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         _ => {
-            eprintln!("usage: sensorlog <analyze|check|run|deploy|explain> <program.dl> [options]");
+            eprintln!(
+                "usage: sensorlog <analyze|check|fix|run|deploy|explain> <program.dl> [options]"
+            );
             eprintln!("       (run `sensorlog <subcommand> --help` for options)");
             return ExitCode::from(2);
         }
@@ -88,6 +97,15 @@ const CHECK_USAGE: &str = "usage: sensorlog check <program.dl> [options]
   --deny-warnings      exit non-zero on warnings
   --nodes <n>          topology size for the memory-bound formulas
   --events <n>         per-predicate workload size for the bound formulas";
+
+const FIX_USAGE: &str = "usage: sensorlog fix <program.dl> [options]
+  --dry-run            report pending fixes without touching the file;
+                       exits 2 when fixes are pending, 0 when clean
+  --nodes <n>          topology size for the bound formulas
+  --events <n>         per-predicate workload size for the bound formulas
+  Applies every machine-applicable suggestion from `sensorlog check`
+  (missing `.window`/`.holddown` declarations, widening-join splits) to
+  the program in place, re-checking after each batch until a fixpoint.";
 
 const RUN_USAGE: &str = "usage: sensorlog run <program.dl> [options]
   --facts <facts.dl>   load a fact file as the EDB
@@ -219,6 +237,66 @@ fn cmd_check(args: &[String]) -> Result<(), AnyError> {
         return Err(format!("{path}: warnings denied by --deny-warnings").into());
     }
     Ok(())
+}
+
+fn cmd_fix(args: &[String]) -> ExitCode {
+    match try_fix(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn try_fix(args: &[String]) -> Result<ExitCode, AnyError> {
+    if wants_help(args, FIX_USAGE) {
+        return Ok(ExitCode::SUCCESS);
+    }
+    use sensorlog::logic::diag;
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("missing <program.dl> argument")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut params = diag::BoundParams::default();
+    if let Some(n) = flag(args, "--nodes") {
+        params.nodes = n.parse()?;
+    }
+    if let Some(e) = flag(args, "--events") {
+        params.default_events = e.parse()?;
+    }
+    let dry_run = args.iter().any(|a| a == "--dry-run");
+
+    let out = diag::fix_source(&src, &BuiltinRegistry::standard(), &params);
+    for line in &out.applied {
+        eprintln!("{}: {line}", if dry_run { "would fix" } else { "fixed" });
+    }
+    if out.remaining > 0 {
+        return Err(format!(
+            "{path}: {} machine-applicable suggestion(s) still pending after {} round(s)",
+            out.remaining, out.rounds
+        )
+        .into());
+    }
+    if out.applied.is_empty() {
+        eprintln!("-- {path}: nothing to fix");
+        return Ok(ExitCode::SUCCESS);
+    }
+    if dry_run {
+        eprintln!(
+            "-- {path}: {} fix(es) pending (file unchanged; rerun without --dry-run to apply)",
+            out.applied.len()
+        );
+        return Ok(ExitCode::from(2));
+    }
+    std::fs::write(path, &out.fixed).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!(
+        "-- {path}: applied {} fix(es) in {} round(s)",
+        out.applied.len(),
+        out.rounds
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_run(args: &[String]) -> Result<(), AnyError> {
